@@ -1,0 +1,319 @@
+// Command hydrac is the front door to the HYDRA-C framework: it reads
+// a task-set description (JSON) and computes security-task periods,
+// compares against the baseline schemes, simulates the resulting
+// schedule, or renders a Gantt chart.
+//
+// Usage:
+//
+//	hydrac analyze  -in taskset.json [-scheme hydra-c|hydra|hydra-tmax|global-tmax] [-exhaustive]
+//	hydrac simulate -in taskset.json [-horizon N] [-policy semi|partitioned|global]
+//	hydrac gantt    -in taskset.json [-to N] [-step N]
+//	hydrac generate [-cores M] [-group G] [-seed S]        (emit a random Table-3 task set)
+//	hydrac example                                          (emit the paper's rover task set)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hydrac/internal/baseline"
+	"hydrac/internal/core"
+	"hydrac/internal/gen"
+	"hydrac/internal/rover"
+	"hydrac/internal/sim"
+	"hydrac/internal/task"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = analyze(os.Args[2:])
+	case "simulate":
+		err = simulate(os.Args[2:])
+	case "gantt":
+		err = gantt(os.Args[2:])
+	case "sensitivity":
+		err = sensitivity(os.Args[2:])
+	case "generate":
+		err = generate(os.Args[2:])
+	case "example":
+		err = task.Encode(os.Stdout, rover.TaskSet())
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydrac:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `hydrac — period adaptation for continuous security monitoring (DATE 2020)
+
+subcommands:
+  analyze      compute security-task periods for a task set
+  simulate     run the discrete-event scheduler on a configured set
+  gantt        render a schedule chart (ASCII, optionally SVG)
+  sensitivity  report how much each monitor's WCET can grow
+  generate     emit a random Table-3 synthetic task set (JSON)
+  example      emit the paper's rover task set (JSON)`)
+}
+
+func load(path string) (*task.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return task.Decode(f)
+}
+
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "", "task set JSON file (required)")
+	scheme := fs.String("scheme", "hydra-c", "hydra-c | hydra | hydra-tmax | global-tmax")
+	exhaustive := fs.Bool("exhaustive", false, "use the literal Eq. 8 carry-in enumeration")
+	explain := fs.Bool("explain", false, "print the per-task interference breakdown (hydra-c only)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("analyze: -in is required")
+	}
+	ts, err := load(*in)
+	if err != nil {
+		return err
+	}
+	switch *scheme {
+	case "hydra-c":
+		opt := core.Options{}
+		if *exhaustive {
+			opt.CarryIn = core.Exhaustive
+		}
+		res, err := core.SelectPeriods(ts, opt)
+		if err != nil {
+			return err
+		}
+		if !res.Schedulable {
+			fmt.Println("UNSCHEDULABLE: no period assignment within the designer bounds")
+			return nil
+		}
+		fmt.Printf("%-16s %10s %10s %10s\n", "security task", "T* (ms)", "WCRT (ms)", "Tmax (ms)")
+		for i, s := range ts.Security {
+			fmt.Printf("%-16s %10d %10d %10d\n", s.Name, res.Periods[i], res.Resp[i], s.MaxPeriod)
+		}
+		if *explain {
+			diags, err := core.Diagnose(ts, res.Periods, opt.CarryIn)
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			for _, d := range diags {
+				fmt.Print(d.Render())
+			}
+		}
+	case "hydra", "hydra-tmax":
+		var res *baseline.PartitionedResult
+		if *scheme == "hydra" {
+			res, err = baseline.HydraAggressive(ts)
+		} else {
+			res, err = baseline.HydraTMax(ts)
+		}
+		if err != nil {
+			return err
+		}
+		if !res.Schedulable {
+			fmt.Println("UNSCHEDULABLE under the partitioned baseline")
+			return nil
+		}
+		fmt.Printf("%-16s %10s %10s %6s\n", "security task", "T (ms)", "WCRT (ms)", "core")
+		for i, s := range ts.Security {
+			fmt.Printf("%-16s %10d %10d %6d\n", s.Name, res.Periods[i], res.Resp[i], res.Cores[i])
+		}
+	case "global-tmax":
+		res, err := baseline.GlobalTMax(ts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("schedulable: %v\n", res.Schedulable)
+		for i, t := range ts.RT {
+			fmt.Printf("%-16s R=%d D=%d\n", t.Name, res.RTResp[i], t.Deadline)
+		}
+		for i, s := range ts.Security {
+			fmt.Printf("%-16s R=%d Tmax=%d\n", s.Name, res.SecResp[i], s.MaxPeriod)
+		}
+	default:
+		return fmt.Errorf("analyze: unknown scheme %q", *scheme)
+	}
+	return nil
+}
+
+func configure(ts *task.Set, policy sim.Policy) (*task.Set, error) {
+	// If the file already carries periods, respect them; otherwise run
+	// the scheme matching the policy.
+	have := true
+	for _, s := range ts.Security {
+		if s.Period == 0 {
+			have = false
+			break
+		}
+	}
+	if have {
+		return ts, nil
+	}
+	if policy == sim.FullyPartitioned {
+		res, err := baseline.HydraAggressive(ts)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Schedulable {
+			return nil, fmt.Errorf("HYDRA cannot configure this set")
+		}
+		return baseline.ApplyPartitioned(ts, res), nil
+	}
+	res, err := core.SelectPeriods(ts, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Schedulable {
+		return nil, fmt.Errorf("HYDRA-C cannot configure this set")
+	}
+	return core.Apply(ts, res), nil
+}
+
+func parsePolicy(s string) (sim.Policy, error) {
+	switch s {
+	case "semi":
+		return sim.SemiPartitioned, nil
+	case "partitioned":
+		return sim.FullyPartitioned, nil
+	case "global":
+		return sim.Global, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (semi|partitioned|global)", s)
+	}
+}
+
+func simulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	in := fs.String("in", "", "task set JSON file (required)")
+	horizon := fs.Int64("horizon", 60000, "simulation horizon in ticks")
+	policy := fs.String("policy", "semi", "semi | partitioned | global")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("simulate: -in is required")
+	}
+	ts, err := load(*in)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	cfgd, err := configure(ts, pol)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(cfgd, sim.Config{Policy: pol, Horizon: *horizon})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Summary())
+	return nil
+}
+
+func gantt(args []string) error {
+	fs := flag.NewFlagSet("gantt", flag.ExitOnError)
+	in := fs.String("in", "", "task set JSON file (required)")
+	to := fs.Int64("to", 2000, "render window end (ticks)")
+	step := fs.Int64("step", 0, "ticks per column (default: window/100)")
+	policy := fs.String("policy", "semi", "semi | partitioned | global")
+	svgPath := fs.String("svg", "", "also write an SVG chart to this file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("gantt: -in is required")
+	}
+	ts, err := load(*in)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	cfgd, err := configure(ts, pol)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(cfgd, sim.Config{Policy: pol, Horizon: *to, RecordIntervals: true})
+	if err != nil {
+		return err
+	}
+	st := *step
+	if st <= 0 {
+		st = max(*to/100, 1)
+	}
+	fmt.Print(sim.Gantt(res, 0, *to, st))
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sim.GanttSVG(f, res, 0, *to); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
+	}
+	return nil
+}
+
+func sensitivity(args []string) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
+	in := fs.String("in", "", "task set JSON file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("sensitivity: -in is required")
+	}
+	ts, err := load(*in)
+	if err != nil {
+		return err
+	}
+	perTask, err := core.WCETSensitivity(ts, core.Options{})
+	if err != nil {
+		return err
+	}
+	scale, err := core.ScaleSensitivity(ts, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %10s %12s %8s\n", "security task", "WCET (ms)", "max WCET", "headroom")
+	for i, s := range ts.Security {
+		fmt.Printf("%-16s %10d %12d %7.1fx\n", s.Name, s.WCET, perTask[i], float64(perTask[i])/float64(s.WCET))
+	}
+	fmt.Printf("uniform scale factor for the whole security band: %.2fx\n", scale)
+	return nil
+}
+
+func generate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	cores := fs.Int("cores", 2, "number of cores M")
+	group := fs.Int("group", 3, "utilisation group 0..9")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	cfg := gen.TableThree(*cores)
+	ts, err := cfg.Generate(rand.New(rand.NewSource(*seed)), *group)
+	if err != nil {
+		return err
+	}
+	return task.Encode(os.Stdout, ts)
+}

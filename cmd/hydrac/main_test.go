@@ -1,0 +1,180 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hydrac/internal/rover"
+	"hydrac/internal/sim"
+	"hydrac/internal/task"
+)
+
+func writeRoverFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rover.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := task.Encode(f, rover.TaskSet()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture redirects stdout around fn.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(r)
+	r.Close()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if errRun != nil {
+		t.Fatalf("command failed: %v", errRun)
+	}
+	return string(out)
+}
+
+func TestAnalyzeHydraC(t *testing.T) {
+	path := writeRoverFile(t)
+	out := capture(t, func() error { return analyze([]string{"-in", path}) })
+	if !strings.Contains(out, "tripwire") || !strings.Contains(out, "7582") {
+		t.Fatalf("unexpected analyze output:\n%s", out)
+	}
+}
+
+func TestAnalyzeBaselines(t *testing.T) {
+	path := writeRoverFile(t)
+	out := capture(t, func() error { return analyze([]string{"-in", path, "-scheme", "hydra"}) })
+	if !strings.Contains(out, "core") || !strings.Contains(out, "463") {
+		t.Fatalf("unexpected hydra output:\n%s", out)
+	}
+	out = capture(t, func() error { return analyze([]string{"-in", path, "-scheme", "hydra-tmax"}) })
+	if !strings.Contains(out, "10000") {
+		t.Fatalf("unexpected hydra-tmax output:\n%s", out)
+	}
+	out = capture(t, func() error { return analyze([]string{"-in", path, "-scheme", "global-tmax"}) })
+	if !strings.Contains(out, "schedulable: true") {
+		t.Fatalf("unexpected global-tmax output:\n%s", out)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if err := analyze([]string{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	path := writeRoverFile(t)
+	if err := analyze([]string{"-in", path, "-scheme", "bogus"}); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+	if err := analyze([]string{"-in", "/nonexistent.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSimulateAndGantt(t *testing.T) {
+	path := writeRoverFile(t)
+	out := capture(t, func() error {
+		return simulate([]string{"-in", path, "-horizon", "20000"})
+	})
+	if !strings.Contains(out, "context switches") {
+		t.Fatalf("simulate output:\n%s", out)
+	}
+	out = capture(t, func() error {
+		return gantt([]string{"-in", path, "-to", "5000"})
+	})
+	if !strings.Contains(out, "core 0") || !strings.Contains(out, "legend") {
+		t.Fatalf("gantt output:\n%s", out)
+	}
+}
+
+func TestGenerateEmitsValidSet(t *testing.T) {
+	out := capture(t, func() error {
+		return generate([]string{"-cores", "2", "-group", "2", "-seed", "5"})
+	})
+	ts, err := task.Decode(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("generated set does not round-trip: %v\n%s", err, out)
+	}
+	if ts.Cores != 2 || len(ts.RT) == 0 || len(ts.Security) == 0 {
+		t.Fatalf("generated set malformed: %+v", ts)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]sim.Policy{
+		"semi": sim.SemiPartitioned, "partitioned": sim.FullyPartitioned, "global": sim.Global,
+	} {
+		got, err := parsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePolicy("nope"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestConfigureRespectsExistingPeriods(t *testing.T) {
+	ts := rover.TaskSet()
+	for i := range ts.Security {
+		ts.Security[i].Period = 9000
+	}
+	got, err := configure(ts, sim.SemiPartitioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range got.Security {
+		if s.Period != 9000 {
+			t.Fatalf("configure overwrote an explicit period: %+v", s)
+		}
+	}
+}
+
+func TestSensitivitySubcommand(t *testing.T) {
+	path := writeRoverFile(t)
+	out := capture(t, func() error { return sensitivity([]string{"-in", path}) })
+	if !strings.Contains(out, "headroom") || !strings.Contains(out, "uniform scale factor") {
+		t.Fatalf("sensitivity output malformed:\n%s", out)
+	}
+	if err := sensitivity([]string{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+}
+
+func TestAnalyzeExplain(t *testing.T) {
+	path := writeRoverFile(t)
+	out := capture(t, func() error { return analyze([]string{"-in", path, "-explain"}) })
+	if !strings.Contains(out, "interference") || !strings.Contains(out, "RT band") {
+		t.Fatalf("explain output malformed:\n%s", out)
+	}
+}
+
+func TestGanttSVGFlag(t *testing.T) {
+	path := writeRoverFile(t)
+	svg := filepath.Join(t.TempDir(), "sched.svg")
+	capture(t, func() error {
+		return gantt([]string{"-in", path, "-to", "3000", "-svg", svg})
+	})
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatalf("SVG file malformed: %.80s", data)
+	}
+}

@@ -1,0 +1,59 @@
+// Command rover reproduces the paper's embedded-platform experiments
+// (§5.1, Figs. 5a and 5b) on the simulated RPi3 rover: intrusion
+// detection latency and context-switch overhead for HYDRA-C vs HYDRA,
+// plus the controlled pinned-vs-migrating comparison and the Table 2
+// platform summary.
+//
+// Usage:
+//
+//	rover [-trials N] [-seed S] [-objects N] [-table2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hydrac/internal/experiments"
+	"hydrac/internal/metrics"
+	"hydrac/internal/rover"
+)
+
+func main() {
+	trials := flag.Int("trials", 35, "number of attack trials (paper: 35)")
+	seed := flag.Int64("seed", 1, "random seed")
+	objects := flag.Int("objects", 64, "files in the protected image store")
+	table2 := flag.Bool("table2", false, "print the Table 2 platform summary and exit")
+	hist := flag.Bool("hist", false, "also print detection-latency histograms")
+	flag.Parse()
+
+	if *table2 {
+		fmt.Print(rover.TableTwo())
+		return
+	}
+
+	cfg := rover.DefaultTrialConfig()
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+	cfg.Objects = *objects
+
+	res, err := experiments.Fig5(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rover:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+
+	if *hist {
+		hi := res.HydraC.DetectionMS.Max()
+		if h2 := res.Hydra.DetectionMS.Max(); h2 > hi {
+			hi = h2
+		}
+		for _, s := range []*rover.SchemeResult{res.HydraC, res.Hydra} {
+			fmt.Printf("\n%s detection-latency distribution (ms):\n", s.Scheme)
+			h := metrics.NewHistogram(0, hi+1, 8)
+			h.AddSample(&s.DetectionMS)
+			fmt.Print(h.Render(40))
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command sweep reproduces the paper's synthetic design-space
+// exploration (§5.2): Fig. 6 (achievable period distance), Fig. 7a
+// (acceptance ratios) and Fig. 7b (period-vector differences), for 2-
+// and 4-core platforms, plus the Table 3 generator configuration.
+//
+// Usage:
+//
+//	sweep [-fig 6|7a|7b|all] [-cores 2|4|0] [-sets N] [-seed S] [-table3]
+//
+// -cores 0 runs both core counts, as the paper does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hydrac/internal/experiments"
+	"hydrac/internal/gen"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 6 | 7a | 7b | all")
+	cores := flag.Int("cores", 0, "core count: 2, 4, or 0 for both")
+	sets := flag.Int("sets", 250, "task sets per utilisation group (paper: 250)")
+	seed := flag.Int64("seed", 2020, "random seed")
+	table3 := flag.Bool("table3", false, "print the Table 3 generator configuration and exit")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	if *table3 {
+		printTable3()
+		return
+	}
+
+	var coreCounts []int
+	switch {
+	case *cores == 0:
+		coreCounts = []int{2, 4}
+	case *cores >= 2 && *cores <= 16:
+		// The paper evaluates 2 and 4; larger counts are supported as
+		// a scalability extension.
+		coreCounts = []int{*cores}
+	default:
+		fmt.Fprintln(os.Stderr, "sweep: -cores must be 0 (both paper configs) or 2..16")
+		os.Exit(2)
+	}
+
+	for _, m := range coreCounts {
+		cfg := experiments.DefaultSweepConfig(m)
+		cfg.SetsPerGroup = *sets
+		cfg.Seed = *seed
+		emit := func(res interface{ Render() string }) {
+			if *jsonOut {
+				fail(experiments.WriteJSON(os.Stdout, res))
+				return
+			}
+			fmt.Print(res.Render())
+			fmt.Println()
+		}
+		if *fig == "6" || *fig == "all" {
+			res, err := experiments.Fig6(cfg)
+			fail(err)
+			emit(res)
+		}
+		if *fig == "7a" || *fig == "all" {
+			res, err := experiments.Fig7a(cfg)
+			fail(err)
+			emit(res)
+		}
+		if *fig == "7b" || *fig == "all" {
+			res, err := experiments.Fig7b(cfg)
+			fail(err)
+			emit(res)
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func printTable3() {
+	for _, m := range []int{2, 4} {
+		c := gen.TableThree(m)
+		fmt.Printf("Table 3 (M=%d): N_R∈[%d,%d] N_S∈[%d,%d] T_r∈[%d,%d]ms Tmax∈[%d,%d]ms security share %.0f%% groups %d sets/group %d partition %v\n",
+			m, c.RTTasksMin, c.RTTasksMax, c.SecTasksMin, c.SecTasksMax,
+			c.RTPeriodMin, c.RTPeriodMax, c.SecMaxPeriodMin, c.SecMaxPeriodMax,
+			100*c.SecurityShare, c.Groups, c.SetsPerGroup, c.Partition)
+	}
+}

@@ -1,0 +1,113 @@
+// Automotive scenario: the attack class that motivates the paper's
+// introduction (frame injection into an in-vehicle CAN network,
+// Koscher et al.). A gateway ECU runs three RT control tasks on two
+// cores; a CAN intrusion-detection task (frequency-based monitor) and
+// a firmware integrity checker are integrated with HYDRA-C. The
+// example compares the spoofed-steering detection latency under the
+// HYDRA-C period against the designer's Tmax fallback — the concrete
+// value of period adaptation.
+//
+// Run with: go run ./examples/automotive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hydrac/internal/canbus"
+	"hydrac/internal/core"
+	"hydrac/internal/sim"
+	"hydrac/internal/task"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2020))
+
+	// The gateway ECU: engine/brake fusion, steering control and
+	// telemetry, partitioned on two cores.
+	ts := &task.Set{
+		Cores: 2,
+		RT: []task.RTTask{
+			{Name: "fusion", WCET: 3, Period: 10, Deadline: 10, Core: 0, Priority: 0},
+			{Name: "steering", WCET: 8, Period: 20, Deadline: 20, Core: 1, Priority: 1},
+			{Name: "telemetry", WCET: 24, Period: 100, Deadline: 100, Core: 0, Priority: 2},
+		},
+		Security: []task.SecurityTask{
+			{Name: "canids", WCET: 6, MaxPeriod: 1000, Priority: 0, Core: -1},
+			{Name: "fwcheck", WCET: 55, MaxPeriod: 5000, Priority: 1, Core: -1},
+		},
+	}
+	res, err := core.SelectPeriods(ts, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Schedulable {
+		log.Fatal("gateway task set unschedulable")
+	}
+	var idsPeriod task.Time
+	for i, s := range ts.Security {
+		fmt.Printf("%-8s T*=%-5d ms (Tmax %d)\n", s.Name, res.Periods[i], s.MaxPeriod)
+		if s.Name == "canids" {
+			idsPeriod = res.Periods[i]
+		}
+	}
+
+	const horizon = 30000
+	out, err := sim.Run(core.Apply(ts, res), sim.Config{
+		Policy: sim.SemiPartitioned, Horizon: horizon, RecordIntervals: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out.RTDeadlineMisses != 0 {
+		log.Fatal("control tasks missed deadlines")
+	}
+
+	// The bus: standard matrix, spoofed steering frames at 4 ms
+	// intervals starting mid-run.
+	bus := canbus.NewBus(rng, canbus.StandardMatrix(), 0.05)
+	attackAt := int64(11_111)
+	frames := canbus.InjectionAttack{
+		TargetID: 0x055, Start: attackAt, Interval: 4, Payload: []byte{0xFF, 0x7F},
+	}.Apply(bus.Timeline(horizon), horizon)
+
+	// Each completed canids job is one scan instant.
+	scanAt := func(jobs []sim.JobRecord) []int64 {
+		var out []int64
+		for _, j := range jobs {
+			if j.Finish >= 0 {
+				out = append(out, j.Finish)
+			}
+		}
+		return out
+	}
+	scans := scanAt(out.JobsOf("canids"))
+	det, ok := canbus.DetectInjection(frames, bus.Matrix(), 0.5, scans)
+	if !ok {
+		log.Fatal("injection evaded the monitor")
+	}
+	fmt.Printf("\nspoofed steering frames from t=%d ms\n", attackAt)
+	fmt.Printf("HYDRA-C period %4d ms: detected at t=%d (latency %d ms, %d scans over %ds)\n",
+		idsPeriod, det, det-attackAt, len(scans), horizon/1000)
+
+	// The no-adaptation fallback: the same monitor at Tmax.
+	tmaxSet := ts.Clone()
+	for i := range tmaxSet.Security {
+		tmaxSet.Security[i].Period = tmaxSet.Security[i].MaxPeriod
+	}
+	outTmax, err := sim.Run(tmaxSet, sim.Config{
+		Policy: sim.SemiPartitioned, Horizon: horizon, RecordIntervals: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	detTmax, ok := canbus.DetectInjection(frames, bus.Matrix(), 0.5, scanAt(outTmax.JobsOf("canids")))
+	if !ok {
+		log.Fatal("injection evaded the Tmax monitor")
+	}
+	fmt.Printf("Tmax    period %4d ms: detected at t=%d (latency %d ms)\n",
+		ts.Security[0].MaxPeriod, detTmax, detTmax-attackAt)
+	fmt.Printf("\nperiod adaptation shrinks the exposure window %.1fx\n",
+		float64(detTmax-attackAt)/float64(det-attackAt))
+}

@@ -1,0 +1,109 @@
+// Medical-device scenario (the paper motivates RTS security with
+// attacks on medical devices, ref [6]): an infusion-pump controller
+// reads a redundant pressure-sensor array and adjusts the pump; a
+// sensor-correlation security task — the exact mechanism §1 proposes
+// "for detecting sensor manipulation" — is integrated with HYDRA-C.
+// An attacker spoofs one channel mid-run; the example measures how
+// fast the correlation task flags it, and verifies the escalated
+// (reactive, §6) audit mode stays schedulable.
+//
+// Run with: go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hydrac/internal/core"
+	"hydrac/internal/ids"
+	"hydrac/internal/sim"
+	"hydrac/internal/task"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Pump controller: dosing loop + UI/telemetry on two cores.
+	ts := &task.Set{
+		Cores: 2,
+		RT: []task.RTTask{
+			{Name: "dosing", WCET: 4, Period: 20, Deadline: 20, Core: 0, Priority: 0},
+			{Name: "telemetry", WCET: 30, Period: 200, Deadline: 200, Core: 1, Priority: 1},
+			{Name: "ui", WCET: 25, Period: 250, Deadline: 250, Core: 0, Priority: 2},
+		},
+		Security: []task.SecurityTask{
+			{Name: "senscorr", WCET: 5, MaxPeriod: 2000, Priority: 0, Core: -1},
+			{Name: "logaudit", WCET: 40, MaxPeriod: 6000, Priority: 1, Core: -1},
+		},
+	}
+
+	// Reactive design (§6): if senscorr flags a channel, its next job
+	// also cross-checks the dosing history (a1), tripling its demand.
+	res, err := core.SelectPeriodsReactive(ts, []core.Escalation{
+		{Task: "senscorr", AlertWCET: 15},
+	}, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Schedulable {
+		log.Fatal("pump task set cannot host the reactive monitor")
+	}
+	fmt.Println("reactive period selection (alert-mode sized):")
+	for i, s := range ts.Security {
+		fmt.Printf("  %-9s T*=%-5d ms  R(normal)=%-4d R(alert)=%-4d Tmax=%d\n",
+			s.Name, res.Periods[i], res.NormalResp[i], res.AlertResp[i], s.MaxPeriod)
+	}
+
+	configured := ts.Clone()
+	for i := range configured.Security {
+		configured.Security[i].Period = res.Periods[i]
+	}
+	const horizon = 20000
+	attackAt := task.Time(8000)
+	out, err := sim.Run(configured, sim.Config{
+		Policy: sim.SemiPartitioned, Horizon: horizon, RecordIntervals: true,
+		// Once the anomaly is confirmed the follow-up audit runs in
+		// every subsequent senscorr job.
+		ModeSwitches: []sim.ModeSwitch{{Task: "senscorr", At: attackAt, AlertWCET: 15}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out.RTDeadlineMisses != 0 {
+		log.Fatal("dosing loop missed deadlines")
+	}
+
+	// Drive the plant + sensors against the schedule: each completed
+	// senscorr job takes one reading of the array.
+	plant := ids.NewPlant(rng, 40, 90) // line pressure, mmHg-ish
+	array := ids.NewSensorArray(rng, 4, 0.6)
+	checker := ids.CorrelationChecker{Noise: 0.6, Threshold: 6}
+	compromised := false
+	var detectedAt task.Time = -1
+	now := task.Time(0)
+	for _, job := range out.JobsOf("senscorr") {
+		if job.Finish < 0 {
+			continue
+		}
+		for ; now < job.Finish; now++ {
+			plant.Step()
+		}
+		if !compromised && job.Finish >= attackAt {
+			array.Compromise(1, func(truth float64) float64 { return truth + 20 }) // overdose spoof
+			compromised = true
+		}
+		if suspects := checker.Check(array.Read(plant.Step())); len(suspects) > 0 && compromised {
+			detectedAt = job.Finish
+			break
+		}
+	}
+	if detectedAt < 0 {
+		log.Fatal("sensor manipulation never detected")
+	}
+	fmt.Printf("\nchannel 1 spoofed (+20 units) at t=%d ms\n", attackAt)
+	fmt.Printf("correlation task flags it at t=%d ms — latency %d ms (one %d ms period bound)\n",
+		detectedAt, detectedAt-attackAt, res.Periods[0])
+	fmt.Printf("schedule stayed clean under escalation: %d context switches, 0 RT misses\n",
+		out.ContextSwitches)
+}

@@ -1,0 +1,93 @@
+// Period tuning: how the designer bound Tmax and the RT load shape the
+// achievable monitoring frequency. The example sweeps (a) the Tmax of
+// a single scanner against growing RT utilisation, showing where the
+// system stops being schedulable, and (b) the number of security
+// tasks, showing how Algorithm 1 distributes the remaining slack —
+// the schedulability/monitoring trade-off of §4.5.
+//
+// Run with: go run ./examples/periodtuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hydrac/internal/core"
+	"hydrac/internal/task"
+)
+
+func main() {
+	fmt.Println("— sweep 1: one scanner (C=40) vs RT load, Tmax=2000 —")
+	fmt.Printf("%-12s %-14s %-10s\n", "RT util/core", "scanner T*", "frequency")
+	for load := task.Time(10); load <= 80; load += 10 {
+		ts := platform(load)
+		ts.Security = []task.SecurityTask{
+			{Name: "scanner", WCET: 40, MaxPeriod: 2000, Priority: 0, Core: -1},
+		}
+		res, err := core.SelectPeriods(ts, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Schedulable {
+			fmt.Printf("%-12.2f UNSCHEDULABLE\n", float64(load)/100)
+			continue
+		}
+		fmt.Printf("%-12.2f %-14d %.2f Hz\n", float64(load)/100, res.Periods[0], 1000/float64(res.Periods[0]))
+	}
+
+	fmt.Println()
+	fmt.Println("— sweep 2: growing security workload at fixed RT load (0.4/core) —")
+	fmt.Printf("%-8s %-40s\n", "tasks", "selected periods (priority order)")
+	for n := 1; n <= 6; n++ {
+		ts := platform(40)
+		for i := 0; i < n; i++ {
+			ts.Security = append(ts.Security, task.SecurityTask{
+				Name: fmt.Sprintf("mon%d", i), WCET: 40,
+				MaxPeriod: 3000, Priority: i, Core: -1,
+			})
+		}
+		res, err := core.SelectPeriods(ts, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Schedulable {
+			fmt.Printf("%-8d UNSCHEDULABLE within Tmax=3000\n", n)
+			continue
+		}
+		fmt.Printf("%-8d %v\n", n, res.Periods)
+	}
+
+	fmt.Println()
+	fmt.Println("— sweep 3: Tmax sensitivity for the rover tripwire —")
+	fmt.Printf("%-10s %-12s %-12s\n", "Tmax", "T*", "verdict")
+	for tmax := task.Time(6000); tmax <= 14000; tmax += 2000 {
+		ts := platform(48) // navigation-like load on core 0
+		ts.RT[1].WCET = 1120
+		ts.RT[1].Period = 5000
+		ts.RT[1].Deadline = 5000
+		ts.Security = []task.SecurityTask{
+			{Name: "tripwire", WCET: 5342, MaxPeriod: tmax, Priority: 0, Core: -1},
+		}
+		res, err := core.SelectPeriods(ts, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Schedulable {
+			fmt.Printf("%-10d %-12s %s\n", tmax, "-", "unschedulable — raise Tmax or shed RT load")
+			continue
+		}
+		fmt.Printf("%-10d %-12d schedulable\n", tmax, res.Periods[0])
+	}
+}
+
+// platform builds a two-core system whose per-core RT utilisation is
+// load/100: one task of period 100 on each core.
+func platform(load task.Time) *task.Set {
+	return &task.Set{
+		Cores: 2,
+		RT: []task.RTTask{
+			{Name: "rt0", WCET: load, Period: 100, Deadline: 100, Core: 0, Priority: 0},
+			{Name: "rt1", WCET: load, Period: 100, Deadline: 100, Core: 1, Priority: 1},
+		},
+	}
+}

@@ -1,0 +1,138 @@
+// Package hydrac is a Go implementation of HYDRA-C — "Period
+// Adaptation for Continuous Security Monitoring in Multicore Real-Time
+// Systems" (Hasan, Mohan, Pellizzoni, Bobba — DATE 2020).
+//
+// HYDRA-C integrates periodic security monitoring tasks (intrusion
+// detectors, integrity checkers, …) into a legacy partitioned
+// multicore real-time system without touching the RT tasks: the
+// security band runs below every RT task and may migrate to whichever
+// core is idle (semi-partitioned scheduling), and each security task's
+// period is minimised — the monitor runs as often as possible — while
+// every schedulability guarantee is preserved.
+//
+// This root package is a façade over the implementation packages:
+//
+//	internal/task       task model (RT + security, integer ticks)
+//	internal/rta        uniprocessor response-time analysis (Eq. 1)
+//	internal/partition  RT bin-packing with exact RTA admission
+//	internal/core       HYDRA-C WCRT analysis + Algorithms 1 & 2
+//	internal/baseline   HYDRA, HYDRA-TMax, GLOBAL-TMax baselines
+//	internal/gen        Table-3 synthetic workload generator
+//	internal/sim        discrete-event multicore scheduler
+//	internal/ids        integrity/rootkit detection substrate
+//	internal/rover      the paper's rover platform and Fig. 5 trials
+//	internal/experiments  figure-by-figure reproduction harness
+//
+// A minimal integration looks like:
+//
+//	ts := &hydrac.TaskSet{Cores: 2, RT: …, Security: …}
+//	res, err := hydrac.SelectPeriods(ts, hydrac.Options{})
+//	if err != nil || !res.Schedulable { … }
+//	configured := hydrac.Apply(ts, res)
+//	out, err := hydrac.Simulate(configured, hydrac.SimConfig{
+//		Policy: hydrac.SemiPartitioned, Horizon: 60000,
+//	})
+//
+// See examples/ for runnable scenarios and DESIGN.md for the full
+// system inventory.
+package hydrac
+
+import (
+	"hydrac/internal/baseline"
+	"hydrac/internal/core"
+	"hydrac/internal/partition"
+	"hydrac/internal/sim"
+	"hydrac/internal/task"
+)
+
+// Core model types.
+type (
+	// Time is an instant or duration in integer clock ticks.
+	Time = task.Time
+	// TaskSet is a complete system: cores, RT tasks, security tasks.
+	TaskSet = task.Set
+	// RTTask is a partitioned hard real-time task (C, T, D).
+	RTTask = task.RTTask
+	// SecurityTask is a security monitor (C, T, Tmax).
+	SecurityTask = task.SecurityTask
+)
+
+// Period selection (the paper's primary contribution).
+type (
+	// Options tunes SelectPeriods; the zero value is the paper's
+	// configuration.
+	Options = core.Options
+	// Result carries the selected periods and response times.
+	Result = core.Result
+)
+
+// SelectPeriods runs Algorithm 1: minimum feasible periods for the
+// security tasks of ts under semi-partitioned scheduling.
+func SelectPeriods(ts *TaskSet, opt Options) (*Result, error) {
+	return core.SelectPeriods(ts, opt)
+}
+
+// Apply writes selected periods into a clone of ts.
+func Apply(ts *TaskSet, res *Result) *TaskSet { return core.Apply(ts, res) }
+
+// Baseline schemes of the paper's evaluation.
+type PartitionedResult = baseline.PartitionedResult
+
+// Hydra is the DATE 2018 fully partitioned baseline (greedy placement
+// with per-core period optimisation).
+func Hydra(ts *TaskSet) (*PartitionedResult, error) { return baseline.Hydra(ts) }
+
+// HydraAggressive pins each period to its WCRT on placement — the
+// paper's verbatim description of HYDRA's greedy.
+func HydraAggressive(ts *TaskSet) (*PartitionedResult, error) { return baseline.HydraAggressive(ts) }
+
+// HydraTMax keeps the partitioned placement with periods at Tmax.
+func HydraTMax(ts *TaskSet) (*PartitionedResult, error) { return baseline.HydraTMax(ts) }
+
+// GlobalResult carries GLOBAL-TMax response times.
+type GlobalResult = baseline.GlobalResult
+
+// GlobalTMax checks global fixed-priority schedulability with periods
+// at Tmax.
+func GlobalTMax(ts *TaskSet) (*GlobalResult, error) { return baseline.GlobalTMax(ts) }
+
+// RT task partitioning.
+type PartitionHeuristic = partition.Heuristic
+
+// Partitioning heuristics for the RT band.
+const (
+	BestFit  = partition.BestFit
+	FirstFit = partition.FirstFit
+	WorstFit = partition.WorstFit
+	NextFit  = partition.NextFit
+)
+
+// Partition assigns the RT tasks of ts to cores in place.
+func Partition(ts *TaskSet, h PartitionHeuristic) error { return partition.Assign(ts, h) }
+
+// Simulation.
+type (
+	// SimConfig controls a simulation run.
+	SimConfig = sim.Config
+	// SimResult is the outcome of a run.
+	SimResult = sim.Result
+	// Policy selects the migration model.
+	Policy = sim.Policy
+)
+
+// Scheduling policies.
+const (
+	// SemiPartitioned pins RT tasks and migrates the security band
+	// (HYDRA-C's runtime model).
+	SemiPartitioned = sim.SemiPartitioned
+	// FullyPartitioned pins both bands (HYDRA's runtime model).
+	FullyPartitioned = sim.FullyPartitioned
+	// Global migrates everything (GLOBAL-TMax's runtime model).
+	Global = sim.Global
+)
+
+// Simulate runs the discrete-event scheduler on a configured set.
+func Simulate(ts *TaskSet, cfg SimConfig) (*SimResult, error) { return sim.Run(ts, cfg) }
+
+// Gantt renders an ASCII schedule chart from a traced run.
+func Gantt(r *SimResult, from, to, step Time) string { return sim.Gantt(r, from, to, step) }

@@ -1,0 +1,123 @@
+// Tests of the public façade: everything a downstream user touches
+// must work through the root package alone.
+package hydrac_test
+
+import (
+	"strings"
+	"testing"
+
+	"hydrac"
+)
+
+func apiTaskSet() *hydrac.TaskSet {
+	return &hydrac.TaskSet{
+		Cores: 2,
+		RT: []hydrac.RTTask{
+			{Name: "control", WCET: 12, Period: 40, Deadline: 40, Core: 0, Priority: 0},
+			{Name: "vision", WCET: 25, Period: 100, Deadline: 100, Core: 1, Priority: 1},
+		},
+		Security: []hydrac.SecurityTask{
+			{Name: "scanner", WCET: 30, MaxPeriod: 500, Priority: 0, Core: -1},
+			{Name: "auditor", WCET: 10, MaxPeriod: 800, Priority: 1, Core: -1},
+		},
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ts := apiTaskSet()
+	res, err := hydrac.SelectPeriods(ts, hydrac.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatal("quickstart set unschedulable")
+	}
+	for i, s := range ts.Security {
+		if res.Periods[i] <= 0 || res.Periods[i] > s.MaxPeriod {
+			t.Fatalf("%s: period %d out of range", s.Name, res.Periods[i])
+		}
+	}
+	out, err := hydrac.Simulate(hydrac.Apply(ts, res), hydrac.SimConfig{
+		Policy: hydrac.SemiPartitioned, Horizon: 2000, RecordIntervals: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RTDeadlineMisses != 0 || out.SecurityDeadlineMisses != 0 {
+		t.Fatalf("deadline misses: %d RT, %d security", out.RTDeadlineMisses, out.SecurityDeadlineMisses)
+	}
+	if g := hydrac.Gantt(out, 0, 200, 2); !strings.Contains(g, "core 0") {
+		t.Fatalf("Gantt output malformed:\n%s", g)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	ts := apiTaskSet()
+	for name, run := range map[string]func(*hydrac.TaskSet) (*hydrac.PartitionedResult, error){
+		"Hydra":           hydrac.Hydra,
+		"HydraAggressive": hydrac.HydraAggressive,
+		"HydraTMax":       hydrac.HydraTMax,
+	} {
+		res, err := run(ts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Schedulable {
+			t.Fatalf("%s: unschedulable on the quickstart set", name)
+		}
+		for i := range ts.Security {
+			if res.Cores[i] < 0 || res.Cores[i] >= ts.Cores {
+				t.Fatalf("%s: bad core binding %d", name, res.Cores[i])
+			}
+		}
+	}
+	gres, err := hydrac.GlobalTMax(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gres.Schedulable {
+		t.Fatal("GlobalTMax: unschedulable on the quickstart set")
+	}
+}
+
+func TestPublicAPIPartition(t *testing.T) {
+	ts := apiTaskSet()
+	for i := range ts.RT {
+		ts.RT[i].Core = -1
+	}
+	if err := hydrac.Partition(ts, hydrac.BestFit); err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range ts.RT {
+		if rt.Core < 0 {
+			t.Fatalf("task %s unassigned", rt.Name)
+		}
+	}
+	// The repartitioned set must still go through period selection.
+	res, err := hydrac.SelectPeriods(ts, hydrac.Options{})
+	if err != nil || !res.Schedulable {
+		t.Fatalf("post-partition selection failed: %v", err)
+	}
+}
+
+func TestPublicAPIPolicies(t *testing.T) {
+	ts := apiTaskSet()
+	res, err := hydrac.HydraAggressive(ts)
+	if err != nil || !res.Schedulable {
+		t.Fatal("baseline failed")
+	}
+	cfgd := ts.Clone()
+	for i := range cfgd.Security {
+		cfgd.Security[i].Period = res.Periods[i]
+		cfgd.Security[i].Core = res.Cores[i]
+	}
+	for _, pol := range []hydrac.Policy{hydrac.SemiPartitioned, hydrac.FullyPartitioned, hydrac.Global} {
+		out, err := hydrac.Simulate(cfgd, hydrac.SimConfig{Policy: pol, Horizon: 2000})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if out.RTDeadlineMisses != 0 {
+			t.Fatalf("%v: RT misses on a lightly loaded set", pol)
+		}
+	}
+}

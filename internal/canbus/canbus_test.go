@@ -1,0 +1,153 @@
+package canbus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTimelineIsOrderedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bus := NewBus(rng, StandardMatrix(), 0)
+	frames := bus.Timeline(1000)
+	counts := map[uint16]int{}
+	for i, f := range frames {
+		if i > 0 && frames[i-1].Time > f.Time {
+			t.Fatalf("timeline out of order at %d", i)
+		}
+		counts[f.ID]++
+		if f.Spoofed {
+			t.Fatal("benign timeline contains spoofed frames")
+		}
+	}
+	for _, m := range bus.Matrix() {
+		want := int(1000 / m.Period)
+		if counts[m.ID] != want {
+			t.Errorf("%s: %d frames, want %d", m.Name, counts[m.ID], want)
+		}
+		if _, ok := bus.MessageByID(m.ID); !ok {
+			t.Errorf("MessageByID(0x%03X) not found", m.ID)
+		}
+	}
+	if _, ok := bus.MessageByID(0x7FF); ok {
+		t.Error("unknown ID resolved")
+	}
+}
+
+func TestTimelineJitterStaysOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bus := NewBus(rng, StandardMatrix(), 0.05)
+	frames := bus.Timeline(5000)
+	for i := 1; i < len(frames); i++ {
+		if frames[i-1].Time > frames[i].Time {
+			t.Fatalf("jittered timeline out of order at %d", i)
+		}
+	}
+}
+
+func TestInjectionAttackApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bus := NewBus(rng, StandardMatrix(), 0)
+	frames := bus.Timeline(1000)
+	atk := InjectionAttack{TargetID: 0x055, Start: 300, Interval: 5, Payload: []byte{0xFF, 0x7F}}
+	merged := atk.Apply(frames, 1000)
+	spoofed := 0
+	for _, f := range merged {
+		if f.Spoofed {
+			spoofed++
+			if f.ID != 0x055 || f.Time < 300 {
+				t.Fatalf("bad spoofed frame: %+v", f)
+			}
+		}
+	}
+	if want := int((1000 - 300) / 5); spoofed != want {
+		t.Errorf("spoofed frames %d, want %d", spoofed, want)
+	}
+	if len(merged) != len(frames)+spoofed {
+		t.Error("apply lost frames")
+	}
+}
+
+func TestInjectionAttackValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval accepted")
+		}
+	}()
+	InjectionAttack{TargetID: 1, Interval: 0}.Apply(nil, 100)
+}
+
+func TestMonitorCleanBusQuiet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bus := NewBus(rng, StandardMatrix(), 0.05)
+	mon := NewMonitor(bus.Matrix(), 0.5)
+	if anomalies := mon.Scan(bus.Timeline(10000)); len(anomalies) != 0 {
+		t.Fatalf("false positives on a clean bus: %v", anomalies)
+	}
+}
+
+func TestMonitorFlagsInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bus := NewBus(rng, StandardMatrix(), 0.05)
+	frames := InjectionAttack{TargetID: 0x010, Start: 500, Interval: 2, Payload: []byte{1}}.
+		Apply(bus.Timeline(2000), 2000)
+	mon := NewMonitor(bus.Matrix(), 0.5)
+	anomalies := mon.Scan(frames)
+	if len(anomalies) == 0 {
+		t.Fatal("injection not flagged")
+	}
+	first := anomalies[0]
+	if first.Kind != "rate" || first.ID != 0x010 || first.At < 500 {
+		t.Fatalf("unexpected first anomaly: %+v (%s)", first, first)
+	}
+}
+
+func TestMonitorFlagsUnknownID(t *testing.T) {
+	mon := NewMonitor(StandardMatrix(), 0.5)
+	anomalies := mon.Scan([]Frame{{ID: 0x7DF, Time: 10}})
+	if len(anomalies) != 1 || anomalies[0].Kind != "unknown-id" {
+		t.Fatalf("unknown ID not flagged: %v", anomalies)
+	}
+}
+
+func TestMonitorStatePersistsAcrossScans(t *testing.T) {
+	mon := NewMonitor([]Message{{ID: 1, Name: "m", Period: 100, Length: 1}}, 0.5)
+	// First batch seeds the arrival state.
+	if a := mon.Scan([]Frame{{ID: 1, Time: 0}}); len(a) != 0 {
+		t.Fatalf("seed frame flagged: %v", a)
+	}
+	// Second batch: a frame only 10 ms later is a rate anomaly even
+	// though the seed was in a previous batch.
+	if a := mon.Scan([]Frame{{ID: 1, Time: 10}}); len(a) != 1 {
+		t.Fatalf("cross-batch anomaly missed: %v", a)
+	}
+}
+
+func TestDetectInjectionLatencyBoundedByScanPeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bus := NewBus(rng, StandardMatrix(), 0.05)
+	const horizon = 20000
+	attackAt := int64(7000)
+	frames := InjectionAttack{TargetID: 0x055, Start: attackAt, Interval: 4, Payload: []byte{9}}.
+		Apply(bus.Timeline(horizon), horizon)
+
+	// Monitor job completes every 400 ms.
+	var scans []int64
+	for at := int64(400); at < horizon; at += 400 {
+		scans = append(scans, at)
+	}
+	at, ok := DetectInjection(frames, bus.Matrix(), 0.5, scans)
+	if !ok {
+		t.Fatal("injection evaded every scan")
+	}
+	if at < attackAt || at > attackAt+400+400 {
+		t.Fatalf("detection at %d, want within one-or-two scan periods of %d", at, attackAt)
+	}
+	// No scans -> no detection.
+	if _, ok := DetectInjection(frames, bus.Matrix(), 0.5, nil); ok {
+		t.Fatal("detected without any scans")
+	}
+	// Clean timeline -> no detection.
+	if _, ok := DetectInjection(bus.Timeline(horizon), bus.Matrix(), 0.5, scans); ok {
+		t.Fatal("false positive on clean timeline")
+	}
+}

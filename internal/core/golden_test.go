@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydrac/internal/gen"
+	"hydrac/internal/task"
+)
+
+// Golden regression fixtures: exact period vectors for fixed seeds.
+// These pin down the numerical behaviour of the whole pipeline
+// (generator → partitioning → Algorithm 1) so refactoring cannot
+// silently change results. If an *intentional* analysis change breaks
+// them, regenerate with `go test -run TestGolden -v` and review the
+// diff like any other behavioural change.
+func TestGoldenRoverPeriods(t *testing.T) {
+	ts := roverLikeSet() // kmod priority 0, tripwire priority 1
+	res, err := SelectPeriods(ts, Options{})
+	if err != nil || !res.Schedulable {
+		t.Fatal(err)
+	}
+	want := map[string]task.Time{"kmod": 1006, "tripwire": 9812}
+	for i, s := range ts.Security {
+		if res.Periods[i] != want[s.Name] {
+			t.Errorf("%s: period %d, want %d", s.Name, res.Periods[i], want[s.Name])
+		}
+	}
+	// And the reversed priority order (the shipped rover.TaskSet).
+	ts.Security[0].Priority, ts.Security[1].Priority = 1, 0
+	res, err = SelectPeriods(ts, Options{})
+	if err != nil || !res.Schedulable {
+		t.Fatal(err)
+	}
+	want = map[string]task.Time{"kmod": 2783, "tripwire": 7582}
+	for i, s := range ts.Security {
+		if res.Periods[i] != want[s.Name] {
+			t.Errorf("reversed %s: period %d, want %d", s.Name, res.Periods[i], want[s.Name])
+		}
+	}
+}
+
+func TestGoldenGeneratedPipeline(t *testing.T) {
+	// One fixed draw through the Table-3 generator; both the drawn
+	// structure and the selected periods are pinned.
+	rng := rand.New(rand.NewSource(20200309)) // DATE 2020 conference date
+	cfg := gen.TableThree(2)
+	ts, err := cfg.Generate(rng, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.RT) == 0 || len(ts.Security) == 0 {
+		t.Fatal("degenerate draw")
+	}
+	res, err := SelectPeriods(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatal("golden draw must be schedulable (group 3)")
+	}
+	// Structural goldens.
+	if got := ts.NormalizedUtilization(); got < 0.31-0.01 || got > 0.40+0.01 {
+		t.Errorf("normalised utilisation %.4f outside group 3", got)
+	}
+	// Behavioural goldens: every period strictly inside (R, Tmax] is
+	// wrong — it must equal the smallest feasible value, which for the
+	// lowest-priority task is its own WCRT.
+	sec := ts.SecurityByPriority()
+	last := sec[len(sec)-1]
+	li := -1
+	for i, s := range ts.Security {
+		if s.Name == last.Name {
+			li = i
+		}
+	}
+	if res.Periods[li] != res.Resp[li] {
+		t.Errorf("lowest-priority task %s: period %d != WCRT %d (nothing constrains it from below)",
+			last.Name, res.Periods[li], res.Resp[li])
+	}
+	// Full-vector snapshot for this seed.
+	sum := task.Time(0)
+	for _, p := range res.Periods {
+		sum += p
+	}
+	const goldenSum = 94684
+	if sum != goldenSum {
+		t.Errorf("period-vector sum %d, golden %d — analysis behaviour changed; review and re-pin", sum, goldenSum)
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hydrac/internal/rta"
+	"hydrac/internal/task"
+)
+
+// Result is the outcome of period selection for one task set.
+type Result struct {
+	// Schedulable reports whether every security task admits a period
+	// within [Rs, Tmax] (Algorithm 1, lines 2–4).
+	Schedulable bool
+	// Periods holds the selected period T*s per security task, in the
+	// same order as the input set's Security slice. Nil when
+	// unschedulable.
+	Periods []task.Time
+	// Resp holds the final WCRT per security task (same order),
+	// computed with every selected period in place.
+	Resp []task.Time
+}
+
+// Options tunes SelectPeriods. The zero value is the paper's
+// configuration.
+type Options struct {
+	// CarryIn selects the Eq. 8 maximisation strategy.
+	CarryIn CarryInMode
+	// LinearSearch replaces Algorithm 2's logarithmic search with a
+	// downward linear scan. Exponentially slower; kept for the
+	// ablation benchmark and as a test oracle.
+	LinearSearch bool
+	// SkipOptimization pins every period at Tmax after the feasibility
+	// check — the "w/o period optimisation" reference of Fig. 7b.
+	SkipOptimization bool
+}
+
+// SelectPeriods is Algorithm 1: given a task set whose RT tasks are
+// already partitioned and schedulable, it chooses the minimum feasible
+// period for every security task in priority order, so the security
+// band executes as frequently as schedulability permits.
+//
+// The returned periods and response times follow the order of
+// ts.Security. The input set is not modified.
+func SelectPeriods(ts *task.Set, opt Options) (*Result, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	for _, t := range ts.RT {
+		if t.Core < 0 {
+			return nil, fmt.Errorf("RT task %s is not partitioned; run partition.Assign first", t.Name)
+		}
+	}
+	if !rta.SetSchedulable(ts) {
+		return nil, fmt.Errorf("RT band is not schedulable under Eq. 1; HYDRA-C requires a feasible legacy system")
+	}
+
+	sys := NewSystem(ts)
+	sec := ts.SecurityByPriority()
+	n := len(sec)
+	if n == 0 {
+		return &Result{Schedulable: true, Periods: []task.Time{}, Resp: []task.Time{}}, nil
+	}
+
+	// Line 1: Ts := Tmax for every task, compute response times.
+	periods := make([]task.Time, n)
+	for i, s := range sec {
+		periods[i] = s.MaxPeriod
+	}
+	resp := sys.ResponseTimes(sec, periods, opt.CarryIn)
+
+	// Lines 2–4: if any task misses even at Tmax, the set is
+	// unschedulable within the designer bounds.
+	for i, s := range sec {
+		if resp[i] > s.MaxPeriod {
+			return &Result{Schedulable: false}, nil
+		}
+	}
+
+	if !opt.SkipOptimization {
+		// Lines 5–9: from highest to lowest priority, shrink each
+		// period as far as every lower-priority task tolerates.
+		for i := 0; i < n; i++ {
+			lo, hi := resp[i], sec[i].MaxPeriod
+			var star task.Time
+			if opt.LinearSearch {
+				star = linearMinPeriod(sys, sec, periods, resp, i, lo, hi, opt.CarryIn)
+			} else {
+				star = logMinPeriod(sys, sec, periods, resp, i, lo, hi, opt.CarryIn)
+			}
+			periods[i] = star
+			// Line 8: refresh the WCRT of every lower-priority task
+			// under the newly fixed period.
+			recomputeBelow(sys, sec, periods, resp, i, opt.CarryIn)
+		}
+	}
+
+	// Report in the original ts.Security order.
+	outPeriods := make([]task.Time, n)
+	outResp := make([]task.Time, n)
+	for i, s := range sec {
+		j := indexByName(ts.Security, s.Name)
+		outPeriods[j] = periods[i]
+		outResp[j] = resp[i]
+	}
+	return &Result{Schedulable: true, Periods: outPeriods, Resp: outResp}, nil
+}
+
+// logMinPeriod is Algorithm 2: a logarithmic (binary) search over
+// [lo, hi] for the smallest period of sec[i] that keeps every
+// lower-priority security task schedulable (Rj ≤ Tmax_j). hi (= Tmax)
+// is always feasible because Algorithm 1 verified it first, so the
+// feasible set initialised with {Tmax} is never empty.
+func logMinPeriod(sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
+	star := hi // T̂s initialised to {Tmax}; its minimum so far.
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if lowerPrioritySchedulable(sys, sec, periods, resp, i, mid, mode) {
+			if mid < star {
+				star = mid
+			}
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return star
+}
+
+// linearMinPeriod scans downward from hi; it is the brute-force oracle
+// for Algorithm 2 and the ablation benchmark.
+func linearMinPeriod(sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
+	star := hi
+	for t := hi; t >= lo; t-- {
+		if !lowerPrioritySchedulable(sys, sec, periods, resp, i, t, mode) {
+			break
+		}
+		star = t
+	}
+	return star
+}
+
+// lowerPrioritySchedulable checks Algorithm 2 line 5: with sec[i]'s
+// period set to cand (and every unprocessed task still at Tmax), does
+// every lower-priority security task keep Rj ≤ Tmax_j? Response times
+// are recomputed top-down from task i+1 because carry-in bounds of
+// deeper tasks depend on the response times above them.
+func lowerPrioritySchedulable(sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, cand task.Time, mode CarryInMode) bool {
+	saved := periods[i]
+	periods[i] = cand
+	defer func() { periods[i] = saved }()
+
+	hp := make([]Interferer, 0, len(sec))
+	for k := 0; k <= i; k++ {
+		hp = append(hp, Interferer{WCET: sec[k].WCET, Period: periods[k], Resp: resp[k]})
+	}
+	for j := i + 1; j < len(sec); j++ {
+		r, ok := sys.MigratingWCRT(sec[j].WCET, hp, sec[j].MaxPeriod, mode)
+		if !ok || r > sec[j].MaxPeriod {
+			return false
+		}
+		hp = append(hp, Interferer{WCET: sec[j].WCET, Period: periods[j], Resp: r})
+	}
+	return true
+}
+
+// recomputeBelow refreshes resp[i+1:] after periods[i] was fixed
+// (Algorithm 1 line 8). resp[i] itself depends only on tasks above i
+// and is already final.
+func recomputeBelow(sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, mode CarryInMode) {
+	hp := make([]Interferer, 0, len(sec))
+	for k := 0; k <= i; k++ {
+		hp = append(hp, Interferer{WCET: sec[k].WCET, Period: periods[k], Resp: resp[k]})
+	}
+	for j := i + 1; j < len(sec); j++ {
+		r, ok := sys.MigratingWCRT(sec[j].WCET, hp, sec[j].MaxPeriod, mode)
+		if !ok {
+			r = task.Infinity
+		}
+		resp[j] = r
+		hp = append(hp, Interferer{WCET: sec[j].WCET, Period: periods[j], Resp: r})
+	}
+}
+
+func indexByName(sec []task.SecurityTask, name string) int {
+	for i, s := range sec {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Apply writes the selected periods into a clone of ts and returns it;
+// convenient for feeding the simulator. It panics if res is not
+// schedulable.
+func Apply(ts *task.Set, res *Result) *task.Set {
+	if !res.Schedulable {
+		panic("core.Apply: result is not schedulable")
+	}
+	cp := ts.Clone()
+	for i := range cp.Security {
+		cp.Security[i].Period = res.Periods[i]
+		cp.Security[i].Core = -1
+	}
+	return cp
+}
+
+// SortSecurityByPriority is a small helper for callers that need the
+// priority order index mapping used by Result fields.
+func SortSecurityByPriority(sec []task.SecurityTask) []task.SecurityTask {
+	out := append([]task.SecurityTask(nil), sec...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Priority < out[j].Priority })
+	return out
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"hydrac/internal/task"
+)
+
+// QuantizePeriods rounds the selected periods up to multiples of grid
+// (deployments rarely program arbitrary-tick timers; the rover uses
+// whole milliseconds, automotive stacks use 1/2/5/10 ms classes).
+// Rounding *up* can only reduce interference, so schedulability of
+// every task is preserved; the response times are recomputed under the
+// quantized vector and returned in a fresh Result. Periods are capped
+// at each task's Tmax (a period within grid of Tmax rounds to Tmax,
+// not beyond).
+func QuantizePeriods(ts *task.Set, res *Result, grid task.Time) (*Result, error) {
+	if grid <= 0 {
+		return nil, fmt.Errorf("core: grid must be positive, got %d", grid)
+	}
+	if !res.Schedulable {
+		return nil, fmt.Errorf("core: cannot quantize an unschedulable result")
+	}
+	if len(res.Periods) != len(ts.Security) {
+		return nil, fmt.Errorf("core: result does not match the task set")
+	}
+	out := &Result{
+		Schedulable: true,
+		Periods:     make([]task.Time, len(res.Periods)),
+		Resp:        make([]task.Time, len(res.Periods)),
+	}
+	for i, p := range res.Periods {
+		q := (p + grid - 1) / grid * grid
+		if q > ts.Security[i].MaxPeriod {
+			q = ts.Security[i].MaxPeriod
+		}
+		if q < p {
+			// Tmax itself was off-grid; keep the exact feasible value.
+			q = p
+		}
+		out.Periods[i] = q
+	}
+
+	// Recompute response times under the quantized vector.
+	sys := NewSystem(ts)
+	sec := ts.SecurityByPriority()
+	ordered := make([]task.Time, len(sec))
+	for i, s := range sec {
+		ordered[i] = out.Periods[indexByName(ts.Security, s.Name)]
+	}
+	resp := sys.ResponseTimes(sec, ordered, Dominance)
+	for i, s := range sec {
+		j := indexByName(ts.Security, s.Name)
+		out.Resp[j] = resp[i]
+		if resp[i] > out.Periods[j] {
+			// Cannot happen — larger periods mean less interference —
+			// but verify rather than assume.
+			return nil, fmt.Errorf("core: quantization broke %s (R=%d > T=%d)", s.Name, resp[i], out.Periods[j])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydrac/internal/gen"
+	"hydrac/internal/task"
+)
+
+func TestQuantizePeriodsRover(t *testing.T) {
+	ts := roverLikeSet()
+	res, err := SelectPeriods(ts, Options{})
+	if err != nil || !res.Schedulable {
+		t.Fatal(err)
+	}
+	q, err := QuantizePeriods(ts, res, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ts.Security {
+		if q.Periods[i] < res.Periods[i] {
+			t.Errorf("%s: quantized period %d below exact %d", s.Name, q.Periods[i], res.Periods[i])
+		}
+		if q.Periods[i]%100 != 0 && q.Periods[i] != s.MaxPeriod {
+			t.Errorf("%s: period %d not on the 100-tick grid", s.Name, q.Periods[i])
+		}
+		if q.Resp[i] > q.Periods[i] {
+			t.Errorf("%s: R %d exceeds quantized period %d", s.Name, q.Resp[i], q.Periods[i])
+		}
+		// Less interference after rounding up: responses never grow.
+		if q.Resp[i] > res.Resp[i] {
+			t.Errorf("%s: quantized response %d above exact %d", s.Name, q.Resp[i], res.Resp[i])
+		}
+	}
+}
+
+func TestQuantizePeriodsGridOne(t *testing.T) {
+	ts := roverLikeSet()
+	res, err := SelectPeriods(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := QuantizePeriods(ts, res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Periods {
+		if q.Periods[i] != res.Periods[i] {
+			t.Errorf("grid 1 changed period %d -> %d", res.Periods[i], q.Periods[i])
+		}
+	}
+}
+
+func TestQuantizePeriodsValidation(t *testing.T) {
+	ts := roverLikeSet()
+	res, err := SelectPeriods(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := QuantizePeriods(ts, res, 0); err == nil {
+		t.Error("zero grid accepted")
+	}
+	if _, err := QuantizePeriods(ts, &Result{Schedulable: false}, 10); err == nil {
+		t.Error("unschedulable result accepted")
+	}
+	if _, err := QuantizePeriods(ts, &Result{Schedulable: true, Periods: []task.Time{1}}, 10); err == nil {
+		t.Error("mismatched result accepted")
+	}
+}
+
+// Property over generated workloads: quantization always preserves
+// schedulability and stays on the grid (or at Tmax).
+func TestQuantizePeriodsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := gen.TableThree(2)
+	cfg.MaxAttempts = 30
+	checked := 0
+	for g := 0; g < 6; g++ {
+		ts, err := cfg.Generate(rng, g)
+		if err != nil {
+			continue
+		}
+		res, err := SelectPeriods(ts, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable {
+			continue
+		}
+		for _, grid := range []task.Time{7, 50, 250} {
+			q, err := QuantizePeriods(ts, res, grid)
+			if err != nil {
+				t.Fatalf("group %d grid %d: %v", g, grid, err)
+			}
+			for i, s := range ts.Security {
+				onGrid := q.Periods[i]%grid == 0 || q.Periods[i] == s.MaxPeriod
+				if !onGrid {
+					t.Fatalf("group %d: period %d off grid %d and not Tmax", g, q.Periods[i], grid)
+				}
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no schedulable draws")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"hydrac/internal/task"
+)
+
+// Reactive (dependent) security checks — the extension the paper
+// sketches in §6: when a first-stage action a0 observes an anomaly,
+// the next job additionally performs a follow-up action a1, so its
+// execution demand grows from C(a0) to C(a0)+C(a1). A design that
+// enables this must stay schedulable in the escalated mode, otherwise
+// the response to an intrusion would itself break the RT guarantees.
+
+// Escalation declares a task's alert-mode demand.
+type Escalation struct {
+	// Task names the security task (must exist in the set).
+	Task string
+	// AlertWCET is the escalated demand C(a0)+C(a1); it must be at
+	// least the task's normal WCET.
+	AlertWCET task.Time
+}
+
+// ReactiveResult reports both modes.
+type ReactiveResult struct {
+	// Schedulable reports whether periods exist that tolerate every
+	// declared escalation firing concurrently.
+	Schedulable bool
+	// Periods are the deployable periods (ts.Security order), sized
+	// for the alert mode — Algorithm 1 loses no headroom to incidents.
+	Periods []task.Time
+	// AlertResp and NormalResp hold the per-task response times under
+	// those periods with escalated and normal WCETs respectively.
+	AlertResp, NormalResp []task.Time
+}
+
+// SelectPeriodsReactive sizes the security periods for the *alert*
+// mode: Algorithm 1 runs with every declared escalation in effect
+// (C(a0)+C(a1) as the WCET), so the chosen periods remain valid even
+// when every reactive check fires at once — the guarantee the paper's
+// §6 extension needs. The quiescent-mode response times under the
+// same periods are reported alongside (they are never larger).
+func SelectPeriodsReactive(ts *task.Set, escalations []Escalation, opt Options) (*ReactiveResult, error) {
+	for _, e := range escalations {
+		i := indexByName(ts.Security, e.Task)
+		if i < 0 {
+			return nil, fmt.Errorf("core: escalation for unknown task %q", e.Task)
+		}
+		if e.AlertWCET < ts.Security[i].WCET {
+			return nil, fmt.Errorf("core: alert WCET %d below normal WCET %d for %s",
+				e.AlertWCET, ts.Security[i].WCET, e.Task)
+		}
+		if e.AlertWCET > ts.Security[i].MaxPeriod {
+			return nil, fmt.Errorf("core: alert WCET %d exceeds Tmax %d for %s",
+				e.AlertWCET, ts.Security[i].MaxPeriod, e.Task)
+		}
+	}
+	alert := ts.Clone()
+	for _, e := range escalations {
+		i := indexByName(alert.Security, e.Task)
+		alert.Security[i].WCET = e.AlertWCET
+	}
+	alertRes, err := SelectPeriods(alert, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &ReactiveResult{Schedulable: alertRes.Schedulable}
+	if !alertRes.Schedulable {
+		return out, nil
+	}
+	out.Periods = alertRes.Periods
+	out.AlertResp = alertRes.Resp
+
+	// Quiescent-mode responses under the deployed periods.
+	sys := NewSystem(ts)
+	sec := ts.SecurityByPriority()
+	periods := make([]task.Time, len(sec))
+	for i, s := range sec {
+		periods[i] = alertRes.Periods[indexByName(ts.Security, s.Name)]
+	}
+	resp := sys.ResponseTimes(sec, periods, opt.CarryIn)
+	out.NormalResp = make([]task.Time, len(ts.Security))
+	for i, s := range sec {
+		out.NormalResp[indexByName(ts.Security, s.Name)] = resp[i]
+	}
+	return out, nil
+}

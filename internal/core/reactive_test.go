@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"hydrac/internal/task"
+)
+
+func reactivePlatform() *task.Set {
+	return &task.Set{
+		Cores: 2,
+		RT: []task.RTTask{
+			{Name: "rt0", WCET: 30, Period: 100, Deadline: 100, Core: 0, Priority: 0},
+			{Name: "rt1", WCET: 40, Period: 100, Deadline: 100, Core: 1, Priority: 1},
+		},
+		Security: []task.SecurityTask{
+			{Name: "watch", WCET: 20, MaxPeriod: 1000, Priority: 0, Core: -1},
+			{Name: "audit", WCET: 35, MaxPeriod: 2000, Priority: 1, Core: -1},
+		},
+	}
+}
+
+func TestSelectPeriodsReactiveSizesForAlertMode(t *testing.T) {
+	ts := reactivePlatform()
+	res, err := SelectPeriodsReactive(ts, []Escalation{{Task: "watch", AlertWCET: 30}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatal("small escalation rejected")
+	}
+	base, err := SelectPeriods(ts, Options{})
+	if err != nil || !base.Schedulable {
+		t.Fatal(err)
+	}
+	for i, s := range ts.Security {
+		// Alert-mode responses fit the deployed periods.
+		if res.AlertResp[i] > res.Periods[i] {
+			t.Errorf("%s: alert response %d exceeds period %d", s.Name, res.AlertResp[i], res.Periods[i])
+		}
+		// Quiescent mode is never worse than alert mode.
+		if res.NormalResp[i] > res.AlertResp[i] {
+			t.Errorf("%s: normal response %d above alert response %d", s.Name, res.NormalResp[i], res.AlertResp[i])
+		}
+		// Headroom costs frequency: reactive periods are never shorter
+		// than the non-reactive selection for the escalated task.
+		if res.Periods[i] < base.Periods[i] && s.Name == "watch" {
+			t.Errorf("%s: reactive period %d below non-reactive %d", s.Name, res.Periods[i], base.Periods[i])
+		}
+		if res.Periods[i] > s.MaxPeriod {
+			t.Errorf("%s: period %d beyond Tmax", s.Name, res.Periods[i])
+		}
+	}
+}
+
+func TestSelectPeriodsReactiveNoEscalations(t *testing.T) {
+	ts := reactivePlatform()
+	res, err := SelectPeriodsReactive(ts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := SelectPeriods(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable || !base.Schedulable {
+		t.Fatal("platform unschedulable")
+	}
+	for i := range ts.Security {
+		if res.Periods[i] != base.Periods[i] {
+			t.Errorf("task %d: reactive-with-no-escalations period %d != plain %d",
+				i, res.Periods[i], base.Periods[i])
+		}
+	}
+}
+
+func TestSelectPeriodsReactiveInfeasibleEscalation(t *testing.T) {
+	ts := reactivePlatform()
+	// Escalating watch to nearly its Tmax starves audit.
+	res, err := SelectPeriodsReactive(ts, []Escalation{
+		{Task: "watch", AlertWCET: 990},
+		{Task: "audit", AlertWCET: 1990},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Fatalf("massive concurrent escalation accepted: %+v", res)
+	}
+}
+
+func TestSelectPeriodsReactiveValidation(t *testing.T) {
+	ts := reactivePlatform()
+	if _, err := SelectPeriodsReactive(ts, []Escalation{{Task: "ghost", AlertWCET: 10}}, Options{}); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if _, err := SelectPeriodsReactive(ts, []Escalation{{Task: "watch", AlertWCET: 5}}, Options{}); err == nil {
+		t.Error("alert WCET below normal WCET accepted")
+	}
+	if _, err := SelectPeriodsReactive(ts, []Escalation{{Task: "watch", AlertWCET: 1001}}, Options{}); err == nil {
+		t.Error("alert WCET above Tmax accepted")
+	}
+}

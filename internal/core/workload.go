@@ -1,0 +1,76 @@
+// Package core implements the paper's primary contribution: the
+// HYDRA-C worst-case response-time analysis for lowest-priority
+// security tasks that migrate across cores of a partitioned
+// fixed-priority multicore system (§4.1–4.4, Eqs. 2–8), and the
+// period-selection procedure built on it (§4.5, Algorithms 1–2).
+//
+// The analysis is a semi-partitioned adaptation of iterative global
+// response-time analysis (Guan et al., Baruah): RT tasks are pinned to
+// cores and interfere per core under the synchronous critical instant
+// (Lemma 1); higher-priority security tasks migrate, and at most M−1
+// of them can carry work into the busy period (Lemma 2).
+package core
+
+import "hydrac/internal/task"
+
+// Interferer is the analysis view of one higher-priority *migrating*
+// task: its WCET, its (already fixed) period, and its worst-case
+// response time, which the carry-in workload bound needs.
+type Interferer struct {
+	WCET   task.Time
+	Period task.Time
+	Resp   task.Time
+}
+
+// workloadNC is Eq. 2: the maximum execution a task (C, T) can perform
+// in a window of length x when it is released at the window start and
+// every job runs as early as possible:
+//
+//	W(x) = ⌊x/T⌋·C + min(x mod T, C)
+//
+// It also bounds a non-carry-in migrating task's workload (§4.3).
+func workloadNC(x, c, t task.Time) task.Time {
+	if x <= 0 {
+		return 0
+	}
+	return (x/t)*c + min(x%t, c)
+}
+
+// workloadCI is Eq. 4: the workload bound for a carry-in migrating
+// task over a window of length x starting at t0,
+//
+//	W^CI(x) = W^NC(max(x − x̄, 0)) + min(x, C−1),  x̄ = C − 1 + T − R.
+//
+// The first carry-in job contributes at most C−1 because at t0−1 some
+// core was free, so the job must already have started.
+func workloadCI(x, c, t, r task.Time) task.Time {
+	xbar := c - 1 + t - r
+	return workloadNC(max(x-xbar, 0), c, t) + min(x, c-1)
+}
+
+// clampInterference is the common bound of Eqs. 3 and 5: a workload W
+// can interfere with the job under analysis (WCET cs) for at most
+// x − cs + 1 time units; the +1 keeps the fixed-point iteration from
+// terminating prematurely at x = cs (§4.2).
+func clampInterference(w, x, cs task.Time) task.Time {
+	return min(w, x-cs+1)
+}
+
+// rtCoreInterference is Eq. 3: the interference of the RT tasks pinned
+// to one core, i.e. the per-core sum of Eq. 2 workloads clamped by
+// x − cs + 1. demands lists the core's RT tasks as (WCET, Period).
+func rtCoreInterference(x, cs task.Time, demands []Demand) task.Time {
+	var w task.Time
+	for _, d := range demands {
+		w += workloadNC(x, d.WCET, d.Period)
+	}
+	return clampInterference(w, x, cs)
+}
+
+// Demand is a (WCET, Period) pair describing one partitioned RT task
+// for the interference computation. It mirrors rta.Demand but is
+// redeclared here so the analysis package stands alone.
+type Demand struct {
+	WCET   task.Time
+	Period task.Time
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydrac/internal/task"
+)
+
+func TestWorkloadNC(t *testing.T) {
+	cases := []struct {
+		x, c, tt, want task.Time
+	}{
+		{0, 3, 10, 0},
+		{-5, 3, 10, 0},
+		{1, 3, 10, 1},
+		{3, 3, 10, 3},
+		{5, 3, 10, 3},
+		{10, 3, 10, 3},
+		{11, 3, 10, 4},
+		{13, 3, 10, 6},
+		{20, 3, 10, 6},
+		{25, 3, 10, 9},
+		{10, 10, 10, 10}, // full-utilisation task fills the window
+		{21, 10, 10, 21},
+	}
+	for _, tc := range cases {
+		if got := workloadNC(tc.x, tc.c, tc.tt); got != tc.want {
+			t.Errorf("workloadNC(%d, C=%d, T=%d) = %d, want %d", tc.x, tc.c, tc.tt, got, tc.want)
+		}
+	}
+}
+
+func TestWorkloadNCProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		tt := 1 + task.Time(rng.Intn(50))
+		c := 1 + task.Time(rng.Int63n(int64(tt)))
+		x := task.Time(rng.Intn(500))
+		w := workloadNC(x, c, tt)
+		if w < 0 || w > x {
+			t.Fatalf("workloadNC(%d, %d, %d) = %d out of [0, x]", x, c, tt, w)
+		}
+		// Monotone in x.
+		if w2 := workloadNC(x+1, c, tt); w2 < w {
+			t.Fatalf("workloadNC not monotone at x=%d (C=%d, T=%d): %d then %d", x, c, tt, w, w2)
+		}
+		// Sub-additive across whole periods: W(x+T) = W(x) + C.
+		if w3 := workloadNC(x+tt, c, tt); w3 != w+c {
+			t.Fatalf("workloadNC(x+T) = %d, want W(x)+C = %d", w3, w+c)
+		}
+	}
+}
+
+func TestWorkloadCI(t *testing.T) {
+	// C=3, T=10, R=5 -> x̄ = 3-1+10-5 = 7.
+	// W^CI(x) = W^NC(max(x-7, 0)) + min(x, 2).
+	cases := []struct{ x, want task.Time }{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{7, 2},
+		{8, 2 + 1},  // W^NC(1)=1
+		{10, 2 + 3}, // W^NC(3)=3
+		{17, 2 + 3}, // W^NC(10)=3
+		{18, 2 + 4}, // W^NC(11)=4
+	}
+	for _, tc := range cases {
+		if got := workloadCI(tc.x, 3, 10, 5); got != tc.want {
+			t.Errorf("workloadCI(%d) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestWorkloadCIProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 2000; trial++ {
+		tt := 2 + task.Time(rng.Intn(50))
+		c := 1 + task.Time(rng.Int63n(int64(tt)))
+		r := c + task.Time(rng.Int63n(int64(tt-c)+1)) // R ∈ [C, T]
+		x := task.Time(rng.Intn(500))
+		wci := workloadCI(x, c, tt, r)
+		wnc := workloadNC(x, c, tt)
+		if wci < 0 {
+			t.Fatalf("negative carry-in workload")
+		}
+		// The carry-in job adds at most C−1 beyond the synchronous bound.
+		if wci > wnc+c-1 {
+			t.Fatalf("workloadCI(%d, C=%d, T=%d, R=%d) = %d exceeds W^NC+C-1 = %d",
+				x, c, tt, r, wci, wnc+c-1)
+		}
+		// Monotone in x.
+		if w2 := workloadCI(x+1, c, tt, r); w2 < wci {
+			t.Fatalf("workloadCI not monotone at x=%d", x)
+		}
+		// Monotone in R: a larger response time shifts x̄ down, never
+		// reducing the bound.
+		if r < tt {
+			if w3 := workloadCI(x, c, tt, r+1); w3 < wci {
+				t.Fatalf("workloadCI not monotone in R at x=%d", x)
+			}
+		}
+	}
+}
+
+func TestClampInterference(t *testing.T) {
+	// With x = cs the clamp is 1, never 0 — the paper's '+1' that keeps
+	// the fixed-point search from stopping at x = Cs spuriously.
+	if got := clampInterference(100, 5, 5); got != 1 {
+		t.Errorf("clamp at x=cs: got %d, want 1", got)
+	}
+	if got := clampInterference(2, 10, 5); got != 2 {
+		t.Errorf("clamp above workload: got %d, want 2", got)
+	}
+	if got := clampInterference(100, 10, 5); got != 6 {
+		t.Errorf("clamp below workload: got %d, want 6", got)
+	}
+}
+
+func TestRTCoreInterference(t *testing.T) {
+	demands := []Demand{{WCET: 2, Period: 5}, {WCET: 1, Period: 10}}
+	// x=10, cs=3: workloads 4 and 1, sum 5; clamp 10-3+1=8 -> 5.
+	if got := rtCoreInterference(10, 3, demands); got != 5 {
+		t.Errorf("got %d, want 5", got)
+	}
+	// x=4, cs=3: workloads 2 and 1, sum 3; clamp 2 -> 2.
+	if got := rtCoreInterference(4, 3, demands); got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+}

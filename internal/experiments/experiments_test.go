@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hydrac/internal/rover"
+)
+
+func smallSweep(cores int) SweepConfig {
+	cfg := DefaultSweepConfig(cores)
+	cfg.SetsPerGroup = 12
+	return cfg
+}
+
+func TestFig6ShapesAndRender(t *testing.T) {
+	res, err := Fig6(smallSweep(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 10 {
+		t.Fatalf("groups = %d, want 10", len(res.Groups))
+	}
+	// Paper shape: the distance shrinks as utilisation grows. Compare
+	// the mean of the three lowest groups against the highest
+	// non-empty group.
+	lowMean := (res.Groups[0].Distance.Mean() + res.Groups[1].Distance.Mean() + res.Groups[2].Distance.Mean()) / 3
+	var high float64
+	found := false
+	for g := len(res.Groups) - 1; g >= 5; g-- {
+		if res.Groups[g].Distance.N() > 0 {
+			high = res.Groups[g].Distance.Mean()
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no schedulable sets in the upper half of the sweep")
+	}
+	if lowMean <= high {
+		t.Errorf("Fig. 6 shape violated: low-util distance %.3f !> high-util distance %.3f", lowMean, high)
+	}
+	for _, g := range res.Groups {
+		if m := g.Distance.Mean(); m < 0 || m > 1 {
+			t.Errorf("distance %.3f outside [0,1]", m)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Fig. 6") || !strings.Contains(out, "[0.01,0.10]") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestFig7aShapesAndRender(t *testing.T) {
+	res, err := Fig7a(smallSweep(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low-utilisation groups: everything near 100%.
+	for _, s := range res.Schemes {
+		if r := res.Groups[0].Acceptance[s].Ratio(); r < 90 {
+			t.Errorf("group 0 acceptance for %s = %.1f, want ≈ 100", s, r)
+		}
+	}
+	// Paper shape: HYDRA's (greedy, period-pinning) acceptance
+	// collapses with utilisation while HYDRA-C stays high.
+	mid := res.Groups[5]
+	if hc, h := mid.Acceptance[SchemeHydraC].Ratio(), mid.Acceptance[SchemeHydra].Ratio(); hc <= h {
+		t.Errorf("group 5: HYDRA-C %.1f%% !> HYDRA %.1f%%", hc, h)
+	}
+	// Monotone-ish collapse at the top for every scheme.
+	top := res.Groups[9]
+	for _, s := range res.Schemes {
+		if top.Acceptance[s].Ratio() > res.Groups[0].Acceptance[s].Ratio() {
+			t.Errorf("%s acceptance grew with utilisation", s)
+		}
+	}
+	out := res.Render()
+	for _, s := range res.Schemes {
+		if !strings.Contains(out, string(s)) {
+			t.Errorf("render missing scheme %s", s)
+		}
+	}
+}
+
+func TestFig7bShapesAndRender(t *testing.T) {
+	res, err := Fig7b(smallSweep(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The vs-no-optimisation distance must be positive wherever
+	// HYDRA-C schedules anything (period adaptation always moves
+	// some period below Tmax on these workloads).
+	for g, grp := range res.Groups {
+		if grp.VsNoOpt.N() > 0 && grp.VsNoOpt.Mean() <= 0 {
+			t.Errorf("group %d: vs-no-opt distance %.4f not positive", g, grp.VsNoOpt.Mean())
+		}
+		if grp.VsHydra.N() > 0 && grp.VsHydra.Mean() < 0 {
+			t.Errorf("group %d: negative norm", g)
+		}
+	}
+	// The paper notes HYDRA stops producing data points at high
+	// utilisation; the joint sample must vanish before the HYDRA-C
+	// sample does.
+	lastJoint, lastHC := -1, -1
+	for g, grp := range res.Groups {
+		if grp.VsHydra.N() > 0 {
+			lastJoint = g
+		}
+		if grp.VsNoOpt.N() > 0 {
+			lastHC = g
+		}
+	}
+	if lastJoint > lastHC {
+		t.Errorf("joint sample survives (%d) beyond HYDRA-C sample (%d)", lastJoint, lastHC)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "HYDRA-C vs HYDRA") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestFig5RunsAndRenders(t *testing.T) {
+	cfg := rover.DefaultTrialConfig()
+	cfg.Trials = 5
+	res, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"Fig. 5a", "Fig. 5b", "HYDRA-C", "Controlled", "CS ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if res.Migrating.ContextSwitches.Mean() <= res.Pinned.ContextSwitches.Mean() {
+		t.Error("controlled comparison lost the Fig. 5b shape")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	res, err := Fig7a(SweepConfig{Cores: 2, SetsPerGroup: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Cores  int `json:"Cores"`
+		Groups []struct {
+			Lo         float64            `json:"lo"`
+			Hi         float64            `json:"hi"`
+			Acceptance map[string]float64 `json:"acceptance_pct"`
+		} `json:"Groups"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("archive does not parse: %v\n%s", err, buf.String())
+	}
+	if back.Cores != 2 || len(back.Groups) != 10 {
+		t.Fatalf("archive malformed: %+v", back)
+	}
+	if _, ok := back.Groups[0].Acceptance["HYDRA-C"]; !ok {
+		t.Fatalf("acceptance map missing HYDRA-C: %+v", back.Groups[0])
+	}
+
+	// Fig6 archives sample summaries.
+	f6, err := Fig6(SweepConfig{Cores: 2, SetsPerGroup: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf, f6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"mean"`) {
+		t.Fatalf("Fig6 archive lacks sample summaries:\n%s", buf.String())
+	}
+}

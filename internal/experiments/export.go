@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON archives any figure result as indented JSON; the metrics
+// types serialise as summaries, so archives stay small and
+// schema-stable. cmd/sweep exposes this behind -json.
+func WriteJSON(w io.Writer, result any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(result)
+}
+
+// MarshalJSON flattens the acceptance map into ratio percentages.
+func (g Fig7aGroup) MarshalJSON() ([]byte, error) {
+	out := struct {
+		Lo         float64            `json:"lo"`
+		Hi         float64            `json:"hi"`
+		Acceptance map[string]float64 `json:"acceptance_pct"`
+	}{Lo: g.Lo, Hi: g.Hi, Acceptance: map[string]float64{}}
+	for name, acc := range g.Acceptance {
+		out.Acceptance[string(name)] = acc.Ratio()
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hydrac/internal/rover"
+)
+
+// Fig5Result bundles the rover experiment outcomes: the full-pipeline
+// comparison the paper runs (each scheme configures its own periods)
+// and the controlled comparison that isolates the migration mechanism
+// (identical periods, pinned vs migrating scheduler).
+type Fig5Result struct {
+	HydraC, Hydra     *rover.SchemeResult
+	Migrating, Pinned *rover.SchemeResult
+}
+
+// Fig5 runs both rover comparisons.
+func Fig5(cfg rover.TrialConfig) (*Fig5Result, error) {
+	hc, h, err := rover.RunTrials(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mig, pin, err := rover.RunControlled(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{HydraC: hc, Hydra: h, Migrating: mig, Pinned: pin}, nil
+}
+
+// Render prints Fig. 5a (detection time) and Fig. 5b (context
+// switches) rows for both comparisons.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5a — intrusion detection time (rover trials)\n")
+	row := func(s *rover.SchemeResult) {
+		fmt.Fprintf(&b, "  %-10s periods: tripwire %5d ms, kmodcheck %5d ms | detection mean %7.0f ms (±%5.0f) = %.3g cycles | undetected %d\n",
+			s.Scheme, s.TripwirePeriod, s.KmodPeriod,
+			s.DetectionMS.Mean(), s.DetectionMS.Std(), s.MeanDetectionCycles(), s.Undetected)
+	}
+	row(r.HydraC)
+	row(r.Hydra)
+	speedup := 100 * (r.Hydra.DetectionMS.Mean() - r.HydraC.DetectionMS.Mean()) / r.Hydra.DetectionMS.Mean()
+	fmt.Fprintf(&b, "  HYDRA-C detects %.1f%% faster than HYDRA (paper: 19.05%% on hardware)\n", speedup)
+
+	b.WriteString("Fig. 5b — context switches over the 45 s window\n")
+	csRow := func(s *rover.SchemeResult) {
+		fmt.Fprintf(&b, "  %-10s mean %7.1f (±%.1f)\n", s.Scheme, s.ContextSwitches.Mean(), s.ContextSwitches.Std())
+	}
+	csRow(r.HydraC)
+	csRow(r.Hydra)
+	fmt.Fprintf(&b, "  CS ratio HYDRA-C/HYDRA: %.2fx (paper: 1.75x on hardware)\n",
+		r.HydraC.ContextSwitches.Mean()/r.Hydra.ContextSwitches.Mean())
+
+	b.WriteString("Controlled (same periods, scheduler isolated)\n")
+	row(r.Migrating)
+	row(r.Pinned)
+	csRow(r.Migrating)
+	csRow(r.Pinned)
+	fmt.Fprintf(&b, "  controlled CS ratio migrating/pinned: %.2fx\n",
+		r.Migrating.ContextSwitches.Mean()/r.Pinned.ContextSwitches.Mean())
+	return b.String()
+}

@@ -1,0 +1,128 @@
+// Package gen generates synthetic task sets for the design-space
+// exploration of §5.2, following Table 3: Randfixedsum utilisation
+// splitting (Emberson, Stafford & Davis, WATERS 2010), log-uniform
+// period sampling, utilisation grouping, and best-fit RT partitioning.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandFixedSum draws n values, each within [lo, hi], that sum to total,
+// uniformly over the (n−1)-simplex slice defined by those bounds. It
+// is a Go port of Roger Stafford's randfixedsum algorithm, the
+// standard task-utilisation generator for multiprocessor task sets
+// (it supports total > 1, unlike UUniFast).
+//
+// It returns an error when the request is infeasible
+// (total ∉ [n·lo, n·hi]) or malformed.
+func RandFixedSum(rng *rand.Rand, n int, total, lo, hi float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("randfixedsum: n must be positive, got %d", n)
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("randfixedsum: empty range [%g, %g]", lo, hi)
+	}
+	if total < float64(n)*lo-1e-12 || total > float64(n)*hi+1e-12 {
+		return nil, fmt.Errorf("randfixedsum: sum %g unreachable with %d values in [%g, %g]", total, n, lo, hi)
+	}
+	if n == 1 {
+		return []float64{total}, nil
+	}
+	if hi == lo {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = lo
+		}
+		return out, nil
+	}
+
+	// Rescale to the unit cube: s ∈ [0, n].
+	s := (total - float64(n)*lo) / (hi - lo)
+	k := int(math.Max(math.Min(math.Floor(s), float64(n-1)), 0))
+	s = math.Max(math.Min(s, float64(k+1)), float64(k))
+
+	s1 := make([]float64, n) // s − (k … k−n+1)
+	s2 := make([]float64, n) // (k+n … k+1) − s
+	for i := 0; i < n; i++ {
+		s1[i] = s - float64(k-i)
+		s2[i] = float64(k+n-i) - s
+	}
+
+	// Probability tables. w[i][j] carries (scaled) simplex volumes;
+	// t[i][j] is the threshold for the Bernoulli branch during
+	// sampling. Row i corresponds to i+1 summands.
+	const huge = math.MaxFloat64
+	tiny := math.Nextafter(0, 1)
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n+1)
+	}
+	t := make([][]float64, n-1)
+	for i := range t {
+		t[i] = make([]float64, n)
+	}
+	w[0][1] = huge
+	for i := 2; i <= n; i++ {
+		for j := 1; j <= i; j++ {
+			tmp1 := w[i-2][j] * s1[j-1] / float64(i)
+			tmp2 := w[i-2][j-1] * s2[n-i+j-1] / float64(i)
+			w[i-1][j] = tmp1 + tmp2
+			tmp3 := w[i-1][j] + tiny
+			if s2[n-i+j-1] > s1[j-1] {
+				t[i-2][j-1] = tmp2 / tmp3
+			} else {
+				t[i-2][j-1] = 1 - tmp1/tmp3
+			}
+		}
+	}
+
+	// Sample one vector.
+	x := make([]float64, n)
+	sm, pr := 0.0, 1.0
+	j := k + 1
+	sCur := s
+	for i := n - 1; i >= 1; i-- {
+		var e float64
+		if rng.Float64() <= t[i-1][j-1] {
+			e = 1
+		}
+		sx := math.Pow(rng.Float64(), 1/float64(i))
+		sm += (1 - sx) * pr * sCur / float64(i+1)
+		pr *= sx
+		x[n-i-1] = sm + pr*e
+		sCur -= e
+		j -= int(e)
+	}
+	x[n-1] = sm + pr*sCur
+
+	// Random permutation, then scale back to [lo, hi].
+	rng.Shuffle(n, func(a, b int) { x[a], x[b] = x[b], x[a] })
+	for i := range x {
+		x[i] = lo + (hi-lo)*x[i]
+	}
+	return x, nil
+}
+
+// LogUniform draws an integer duration log-uniformly from [lo, hi],
+// i.e. exp(U(ln lo, ln hi)) rounded to the nearest tick — Table 3's
+// period distribution.
+func LogUniform(rng *rand.Rand, lo, hi int64) int64 {
+	if lo <= 0 || hi < lo {
+		panic(fmt.Sprintf("gen.LogUniform: invalid range [%d, %d]", lo, hi))
+	}
+	if lo == hi {
+		return lo
+	}
+	v := math.Exp(math.Log(float64(lo)) + rng.Float64()*(math.Log(float64(hi))-math.Log(float64(lo))))
+	r := int64(math.Round(v))
+	if r < lo {
+		r = lo
+	}
+	if r > hi {
+		r = hi
+	}
+	return r
+}

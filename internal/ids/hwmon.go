@@ -1,0 +1,118 @@
+package ids
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Hardware event monitoring substrate (Table 1's perf/OProfile row):
+// statistical anomaly detection over hardware performance counters
+// (Woo et al., DATE 2018 style). The platform exposes periodic counter
+// samples (instructions, cache misses, branches); a security task
+// fits a baseline distribution during a calibration phase and then
+// flags samples whose z-score leaves the expected band — e.g. a
+// crypto-mining payload inflating cache misses, or a rootkit hook
+// inflating branch counts.
+
+// CounterSample is one reading of the monitored counters.
+type CounterSample struct {
+	Instructions float64
+	CacheMisses  float64
+	Branches     float64
+}
+
+// CounterModel synthesises counter readings for a workload, with an
+// optional compromise that shifts the distributions.
+type CounterModel struct {
+	rng        *rand.Rand
+	base       CounterSample
+	noise      float64 // relative std of benign noise
+	compromise float64 // relative shift applied when compromised
+	bad        bool
+}
+
+// NewCounterModel creates a benign counter source around the given
+// means with the given relative noise.
+func NewCounterModel(rng *rand.Rand, base CounterSample, noise float64) *CounterModel {
+	return &CounterModel{rng: rng, base: base, noise: noise, compromise: 0.5}
+}
+
+// Compromise shifts subsequent samples by the model's compromise
+// factor (default +50% cache misses and branches) — the observable
+// footprint of the injected payload.
+func (m *CounterModel) Compromise() { m.bad = true }
+
+// Restore returns the model to benign behaviour.
+func (m *CounterModel) Restore() { m.bad = false }
+
+// Sample draws one reading.
+func (m *CounterModel) Sample() CounterSample {
+	jitter := func(mean float64) float64 {
+		return mean * (1 + m.noise*m.rng.NormFloat64())
+	}
+	s := CounterSample{
+		Instructions: jitter(m.base.Instructions),
+		CacheMisses:  jitter(m.base.CacheMisses),
+		Branches:     jitter(m.base.Branches),
+	}
+	if m.bad {
+		s.CacheMisses *= 1 + m.compromise
+		s.Branches *= 1 + m.compromise
+	}
+	return s
+}
+
+// HWMonitor is the statistical detector: calibrated mean/std per
+// counter, then z-score thresholding.
+type HWMonitor struct {
+	n            int
+	meanCM, m2CM float64
+	meanBR, m2BR float64
+	Threshold    float64
+	calibrated   bool
+}
+
+// NewHWMonitor creates a detector with the given z-score threshold
+// (3.0 is the usual three-sigma rule).
+func NewHWMonitor(threshold float64) *HWMonitor {
+	return &HWMonitor{Threshold: threshold}
+}
+
+// Calibrate folds one benign sample into the baseline (Welford).
+func (h *HWMonitor) Calibrate(s CounterSample) {
+	h.n++
+	d := s.CacheMisses - h.meanCM
+	h.meanCM += d / float64(h.n)
+	h.m2CM += d * (s.CacheMisses - h.meanCM)
+	d = s.Branches - h.meanBR
+	h.meanBR += d / float64(h.n)
+	h.m2BR += d * (s.Branches - h.meanBR)
+	h.calibrated = h.n >= 2
+}
+
+// std returns the calibrated standard deviations.
+func (h *HWMonitor) std() (cm, br float64) {
+	if h.n < 2 {
+		return 0, 0
+	}
+	return math.Sqrt(h.m2CM / float64(h.n-1)), math.Sqrt(h.m2BR / float64(h.n-1))
+}
+
+// Check classifies one sample; true means anomalous. An uncalibrated
+// monitor never alarms (fail-safe for the RT system, fail-open for
+// the attacker — the examples calibrate first).
+func (h *HWMonitor) Check(s CounterSample) bool {
+	if !h.calibrated {
+		return false
+	}
+	cmStd, brStd := h.std()
+	if cmStd == 0 || brStd == 0 {
+		return false
+	}
+	zCM := math.Abs(s.CacheMisses-h.meanCM) / cmStd
+	zBR := math.Abs(s.Branches-h.meanBR) / brStd
+	return zCM > h.Threshold || zBR > h.Threshold
+}
+
+// Samples returns how many calibration samples were folded in.
+func (h *HWMonitor) Samples() int { return h.n }

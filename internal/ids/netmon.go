@@ -1,0 +1,133 @@
+package ids
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Network packet monitoring substrate (Table 1's Bro/Snort row): a
+// capture ring buffer fed by the platform's network traffic and a
+// signature matcher that a periodic security task drains. The
+// scheduling-level behaviour is the same as the other monitors — a
+// job processes a bounded batch of captured packets — so its period
+// (chosen by HYDRA-C) directly bounds how long a malicious packet can
+// sit unexamined in the buffer.
+
+// Packet is one captured frame.
+type Packet struct {
+	// Seq is the capture sequence number.
+	Seq int
+	// Arrival is the capture instant in ticks.
+	Arrival int64
+	// Payload is the (synthetic) frame content.
+	Payload string
+}
+
+// CaptureRing is a fixed-capacity capture buffer; when full, the
+// oldest unprocessed packets are dropped (counted), as a real
+// in-kernel capture would.
+type CaptureRing struct {
+	cap     int
+	packets []Packet
+	next    int
+	dropped int
+}
+
+// NewCaptureRing creates a ring holding at most capacity packets.
+func NewCaptureRing(capacity int) *CaptureRing {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ids: invalid capture capacity %d", capacity))
+	}
+	return &CaptureRing{cap: capacity}
+}
+
+// Capture appends a packet, dropping the oldest if the ring is full.
+// It returns the packet's sequence number.
+func (r *CaptureRing) Capture(arrival int64, payload string) int {
+	seq := r.next
+	r.next++
+	if len(r.packets) == r.cap {
+		r.packets = r.packets[1:]
+		r.dropped++
+	}
+	r.packets = append(r.packets, Packet{Seq: seq, Arrival: arrival, Payload: payload})
+	return seq
+}
+
+// Pending returns the number of unprocessed packets.
+func (r *CaptureRing) Pending() int { return len(r.packets) }
+
+// Dropped returns how many packets were lost to overflow.
+func (r *CaptureRing) Dropped() int { return r.dropped }
+
+// Drain removes and returns up to n packets, oldest first — the batch
+// one monitor job processes.
+func (r *CaptureRing) Drain(n int) []Packet {
+	if n > len(r.packets) {
+		n = len(r.packets)
+	}
+	out := append([]Packet(nil), r.packets[:n]...)
+	r.packets = r.packets[n:]
+	return out
+}
+
+// Rule is one signature: a substring that marks a packet malicious.
+type Rule struct {
+	Name    string
+	Pattern string
+}
+
+// PacketMonitor matches drained packets against a rule set.
+type PacketMonitor struct {
+	rules []Rule
+}
+
+// NewPacketMonitor builds a matcher over the given rules.
+func NewPacketMonitor(rules ...Rule) *PacketMonitor {
+	return &PacketMonitor{rules: append([]Rule(nil), rules...)}
+}
+
+// DefaultRules is a small Snort-flavoured rule set for the examples.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "shellcode-nop-sled", Pattern: "\x90\x90\x90\x90"},
+		{Name: "telnet-root", Pattern: "login: root"},
+		{Name: "rover-cmd-inject", Pattern: "CMD;rm -rf"},
+		{Name: "exfil-marker", Pattern: "BEGIN-EXFIL"},
+	}
+}
+
+// Alert is one matched signature.
+type Alert struct {
+	Rule   string
+	Packet Packet
+}
+
+// Inspect matches a batch of packets and returns the alerts.
+func (m *PacketMonitor) Inspect(batch []Packet) []Alert {
+	var alerts []Alert
+	for _, p := range batch {
+		for _, r := range m.rules {
+			if strings.Contains(p.Payload, r.Pattern) {
+				alerts = append(alerts, Alert{Rule: r.Name, Packet: p})
+			}
+		}
+	}
+	return alerts
+}
+
+// BenignTraffic generates n innocuous payloads (telemetry chatter).
+func BenignTraffic(rng *rand.Rand, n int) []string {
+	kinds := []string{
+		"TLM speed=%d heading=%d",
+		"IMG frame=%d size=%d",
+		"HB node=%d uptime=%d",
+		"GPS lat=%d lon=%d",
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf(kinds[rng.Intn(len(kinds))], rng.Intn(1000), rng.Intn(1000))
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCaptureRingBasics(t *testing.T) {
+	r := NewCaptureRing(3)
+	for i := 0; i < 3; i++ {
+		if seq := r.Capture(int64(i), "p"); seq != i {
+			t.Fatalf("seq %d, want %d", seq, i)
+		}
+	}
+	if r.Pending() != 3 || r.Dropped() != 0 {
+		t.Fatalf("pending %d dropped %d", r.Pending(), r.Dropped())
+	}
+	r.Capture(3, "overflow")
+	if r.Pending() != 3 || r.Dropped() != 1 {
+		t.Fatalf("after overflow: pending %d dropped %d", r.Pending(), r.Dropped())
+	}
+	batch := r.Drain(2)
+	if len(batch) != 2 || batch[0].Seq != 1 {
+		t.Fatalf("drain returned %+v (oldest first after drop of seq 0)", batch)
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending %d after drain", r.Pending())
+	}
+	if rest := r.Drain(10); len(rest) != 1 {
+		t.Fatalf("final drain %+v", rest)
+	}
+}
+
+func TestCaptureRingInvalidCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewCaptureRing(0)
+}
+
+func TestPacketMonitorMatchesSignatures(t *testing.T) {
+	mon := NewPacketMonitor(DefaultRules()...)
+	rng := rand.New(rand.NewSource(1))
+	ring := NewCaptureRing(64)
+	for i, p := range BenignTraffic(rng, 20) {
+		ring.Capture(int64(i), p)
+	}
+	evil := ring.Capture(20, "GET /x CMD;rm -rf /data")
+	for i, p := range BenignTraffic(rng, 5) {
+		ring.Capture(int64(21+i), p)
+	}
+	alerts := mon.Inspect(ring.Drain(ring.Pending()))
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %+v, want exactly one", alerts)
+	}
+	if alerts[0].Rule != "rover-cmd-inject" || alerts[0].Packet.Seq != evil {
+		t.Fatalf("wrong alert: %+v", alerts[0])
+	}
+}
+
+func TestPacketMonitorBenignTrafficClean(t *testing.T) {
+	mon := NewPacketMonitor(DefaultRules()...)
+	rng := rand.New(rand.NewSource(2))
+	var batch []Packet
+	for i, p := range BenignTraffic(rng, 500) {
+		batch = append(batch, Packet{Seq: i, Payload: p})
+	}
+	if alerts := mon.Inspect(batch); len(alerts) != 0 {
+		t.Fatalf("false positives on benign traffic: %+v", alerts)
+	}
+}
+
+// Detection latency composes with the scheduler trace exactly like the
+// other monitors: the monitor job that drains the ring after the
+// malicious packet arrived raises the alert, so the period chosen by
+// HYDRA-C bounds the exposure window.
+func TestPacketMonitorPeriodBoundsExposure(t *testing.T) {
+	mon := NewPacketMonitor(DefaultRules()...)
+	ring := NewCaptureRing(1024)
+	rng := rand.New(rand.NewSource(3))
+	const period = 500
+	attackAt := int64(1234)
+	var detectedAt int64 = -1
+	seqTime := int64(0)
+	for now := int64(0); now <= 4000 && detectedAt < 0; now += period {
+		// Traffic since the last job.
+		for ; seqTime < now; seqTime += 100 {
+			payload := BenignTraffic(rng, 1)[0]
+			if seqTime <= attackAt && attackAt < seqTime+100 {
+				payload = "BEGIN-EXFIL " + payload
+			}
+			ring.Capture(seqTime, payload)
+		}
+		if len(mon.Inspect(ring.Drain(ring.Pending()))) > 0 {
+			detectedAt = now
+		}
+	}
+	if detectedAt < 0 {
+		t.Fatal("exfil packet never detected")
+	}
+	latency := detectedAt - attackAt
+	if latency < 0 || latency > period {
+		t.Fatalf("latency %d outside (0, period=%d]", latency, period)
+	}
+}
+
+func TestHWMonitorDetectsCompromise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	model := NewCounterModel(rng, CounterSample{Instructions: 1e6, CacheMisses: 5e3, Branches: 2e5}, 0.03)
+	mon := NewHWMonitor(3.0)
+	for i := 0; i < 200; i++ {
+		mon.Calibrate(model.Sample())
+	}
+	if mon.Samples() != 200 {
+		t.Fatalf("samples %d", mon.Samples())
+	}
+	// Benign samples: expect essentially no alarms (3-sigma).
+	alarms := 0
+	for i := 0; i < 200; i++ {
+		if mon.Check(model.Sample()) {
+			alarms++
+		}
+	}
+	if alarms > 5 {
+		t.Fatalf("%d/200 false alarms at 3 sigma", alarms)
+	}
+	// Compromised samples: a +50% shift at 3% noise is > 10 sigma.
+	model.Compromise()
+	hits := 0
+	for i := 0; i < 50; i++ {
+		if mon.Check(model.Sample()) {
+			hits++
+		}
+	}
+	if hits < 48 {
+		t.Fatalf("only %d/50 compromised samples flagged", hits)
+	}
+	model.Restore()
+	if mon.Check(model.Sample()) && mon.Check(model.Sample()) && mon.Check(model.Sample()) {
+		t.Fatal("restored model still always flagged")
+	}
+}
+
+func TestHWMonitorUncalibratedNeverAlarms(t *testing.T) {
+	mon := NewHWMonitor(3.0)
+	if mon.Check(CounterSample{CacheMisses: 1e9, Branches: 1e9}) {
+		t.Fatal("uncalibrated monitor alarmed")
+	}
+	mon.Calibrate(CounterSample{CacheMisses: 100, Branches: 100})
+	if mon.Check(CounterSample{CacheMisses: 1e9, Branches: 1e9}) {
+		t.Fatal("single-sample monitor alarmed")
+	}
+}

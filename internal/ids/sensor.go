@@ -1,0 +1,124 @@
+package ids
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sensor-measurement correlation — the security task the paper's
+// introduction proposes "for detecting sensor manipulation" (§1).
+// A plant variable is observed by redundant sensors; under benign
+// operation their readings agree up to noise, so a spoofed or stuck
+// sensor shows up as a residual between one channel and the median of
+// the others. A periodic correlation task (integrated by HYDRA-C)
+// checks the latest readings; its period bounds how long a falsified
+// measurement can steer the controller.
+
+// Plant is a first-order process generating the true signal: an
+// exponentially-smoothed random walk, bounded to [Min, Max].
+type Plant struct {
+	rng        *rand.Rand
+	value      float64
+	drift      float64
+	Min, Max   float64
+	Smoothness float64 // 0..1, higher = slower changes
+}
+
+// NewPlant creates a plant starting mid-range.
+func NewPlant(rng *rand.Rand, min, max float64) *Plant {
+	return &Plant{rng: rng, value: (min + max) / 2, Min: min, Max: max, Smoothness: 0.9}
+}
+
+// Step advances the true value one tick and returns it.
+func (p *Plant) Step() float64 {
+	p.drift = p.Smoothness*p.drift + (1-p.Smoothness)*p.rng.NormFloat64()*(p.Max-p.Min)/50
+	p.value += p.drift
+	if p.value < p.Min {
+		p.value, p.drift = p.Min, 0
+	}
+	if p.value > p.Max {
+		p.value, p.drift = p.Max, 0
+	}
+	return p.value
+}
+
+// SensorArray observes the plant through n redundant channels with
+// independent Gaussian noise. One channel may be compromised: it then
+// reports the attacker's value instead of the plant's.
+type SensorArray struct {
+	rng         *rand.Rand
+	n           int
+	noise       float64
+	compromised int // channel index, -1 = none
+	spoof       func(truth float64) float64
+}
+
+// NewSensorArray builds n channels with the given noise std.
+func NewSensorArray(rng *rand.Rand, n int, noise float64) *SensorArray {
+	if n < 3 {
+		panic(fmt.Sprintf("ids: sensor correlation needs >= 3 channels, got %d", n))
+	}
+	return &SensorArray{rng: rng, n: n, noise: noise, compromised: -1}
+}
+
+// Compromise takes over one channel with a spoofing function (e.g. a
+// constant offset, or a frozen value).
+func (a *SensorArray) Compromise(channel int, spoof func(truth float64) float64) {
+	if channel < 0 || channel >= a.n {
+		panic(fmt.Sprintf("ids: channel %d out of range", channel))
+	}
+	a.compromised, a.spoof = channel, spoof
+}
+
+// Read samples every channel against the true value.
+func (a *SensorArray) Read(truth float64) []float64 {
+	out := make([]float64, a.n)
+	for i := range out {
+		if i == a.compromised {
+			out[i] = a.spoof(truth)
+			continue
+		}
+		out[i] = truth + a.rng.NormFloat64()*a.noise
+	}
+	return out
+}
+
+// CorrelationChecker flags channels whose residual against the median
+// of the others exceeds Threshold (in multiples of the noise std).
+type CorrelationChecker struct {
+	Noise     float64
+	Threshold float64
+}
+
+// Check returns the indices of suspect channels.
+func (c CorrelationChecker) Check(readings []float64) []int {
+	var suspects []int
+	for i := range readings {
+		others := make([]float64, 0, len(readings)-1)
+		for j, v := range readings {
+			if j != i {
+				others = append(others, v)
+			}
+		}
+		m := median(others)
+		if math.Abs(readings[i]-m) > c.Threshold*c.Noise {
+			suspects = append(suspects, i)
+		}
+	}
+	return suspects
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

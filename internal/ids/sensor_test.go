@@ -1,0 +1,107 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlantStaysBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPlant(rng, 60, 100)
+	for i := 0; i < 10000; i++ {
+		v := p.Step()
+		if v < 60 || v > 100 {
+			t.Fatalf("plant escaped bounds: %v", v)
+		}
+	}
+}
+
+func TestSensorArrayBenignAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	plant := NewPlant(rng, 60, 100)
+	array := NewSensorArray(rng, 4, 0.5)
+	chk := CorrelationChecker{Noise: 0.5, Threshold: 6}
+	alarms := 0
+	for i := 0; i < 2000; i++ {
+		if len(chk.Check(array.Read(plant.Step()))) > 0 {
+			alarms++
+		}
+	}
+	if alarms > 10 {
+		t.Fatalf("%d/2000 false alarms on benign channels", alarms)
+	}
+}
+
+func TestSensorArrayDetectsOffsetSpoof(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	plant := NewPlant(rng, 60, 100)
+	array := NewSensorArray(rng, 4, 0.5)
+	array.Compromise(2, func(truth float64) float64 { return truth + 15 })
+	chk := CorrelationChecker{Noise: 0.5, Threshold: 6}
+	hits := 0
+	for i := 0; i < 200; i++ {
+		suspects := chk.Check(array.Read(plant.Step()))
+		if len(suspects) == 1 && suspects[0] == 2 {
+			hits++
+		}
+	}
+	if hits < 190 {
+		t.Fatalf("offset spoof detected in only %d/200 samples", hits)
+	}
+}
+
+func TestSensorArrayDetectsFrozenChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	plant := NewPlant(rng, 0, 1000)
+	array := NewSensorArray(rng, 3, 1.0)
+	frozen := 500.0
+	array.Compromise(0, func(float64) float64 { return frozen })
+	chk := CorrelationChecker{Noise: 1.0, Threshold: 8}
+	detected := false
+	for i := 0; i < 5000 && !detected; i++ {
+		suspects := chk.Check(array.Read(plant.Step()))
+		for _, s := range suspects {
+			if s == 0 {
+				detected = true
+			}
+		}
+	}
+	if !detected {
+		t.Fatal("frozen channel never detected as the plant drifted away")
+	}
+}
+
+func TestSensorArrayValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("2-channel array accepted")
+			}
+		}()
+		NewSensorArray(rng, 2, 0.1)
+	}()
+	array := NewSensorArray(rng, 3, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range channel accepted")
+		}
+	}()
+	array.Compromise(7, func(v float64) float64 { return v })
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5}, 5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package metrics holds the statistics used by the paper's evaluation:
+// Euclidean period-vector distances (Figs. 6 and 7b), acceptance
+// ratios (Fig. 7a), and basic descriptive statistics for the rover
+// trials (Fig. 5).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"hydrac/internal/task"
+)
+
+// NormalizedPeriodDistance is the y-axis of Fig. 6: the Euclidean
+// distance between the achieved period vector T* and the designer
+// bound vector Tmax, normalised by ‖Tmax‖ so the result lies in
+// [0, 1). A larger value means the security tasks run further below
+// their slowest acceptable rate, i.e. more frequently.
+func NormalizedPeriodDistance(periods, maxPeriods []task.Time) float64 {
+	return NormalizedVectorDistance(periods, maxPeriods, maxPeriods)
+}
+
+// NormalizedVectorDistance is the y-axis of Fig. 7b: ‖a − b‖ / ‖ref‖.
+// The paper compares HYDRA-C's period vector against a reference
+// scheme's vector, normalising by the maximum-period vector.
+func NormalizedVectorDistance(a, b, ref []task.Time) float64 {
+	if len(a) != len(b) || len(a) != len(ref) || len(a) == 0 {
+		return 0
+	}
+	var num, den float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		num += d * d
+		r := float64(ref[i])
+		den += r * r
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num) / math.Sqrt(den)
+}
+
+// Acceptance accumulates a schedulability ratio.
+type Acceptance struct {
+	Accepted int
+	Total    int
+}
+
+// Add records one task set's verdict.
+func (a *Acceptance) Add(ok bool) {
+	a.Total++
+	if ok {
+		a.Accepted++
+	}
+}
+
+// Ratio returns Accepted/Total in percent, the y-axis of Fig. 7a
+// ("number of schedulable task sets over the generated one").
+func (a Acceptance) Ratio() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return 100 * float64(a.Accepted) / float64(a.Total)
+}
+
+// Sample is a running collection of float64 observations.
+type Sample struct {
+	values []float64
+}
+
+// Add appends one observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Std returns the sample standard deviation (0 for n < 2).
+func (s *Sample) Std() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.values {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n-1))
+}
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank
+// on a sorted copy.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p/100*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import "encoding/json"
+
+// SampleSummary is the JSON-stable aggregate view of a Sample, used
+// when archiving experiment results.
+type SampleSummary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+}
+
+// Summary computes the aggregate view.
+func (s *Sample) Summary() SampleSummary {
+	return SampleSummary{
+		N:    s.N(),
+		Mean: s.Mean(),
+		Std:  s.Std(),
+		Min:  s.Min(),
+		Max:  s.Max(),
+		P50:  s.Percentile(50),
+		P95:  s.Percentile(95),
+	}
+}
+
+// MarshalJSON serialises the sample as its summary (raw observations
+// are not archived).
+func (s *Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Summary())
+}

@@ -1,0 +1,151 @@
+// Package partition implements the bin-packing heuristics the paper
+// uses to place RT tasks on cores ("assigned to the cores using a
+// standard task partitioning algorithm", §2.1; best-fit in the
+// synthetic evaluation, Table 3). Admission on a core is the exact
+// uniprocessor RTA test of Eq. 1, not a utilisation bound, so a task
+// is placed only where it and the tasks already placed remain
+// schedulable.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"hydrac/internal/rta"
+	"hydrac/internal/task"
+)
+
+// Heuristic selects among the feasible cores for a task.
+type Heuristic int
+
+const (
+	// BestFit picks the feasible core with the least remaining
+	// utilisation capacity (the paper's default).
+	BestFit Heuristic = iota
+	// FirstFit picks the lowest-indexed feasible core.
+	FirstFit
+	// WorstFit picks the feasible core with the most remaining
+	// utilisation capacity.
+	WorstFit
+	// NextFit rotates through cores, continuing from the last
+	// placement.
+	NextFit
+)
+
+// String returns the conventional name of the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case BestFit:
+		return "best-fit"
+	case FirstFit:
+		return "first-fit"
+	case WorstFit:
+		return "worst-fit"
+	case NextFit:
+		return "next-fit"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}
+
+// ErrInfeasible reports the first task that could not be placed.
+type ErrInfeasible struct{ Task string }
+
+func (e ErrInfeasible) Error() string {
+	return fmt.Sprintf("partitioning: no feasible core for task %s", e.Task)
+}
+
+// Assign partitions ts.RT onto ts.Cores cores in place using h.
+// Tasks are considered in decreasing-utilisation order (the standard
+// ordering for partitioned RM bin packing); each candidate placement
+// is admitted with the exact RTA test. On success every task's Core
+// field is set; on failure the set is left unmodified and an
+// ErrInfeasible is returned.
+func Assign(ts *task.Set, h Heuristic) error {
+	order := make([]int, len(ts.RT))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ua, ub := ts.RT[order[a]].Utilization(), ts.RT[order[b]].Utilization()
+		if ua != ub {
+			return ua > ub
+		}
+		return ts.RT[order[a]].Name < ts.RT[order[b]].Name
+	})
+
+	cores := make([][]task.RTTask, ts.Cores)
+	util := make([]float64, ts.Cores)
+	assigned := make([]int, len(ts.RT))
+	last := 0 // next-fit cursor
+
+	for _, i := range order {
+		t := ts.RT[i]
+		best := -1
+		var bestKey float64
+		try := func(m int) {
+			if !fits(cores[m], t) {
+				return
+			}
+			switch h {
+			case FirstFit:
+				if best == -1 {
+					best = m
+				}
+			case BestFit:
+				// least remaining capacity = highest utilisation.
+				if best == -1 || util[m] > bestKey {
+					best, bestKey = m, util[m]
+				}
+			case WorstFit:
+				if best == -1 || util[m] < bestKey {
+					best, bestKey = m, util[m]
+				}
+			case NextFit:
+				if best == -1 {
+					best = m
+				}
+			}
+		}
+		if h == NextFit {
+			for k := 0; k < ts.Cores && best == -1; k++ {
+				try((last + k) % ts.Cores)
+			}
+			if best != -1 {
+				last = best
+			}
+		} else {
+			for m := 0; m < ts.Cores; m++ {
+				try(m)
+			}
+		}
+		if best == -1 {
+			return ErrInfeasible{Task: t.Name}
+		}
+		t.Core = best
+		cores[best] = insertByPriority(cores[best], t)
+		util[best] += t.Utilization()
+		assigned[i] = best
+	}
+	for i := range ts.RT {
+		ts.RT[i].Core = assigned[i]
+	}
+	return nil
+}
+
+// fits reports whether adding t to the core keeps every task on the
+// core schedulable under Eq. 1.
+func fits(core []task.RTTask, t task.RTTask) bool {
+	cand := insertByPriority(append([]task.RTTask(nil), core...), t)
+	return rta.CoreSchedulable(cand)
+}
+
+// insertByPriority inserts t keeping the slice sorted by priority
+// (highest, i.e. smallest value, first).
+func insertByPriority(core []task.RTTask, t task.RTTask) []task.RTTask {
+	i := sort.Search(len(core), func(i int) bool { return core[i].Priority > t.Priority })
+	core = append(core, task.RTTask{})
+	copy(core[i+1:], core[i:])
+	core[i] = t
+	return core
+}

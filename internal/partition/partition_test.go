@@ -1,0 +1,163 @@
+package partition
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hydrac/internal/rta"
+	"hydrac/internal/task"
+)
+
+func twoCoreSet() *task.Set {
+	return &task.Set{
+		Cores: 2,
+		RT: []task.RTTask{
+			{Name: "a", WCET: 4, Period: 10, Deadline: 10, Core: -1, Priority: 0},  // 0.4
+			{Name: "b", WCET: 8, Period: 20, Deadline: 20, Core: -1, Priority: 1},  // 0.4
+			{Name: "c", WCET: 12, Period: 40, Deadline: 40, Core: -1, Priority: 2}, // 0.3
+			{Name: "d", WCET: 20, Period: 80, Deadline: 80, Core: -1, Priority: 3}, // 0.25
+		},
+	}
+}
+
+func TestAssignProducesSchedulablePartition(t *testing.T) {
+	for _, h := range []Heuristic{BestFit, FirstFit, WorstFit, NextFit} {
+		t.Run(h.String(), func(t *testing.T) {
+			ts := twoCoreSet()
+			if err := Assign(ts, h); err != nil {
+				t.Fatalf("Assign(%v): %v", h, err)
+			}
+			for _, rt := range ts.RT {
+				if rt.Core < 0 || rt.Core >= ts.Cores {
+					t.Fatalf("task %s unassigned (core %d)", rt.Name, rt.Core)
+				}
+			}
+			if !rta.SetSchedulable(ts) {
+				t.Fatalf("%v produced an unschedulable partition", h)
+			}
+		})
+	}
+}
+
+func TestAssignInfeasible(t *testing.T) {
+	ts := &task.Set{
+		Cores: 1,
+		RT: []task.RTTask{
+			{Name: "a", WCET: 6, Period: 10, Deadline: 10, Core: -1, Priority: 0},
+			{Name: "b", WCET: 6, Period: 10, Deadline: 10, Core: -1, Priority: 1},
+		},
+	}
+	err := Assign(ts, BestFit)
+	var infeasible ErrInfeasible
+	if !errors.As(err, &infeasible) {
+		t.Fatalf("got %v, want ErrInfeasible", err)
+	}
+	// The set must be left untouched on failure.
+	for _, rt := range ts.RT {
+		if rt.Core != -1 {
+			t.Errorf("task %s was assigned core %d despite failure", rt.Name, rt.Core)
+		}
+	}
+}
+
+func TestBestFitPacksTightly(t *testing.T) {
+	// Two heavy tasks and two light ones on two cores. Best-fit packs
+	// the light tasks onto the already-loaded core when feasible;
+	// worst-fit spreads them evenly. Compare the resulting loads.
+	build := func() *task.Set {
+		return &task.Set{
+			Cores: 2,
+			RT: []task.RTTask{
+				{Name: "heavy", WCET: 50, Period: 100, Deadline: 100, Core: -1, Priority: 2}, // 0.5
+				{Name: "light1", WCET: 1, Period: 10, Deadline: 10, Core: -1, Priority: 0},   // 0.1
+				{Name: "light2", WCET: 2, Period: 20, Deadline: 20, Core: -1, Priority: 1},   // 0.1
+			},
+		}
+	}
+	bf := build()
+	if err := Assign(bf, BestFit); err != nil {
+		t.Fatalf("best-fit: %v", err)
+	}
+	wf := build()
+	if err := Assign(wf, WorstFit); err != nil {
+		t.Fatalf("worst-fit: %v", err)
+	}
+	spread := func(ts *task.Set) float64 {
+		var u [2]float64
+		for _, rt := range ts.RT {
+			u[rt.Core] += rt.Utilization()
+		}
+		d := u[0] - u[1]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	if spread(bf) <= spread(wf) {
+		t.Errorf("best-fit spread %.3f should exceed worst-fit spread %.3f", spread(bf), spread(wf))
+	}
+}
+
+func TestNextFitRotates(t *testing.T) {
+	ts := &task.Set{
+		Cores: 3,
+		RT: []task.RTTask{
+			{Name: "a", WCET: 1, Period: 10, Deadline: 10, Core: -1, Priority: 0},
+			{Name: "b", WCET: 1, Period: 10, Deadline: 10, Core: -1, Priority: 1},
+			{Name: "c", WCET: 1, Period: 10, Deadline: 10, Core: -1, Priority: 2},
+		},
+	}
+	if err := Assign(ts, NextFit); err != nil {
+		t.Fatalf("next-fit: %v", err)
+	}
+	// All equal utilisation: next-fit keeps placing on the cursor core
+	// since each placement is feasible; all land on core 0.
+	for _, rt := range ts.RT {
+		if rt.Core != 0 {
+			t.Errorf("task %s on core %d, want 0 (cursor does not advance on success)", rt.Name, rt.Core)
+		}
+	}
+}
+
+// Property: whatever the heuristic, a successful Assign yields a
+// partition where every core passes exact RTA and core indices are in
+// range.
+func TestAssignRandomizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	heuristics := []Heuristic{BestFit, FirstFit, WorstFit, NextFit}
+	for trial := 0; trial < 200; trial++ {
+		cores := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(3*cores)
+		ts := &task.Set{Cores: cores}
+		for i := 0; i < n; i++ {
+			period := task.Time(10 + rng.Intn(200))
+			wcet := 1 + task.Time(rng.Int63n(int64(period)/2+1))
+			ts.RT = append(ts.RT, task.RTTask{
+				Name: names(i), WCET: wcet, Period: period, Deadline: period, Core: -1,
+			})
+		}
+		task.AssignRateMonotonic(ts.RT)
+		h := heuristics[rng.Intn(len(heuristics))]
+		if err := Assign(ts, h); err != nil {
+			continue // infeasible draws are fine
+		}
+		if !rta.SetSchedulable(ts) {
+			t.Fatalf("trial %d (%v): unschedulable partition accepted", trial, h)
+		}
+	}
+}
+
+func names(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestHeuristicString(t *testing.T) {
+	cases := map[Heuristic]string{
+		BestFit: "best-fit", FirstFit: "first-fit", WorstFit: "worst-fit", NextFit: "next-fit",
+		Heuristic(9): "heuristic(9)",
+	}
+	for h, want := range cases {
+		if got := h.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(h), got, want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package rover
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hydrac/internal/core"
+	"hydrac/internal/ids"
+	"hydrac/internal/sim"
+	"hydrac/internal/task"
+)
+
+// Mission co-simulates the whole stack: the HYDRA-C schedule drives
+// which task runs when; completed navigation jobs move the rover
+// through the grid world; completed camera jobs store real frames in
+// the image store; the Tripwire task's execution trace determines when
+// the (actually tampered) frame is re-hashed; the kernel-module
+// checker's trace determines when the (actually inserted) rootkit is
+// noticed. It is the end-to-end integration the proof-of-concept of
+// §5.1 performs on hardware.
+type MissionConfig struct {
+	// Seed drives world generation and attack placement.
+	Seed int64
+	// Horizon is the mission length in ms.
+	Horizon task.Time
+	// WorldW, WorldH and Density shape the arena.
+	WorldW, WorldH int
+	Density        float64
+}
+
+// DefaultMissionConfig returns a 90-second mission in a 24×12 arena.
+func DefaultMissionConfig() MissionConfig {
+	return MissionConfig{Seed: 1, Horizon: 90_000, WorldW: 24, WorldH: 12, Density: 0.12}
+}
+
+// MissionReport is the outcome.
+type MissionReport struct {
+	// Moves and Frames count completed navigation steps and captured
+	// camera frames.
+	Moves, Frames int
+	// TamperedFrame names the frame the shellcode attack modified.
+	TamperedFrame string
+	// TamperAt / TamperDetectedAt bound the integrity-violation window.
+	TamperAt, TamperDetectedAt task.Time
+	// RootkitAt / RootkitDetectedAt bound the rootkit window.
+	RootkitAt, RootkitDetectedAt task.Time
+	// ContextSwitches and Migrations summarise scheduler overhead.
+	ContextSwitches, Migrations int
+	// RTDeadlineMisses must be zero for a valid mission.
+	RTDeadlineMisses int
+}
+
+// RunMission executes one mission under the HYDRA-C configuration.
+func RunMission(cfg MissionConfig) (*MissionReport, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ts := TaskSet()
+	res, err := core.SelectPeriods(ts, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Schedulable {
+		return nil, fmt.Errorf("rover: mission task set unschedulable")
+	}
+	out, err := sim.Run(core.Apply(ts, res), sim.Config{
+		Policy: sim.SemiPartitioned, Horizon: cfg.Horizon, RecordIntervals: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &MissionReport{
+		ContextSwitches:  out.ContextSwitches,
+		Migrations:       out.Migrations,
+		RTDeadlineMisses: out.RTDeadlineMisses,
+	}
+	if rep.RTDeadlineMisses != 0 {
+		return rep, fmt.Errorf("rover: RT deadline misses during the mission")
+	}
+
+	// Replay the world against the schedule: one navigation step per
+	// completed nav job, one stored frame per completed camera job.
+	world := NewWorld(rng, cfg.WorldW, cfg.WorldH, cfg.Density)
+	var frames []ids.File
+	for _, job := range out.JobLog {
+		if job.Finish < 0 {
+			continue
+		}
+		switch job.Task {
+		case "navigation":
+			world.NavigationStep()
+			rep.Moves++
+		case "camera":
+			frames = append(frames, ids.File{
+				Name: fmt.Sprintf("img_%04d.raw", rep.Frames),
+				Data: world.CaptureFrame(),
+			})
+			rep.Frames++
+		}
+	}
+	if rep.Frames == 0 {
+		return rep, fmt.Errorf("rover: no frames captured")
+	}
+	store := ids.FromFiles(frames)
+	baseline := store.Snapshot()
+
+	// Attacks land in the middle third of the mission.
+	rep.TamperAt = cfg.Horizon/3 + task.Time(rng.Int63n(int64(cfg.Horizon/3)))
+	rep.RootkitAt = cfg.Horizon/3 + task.Time(rng.Int63n(int64(cfg.Horizon/3)))
+	victim := rng.Intn(store.Len())
+	rep.TamperedFrame = store.Name(victim)
+	if !store.Tamper(rng, victim) {
+		return rep, fmt.Errorf("rover: tamper failed")
+	}
+	if bad := baseline.Scan(store); len(bad) != 1 || bad[0] != victim {
+		return rep, fmt.Errorf("rover: integrity scan did not isolate the tampered frame")
+	}
+
+	tw, err := ids.DetectionTime(out.JobsOf("tripwire"),
+		ids.ScanModel{WCET: TripwireWCET, Objects: store.Len()}, rep.TamperAt, victim)
+	if err != nil {
+		return rep, err
+	}
+	if !tw.Detected {
+		return rep, fmt.Errorf("rover: tamper not detected within the mission")
+	}
+	rep.TamperDetectedAt = tw.At
+
+	registry := ids.NewModuleRegistry(ids.DefaultRoverModules()...)
+	checker := ids.NewModuleChecker(registry)
+	registry.Insert(ids.RootkitName(int(cfg.Seed)))
+	if unexpected, _ := checker.Check(registry); len(unexpected) != 1 {
+		return rep, fmt.Errorf("rover: rootkit invisible to the checker")
+	}
+	km, err := ids.DetectionTime(out.JobsOf("kmodcheck"),
+		ids.ScanModel{WCET: KmodWCET, Objects: 1}, rep.RootkitAt, 0)
+	if err != nil {
+		return rep, err
+	}
+	if !km.Detected {
+		return rep, fmt.Errorf("rover: rootkit not detected within the mission")
+	}
+	rep.RootkitDetectedAt = km.At
+	return rep, nil
+}

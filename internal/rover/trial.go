@@ -1,0 +1,232 @@
+package rover
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hydrac/internal/baseline"
+	"hydrac/internal/core"
+	"hydrac/internal/ids"
+	"hydrac/internal/metrics"
+	"hydrac/internal/sim"
+	"hydrac/internal/task"
+)
+
+// TrialConfig drives the Fig. 5 experiments.
+type TrialConfig struct {
+	// Trials is the number of attack trials (paper: 35).
+	Trials int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Objects is the number of files in the protected image store
+	// (each Tripwire job sweeps all of them).
+	Objects int
+	// DetectionHorizon bounds each trial's simulation, ms.
+	DetectionHorizon task.Time
+	// AttackWindow bounds the random attack instant, ms.
+	AttackWindow task.Time
+}
+
+// DefaultTrialConfig mirrors the paper: 35 trials, attacks at random
+// points early in the run, a 64-image data store.
+func DefaultTrialConfig() TrialConfig {
+	return TrialConfig{
+		Trials:           35,
+		Seed:             1,
+		Objects:          64,
+		DetectionHorizon: 90_000,
+		AttackWindow:     20_000,
+	}
+}
+
+// SchemeResult aggregates one scheme's trials.
+type SchemeResult struct {
+	// Scheme is "HYDRA-C" or "HYDRA".
+	Scheme string
+	// TripwirePeriod and KmodPeriod are the periods the scheme chose.
+	TripwirePeriod, KmodPeriod task.Time
+	// DetectionMS collects per-trial detection latencies (both attack
+	// kinds pooled, as Fig. 5a's single bar per scheme does).
+	DetectionMS metrics.Sample
+	// TripwireMS and KmodMS split the latency by attack kind.
+	TripwireMS, KmodMS metrics.Sample
+	// ContextSwitches collects per-trial context-switch counts over
+	// the 45 s observation window (Fig. 5b).
+	ContextSwitches metrics.Sample
+	// Undetected counts attacks not caught within the horizon.
+	Undetected int
+}
+
+// MeanDetectionCycles reports the Fig. 5a quantity: mean detection
+// time in ARM cycle-counter units.
+func (r *SchemeResult) MeanDetectionCycles() float64 {
+	return Cycles(1) * r.DetectionMS.Mean()
+}
+
+// RunTrials performs the Fig. 5 comparison: the same attack schedule
+// is replayed against HYDRA-C (periods from Algorithm 1, migrating
+// security band) and HYDRA (greedy partitioned placement, pinned
+// band), measuring detection latency and context switches.
+func RunTrials(cfg TrialConfig) (hydraC, hydra *SchemeResult, err error) {
+	base := TaskSet()
+
+	cres, err := core.SelectPeriods(base, core.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("rover: HYDRA-C period selection: %w", err)
+	}
+	if !cres.Schedulable {
+		return nil, nil, fmt.Errorf("rover: HYDRA-C reports the rover set unschedulable")
+	}
+	cSet := core.Apply(base, cres)
+
+	// The paper's verbatim HYDRA description: greedy best-response
+	// placement with each period pinned to its WCRT on arrival.
+	hres, err := baseline.HydraAggressive(base)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rover: HYDRA baseline: %w", err)
+	}
+	if !hres.Schedulable {
+		return nil, nil, fmt.Errorf("rover: HYDRA reports the rover set unschedulable")
+	}
+	hSet := baseline.ApplyPartitioned(base, hres)
+
+	hydraC = newSchemeResult("HYDRA-C", cSet)
+	hydra = newSchemeResult("HYDRA", hSet)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// One shared attack scenario per trial.
+		twAttack := task.Time(rng.Int63n(int64(cfg.AttackWindow)))
+		kmAttack := task.Time(rng.Int63n(int64(cfg.AttackWindow)))
+		victim := rng.Intn(cfg.Objects)
+		offsets := randomOffsets(rng, base)
+
+		if err := runTrial(hydraC, cSet, sim.SemiPartitioned, cfg, offsets, twAttack, kmAttack, victim); err != nil {
+			return nil, nil, err
+		}
+		if err := runTrial(hydra, hSet, sim.FullyPartitioned, cfg, offsets, twAttack, kmAttack, victim); err != nil {
+			return nil, nil, err
+		}
+	}
+	return hydraC, hydra, nil
+}
+
+func newSchemeResult(name string, ts *task.Set) *SchemeResult {
+	r := &SchemeResult{Scheme: name}
+	for _, s := range ts.Security {
+		switch s.Name {
+		case "tripwire":
+			r.TripwirePeriod = s.Period
+		case "kmodcheck":
+			r.KmodPeriod = s.Period
+		}
+	}
+	return r
+}
+
+// randomOffsets jitters every task's first release within one period,
+// standing in for the arbitrary phase at which the paper's trials
+// launched attacks against the running rover.
+func randomOffsets(rng *rand.Rand, ts *task.Set) map[string]task.Time {
+	off := map[string]task.Time{}
+	for _, t := range ts.RT {
+		off[t.Name] = task.Time(rng.Int63n(int64(t.Period)))
+	}
+	// Security offsets are drawn against Tmax so both schemes see the
+	// same jitter despite different selected periods.
+	for _, s := range ts.Security {
+		off[s.Name] = task.Time(rng.Int63n(int64(s.MaxPeriod)))
+	}
+	return off
+}
+
+func runTrial(out *SchemeResult, ts *task.Set, policy sim.Policy, cfg TrialConfig,
+	offsets map[string]task.Time, twAttack, kmAttack task.Time, victim int) error {
+
+	// Clamp security offsets to the scheme's actual periods.
+	off := map[string]task.Time{}
+	for _, t := range ts.RT {
+		off[t.Name] = offsets[t.Name]
+	}
+	for _, s := range ts.Security {
+		off[s.Name] = offsets[s.Name] % s.Period
+	}
+
+	res, err := sim.Run(ts, sim.Config{
+		Policy: policy, Horizon: cfg.DetectionHorizon,
+		Offsets: off, RecordIntervals: true,
+	})
+	if err != nil {
+		return fmt.Errorf("rover: %s simulation: %w", out.Scheme, err)
+	}
+	if res.RTDeadlineMisses != 0 {
+		return fmt.Errorf("rover: %s: RT deadline misses in an accepted configuration", out.Scheme)
+	}
+
+	tw, err := ids.DetectionTime(res.JobsOf("tripwire"),
+		ids.ScanModel{WCET: TripwireWCET, Objects: cfg.Objects}, twAttack, victim)
+	if err != nil {
+		return err
+	}
+	km, err := ids.DetectionTime(res.JobsOf("kmodcheck"),
+		ids.ScanModel{WCET: KmodWCET, Objects: 1}, kmAttack, 0)
+	if err != nil {
+		return err
+	}
+	for _, d := range []struct {
+		det    ids.Detection
+		sample *metrics.Sample
+	}{{tw, &out.TripwireMS}, {km, &out.KmodMS}} {
+		if !d.det.Detected {
+			out.Undetected++
+			continue
+		}
+		d.sample.Add(float64(d.det.Latency))
+		out.DetectionMS.Add(float64(d.det.Latency))
+	}
+
+	// Fig. 5b: context switches over the 45 s perf window.
+	csRun, err := sim.Run(ts, sim.Config{Policy: policy, Horizon: ObservationWindowMS, Offsets: off})
+	if err != nil {
+		return err
+	}
+	out.ContextSwitches.Add(float64(csRun.ContextSwitches))
+	return nil
+}
+
+// RunControlled performs the scheduler-isolated variant of the Fig. 5
+// comparison: both policies run the *same* task set with the *same*
+// period vector (HYDRA's assignment), so the only difference is
+// whether the security band may migrate. This separates the paper's
+// two mechanisms — period adaptation (compared in RunTrials) and
+// continuous cross-core execution (compared here). Returned results
+// are labelled "pinned" and "migrating".
+func RunControlled(cfg TrialConfig) (migrating, pinned *SchemeResult, err error) {
+	base := TaskSet()
+	hres, err := baseline.HydraAggressive(base)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !hres.Schedulable {
+		return nil, nil, fmt.Errorf("rover: HYDRA cannot configure the rover set")
+	}
+	ts := baseline.ApplyPartitioned(base, hres)
+
+	migrating = newSchemeResult("migrating", ts)
+	pinned = newSchemeResult("pinned", ts)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		twAttack := task.Time(rng.Int63n(int64(cfg.AttackWindow)))
+		kmAttack := task.Time(rng.Int63n(int64(cfg.AttackWindow)))
+		victim := rng.Intn(cfg.Objects)
+		offsets := randomOffsets(rng, base)
+		if err := runTrial(migrating, ts, sim.SemiPartitioned, cfg, offsets, twAttack, kmAttack, victim); err != nil {
+			return nil, nil, err
+		}
+		if err := runTrial(pinned, ts, sim.FullyPartitioned, cfg, offsets, twAttack, kmAttack, victim); err != nil {
+			return nil, nil, err
+		}
+	}
+	return migrating, pinned, nil
+}

@@ -1,0 +1,109 @@
+package rover
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// World is a small grid model of the rover's environment used by the
+// example applications: the navigation task reads the infrared sensor
+// (ST188 stand-in), steers around obstacles, and the camera task
+// periodically captures a frame of the scene into the image data
+// store. The world exists to make the example workloads concrete; the
+// schedulability results do not depend on it.
+type World struct {
+	W, H      int
+	obstacles map[[2]int]bool
+	X, Y      int
+	Dir       int // 0=east 1=south 2=west 3=north
+	Moves     int
+	Bumps     int
+}
+
+var dirVec = [4][2]int{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}
+
+// NewWorld creates a w×h arena with the given obstacle density and a
+// rover at the centre facing east.
+func NewWorld(rng *rand.Rand, w, h int, density float64) *World {
+	wd := &World{W: w, H: h, obstacles: map[[2]int]bool{}, X: w / 2, Y: h / 2}
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if (x == wd.X && y == wd.Y) || rng.Float64() >= density {
+				continue
+			}
+			wd.obstacles[[2]int{x, y}] = true
+		}
+	}
+	return wd
+}
+
+// SensorBlocked models the forward IR proximity sensor: true when the
+// next cell in the current direction is an obstacle or a wall.
+func (w *World) SensorBlocked() bool {
+	nx, ny := w.X+dirVec[w.Dir][0], w.Y+dirVec[w.Dir][1]
+	if nx < 0 || ny < 0 || nx >= w.W || ny >= w.H {
+		return true
+	}
+	return w.obstacles[[2]int{nx, ny}]
+}
+
+// NavigationStep is one job of the navigation task: read the sensor,
+// turn right while blocked (obstacle avoidance), otherwise advance one
+// cell.
+func (w *World) NavigationStep() {
+	for turns := 0; turns < 4 && w.SensorBlocked(); turns++ {
+		w.Dir = (w.Dir + 1) % 4
+		w.Bumps++
+	}
+	if w.SensorBlocked() {
+		return // boxed in
+	}
+	w.X += dirVec[w.Dir][0]
+	w.Y += dirVec[w.Dir][1]
+	w.Moves++
+}
+
+// CaptureFrame is one job of the camera task: render the rover's
+// local 8×8 neighbourhood as raw "pixels" — the payload the Tripwire
+// task protects.
+func (w *World) CaptureFrame() []byte {
+	const r = 4
+	frame := make([]byte, 0, (2*r)*(2*r))
+	for dy := -r; dy < r; dy++ {
+		for dx := -r; dx < r; dx++ {
+			x, y := w.X+dx, w.Y+dy
+			switch {
+			case x < 0 || y < 0 || x >= w.W || y >= w.H:
+				frame = append(frame, 0xFF)
+			case w.obstacles[[2]int{x, y}]:
+				frame = append(frame, 0x80)
+			case x == w.X && y == w.Y:
+				frame = append(frame, 0x01)
+			default:
+				frame = append(frame, 0x00)
+			}
+		}
+	}
+	return frame
+}
+
+// Render draws the arena for the examples.
+func (w *World) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rover at (%d,%d) dir=%d moves=%d bumps=%d\n", w.X, w.Y, w.Dir, w.Moves, w.Bumps)
+	for y := 0; y < w.H; y++ {
+		for x := 0; x < w.W; x++ {
+			switch {
+			case x == w.X && y == w.Y:
+				b.WriteByte('R')
+			case w.obstacles[[2]int{x, y}]:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

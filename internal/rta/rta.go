@@ -1,0 +1,99 @@
+// Package rta implements classic uniprocessor fixed-priority
+// preemptive response-time analysis (Joseph & Pandya / Audsley),
+// the necessary-and-sufficient schedulability condition the paper
+// assumes for the partitioned RT band (Eq. 1):
+//
+//	∃t ∈ (0, Dr] :  Cr + Σ_{τi ∈ hp(τr)} ⌈t/Ti⌉·Ci ≤ t
+//
+// The smallest such t is the worst-case response time, found by the
+// usual fixed-point iteration starting from Cr.
+package rta
+
+import "hydrac/internal/task"
+
+// Demand is one higher-priority interferer: a (WCET, Period) pair.
+type Demand struct {
+	WCET   task.Time
+	Period task.Time
+}
+
+// ResponseTime returns the worst-case response time of a task with
+// execution time wcet under interference from hp on one core, or
+// (task.Infinity, false) if the iteration exceeds limit (the task's
+// deadline or period bound): the task is then unschedulable.
+//
+// The iteration is x(0) = wcet; x(k+1) = wcet + Σ ⌈x(k)/Ti⌉·Ci and
+// terminates at the least fixed point.
+func ResponseTime(wcet task.Time, hp []Demand, limit task.Time) (task.Time, bool) {
+	if wcet > limit {
+		return task.Infinity, false
+	}
+	x := wcet
+	for {
+		next := wcet
+		for _, d := range hp {
+			next += ceilDiv(x, d.Period) * d.WCET
+		}
+		if next == x {
+			return x, true
+		}
+		if next > limit || next < x {
+			// next < x cannot happen with non-negative demands but
+			// guards against overflow wrap-around.
+			return task.Infinity, false
+		}
+		x = next
+	}
+}
+
+// CoreSchedulable checks Eq. 1 for every RT task assigned to a single
+// core: each task must have WCRT ≤ deadline given interference from
+// the higher-priority tasks on the same core. The input must be the
+// core's tasks sorted by priority (highest first), as produced by
+// task.Set.RTOnCore.
+func CoreSchedulable(tasks []task.RTTask) bool {
+	for i, t := range tasks {
+		hp := make([]Demand, 0, i)
+		for _, h := range tasks[:i] {
+			hp = append(hp, Demand{WCET: h.WCET, Period: h.Period})
+		}
+		if _, ok := ResponseTime(t.WCET, hp, t.Deadline); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CoreResponseTimes returns the WCRT of every task on one core
+// (ordered as the input, which must be priority-sorted highest first).
+// Unschedulable tasks get task.Infinity.
+func CoreResponseTimes(tasks []task.RTTask) []task.Time {
+	out := make([]task.Time, len(tasks))
+	for i, t := range tasks {
+		hp := make([]Demand, 0, i)
+		for _, h := range tasks[:i] {
+			hp = append(hp, Demand{WCET: h.WCET, Period: h.Period})
+		}
+		r, ok := ResponseTime(t.WCET, hp, t.Deadline)
+		if !ok {
+			r = task.Infinity
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// SetSchedulable checks Eq. 1 on every core of a partitioned RT set.
+func SetSchedulable(ts *task.Set) bool {
+	for m := 0; m < ts.Cores; m++ {
+		if !CoreSchedulable(ts.RTOnCore(m)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ceilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0.
+func ceilDiv(a, b task.Time) task.Time {
+	return (a + b - 1) / b
+}

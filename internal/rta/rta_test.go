@@ -1,0 +1,175 @@
+package rta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hydrac/internal/task"
+)
+
+func TestResponseTimeNoInterference(t *testing.T) {
+	r, ok := ResponseTime(7, nil, 100)
+	if !ok || r != 7 {
+		t.Fatalf("got (%d, %v), want (7, true)", r, ok)
+	}
+}
+
+func TestResponseTimeClassicExample(t *testing.T) {
+	// Textbook example: C=(1,2,3), T=(4,6,10) on one core.
+	// R1 = 1; R2 = 2 + ceil(R2/4)*1 -> 3; R3 = 3 + ceil(x/4)*1 + ceil(x/6)*2.
+	// x0=3 -> 3+1+2=6; x=6 -> 3+2+2=7; x=7 -> 3+2+4=9; x=9 -> 3+3+4=10;
+	// x=10 -> 3+3+4=10. R3 = 10.
+	hp := []Demand{{WCET: 1, Period: 4}, {WCET: 2, Period: 6}}
+	r, ok := ResponseTime(3, hp, 10)
+	if !ok || r != 10 {
+		t.Fatalf("R3 = (%d, %v), want (10, true)", r, ok)
+	}
+	// Deadline 9 makes it unschedulable.
+	if _, ok := ResponseTime(3, hp, 9); ok {
+		t.Fatal("accepted despite deadline 9 < R 10")
+	}
+}
+
+func TestResponseTimeMidPriority(t *testing.T) {
+	hp := []Demand{{WCET: 1, Period: 4}}
+	r, ok := ResponseTime(2, hp, 6)
+	if !ok || r != 3 {
+		t.Fatalf("R2 = (%d, %v), want (3, true)", r, ok)
+	}
+}
+
+func TestResponseTimeOverloadDiverges(t *testing.T) {
+	// Utilisation 1.5: iteration must hit the limit, not loop forever.
+	hp := []Demand{{WCET: 5, Period: 10}, {WCET: 10, Period: 10}}
+	if _, ok := ResponseTime(1, hp, 1000); ok {
+		t.Fatal("overloaded core accepted")
+	}
+}
+
+func TestResponseTimeWCETBeyondLimit(t *testing.T) {
+	if _, ok := ResponseTime(11, nil, 10); ok {
+		t.Fatal("WCET beyond limit accepted")
+	}
+}
+
+func TestCoreSchedulable(t *testing.T) {
+	ok := []task.RTTask{
+		{Name: "a", WCET: 1, Period: 4, Deadline: 4, Priority: 0},
+		{Name: "b", WCET: 2, Period: 6, Deadline: 6, Priority: 1},
+		{Name: "c", WCET: 3, Period: 10, Deadline: 10, Priority: 2},
+	}
+	if !CoreSchedulable(ok) {
+		t.Error("schedulable core rejected")
+	}
+	bad := []task.RTTask{
+		{Name: "a", WCET: 3, Period: 4, Deadline: 4, Priority: 0},
+		{Name: "b", WCET: 3, Period: 6, Deadline: 6, Priority: 1},
+	}
+	if CoreSchedulable(bad) {
+		t.Error("overloaded core accepted")
+	}
+}
+
+func TestCoreResponseTimes(t *testing.T) {
+	tasks := []task.RTTask{
+		{Name: "a", WCET: 1, Period: 4, Deadline: 4, Priority: 0},
+		{Name: "b", WCET: 2, Period: 6, Deadline: 6, Priority: 1},
+		{Name: "c", WCET: 3, Period: 10, Deadline: 10, Priority: 2},
+	}
+	got := CoreResponseTimes(tasks)
+	want := []task.Time{1, 3, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("R[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetSchedulable(t *testing.T) {
+	ts := &task.Set{
+		Cores: 2,
+		RT: []task.RTTask{
+			{Name: "a", WCET: 2, Period: 4, Deadline: 4, Core: 0, Priority: 0},
+			{Name: "b", WCET: 2, Period: 8, Deadline: 8, Core: 0, Priority: 1},
+			{Name: "c", WCET: 5, Period: 10, Deadline: 10, Core: 1, Priority: 2},
+		},
+	}
+	if !SetSchedulable(ts) {
+		t.Error("schedulable set rejected")
+	}
+	ts.RT[1].WCET = 5 // core 0 now has demand 2/4 + 5/8 > 1
+	if SetSchedulable(ts) {
+		t.Error("overloaded set accepted")
+	}
+}
+
+// Property: the response time is at least the WCET plus one full burst
+// of every higher-priority task, and never below the WCET.
+func TestResponseTimeLowerBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := rng.Intn(4)
+		hp := make([]Demand, n)
+		var burst task.Time
+		for i := range hp {
+			hp[i] = Demand{WCET: 1 + task.Time(rng.Intn(5)), Period: 10 + task.Time(rng.Intn(90))}
+			burst += hp[i].WCET
+		}
+		c := 1 + task.Time(rng.Intn(8))
+		r, ok := ResponseTime(c, hp, 1<<20)
+		if !ok {
+			return true // divergence is legal under overload
+		}
+		return r >= c && r >= c+burst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding an interferer never decreases the response time.
+func TestResponseTimeMonotoneInInterference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(3)
+		hp := make([]Demand, n)
+		for i := range hp {
+			hp[i] = Demand{WCET: 1 + task.Time(rng.Intn(4)), Period: 8 + task.Time(rng.Intn(40))}
+		}
+		c := 1 + task.Time(rng.Intn(6))
+		rSmall, okSmall := ResponseTime(c, hp[:n-1], 1<<20)
+		rBig, okBig := ResponseTime(c, hp, 1<<20)
+		if !okSmall && okBig {
+			t.Fatalf("trial %d: adding interference made the task schedulable", trial)
+		}
+		if okSmall && okBig && rBig < rSmall {
+			t.Fatalf("trial %d: R decreased from %d to %d after adding interference", trial, rSmall, rBig)
+		}
+	}
+}
+
+// Property: the returned fixed point actually satisfies Eq. 1 with
+// equality of the recurrence.
+func TestResponseTimeIsFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(4)
+		hp := make([]Demand, n)
+		for i := range hp {
+			hp[i] = Demand{WCET: 1 + task.Time(rng.Intn(4)), Period: 10 + task.Time(rng.Intn(50))}
+		}
+		c := 1 + task.Time(rng.Intn(6))
+		r, ok := ResponseTime(c, hp, 1<<20)
+		if !ok {
+			continue
+		}
+		sum := c
+		for _, d := range hp {
+			sum += ceilDiv(r, d.Period) * d.WCET
+		}
+		if sum != r {
+			t.Fatalf("trial %d: fixed point violated: recurrence(%d) = %d", trial, r, sum)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydrac/internal/baseline"
+	"hydrac/internal/core"
+	"hydrac/internal/gen"
+	"hydrac/internal/task"
+)
+
+// The central soundness check of the whole repository: whenever the
+// HYDRA-C analysis accepts a task set (periods selected by Algorithm
+// 1), the simulator — synchronous release, strictly periodic — must
+// observe (a) zero RT deadline misses, and (b) security response times
+// never above the analytic WCRT bound.
+func TestAnalysisBoundsSimulatedResponses(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg := gen.TableThree(2)
+	cfg.MaxAttempts = 40
+	checked := 0
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 6; i++ {
+			ts, err := cfg.Generate(rng, g)
+			if err != nil {
+				continue
+			}
+			res, err := core.SelectPeriods(ts, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Schedulable {
+				continue
+			}
+			applied := core.Apply(ts, res)
+			horizon := longestPeriod(applied) * 6
+			out, err := Run(applied, Config{Policy: SemiPartitioned, Horizon: horizon})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.RTDeadlineMisses != 0 {
+				t.Fatalf("group %d: RT deadline misses in an analysis-accepted set", g)
+			}
+			for j, s := range applied.Security {
+				st := out.Stats[s.Name]
+				if st == nil || st.Completed == 0 {
+					continue
+				}
+				if st.MaxResponse > res.Resp[j] {
+					t.Fatalf("group %d: %s observed response %d exceeds analytic WCRT %d (period %d)",
+						g, s.Name, st.MaxResponse, res.Resp[j], s.Period)
+				}
+			}
+			if out.SecurityDeadlineMisses != 0 {
+				t.Fatalf("group %d: security deadline misses despite Rs ≤ Ts", g)
+			}
+			checked++
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d schedulable sets exercised; generator or analysis too restrictive", checked)
+	}
+	t.Logf("conformance checked on %d schedulable task sets", checked)
+}
+
+// Same soundness direction for the HYDRA baseline: partitioned
+// placement with per-core period minimisation must simulate cleanly
+// under the fully-partitioned policy.
+func TestHydraBaselineConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	cfg := gen.TableThree(2)
+	cfg.MaxAttempts = 40
+	checked := 0
+	for g := 0; g < 6; g++ {
+		for i := 0; i < 5; i++ {
+			ts, err := cfg.Generate(rng, g)
+			if err != nil {
+				continue
+			}
+			res, err := baseline.Hydra(ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Schedulable {
+				continue
+			}
+			applied := baseline.ApplyPartitioned(ts, res)
+			horizon := longestPeriod(applied) * 6
+			out, err := Run(applied, Config{Policy: FullyPartitioned, Horizon: horizon})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.RTDeadlineMisses != 0 {
+				t.Fatalf("group %d: RT misses under HYDRA placement", g)
+			}
+			for j, s := range applied.Security {
+				st := out.Stats[s.Name]
+				if st == nil || st.Completed == 0 {
+					continue
+				}
+				if st.MaxResponse > res.Resp[j] {
+					t.Fatalf("group %d: %s observed %d > HYDRA bound %d", g, s.Name, st.MaxResponse, res.Resp[j])
+				}
+			}
+			if out.Migrations != 0 {
+				t.Fatalf("group %d: fully-partitioned run migrated %d times", g, out.Migrations)
+			}
+			checked++
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d sets exercised", checked)
+	}
+}
+
+// On identical workloads, migration can only help the *highest-
+// priority* security task: it keeps its preference for its bound core
+// and may additionally use any other idle core, while the RT
+// interference it sees is unchanged. (Lower-priority tasks can lose:
+// migrating higher-priority security tasks steal slack from cores
+// that were private to them under pinning.)
+func TestMigrationNeverHurtsMeanResponse(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	cfg := gen.TableThree(2)
+	cfg.MaxAttempts = 40
+	checked := 0
+	for g := 1; g < 7; g++ {
+		ts, err := cfg.Generate(rng, g)
+		if err != nil {
+			continue
+		}
+		hres, err := baseline.Hydra(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hres.Schedulable {
+			continue
+		}
+		applied := baseline.ApplyPartitioned(ts, hres)
+		horizon := longestPeriod(applied) * 6
+		pinned, err := Run(applied, Config{Policy: FullyPartitioned, Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		migrating, err := Run(applied, Config{Policy: SemiPartitioned, Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := applied.SecurityByPriority()[0]
+		p, m := pinned.Stats[top.Name], migrating.Stats[top.Name]
+		if p != nil && m != nil && p.Completed > 0 && m.Completed > 0 {
+			if m.MaxResponse > p.MaxResponse {
+				t.Fatalf("group %d: top-priority %s max response worsened under migration: %d vs %d",
+					g, top.Name, m.MaxResponse, p.MaxResponse)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no HYDRA-schedulable draws")
+	}
+}
+
+func longestPeriod(ts *task.Set) task.Time {
+	var longest task.Time
+	for _, rt := range ts.RT {
+		if rt.Period > longest {
+			longest = rt.Period
+		}
+	}
+	for _, s := range ts.Security {
+		if s.Period > longest {
+			longest = s.Period
+		}
+	}
+	return longest
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Export helpers: schedule traces as CSV (one row per execution
+// interval, loadable into any plotting tool) and run results as JSON
+// (for archival alongside EXPERIMENTS.md).
+
+// WriteIntervalsCSV writes one row per execution interval:
+// task, job, core, start, end, release, finish, missed.
+// The run must have used Config.RecordIntervals.
+func WriteIntervalsCSV(w io.Writer, r *Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "job", "core", "start", "end", "release", "finish", "missed"}); err != nil {
+		return err
+	}
+	for _, rec := range r.JobLog {
+		for _, iv := range rec.Intervals {
+			row := []string{
+				rec.Task,
+				strconv.Itoa(rec.Index),
+				strconv.Itoa(iv.Core),
+				strconv.FormatInt(iv.Start, 10),
+				strconv.FormatInt(iv.End, 10),
+				strconv.FormatInt(rec.Release, 10),
+				strconv.FormatInt(rec.Finish, 10),
+				strconv.FormatBool(rec.Missed),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// resultJSON is the stable JSON schema for archived runs.
+type resultJSON struct {
+	Horizon                int64                    `json:"horizon"`
+	ContextSwitches        int                      `json:"context_switches"`
+	Migrations             int                      `json:"migrations"`
+	RTDeadlineMisses       int                      `json:"rt_deadline_misses"`
+	SecurityDeadlineMisses int                      `json:"security_deadline_misses"`
+	CoreBusy               []int64                  `json:"core_busy"`
+	Utilization            float64                  `json:"utilization"`
+	Tasks                  map[string]taskStatsJSON `json:"tasks"`
+}
+
+type taskStatsJSON struct {
+	Completed      int     `json:"completed"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	MaxResponse    int64   `json:"max_response"`
+	MeanResponse   float64 `json:"mean_response"`
+}
+
+// WriteResultJSON writes the aggregate counters of a run as indented
+// JSON.
+func WriteResultJSON(w io.Writer, r *Result) error {
+	out := resultJSON{
+		Horizon:                r.Horizon,
+		ContextSwitches:        r.ContextSwitches,
+		Migrations:             r.Migrations,
+		RTDeadlineMisses:       r.RTDeadlineMisses,
+		SecurityDeadlineMisses: r.SecurityDeadlineMisses,
+		CoreBusy:               append([]int64(nil), r.CoreBusy...),
+		Utilization:            r.Utilization(),
+		Tasks:                  map[string]taskStatsJSON{},
+	}
+	for name, s := range r.Stats {
+		out.Tasks[name] = taskStatsJSON{
+			Completed:      s.Completed,
+			DeadlineMisses: s.DeadlineMisses,
+			MaxResponse:    s.MaxResponse,
+			MeanResponse:   s.MeanResponse(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadResultJSON parses a JSON document written by WriteResultJSON
+// back into the counters it archives (task stats only carry the
+// exported aggregate fields). It is the round-trip companion used by
+// tooling that post-processes archived runs.
+func ReadResultJSON(rd io.Reader) (*Result, error) {
+	var in resultJSON
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("sim: decoding archived result: %w", err)
+	}
+	r := newResult(len(in.CoreBusy), in.Horizon)
+	r.ContextSwitches = in.ContextSwitches
+	r.Migrations = in.Migrations
+	r.RTDeadlineMisses = in.RTDeadlineMisses
+	r.SecurityDeadlineMisses = in.SecurityDeadlineMisses
+	copy(r.CoreBusy, in.CoreBusy)
+	for name, s := range in.Tasks {
+		st := r.record(name)
+		st.Completed = s.Completed
+		st.DeadlineMisses = s.DeadlineMisses
+		st.MaxResponse = s.MaxResponse
+		st.TotalResponse = int64(s.MeanResponse * float64(s.Completed))
+	}
+	return r, nil
+}

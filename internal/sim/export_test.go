@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hydrac/internal/task"
+)
+
+func tracedRun(t *testing.T) *Result {
+	t.Helper()
+	ts := &task.Set{
+		Cores: 2,
+		RT:    []task.RTTask{{Name: "rt", WCET: 3, Period: 10, Deadline: 10, Core: 0}},
+		Security: []task.SecurityTask{
+			{Name: "mon", WCET: 4, Period: 20, MaxPeriod: 40, Priority: 0, Core: -1},
+		},
+	}
+	res, err := Run(ts, Config{Horizon: 100, RecordIntervals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteIntervalsCSV(t *testing.T) {
+	res := tracedRun(t)
+	var buf bytes.Buffer
+	if err := WriteIntervalsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "task,job,core,start,end,release,finish,missed" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Fatalf("only %d rows for a 100-tick run", len(lines))
+	}
+	// Total executed time in the CSV must equal the core-busy sum.
+	var total int64
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		start, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += end - start
+	}
+	var busy int64
+	for _, b := range res.CoreBusy {
+		busy += b
+	}
+	if total != busy {
+		t.Fatalf("CSV intervals total %d, core busy %d", total, busy)
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := tracedRun(t)
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ContextSwitches != res.ContextSwitches ||
+		back.Migrations != res.Migrations ||
+		back.Horizon != res.Horizon ||
+		back.RTDeadlineMisses != res.RTDeadlineMisses {
+		t.Fatalf("counters differ: %+v vs %+v", back, res)
+	}
+	for name, s := range res.Stats {
+		b := back.Stats[name]
+		if b == nil || b.Completed != s.Completed || b.MaxResponse != s.MaxResponse {
+			t.Fatalf("task %s stats differ: %+v vs %+v", name, b, s)
+		}
+		if math.Abs(b.MeanResponse()-s.MeanResponse()) > 0.01 {
+			t.Fatalf("task %s mean response %.3f vs %.3f", name, b.MeanResponse(), s.MeanResponse())
+		}
+	}
+}
+
+func TestReadResultJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadResultJSON(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Fatal("unknown fields accepted")
+	}
+	if _, err := ReadResultJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}

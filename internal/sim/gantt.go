@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hydrac/internal/task"
+)
+
+// Gantt renders an ASCII schedule chart from a traced run (the run
+// must have used Config.RecordIntervals). Each core gets one row;
+// every column is `step` ticks wide and shows the first letter of the
+// task occupying the core (('.') for idle). It is the textual analogue
+// of the paper's Fig. 1 schedule illustration.
+func Gantt(r *Result, from, to, step task.Time) string {
+	if step <= 0 {
+		step = 1
+	}
+	if to > r.Horizon {
+		to = r.Horizon
+	}
+	cores := len(r.CoreBusy)
+	cols := int((to - from + step - 1) / step)
+	if cols <= 0 || cores == 0 {
+		return ""
+	}
+	grid := make([][]byte, cores)
+	for m := range grid {
+		grid[m] = []byte(strings.Repeat(".", cols))
+	}
+	letters := letterMap(r)
+	for _, rec := range r.JobLog {
+		for _, iv := range rec.Intervals {
+			if iv.End <= from || iv.Start >= to {
+				continue
+			}
+			s, e := iv.Start, iv.End
+			if s < from {
+				s = from
+			}
+			if e > to {
+				e = to
+			}
+			for c := (s - from) / step; c < (e-from+step-1)/step; c++ {
+				grid[iv.Core][c] = letters[rec.Task]
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t = %d .. %d (one column = %d ticks)\n", from, to, step)
+	for m := 0; m < cores; m++ {
+		fmt.Fprintf(&b, "core %d |%s|\n", m, grid[m])
+	}
+	var names []string
+	for n := range letters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteString("legend:")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %c=%s", letters[n], n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// letterMap assigns each task a distinct display letter: the first
+// letter of its name when free, otherwise successive alphabet letters.
+func letterMap(r *Result) map[string]byte {
+	var names []string
+	seen := map[string]bool{}
+	for _, rec := range r.JobLog {
+		if !seen[rec.Task] {
+			seen[rec.Task] = true
+			names = append(names, rec.Task)
+		}
+	}
+	sort.Strings(names)
+	used := map[byte]bool{'.': true}
+	out := map[string]byte{}
+	for _, n := range names {
+		c := byte('?')
+		if len(n) > 0 {
+			c = upper(n[0])
+		}
+		for used[c] {
+			c = nextLetter(c)
+		}
+		out[n] = c
+		used[c] = true
+	}
+	return out
+}
+
+func upper(c byte) byte {
+	if c >= 'a' && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
+func nextLetter(c byte) byte {
+	if c < 'A' || c >= 'Z' {
+		return 'A'
+	}
+	return c + 1
+}

@@ -1,0 +1,61 @@
+package sim
+
+import "fmt"
+
+// checkInvariants validates the dispatch decision at the current
+// event (enabled by Config.DebugChecks):
+//
+//  1. Work conservation — no core sits idle while a ready, unassigned
+//     job exists that the core is allowed to run.
+//  2. Band ordering — a core never runs a security job while a ready,
+//     unassigned RT job is eligible for that core.
+//  3. No double dispatch — a job occupies at most one core.
+func (e *engine) checkInvariants() error {
+	onCore := map[*job]int{}
+	for m, j := range e.running {
+		if j == nil {
+			continue
+		}
+		if prev, dup := onCore[j]; dup {
+			return fmt.Errorf("sim: invariant violation at t=%d: job %s#%d on cores %d and %d",
+				e.now, j.info.name, j.index, prev, m)
+		}
+		onCore[j] = m
+	}
+	assigned := func(j *job) bool { _, ok := onCore[j]; return ok }
+
+	for _, j := range e.ready {
+		if j.remaining <= 0 || assigned(j) {
+			continue
+		}
+		for m := 0; m < e.cores; m++ {
+			if !eligible(j, m, e.cfg.Policy) {
+				continue
+			}
+			cur := e.running[m]
+			if cur == nil {
+				return fmt.Errorf("sim: work conservation violated at t=%d: core %d idle while %s#%d is ready",
+					e.now, m, j.info.name, j.index)
+			}
+			if j.info.band == bandRT && cur.info.band == bandSecurity {
+				return fmt.Errorf("sim: band ordering violated at t=%d: core %d runs security %s while RT %s#%d is ready",
+					e.now, m, cur.info.name, j.info.name, j.index)
+			}
+		}
+	}
+	return nil
+}
+
+// eligible reports whether job j may execute on core m under the
+// policy.
+func eligible(j *job, m int, p Policy) bool {
+	if j.info.core < 0 {
+		return true
+	}
+	switch p {
+	case Global:
+		return true
+	default:
+		return j.info.core == m
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydrac/internal/core"
+	"hydrac/internal/gen"
+)
+
+// Every policy must pass the internal invariant checks (work
+// conservation, band ordering, single dispatch) on randomized
+// workloads. A failure here is a scheduler bug, not a workload issue.
+func TestInvariantsAcrossPoliciesAndWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	cfg := gen.TableThree(2)
+	cfg.MaxAttempts = 30
+	exercised := 0
+	for g := 0; g < 8 && exercised < 10; g++ {
+		ts, err := cfg.Generate(rng, g)
+		if err != nil {
+			continue
+		}
+		res, err := core.SelectPeriods(ts, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable {
+			continue
+		}
+		applied := core.Apply(ts, res)
+		for _, pol := range []Policy{SemiPartitioned, Global} {
+			if _, err := Run(applied, Config{
+				Policy: pol, Horizon: 100000, DebugChecks: true,
+				ReleaseJitter: 100, ExecutionVariation: 0.3, Seed: int64(g),
+			}); err != nil {
+				t.Fatalf("group %d policy %v: %v", g, pol, err)
+			}
+		}
+		// Fully-partitioned needs core bindings: bind each security
+		// task to core 0 for the invariant run.
+		pinned := applied.Clone()
+		for i := range pinned.Security {
+			pinned.Security[i].Core = i % pinned.Cores
+		}
+		if _, err := Run(pinned, Config{
+			Policy: FullyPartitioned, Horizon: 100000, DebugChecks: true, Seed: int64(g),
+		}); err != nil {
+			t.Fatalf("group %d fully-partitioned: %v", g, err)
+		}
+		exercised++
+	}
+	if exercised == 0 {
+		t.Fatal("no workloads exercised")
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"hydrac/internal/task"
+)
+
+func modeSwitchSet() *task.Set {
+	return &task.Set{
+		Cores: 1,
+		Security: []task.SecurityTask{
+			{Name: "mon", WCET: 10, Period: 100, MaxPeriod: 200, Priority: 0, Core: -1},
+		},
+	}
+}
+
+func TestModeSwitchEscalatesDemand(t *testing.T) {
+	ts := modeSwitchSet()
+	res, err := Run(ts, Config{
+		Horizon:         1000,
+		RecordIntervals: true,
+		ModeSwitches:    []ModeSwitch{{Task: "mon", At: 300, Until: 500, AlertWCET: 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.JobsOf("mon") {
+		var exec task.Time
+		for _, iv := range j.Intervals {
+			exec += iv.Duration()
+		}
+		want := task.Time(10)
+		if j.Release >= 300 && j.Release < 500 {
+			want = 40
+		}
+		if j.Finish >= 0 && exec != want {
+			t.Errorf("job released at %d executed %d ticks, want %d", j.Release, exec, want)
+		}
+	}
+}
+
+func TestModeSwitchOpenEnded(t *testing.T) {
+	ts := modeSwitchSet()
+	res, err := Run(ts, Config{
+		Horizon:         1000,
+		RecordIntervals: true,
+		ModeSwitches:    []ModeSwitch{{Task: "mon", At: 500, AlertWCET: 25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	escalated := 0
+	for _, j := range res.JobsOf("mon") {
+		if j.Release < 500 || j.Finish < 0 {
+			continue
+		}
+		var exec task.Time
+		for _, iv := range j.Intervals {
+			exec += iv.Duration()
+		}
+		if exec != 25 {
+			t.Errorf("job at %d executed %d, want 25 (open-ended switch)", j.Release, exec)
+		}
+		escalated++
+	}
+	if escalated == 0 {
+		t.Fatal("no escalated jobs observed")
+	}
+}
+
+func TestModeSwitchIgnoresOtherTasks(t *testing.T) {
+	ts := modeSwitchSet()
+	ts.Security = append(ts.Security, task.SecurityTask{
+		Name: "other", WCET: 5, Period: 100, MaxPeriod: 200, Priority: 1, Core: -1,
+	})
+	res, err := Run(ts, Config{
+		Horizon:         500,
+		RecordIntervals: true,
+		ModeSwitches:    []ModeSwitch{{Task: "mon", At: 0, AlertWCET: 30}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.JobsOf("other") {
+		var exec task.Time
+		for _, iv := range j.Intervals {
+			exec += iv.Duration()
+		}
+		if j.Finish >= 0 && exec != 5 {
+			t.Errorf("unrelated task escalated: %d ticks", exec)
+		}
+	}
+}

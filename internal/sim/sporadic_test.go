@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydrac/internal/core"
+	"hydrac/internal/gen"
+	"hydrac/internal/task"
+)
+
+func TestReleaseJitterSlowsReleases(t *testing.T) {
+	ts := &task.Set{
+		Cores: 1,
+		RT:    []task.RTTask{{Name: "a", WCET: 1, Period: 10, Deadline: 10, Core: 0}},
+	}
+	strict, err := Run(ts, Config{Horizon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jittered, err := Run(ts, Config{Horizon: 1000, ReleaseJitter: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Stats["a"].Completed != 100 {
+		t.Fatalf("strict run completed %d, want 100", strict.Stats["a"].Completed)
+	}
+	// With up to +10 jitter the mean inter-arrival is ≈15: clearly
+	// fewer jobs, never more.
+	got := jittered.Stats["a"].Completed
+	if got >= 100 || got < 50 {
+		t.Fatalf("jittered run completed %d, want within [50, 100)", got)
+	}
+}
+
+func TestExecutionVariationShrinksDemand(t *testing.T) {
+	ts := &task.Set{
+		Cores: 1,
+		RT:    []task.RTTask{{Name: "a", WCET: 10, Period: 20, Deadline: 20, Core: 0}},
+	}
+	full, err := Run(ts, Config{Horizon: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied, err := Run(ts, Config{Horizon: 2000, ExecutionVariation: 0.5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if varied.CoreBusy[0] >= full.CoreBusy[0] {
+		t.Fatalf("varied busy %d !< full busy %d", varied.CoreBusy[0], full.CoreBusy[0])
+	}
+	if varied.Stats["a"].MaxResponse > full.Stats["a"].MaxResponse {
+		t.Fatalf("variation increased the max response: %d > %d",
+			varied.Stats["a"].MaxResponse, full.Stats["a"].MaxResponse)
+	}
+	if varied.RTDeadlineMisses != 0 {
+		t.Fatal("deadline misses under reduced demand")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ts := &task.Set{
+		Cores: 1,
+		RT:    []task.RTTask{{Name: "a", WCET: 1, Period: 10, Deadline: 10, Core: 0}},
+	}
+	if _, err := Run(ts, Config{Horizon: 100, ExecutionVariation: 1.0}); err == nil {
+		t.Error("variation 1.0 accepted")
+	}
+	if _, err := Run(ts, Config{Horizon: 100, ExecutionVariation: -0.1}); err == nil {
+		t.Error("negative variation accepted")
+	}
+	if _, err := Run(ts, Config{Horizon: 100, ReleaseJitter: -1}); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+// The WCRT analysis covers sporadic arrivals and any execution demand
+// up to the WCET. Analysis-accepted sets must therefore stay clean
+// under randomized jitter and demand variation — the sporadic
+// counterpart of the synchronous conformance test.
+func TestSporadicConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	cfg := gen.TableThree(2)
+	cfg.MaxAttempts = 40
+	checked := 0
+	for g := 0; g < 7 && checked < 12; g++ {
+		for i := 0; i < 4; i++ {
+			ts, err := cfg.Generate(rng, g)
+			if err != nil {
+				continue
+			}
+			res, err := core.SelectPeriods(ts, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Schedulable {
+				continue
+			}
+			applied := core.Apply(ts, res)
+			out, err := Run(applied, Config{
+				Policy:             SemiPartitioned,
+				Horizon:            300000,
+				ReleaseJitter:      500,
+				ExecutionVariation: 0.4,
+				Seed:               int64(g*100 + i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.RTDeadlineMisses != 0 {
+				t.Fatalf("group %d: RT misses under sporadic arrivals", g)
+			}
+			if out.SecurityDeadlineMisses != 0 {
+				t.Fatalf("group %d: security misses under sporadic arrivals", g)
+			}
+			for j, s := range applied.Security {
+				st := out.Stats[s.Name]
+				if st != nil && st.Completed > 0 && st.MaxResponse > res.Resp[j] {
+					t.Fatalf("group %d: %s sporadic response %d exceeds bound %d",
+						g, s.Name, st.MaxResponse, res.Resp[j])
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no sets exercised")
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hydrac/internal/task"
+)
+
+// GanttSVG renders a traced run as a standalone SVG document — the
+// publication-quality counterpart of the ASCII Gantt chart. One lane
+// per core; execution intervals are colour-coded per task; release
+// arrows mark job arrivals of security tasks; deadline misses are
+// outlined in red. The run must have used Config.RecordIntervals.
+func GanttSVG(w io.Writer, r *Result, from, to task.Time) error {
+	if to > r.Horizon {
+		to = r.Horizon
+	}
+	if to <= from {
+		return fmt.Errorf("sim: empty SVG window [%d, %d)", from, to)
+	}
+	const (
+		laneH   = 36
+		laneGap = 10
+		leftPad = 70
+		topPad  = 30
+		width   = 1000
+		legendH = 26
+	)
+	cores := len(r.CoreBusy)
+	height := topPad + cores*(laneH+laneGap) + legendH + 20
+	scale := float64(width-leftPad-10) / float64(to-from)
+	x := func(t task.Time) float64 { return float64(leftPad) + float64(t-from)*scale }
+
+	names := taskNames(r)
+	colors := paletteFor(names)
+
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n", width, height); err != nil {
+		return err
+	}
+	p(`<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+
+	// Core lanes with baselines.
+	for m := 0; m < cores; m++ {
+		y := topPad + m*(laneH+laneGap)
+		p(`<text x="6" y="%d">core %d</text>`+"\n", y+laneH/2+4, m)
+		p(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ccc"/>`+"\n", leftPad, y+laneH, width-10, y+laneH)
+	}
+
+	// Execution intervals.
+	for _, rec := range r.JobLog {
+		fill := colors[rec.Task]
+		stroke := "none"
+		if rec.Missed {
+			stroke = "red"
+		}
+		for _, iv := range rec.Intervals {
+			if iv.End <= from || iv.Start >= to {
+				continue
+			}
+			s, e := max(iv.Start, from), min(iv.End, to)
+			y := topPad + iv.Core*(laneH+laneGap)
+			p(`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="%s"><title>%s#%d [%d,%d) core %d</title></rect>`+"\n",
+				x(s), y, (float64(e-s))*scale, laneH, fill, stroke, rec.Task, rec.Index, iv.Start, iv.End, iv.Core)
+		}
+	}
+
+	// Time axis ticks (10 divisions).
+	step := (to - from) / 10
+	if step < 1 {
+		step = 1
+	}
+	axisY := topPad + cores*(laneH+laneGap)
+	for t := from; t <= to; t += step {
+		p(`<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#888"/>`+"\n", x(t), axisY-4, x(t), axisY)
+		p(`<text x="%.1f" y="%d" text-anchor="middle" fill="#444">%d</text>`+"\n", x(t), axisY+14, t)
+	}
+
+	// Legend.
+	lx := float64(leftPad)
+	ly := axisY + legendH
+	for _, n := range names {
+		p(`<rect x="%.1f" y="%d" width="12" height="12" fill="%s"/>`+"\n", lx, ly-10, colors[n])
+		p(`<text x="%.1f" y="%d">%s</text>`+"\n", lx+16, ly, n)
+		lx += float64(16 + 8*len(n) + 24)
+	}
+	return p("</svg>\n")
+}
+
+// taskNames returns the distinct traced task names, sorted.
+func taskNames(r *Result) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, rec := range r.JobLog {
+		if !seen[rec.Task] {
+			seen[rec.Task] = true
+			names = append(names, rec.Task)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// paletteFor assigns stable, distinguishable colours.
+func paletteFor(names []string) map[string]string {
+	palette := []string{
+		"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+		"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+	}
+	out := map[string]string{}
+	for i, n := range names {
+		out[n] = palette[i%len(palette)]
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hydrac/internal/task"
+)
+
+func TestGanttSVG(t *testing.T) {
+	ts := &task.Set{
+		Cores: 2,
+		RT:    []task.RTTask{{Name: "nav", WCET: 3, Period: 10, Deadline: 10, Core: 0}},
+		Security: []task.SecurityTask{
+			{Name: "mon", WCET: 4, Period: 20, MaxPeriod: 40, Priority: 0, Core: -1},
+		},
+	}
+	res, err := Run(ts, Config{Horizon: 100, RecordIntervals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := GanttSVG(&buf, res, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "core 0", "core 1", "nav", "mon", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Every task gets a distinct colour in the legend.
+	if strings.Count(svg, "#4e79a7") < 1 {
+		t.Error("palette not applied")
+	}
+}
+
+func TestGanttSVGWindowValidation(t *testing.T) {
+	ts := &task.Set{
+		Cores: 1,
+		RT:    []task.RTTask{{Name: "a", WCET: 1, Period: 10, Deadline: 10, Core: 0}},
+	}
+	res, err := Run(ts, Config{Horizon: 50, RecordIntervals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := GanttSVG(&buf, res, 40, 40); err == nil {
+		t.Error("empty window accepted")
+	}
+	// Window beyond horizon is clamped, not rejected.
+	if err := GanttSVG(&buf, res, 0, 500); err != nil {
+		t.Errorf("clamped window rejected: %v", err)
+	}
+}
+
+func TestGanttSVGMarksMisses(t *testing.T) {
+	ts := &task.Set{
+		Cores: 1,
+		RT: []task.RTTask{
+			{Name: "a", WCET: 6, Period: 10, Deadline: 10, Core: 0, Priority: 0},
+			{Name: "b", WCET: 6, Period: 12, Deadline: 12, Core: 0, Priority: 1},
+		},
+	}
+	res, err := Run(ts, Config{Horizon: 100, RecordIntervals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RTDeadlineMisses == 0 {
+		t.Skip("expected an overloaded schedule")
+	}
+	var buf bytes.Buffer
+	if err := GanttSVG(&buf, res, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `stroke="red"`) {
+		t.Error("missed jobs not outlined in red")
+	}
+}

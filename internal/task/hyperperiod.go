@@ -1,0 +1,84 @@
+package task
+
+// Hyperperiod utilities: simulation horizons and schedule-repetition
+// reasoning need the least common multiple of the task periods, with
+// explicit saturation instead of silent overflow (generated log-
+// uniform periods produce astronomically large LCMs).
+
+// GCD returns the greatest common divisor of two positive times.
+func GCD(a, b Time) Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b, or Infinity on
+// overflow.
+func LCM(a, b Time) Time {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	g := GCD(a, b)
+	q := a / g
+	if q > Infinity/b {
+		return Infinity
+	}
+	return q * b
+}
+
+// Hyperperiod returns the LCM of every period in the set (RT and
+// security, using assigned security periods and falling back to Tmax
+// for unassigned ones), saturating at Infinity. A Set with no tasks
+// has hyperperiod 0.
+func (ts *Set) Hyperperiod() Time {
+	var h Time
+	fold := func(p Time) {
+		if h == 0 {
+			h = p
+			return
+		}
+		h = LCM(h, p)
+	}
+	for _, t := range ts.RT {
+		fold(t.Period)
+	}
+	for _, s := range ts.Security {
+		if s.Period > 0 {
+			fold(s.Period)
+		} else {
+			fold(s.MaxPeriod)
+		}
+	}
+	return h
+}
+
+// SimulationHorizon returns a practical simulation length: the full
+// hyperperiod when it is at most cap, otherwise `cycles` times the
+// longest period (a standard heuristic when the hyperperiod is
+// astronomically large).
+func (ts *Set) SimulationHorizon(cap Time, cycles int) Time {
+	if h := ts.Hyperperiod(); h > 0 && h <= cap {
+		return h
+	}
+	var longest Time
+	for _, t := range ts.RT {
+		if t.Period > longest {
+			longest = t.Period
+		}
+	}
+	for _, s := range ts.Security {
+		p := s.Period
+		if p == 0 {
+			p = s.MaxPeriod
+		}
+		if p > longest {
+			longest = p
+		}
+	}
+	h := longest * Time(cycles)
+	if h > cap {
+		h = cap
+	}
+	return h
+}

@@ -1,0 +1,97 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCDLCM(t *testing.T) {
+	cases := []struct{ a, b, gcd, lcm Time }{
+		{4, 6, 2, 12},
+		{7, 13, 1, 91},
+		{10, 10, 10, 10},
+		{1, 9, 1, 9},
+		{12, 18, 6, 36},
+	}
+	for _, c := range cases {
+		if g := GCD(c.a, c.b); g != c.gcd {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, g, c.gcd)
+		}
+		if l := LCM(c.a, c.b); l != c.lcm {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, l, c.lcm)
+		}
+	}
+	if LCM(0, 5) != 0 || LCM(5, 0) != 0 {
+		t.Error("LCM with zero must be 0")
+	}
+}
+
+func TestLCMSaturates(t *testing.T) {
+	big := Time(1) << 61
+	if got := LCM(big, big-1); got != Infinity {
+		t.Errorf("overflowing LCM = %d, want Infinity", got)
+	}
+}
+
+func TestLCMProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a := 1 + Time(rng.Intn(1000))
+		b := 1 + Time(rng.Intn(1000))
+		l := LCM(a, b)
+		return l%a == 0 && l%b == 0 && l >= a && l >= b && l <= a*b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	ts := &Set{
+		Cores: 1,
+		RT: []RTTask{
+			{Name: "a", WCET: 1, Period: 4, Deadline: 4, Core: 0},
+			{Name: "b", WCET: 1, Period: 6, Deadline: 6, Core: 0},
+		},
+		Security: []SecurityTask{
+			{Name: "s", WCET: 1, MaxPeriod: 10, Period: 10, Priority: 0, Core: -1},
+		},
+	}
+	if h := ts.Hyperperiod(); h != 60 {
+		t.Errorf("hyperperiod = %d, want 60", h)
+	}
+	// Unassigned security period falls back to Tmax.
+	ts.Security[0].Period = 0
+	if h := ts.Hyperperiod(); h != 60 {
+		t.Errorf("hyperperiod with Tmax fallback = %d, want 60", h)
+	}
+	empty := &Set{Cores: 1}
+	if h := empty.Hyperperiod(); h != 0 {
+		t.Errorf("empty hyperperiod = %d", h)
+	}
+}
+
+func TestSimulationHorizon(t *testing.T) {
+	ts := &Set{
+		Cores: 1,
+		RT: []RTTask{
+			{Name: "a", WCET: 1, Period: 4, Deadline: 4, Core: 0},
+			{Name: "b", WCET: 1, Period: 6, Deadline: 6, Core: 0},
+		},
+	}
+	// Hyperperiod 12 fits under the cap.
+	if h := ts.SimulationHorizon(1000, 5); h != 12 {
+		t.Errorf("horizon = %d, want hyperperiod 12", h)
+	}
+	// Co-prime large periods: fall back to cycles × longest.
+	ts.RT[0].Period = 997
+	ts.RT[1].Period = 1009
+	if h := ts.SimulationHorizon(10000, 5); h != 5*1009 {
+		t.Errorf("horizon = %d, want %d", h, 5*1009)
+	}
+	// Cap binds last.
+	if h := ts.SimulationHorizon(3000, 5); h != 3000 {
+		t.Errorf("capped horizon = %d, want 3000", h)
+	}
+}

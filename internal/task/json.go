@@ -1,0 +1,96 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the on-disk JSON schema understood by cmd/hydrac.
+// It is deliberately close to the in-memory model but keeps explicit
+// field names so task-set files remain stable if internals change.
+type fileFormat struct {
+	Cores    int            `json:"cores"`
+	RT       []rtRecord     `json:"rt_tasks"`
+	Security []secRecord    `json:"security_tasks"`
+	Meta     map[string]any `json:"meta,omitempty"`
+}
+
+type rtRecord struct {
+	Name     string `json:"name"`
+	WCET     Time   `json:"wcet"`
+	Period   Time   `json:"period"`
+	Deadline Time   `json:"deadline,omitempty"` // defaults to period (implicit deadline)
+	Core     int    `json:"core"`
+	Priority *int   `json:"priority,omitempty"` // defaults to rate-monotonic
+}
+
+type secRecord struct {
+	Name      string `json:"name"`
+	WCET      Time   `json:"wcet"`
+	MaxPeriod Time   `json:"max_period"`
+	Period    Time   `json:"period,omitempty"`
+	Priority  *int   `json:"priority,omitempty"` // defaults to max-period-monotonic
+}
+
+// Decode reads a task set from JSON. Missing deadlines default to the
+// period; missing priorities default to rate-monotonic (RT) and
+// max-period-monotonic (security) order.
+func Decode(r io.Reader) (*Set, error) {
+	var f fileFormat
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("decoding task set: %w", err)
+	}
+	ts := &Set{Cores: f.Cores}
+	explicitRT := true
+	for _, rec := range f.RT {
+		t := RTTask{Name: rec.Name, WCET: rec.WCET, Period: rec.Period, Deadline: rec.Deadline, Core: rec.Core}
+		if t.Deadline == 0 {
+			t.Deadline = t.Period
+		}
+		if rec.Priority != nil {
+			t.Priority = *rec.Priority
+		} else {
+			explicitRT = false
+		}
+		ts.RT = append(ts.RT, t)
+	}
+	if !explicitRT {
+		AssignRateMonotonic(ts.RT)
+	}
+	explicitSec := true
+	for _, rec := range f.Security {
+		s := SecurityTask{Name: rec.Name, WCET: rec.WCET, MaxPeriod: rec.MaxPeriod, Period: rec.Period, Core: -1}
+		if rec.Priority != nil {
+			s.Priority = *rec.Priority
+		} else {
+			explicitSec = false
+		}
+		ts.Security = append(ts.Security, s)
+	}
+	if !explicitSec {
+		AssignMaxPeriodMonotonic(ts.Security)
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// Encode writes the task set as indented JSON.
+func Encode(w io.Writer, ts *Set) error {
+	f := fileFormat{Cores: ts.Cores}
+	for _, t := range ts.RT {
+		p := t.Priority
+		f.RT = append(f.RT, rtRecord{Name: t.Name, WCET: t.WCET, Period: t.Period, Deadline: t.Deadline, Core: t.Core, Priority: &p})
+	}
+	for _, s := range ts.Security {
+		p := s.Priority
+		f.Security = append(f.Security, secRecord{Name: s.Name, WCET: s.WCET, MaxPeriod: s.MaxPeriod, Period: s.Period, Priority: &p})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

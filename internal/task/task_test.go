@@ -1,0 +1,304 @@
+package task
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRTTaskValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		task    RTTask
+		wantErr string
+	}{
+		{"valid", RTTask{Name: "a", WCET: 2, Period: 10, Deadline: 10}, ""},
+		{"valid constrained", RTTask{Name: "a", WCET: 2, Period: 10, Deadline: 5}, ""},
+		{"zero wcet", RTTask{Name: "a", WCET: 0, Period: 10, Deadline: 10}, "WCET must be positive"},
+		{"negative wcet", RTTask{Name: "a", WCET: -1, Period: 10, Deadline: 10}, "WCET must be positive"},
+		{"zero period", RTTask{Name: "a", WCET: 1, Period: 0, Deadline: 10}, "period must be positive"},
+		{"zero deadline", RTTask{Name: "a", WCET: 1, Period: 10, Deadline: 0}, "deadline must be positive"},
+		{"deadline beyond period", RTTask{Name: "a", WCET: 1, Period: 10, Deadline: 11}, "exceeds period"},
+		{"wcet beyond deadline", RTTask{Name: "a", WCET: 6, Period: 10, Deadline: 5}, "exceeds deadline"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.task.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSecurityTaskValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		task    SecurityTask
+		wantErr string
+	}{
+		{"valid no period", SecurityTask{Name: "s", WCET: 5, MaxPeriod: 100}, ""},
+		{"valid with period", SecurityTask{Name: "s", WCET: 5, MaxPeriod: 100, Period: 50}, ""},
+		{"zero wcet", SecurityTask{Name: "s", WCET: 0, MaxPeriod: 100}, "WCET must be positive"},
+		{"zero max period", SecurityTask{Name: "s", WCET: 5, MaxPeriod: 0}, "max period must be positive"},
+		{"wcet beyond max", SecurityTask{Name: "s", WCET: 101, MaxPeriod: 100}, "exceeds max period"},
+		{"negative period", SecurityTask{Name: "s", WCET: 5, MaxPeriod: 100, Period: -1}, "period must be non-negative"},
+		{"period beyond max", SecurityTask{Name: "s", WCET: 5, MaxPeriod: 100, Period: 101}, "exceeds max period"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.task.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	valid := func() *Set {
+		return &Set{
+			Cores: 2,
+			RT: []RTTask{
+				{Name: "a", WCET: 2, Period: 10, Deadline: 10, Core: 0, Priority: 0},
+				{Name: "b", WCET: 3, Period: 20, Deadline: 20, Core: 1, Priority: 1},
+			},
+			Security: []SecurityTask{
+				{Name: "s1", WCET: 5, MaxPeriod: 100, Priority: 0, Core: -1},
+				{Name: "s2", WCET: 7, MaxPeriod: 200, Priority: 1, Core: -1},
+			},
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+
+	s := valid()
+	s.Cores = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero cores accepted")
+	}
+
+	s = valid()
+	s.RT[0].Core = 2
+	if err := s.Validate(); err == nil {
+		t.Error("RT core out of range accepted")
+	}
+
+	s = valid()
+	s.Security[1].Priority = 0
+	if err := s.Validate(); err == nil {
+		t.Error("duplicate security priorities accepted")
+	}
+
+	s = valid()
+	s.Security[0].Core = 5
+	if err := s.Validate(); err == nil {
+		t.Error("security core out of range accepted")
+	}
+}
+
+func TestUtilizations(t *testing.T) {
+	ts := &Set{
+		Cores: 2,
+		RT: []RTTask{
+			{Name: "a", WCET: 2, Period: 10, Deadline: 10, Core: 0}, // 0.2
+			{Name: "b", WCET: 5, Period: 20, Deadline: 20, Core: 1}, // 0.25
+		},
+		Security: []SecurityTask{
+			{Name: "s", WCET: 10, MaxPeriod: 100, Priority: 0, Core: -1}, // min util 0.1
+		},
+	}
+	if got := ts.RTUtilization(); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("RTUtilization = %v, want 0.45", got)
+	}
+	if got := ts.SecurityMinUtilization(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("SecurityMinUtilization = %v, want 0.1", got)
+	}
+	if got := ts.MinUtilization(); math.Abs(got-0.55) > 1e-12 {
+		t.Errorf("MinUtilization = %v, want 0.55", got)
+	}
+	if got := ts.NormalizedUtilization(); math.Abs(got-0.275) > 1e-12 {
+		t.Errorf("NormalizedUtilization = %v, want 0.275", got)
+	}
+}
+
+func TestAssignRateMonotonic(t *testing.T) {
+	rt := []RTTask{
+		{Name: "slow", Period: 100},
+		{Name: "fast", Period: 10},
+		{Name: "mid", Period: 50},
+		{Name: "tieB", Period: 25},
+		{Name: "tieA", Period: 25},
+	}
+	AssignRateMonotonic(rt)
+	want := map[string]int{"fast": 0, "tieA": 1, "tieB": 2, "mid": 3, "slow": 4}
+	for _, task := range rt {
+		if task.Priority != want[task.Name] {
+			t.Errorf("task %s priority = %d, want %d", task.Name, task.Priority, want[task.Name])
+		}
+	}
+}
+
+func TestAssignMaxPeriodMonotonic(t *testing.T) {
+	sec := []SecurityTask{
+		{Name: "x", MaxPeriod: 3000},
+		{Name: "y", MaxPeriod: 1500},
+		{Name: "z", MaxPeriod: 1500},
+	}
+	AssignMaxPeriodMonotonic(sec)
+	want := map[string]int{"y": 0, "z": 1, "x": 2}
+	for _, s := range sec {
+		if s.Priority != want[s.Name] {
+			t.Errorf("task %s priority = %d, want %d", s.Name, s.Priority, want[s.Name])
+		}
+	}
+}
+
+func TestRTOnCoreSortsByPriority(t *testing.T) {
+	ts := &Set{
+		Cores: 2,
+		RT: []RTTask{
+			{Name: "c", WCET: 1, Period: 30, Deadline: 30, Core: 0, Priority: 2},
+			{Name: "a", WCET: 1, Period: 10, Deadline: 10, Core: 0, Priority: 0},
+			{Name: "other", WCET: 1, Period: 15, Deadline: 15, Core: 1, Priority: 1},
+		},
+	}
+	got := ts.RTOnCore(0)
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "c" {
+		t.Fatalf("RTOnCore(0) = %+v, want [a c]", got)
+	}
+	if len(ts.RTOnCore(1)) != 1 {
+		t.Fatalf("RTOnCore(1) length = %d, want 1", len(ts.RTOnCore(1)))
+	}
+}
+
+func TestSecurityByPriorityDoesNotMutate(t *testing.T) {
+	ts := &Set{
+		Cores: 1,
+		Security: []SecurityTask{
+			{Name: "low", WCET: 1, MaxPeriod: 10, Priority: 5},
+			{Name: "high", WCET: 1, MaxPeriod: 10, Priority: 1},
+		},
+	}
+	got := ts.SecurityByPriority()
+	if got[0].Name != "high" || got[1].Name != "low" {
+		t.Fatalf("order = [%s %s], want [high low]", got[0].Name, got[1].Name)
+	}
+	if ts.Security[0].Name != "low" {
+		t.Error("SecurityByPriority mutated the receiver")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ts := &Set{
+		Cores:    1,
+		RT:       []RTTask{{Name: "a", WCET: 1, Period: 10, Deadline: 10, Core: 0}},
+		Security: []SecurityTask{{Name: "s", WCET: 1, MaxPeriod: 100, Core: -1}},
+	}
+	cp := ts.Clone()
+	cp.RT[0].WCET = 99
+	cp.Security[0].Period = 42
+	if ts.RT[0].WCET != 1 || ts.Security[0].Period != 0 {
+		t.Error("Clone shares backing arrays with the original")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ts := &Set{
+		Cores: 2,
+		RT: []RTTask{
+			{Name: "nav", WCET: 240, Period: 500, Deadline: 500, Core: 0, Priority: 0},
+			{Name: "cam", WCET: 1120, Period: 5000, Deadline: 5000, Core: 1, Priority: 1},
+		},
+		Security: []SecurityTask{
+			{Name: "tripwire", WCET: 5342, MaxPeriod: 10000, Priority: 1, Core: -1},
+			{Name: "kmod", WCET: 223, MaxPeriod: 10000, Priority: 0, Core: -1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, ts); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Cores != ts.Cores || len(got.RT) != len(ts.RT) || len(got.Security) != len(ts.Security) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range ts.RT {
+		if got.RT[i] != ts.RT[i] {
+			t.Errorf("RT[%d] = %+v, want %+v", i, got.RT[i], ts.RT[i])
+		}
+	}
+	for i := range ts.Security {
+		want := ts.Security[i]
+		want.Core = -1
+		if got.Security[i] != want {
+			t.Errorf("Security[%d] = %+v, want %+v", i, got.Security[i], want)
+		}
+	}
+}
+
+func TestDecodeDefaults(t *testing.T) {
+	src := `{
+		"cores": 1,
+		"rt_tasks": [
+			{"name": "slow", "wcet": 1, "period": 100, "core": 0},
+			{"name": "fast", "wcet": 1, "period": 10, "core": 0}
+		],
+		"security_tasks": [
+			{"name": "big", "wcet": 10, "max_period": 3000},
+			{"name": "small", "wcet": 5, "max_period": 1000}
+		]
+	}`
+	ts, err := Decode(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	byName := map[string]RTTask{}
+	for _, r := range ts.RT {
+		byName[r.Name] = r
+	}
+	if byName["fast"].Priority != 0 || byName["slow"].Priority != 1 {
+		t.Errorf("RM defaults wrong: %+v", ts.RT)
+	}
+	if byName["slow"].Deadline != 100 {
+		t.Errorf("implicit deadline not applied: %+v", byName["slow"])
+	}
+	secByName := map[string]SecurityTask{}
+	for _, s := range ts.Security {
+		secByName[s.Name] = s
+	}
+	if secByName["small"].Priority != 0 || secByName["big"].Priority != 1 {
+		t.Errorf("max-period-monotonic defaults wrong: %+v", ts.Security)
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"cores": 0, "rt_tasks": [], "security_tasks": []}`,
+		`{"cores": 1, "rt_tasks": [{"name":"a","wcet":0,"period":10,"core":0}], "security_tasks": []}`,
+		`{"cores": 1, "rt_tasks": [], "security_tasks": [{"name":"s","wcet":10,"max_period":5}]}`,
+		`{"cores": 1, "unknown_field": 1}`,
+	}
+	for i, src := range cases {
+		if _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: invalid input accepted", i)
+		}
+	}
+}
