@@ -8,7 +8,9 @@
 package hydrac_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"hydrac/internal/baseline"
@@ -131,6 +133,36 @@ func BenchmarkFig7bPeriodVectorDiff(b *testing.B) {
 		}
 	}
 	b.ReportMetric(res.Groups[1].VsNoOpt.Mean(), "vs_no_opt")
+}
+
+// BenchmarkSweepParallel measures the sweep engine's scaling on the
+// Fig. 6 pipeline: the same work grid at 1, 2, 4 and all-CPU workers.
+// Every iteration runs the identical fixed-seed sweep, so the
+// reported dist_low_util must agree across sub-benchmarks (the
+// engine's determinism contract) and only ns/op should move. Compare
+// workers=1 against workers=4 for the speedup.
+func BenchmarkSweepParallel(b *testing.B) {
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := experiments.DefaultSweepConfig(2)
+			cfg.SetsPerGroup = 16
+			cfg.Seed = 1
+			cfg.Parallel = w
+			var res *experiments.Fig6Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = experiments.Fig6(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Groups[0].Distance.Mean(), "dist_low_util")
+		})
+	}
 }
 
 // BenchmarkTable3Generation measures the Table-3 workload generator:

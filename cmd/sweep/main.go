@@ -5,32 +5,77 @@
 //
 // Usage:
 //
-//	sweep [-fig 6|7a|7b|all] [-cores 2|4|0] [-sets N] [-seed S] [-table3]
+//	sweep [-fig 6|7a|7b|all] [-cores 2|4|0] [-sets N] [-seed S]
+//	      [-parallel N] [-progress] [-json] [-table3]
 //
-// -cores 0 runs both core counts, as the paper does.
+// -cores 0 runs both core counts, as the paper does. -parallel shards
+// each sweep over N workers (0 = all CPUs); for a fixed seed the
+// output is identical at any worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hydrac/internal/experiments"
 	"hydrac/internal/gen"
+	"hydrac/internal/sweep"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 6 | 7a | 7b | all")
-	cores := flag.Int("cores", 0, "core count: 2, 4, or 0 for both")
-	sets := flag.Int("sets", 250, "task sets per utilisation group (paper: 250)")
-	seed := flag.Int64("seed", 2020, "random seed")
-	table3 := flag.Bool("table3", false, "print the Table 3 generator configuration and exit")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// renderable is any figure result; figGen regenerates one from a
+// sweep configuration.
+type (
+	renderable interface{ Render() string }
+	figGen     func(experiments.SweepConfig) (renderable, error)
+)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "which figure to regenerate: 6 | 7a | 7b | all")
+	cores := fs.Int("cores", 0, "core count: 2, 4, or 0 for both")
+	sets := fs.Int("sets", 250, "task sets per utilisation group (paper: 250)")
+	seed := fs.Int64("seed", 2020, "random seed")
+	parallel := fs.Int("parallel", 0, "sweep workers: 0 = all CPUs, 1 = serial; results are identical at any value")
+	progress := fs.Bool("progress", false, "report sweep progress on stderr")
+	table3 := fs.Bool("table3", false, "print the Table 3 generator configuration and exit")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of tables")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *table3 {
-		printTable3()
-		return
+		printTable3(stdout)
+		return 0
+	}
+
+	figures := []struct {
+		name string
+		gen  figGen
+	}{
+		{"6", func(c experiments.SweepConfig) (renderable, error) { return experiments.Fig6(c) }},
+		{"7a", func(c experiments.SweepConfig) (renderable, error) { return experiments.Fig7a(c) }},
+		{"7b", func(c experiments.SweepConfig) (renderable, error) { return experiments.Fig7b(c) }},
+	}
+	if *fig != "all" {
+		known := false
+		for _, f := range figures {
+			known = known || f.name == *fig
+		}
+		if !known {
+			fmt.Fprintf(stderr, "sweep: -fig %q is not one of 6 | 7a | 7b | all\n", *fig)
+			return 2
+		}
 	}
 
 	var coreCounts []int
@@ -42,51 +87,45 @@ func main() {
 		// a scalability extension.
 		coreCounts = []int{*cores}
 	default:
-		fmt.Fprintln(os.Stderr, "sweep: -cores must be 0 (both paper configs) or 2..16")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sweep: -cores must be 0 (both paper configs) or 2..16")
+		return 2
 	}
 
 	for _, m := range coreCounts {
 		cfg := experiments.DefaultSweepConfig(m)
 		cfg.SetsPerGroup = *sets
 		cfg.Seed = *seed
-		emit := func(res interface{ Render() string }) {
-			if *jsonOut {
-				fail(experiments.WriteJSON(os.Stdout, res))
-				return
+		cfg.Parallel = *parallel
+		for _, f := range figures {
+			if *fig != f.name && *fig != "all" {
+				continue
 			}
-			fmt.Print(res.Render())
-			fmt.Println()
-		}
-		if *fig == "6" || *fig == "all" {
-			res, err := experiments.Fig6(cfg)
-			fail(err)
-			emit(res)
-		}
-		if *fig == "7a" || *fig == "all" {
-			res, err := experiments.Fig7a(cfg)
-			fail(err)
-			emit(res)
-		}
-		if *fig == "7b" || *fig == "all" {
-			res, err := experiments.Fig7b(cfg)
-			fail(err)
-			emit(res)
+			if *progress {
+				cfg.Progress = sweep.ProgressPrinter(stderr, fmt.Sprintf("sweep: fig %s (M=%d)", f.name, m))
+			}
+			res, err := f.gen(cfg)
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			if *jsonOut {
+				if err := experiments.WriteJSON(stdout, res); err != nil {
+					fmt.Fprintln(stderr, "sweep:", err)
+					return 1
+				}
+				continue
+			}
+			fmt.Fprint(stdout, res.Render())
+			fmt.Fprintln(stdout)
 		}
 	}
+	return 0
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
-	}
-}
-
-func printTable3() {
+func printTable3(w io.Writer) {
 	for _, m := range []int{2, 4} {
 		c := gen.TableThree(m)
-		fmt.Printf("Table 3 (M=%d): N_R∈[%d,%d] N_S∈[%d,%d] T_r∈[%d,%d]ms Tmax∈[%d,%d]ms security share %.0f%% groups %d sets/group %d partition %v\n",
+		fmt.Fprintf(w, "Table 3 (M=%d): N_R∈[%d,%d] N_S∈[%d,%d] T_r∈[%d,%d]ms Tmax∈[%d,%d]ms security share %.0f%% groups %d sets/group %d partition %v\n",
 			m, c.RTTasksMin, c.RTTasksMax, c.SecTasksMin, c.SecTasksMax,
 			c.RTPeriodMin, c.RTPeriodMax, c.SecMaxPeriodMin, c.SecMaxPeriodMax,
 			100*c.SecurityShare, c.Groups, c.SetsPerGroup, c.Partition)

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// runCapture executes run() with captured stdout/stderr.
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestTable3Flag(t *testing.T) {
+	code, out, _ := runCapture(t, "-table3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"Table 3 (M=2)", "Table 3 (M=4)", "sets/group 250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if code, _, _ := runCapture(t, "-cores", "17"); code != 2 {
+		t.Errorf("-cores 17 exit %d, want 2", code)
+	}
+	if code, _, _ := runCapture(t, "-cores", "1"); code != 2 {
+		t.Errorf("-cores 1 exit %d, want 2", code)
+	}
+	if code, _, stderr := runCapture(t, "-fig", "9"); code != 2 || !strings.Contains(stderr, "-fig") {
+		t.Errorf("-fig 9 exit %d stderr %q, want 2 with a naming error", code, stderr)
+	}
+	if code, _, stderr := runCapture(t, "-no-such-flag"); code != 2 || !strings.Contains(stderr, "flag") {
+		t.Errorf("unknown flag exit %d stderr %q, want 2", code, stderr)
+	}
+	// -h prints usage and succeeds, as the pre-refactor flag.Parse did.
+	if code, _, stderr := runCapture(t, "-h"); code != 0 || !strings.Contains(stderr, "-parallel") {
+		t.Errorf("-h exit %d, want 0 with usage on stderr", code)
+	}
+}
+
+// TestTinySweepGolden pins the full stdout of a tiny Fig. 6 sweep.
+// This is the CLI-level determinism contract: same seed, same bytes,
+// release after release. Regenerate testdata/fig6_tiny.golden only on
+// a deliberate generator or analysis change.
+func TestTinySweepGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig6_tiny.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCapture(t, "-fig", "6", "-cores", "2", "-sets", "3", "-seed", "2020")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if out != string(want) {
+		t.Errorf("tiny sweep diverged from golden:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+// TestParallelFlagEquivalence asserts the -parallel wiring changes
+// nothing but wall-clock: byte-identical stdout at 1, 3, and all-CPU
+// workers, across figure kinds.
+func TestParallelFlagEquivalence(t *testing.T) {
+	for _, fig := range []string{"6", "7a", "7b"} {
+		base := []string{"-fig", fig, "-cores", "2", "-sets", "3", "-seed", "7"}
+		_, ref, _ := runCapture(t, append(base, "-parallel", "1")...)
+		if ref == "" {
+			t.Fatalf("fig %s: empty serial output", fig)
+		}
+		for _, par := range []string{"3", "0"} {
+			if _, got, _ := runCapture(t, append(base, "-parallel", par)...); got != ref {
+				t.Errorf("fig %s: -parallel %s output differs from serial", fig, par)
+			}
+		}
+	}
+}
+
+func TestJSONOutputParses(t *testing.T) {
+	code, out, _ := runCapture(t, "-fig", "7a", "-cores", "2", "-sets", "2", "-seed", "1", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var doc struct {
+		Cores  int `json:"Cores"`
+		Groups []struct {
+			Acceptance map[string]float64 `json:"acceptance_pct"`
+		} `json:"Groups"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if doc.Cores != 2 || len(doc.Groups) != 10 {
+		t.Fatalf("JSON malformed: %+v", doc)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	code, _, stderr := runCapture(t,
+		"-fig", "6", "-cores", "2", "-sets", "2", "-seed", "1", "-progress", "-parallel", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stderr, "fig 6 (M=2)") || !strings.Contains(stderr, "20/20 (100%)") {
+		t.Errorf("progress output missing milestones:\n%s", stderr)
+	}
+}

@@ -1,0 +1,3 @@
+module hydrac
+
+go 1.21

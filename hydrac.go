@@ -18,6 +18,8 @@
 //	internal/core       HYDRA-C WCRT analysis + Algorithms 1 & 2
 //	internal/baseline   HYDRA, HYDRA-TMax, GLOBAL-TMax baselines
 //	internal/gen        Table-3 synthetic workload generator
+//	internal/seed       per-item RNG seed derivation (splitmix64)
+//	internal/sweep      parallel sweep engine (deterministic sharding)
 //	internal/sim        discrete-event multicore scheduler
 //	internal/ids        integrity/rootkit detection substrate
 //	internal/rover      the paper's rover platform and Fig. 5 trials

@@ -8,13 +8,13 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"hydrac/internal/baseline"
 	"hydrac/internal/core"
 	"hydrac/internal/gen"
 	"hydrac/internal/metrics"
+	"hydrac/internal/sweep"
 	"hydrac/internal/task"
 )
 
@@ -25,11 +25,31 @@ type SweepConfig struct {
 	// SetsPerGroup is the number of task sets per utilisation group
 	// (paper: 250; benches use fewer).
 	SetsPerGroup int
-	// Seed makes sweeps reproducible.
+	// Seed makes sweeps reproducible. Every task set is drawn from a
+	// private stream derived from (Seed, group, index), so the figures
+	// are a pure function of this configuration — independent of
+	// Parallel and of execution order.
 	Seed int64
 	// CarryIn selects the Eq. 8 strategy for HYDRA-C (ablations flip
 	// this to core.Exhaustive).
 	CarryIn core.CarryInMode
+	// Parallel is the sweep worker count: 0 uses GOMAXPROCS, 1 forces
+	// serial execution. Results are identical at any value (see
+	// DESIGN.md for the determinism contract).
+	Parallel int
+	// Progress, when non-nil, receives (done, total) task-set counts
+	// as the sweep advances. Calls are serialised.
+	Progress func(done, total int)
+}
+
+// engine maps the sweep parameters onto the generic runner.
+func (c SweepConfig) engine(gcfg gen.Config) sweep.Config {
+	return sweep.Config{
+		Groups:   gcfg.Groups,
+		PerGroup: c.SetsPerGroup,
+		Workers:  c.Parallel,
+		Progress: c.Progress,
+	}
 }
 
 // DefaultSweepConfig returns the paper's configuration for M cores.
@@ -65,33 +85,45 @@ type Fig6Result struct {
 }
 
 // Fig6 regenerates the paper's Fig. 6: how far below Tmax the periods
-// land per utilisation group.
+// land per utilisation group. The sweep is sharded across
+// cfg.Parallel workers with per-item seeding, so the result is
+// identical at any worker count.
 func Fig6(cfg SweepConfig) (*Fig6Result, error) {
 	gcfg := cfg.genConfig()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	out := &Fig6Result{Cores: cfg.Cores, Groups: make([]Fig6Group, gcfg.Groups)}
-	for g := 0; g < gcfg.Groups; g++ {
-		lo, hi := gcfg.GroupRange(g)
-		grp := &out.Groups[g]
-		grp.Lo, grp.Hi = lo, hi
-		for i := 0; i < cfg.SetsPerGroup; i++ {
-			ts, err := gcfg.Generate(rng, g)
+	newPartial := func() *Fig6Result {
+		out := &Fig6Result{Cores: cfg.Cores, Groups: make([]Fig6Group, gcfg.Groups)}
+		for g := range out.Groups {
+			out.Groups[g].Lo, out.Groups[g].Hi = gcfg.GroupRange(g)
+		}
+		return out
+	}
+	return sweep.Run(cfg.engine(gcfg), newPartial,
+		func(p *Fig6Result, it sweep.Item) error {
+			grp := &p.Groups[it.Group]
+			ts, err := gcfg.GenerateAt(cfg.Seed, it.Group, it.Index)
 			if err != nil {
-				continue // no partitionable draw: skipped, as in the paper
+				return nil // no partitionable draw: skipped, as in the paper
 			}
 			grp.Generated++
 			res, err := core.SelectPeriods(ts, core.Options{CarryIn: cfg.CarryIn})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !res.Schedulable {
-				continue
+				return nil
 			}
 			grp.Schedulable++
 			grp.Distance.Add(metrics.NormalizedPeriodDistance(res.Periods, maxPeriods(ts)))
-		}
-	}
-	return out, nil
+			return nil
+		},
+		func(dst, src *Fig6Result) {
+			for g := range dst.Groups {
+				d, s := &dst.Groups[g], &src.Groups[g]
+				d.Generated += s.Generated
+				d.Schedulable += s.Schedulable
+				d.Distance.Merge(&s.Distance)
+			}
+		})
 }
 
 // Render prints the Fig. 6 series as the paper's bar values.
@@ -139,57 +171,67 @@ type Fig7aResult struct {
 // (they are unschedulable as legacy systems).
 func Fig7a(cfg SweepConfig) (*Fig7aResult, error) {
 	gcfg := cfg.genConfig()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	schemes := []SchemeName{SchemeHydraC, SchemeHydra, SchemeGlobalTMax, SchemeHydraTMax, SchemeHydraLookahead}
-	out := &Fig7aResult{Cores: cfg.Cores, Schemes: schemes, Groups: make([]Fig7aGroup, gcfg.Groups)}
-	for g := 0; g < gcfg.Groups; g++ {
-		lo, hi := gcfg.GroupRange(g)
-		grp := &out.Groups[g]
-		grp.Lo, grp.Hi = lo, hi
-		grp.Acceptance = map[SchemeName]*metrics.Acceptance{}
-		for _, s := range schemes {
-			grp.Acceptance[s] = &metrics.Acceptance{}
+	newPartial := func() *Fig7aResult {
+		out := &Fig7aResult{Cores: cfg.Cores, Schemes: schemes, Groups: make([]Fig7aGroup, gcfg.Groups)}
+		for g := range out.Groups {
+			grp := &out.Groups[g]
+			grp.Lo, grp.Hi = gcfg.GroupRange(g)
+			grp.Acceptance = map[SchemeName]*metrics.Acceptance{}
+			for _, s := range schemes {
+				grp.Acceptance[s] = &metrics.Acceptance{}
+			}
 		}
-		for i := 0; i < cfg.SetsPerGroup; i++ {
-			ts, err := gcfg.Generate(rng, g)
+		return out
+	}
+	return sweep.Run(cfg.engine(gcfg), newPartial,
+		func(p *Fig7aResult, it sweep.Item) error {
+			grp := &p.Groups[it.Group]
+			ts, err := gcfg.GenerateAt(cfg.Seed, it.Group, it.Index)
 			if err != nil {
 				for _, s := range schemes {
 					grp.Acceptance[s].Add(false)
 				}
-				continue
+				return nil
 			}
 			cres, err := core.SelectPeriods(ts, core.Options{CarryIn: cfg.CarryIn})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			grp.Acceptance[SchemeHydraC].Add(cres.Schedulable)
 
 			ares, err := baseline.HydraAggressive(ts)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			grp.Acceptance[SchemeHydra].Add(ares.Schedulable)
 
 			gres, err := baseline.GlobalTMax(ts)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			grp.Acceptance[SchemeGlobalTMax].Add(gres.Schedulable)
 
 			tres, err := baseline.HydraTMax(ts)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			grp.Acceptance[SchemeHydraTMax].Add(tres.Schedulable)
 
 			lres, err := baseline.Hydra(ts)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			grp.Acceptance[SchemeHydraLookahead].Add(lres.Schedulable)
-		}
-	}
-	return out, nil
+			return nil
+		},
+		func(dst, src *Fig7aResult) {
+			for g := range dst.Groups {
+				for _, s := range schemes {
+					dst.Groups[g].Acceptance[s].Merge(src.Groups[g].Acceptance[s])
+				}
+			}
+		})
 }
 
 // Render prints the Fig. 7a acceptance table.
@@ -237,33 +279,36 @@ type Fig7bResult struct {
 // Fig7b regenerates the period-vector comparison of Fig. 7b.
 func Fig7b(cfg SweepConfig) (*Fig7bResult, error) {
 	gcfg := cfg.genConfig()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	out := &Fig7bResult{Cores: cfg.Cores, Groups: make([]Fig7bGroup, gcfg.Groups)}
-	for g := 0; g < gcfg.Groups; g++ {
-		lo, hi := gcfg.GroupRange(g)
-		grp := &out.Groups[g]
-		grp.Lo, grp.Hi = lo, hi
-		for i := 0; i < cfg.SetsPerGroup; i++ {
-			ts, err := gcfg.Generate(rng, g)
+	newPartial := func() *Fig7bResult {
+		out := &Fig7bResult{Cores: cfg.Cores, Groups: make([]Fig7bGroup, gcfg.Groups)}
+		for g := range out.Groups {
+			out.Groups[g].Lo, out.Groups[g].Hi = gcfg.GroupRange(g)
+		}
+		return out
+	}
+	return sweep.Run(cfg.engine(gcfg), newPartial,
+		func(p *Fig7bResult, it sweep.Item) error {
+			grp := &p.Groups[it.Group]
+			ts, err := gcfg.GenerateAt(cfg.Seed, it.Group, it.Index)
 			if err != nil {
-				continue
+				return nil
 			}
 			cres, err := core.SelectPeriods(ts, core.Options{CarryIn: cfg.CarryIn})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !cres.Schedulable {
-				continue
+				return nil
 			}
 			maxp := maxPeriods(ts)
 			grp.VsNoOpt.Add(metrics.NormalizedVectorDistance(cres.Periods, maxp, maxp))
 
 			ares, err := baseline.HydraAggressive(ts)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !ares.Schedulable {
-				continue // fewer data points at high utilisation, as the paper notes
+				return nil // fewer data points at high utilisation, as the paper notes
 			}
 			grp.VsHydra.Add(metrics.NormalizedVectorDistance(cres.Periods, ares.Periods, maxp))
 			dc := metrics.NormalizedPeriodDistance(cres.Periods, maxp)
@@ -274,9 +319,17 @@ func Fig7b(cfg SweepConfig) (*Fig7bResult, error) {
 			case dh > dc+1e-12:
 				grp.HydraShorter++
 			}
-		}
-	}
-	return out, nil
+			return nil
+		},
+		func(dst, src *Fig7bResult) {
+			for g := range dst.Groups {
+				d, s := &dst.Groups[g], &src.Groups[g]
+				d.VsHydra.Merge(&s.VsHydra)
+				d.VsNoOpt.Merge(&s.VsNoOpt)
+				d.HydraCShorter += s.HydraCShorter
+				d.HydraShorter += s.HydraShorter
+			}
+		})
 }
 
 // Render prints the Fig. 7b series.

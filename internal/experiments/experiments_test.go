@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -137,6 +138,62 @@ func TestFig5RunsAndRenders(t *testing.T) {
 	}
 	if res.Migrating.ContextSwitches.Mean() <= res.Pinned.ContextSwitches.Mean() {
 		t.Error("controlled comparison lost the Fig. 5b shape")
+	}
+}
+
+// TestSerialParallelEquivalence is the sweep engine's determinism
+// contract at the figure level: for a fixed seed, every figure is
+// bitwise identical at any worker count — including the raw sample
+// sequences behind the means, which reflect.DeepEqual sees through
+// the unexported metrics.Sample fields.
+func TestSerialParallelEquivalence(t *testing.T) {
+	cfg := smallSweep(2)
+	cfg.SetsPerGroup = 6
+	runs := map[string]func(SweepConfig) (any, error){
+		"Fig6":  func(c SweepConfig) (any, error) { return Fig6(c) },
+		"Fig7a": func(c SweepConfig) (any, error) { return Fig7a(c) },
+		"Fig7b": func(c SweepConfig) (any, error) { return Fig7b(c) },
+	}
+	for name, fig := range runs {
+		serial := cfg
+		serial.Parallel = 1
+		ref, err := fig(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, workers := range []int{3, 4, 0} {
+			par := cfg
+			par.Parallel = workers
+			got, err := fig(par)
+			if err != nil {
+				t.Fatalf("%s parallel=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("%s: parallel=%d result differs from serial", name, workers)
+			}
+		}
+	}
+}
+
+// TestFig5SerialParallelEquivalence extends the contract to the rover
+// trial sweeps.
+func TestFig5SerialParallelEquivalence(t *testing.T) {
+	cfg := rover.DefaultTrialConfig()
+	cfg.Trials = 5
+	cfg.Parallel = 1
+	ref, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, 0} {
+		cfg.Parallel = workers
+		got, err := Fig5(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("Fig5 parallel=%d differs from serial", workers)
+		}
 	}
 }
 

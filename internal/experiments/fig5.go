@@ -16,8 +16,21 @@ type Fig5Result struct {
 	Migrating, Pinned *rover.SchemeResult
 }
 
-// Fig5 runs both rover comparisons.
+// Fig5 runs both rover comparisons. A caller-supplied cfg.Progress is
+// rebased to one rolling (done, total) series spanning every trial
+// sweep Fig5 runs, so callers need not know how many sweeps make up
+// the figure.
 func Fig5(cfg rover.TrialConfig) (*Fig5Result, error) {
+	if report := cfg.Progress; report != nil {
+		const sweeps = 2 // RunTrials + RunControlled below
+		finished := 0
+		cfg.Progress = func(done, total int) {
+			report(finished+done, sweeps*total)
+			if done == total {
+				finished += total
+			}
+		}
+	}
 	hc, h, err := rover.RunTrials(cfg)
 	if err != nil {
 		return nil, err

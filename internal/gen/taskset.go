@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"hydrac/internal/partition"
+	"hydrac/internal/seed"
 	"hydrac/internal/task"
 )
 
@@ -123,6 +124,16 @@ func (c Config) Generate(rng *rand.Rand, g int) (*task.Set, error) {
 		return ts, nil
 	}
 	return nil, fmt.Errorf("gen: no partitionable set in group %d after %d attempts: %w", g, attempts, lastErr)
+}
+
+// GenerateAt draws sweep item (g, i) from a private RNG derived from
+// (base, g, i) via seed.At. Unlike Generate, whose output depends on
+// every draw made before it on the shared stream, GenerateAt is a
+// pure function of its arguments — the entry point the parallel
+// sweep engine uses so that any execution order yields the same task
+// set per item. Redraw attempts consume the item's own stream only.
+func (c Config) GenerateAt(base int64, g, i int) (*task.Set, error) {
+	return c.Generate(rand.New(rand.NewSource(seed.At(base, g, i))), g)
 }
 
 func (c Config) draw(rng *rand.Rand, lo, hi float64) (*task.Set, error) {

@@ -54,6 +54,13 @@ func (a *Acceptance) Add(ok bool) {
 	}
 }
 
+// Merge folds another accumulator into a; counts combine exactly, so
+// sharded sweeps reproduce the serial ratio.
+func (a *Acceptance) Merge(o *Acceptance) {
+	a.Accepted += o.Accepted
+	a.Total += o.Total
+}
+
 // Ratio returns Accepted/Total in percent, the y-axis of Fig. 7a
 // ("number of schedulable task sets over the generated one").
 func (a Acceptance) Ratio() float64 {
@@ -70,6 +77,13 @@ type Sample struct {
 
 // Add appends one observation.
 func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// Merge appends every observation of o, preserving o's insertion
+// order. Because Sample keeps raw values, merging contiguous shard
+// partials in shard order reproduces the serial sample exactly —
+// including the floating-point accumulation order of Mean and Std —
+// which is what makes parallel sweeps bit-identical to serial ones.
+func (s *Sample) Merge(o *Sample) { s.values = append(s.values, o.values...) }
 
 // N returns the observation count.
 func (s *Sample) N() int { return len(s.values) }

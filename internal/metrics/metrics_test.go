@@ -160,3 +160,56 @@ func TestSampleSummaryJSON(t *testing.T) {
 		t.Fatalf("round trip: %+v vs %+v", back, sum)
 	}
 }
+
+// Merging contiguous shard partials in shard order must reproduce the
+// serial sample exactly — value order included — and acceptance counts
+// must combine additively. This is what the parallel sweep engine
+// relies on.
+func TestSampleMergePreservesOrder(t *testing.T) {
+	var serial, shardA, shardB, merged Sample
+	values := []float64{0.3, 0.1, 0.7, 0.2, 0.9}
+	for _, v := range values {
+		serial.Add(v)
+	}
+	for _, v := range values[:2] {
+		shardA.Add(v)
+	}
+	for _, v := range values[2:] {
+		shardB.Add(v)
+	}
+	merged.Merge(&shardA)
+	merged.Merge(&shardB)
+	if merged.N() != serial.N() || merged.Mean() != serial.Mean() || merged.Std() != serial.Std() {
+		t.Fatalf("merged sample diverged: n=%d mean=%v std=%v, want n=%d mean=%v std=%v",
+			merged.N(), merged.Mean(), merged.Std(), serial.N(), serial.Mean(), serial.Std())
+	}
+	if merged.Percentile(50) != serial.Percentile(50) {
+		t.Fatal("percentile diverged after merge")
+	}
+	// Merging an empty sample is a no-op in both directions.
+	var empty Sample
+	before := merged.N()
+	merged.Merge(&empty)
+	if merged.N() != before {
+		t.Fatal("merging empty changed N")
+	}
+	empty.Merge(&merged)
+	if empty.N() != before {
+		t.Fatal("merge into empty lost values")
+	}
+}
+
+func TestAcceptanceMerge(t *testing.T) {
+	var a, b Acceptance
+	a.Add(true)
+	a.Add(false)
+	b.Add(true)
+	b.Add(true)
+	a.Merge(&b)
+	if a.Accepted != 3 || a.Total != 4 {
+		t.Fatalf("merged acceptance %d/%d, want 3/4", a.Accepted, a.Total)
+	}
+	if r := a.Ratio(); r != 75 {
+		t.Fatalf("ratio %v, want 75", r)
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"hydrac/internal/core"
 	"hydrac/internal/ids"
 	"hydrac/internal/metrics"
+	"hydrac/internal/seed"
 	"hydrac/internal/sim"
+	"hydrac/internal/sweep"
 	"hydrac/internal/task"
 )
 
@@ -16,7 +18,9 @@ import (
 type TrialConfig struct {
 	// Trials is the number of attack trials (paper: 35).
 	Trials int
-	// Seed makes runs reproducible.
+	// Seed makes runs reproducible. Each trial's attack scenario is
+	// drawn from a private stream derived from (Seed, trial), so
+	// results are independent of Parallel.
 	Seed int64
 	// Objects is the number of files in the protected image store
 	// (each Tripwire job sweeps all of them).
@@ -25,6 +29,12 @@ type TrialConfig struct {
 	DetectionHorizon task.Time
 	// AttackWindow bounds the random attack instant, ms.
 	AttackWindow task.Time
+	// Parallel is the trial worker count: 0 uses GOMAXPROCS, 1 forces
+	// serial execution. Results are identical at any value.
+	Parallel int
+	// Progress, when non-nil, receives (done, total) trial counts as
+	// the run advances. Calls are serialised.
+	Progress func(done, total int)
 }
 
 // DefaultTrialConfig mirrors the paper: 35 trials, attacks at random
@@ -90,25 +100,73 @@ func RunTrials(cfg TrialConfig) (hydraC, hydra *SchemeResult, err error) {
 	}
 	hSet := baseline.ApplyPartitioned(base, hres)
 
-	hydraC = newSchemeResult("HYDRA-C", cSet)
-	hydra = newSchemeResult("HYDRA", hSet)
+	return runTrialSweep(cfg, trialStreamFull, base,
+		schemePlan{"HYDRA-C", cSet, sim.SemiPartitioned},
+		schemePlan{"HYDRA", hSet, sim.FullyPartitioned})
+}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for trial := 0; trial < cfg.Trials; trial++ {
-		// One shared attack scenario per trial.
-		twAttack := task.Time(rng.Int63n(int64(cfg.AttackWindow)))
-		kmAttack := task.Time(rng.Int63n(int64(cfg.AttackWindow)))
-		victim := rng.Intn(cfg.Objects)
-		offsets := randomOffsets(rng, base)
+// Stream discriminators for seed.At: the full-pipeline and controlled
+// comparisons must draw disjoint attack scenarios from the same base
+// seed.
+const (
+	trialStreamFull = iota
+	trialStreamControlled
+)
 
-		if err := runTrial(hydraC, cSet, sim.SemiPartitioned, cfg, offsets, twAttack, kmAttack, victim); err != nil {
-			return nil, nil, err
-		}
-		if err := runTrial(hydra, hSet, sim.FullyPartitioned, cfg, offsets, twAttack, kmAttack, victim); err != nil {
-			return nil, nil, err
-		}
+// schemePlan is one side of a trial comparison: a configured task set
+// under a runtime policy, reported under Name.
+type schemePlan struct {
+	Name   string
+	Set    *task.Set
+	Policy sim.Policy
+}
+
+// trialPair accumulates both schemes' results over a shard of trials.
+type trialPair struct {
+	a, b *SchemeResult
+}
+
+// runTrialSweep replays the same per-trial attack scenario against
+// both schemes, sharding trials across cfg.Parallel workers. Each
+// trial draws its scenario from seed.At(cfg.Seed, stream, trial), and
+// shard partials merge in trial order, so results are identical at
+// any worker count.
+func runTrialSweep(cfg TrialConfig, stream int, base *task.Set, a, b schemePlan) (*SchemeResult, *SchemeResult, error) {
+	res, err := sweep.Run(
+		sweep.Config{Groups: 1, PerGroup: cfg.Trials, Workers: cfg.Parallel, Progress: cfg.Progress},
+		func() *trialPair {
+			return &trialPair{newSchemeResult(a.Name, a.Set), newSchemeResult(b.Name, b.Set)}
+		},
+		func(p *trialPair, it sweep.Item) error {
+			// One shared attack scenario per trial.
+			rng := rand.New(rand.NewSource(seed.At(cfg.Seed, stream, it.Index)))
+			twAttack := task.Time(rng.Int63n(int64(cfg.AttackWindow)))
+			kmAttack := task.Time(rng.Int63n(int64(cfg.AttackWindow)))
+			victim := rng.Intn(cfg.Objects)
+			offsets := randomOffsets(rng, base)
+
+			if err := runTrial(p.a, a.Set, a.Policy, cfg, offsets, twAttack, kmAttack, victim); err != nil {
+				return err
+			}
+			return runTrial(p.b, b.Set, b.Policy, cfg, offsets, twAttack, kmAttack, victim)
+		},
+		func(dst, src *trialPair) {
+			dst.a.merge(src.a)
+			dst.b.merge(src.b)
+		})
+	if err != nil {
+		return nil, nil, err
 	}
-	return hydraC, hydra, nil
+	return res.a, res.b, nil
+}
+
+// merge folds another shard's trials into r, preserving trial order.
+func (r *SchemeResult) merge(o *SchemeResult) {
+	r.DetectionMS.Merge(&o.DetectionMS)
+	r.TripwireMS.Merge(&o.TripwireMS)
+	r.KmodMS.Merge(&o.KmodMS)
+	r.ContextSwitches.Merge(&o.ContextSwitches)
+	r.Undetected += o.Undetected
 }
 
 func newSchemeResult(name string, ts *task.Set) *SchemeResult {
@@ -212,21 +270,7 @@ func RunControlled(cfg TrialConfig) (migrating, pinned *SchemeResult, err error)
 	}
 	ts := baseline.ApplyPartitioned(base, hres)
 
-	migrating = newSchemeResult("migrating", ts)
-	pinned = newSchemeResult("pinned", ts)
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for trial := 0; trial < cfg.Trials; trial++ {
-		twAttack := task.Time(rng.Int63n(int64(cfg.AttackWindow)))
-		kmAttack := task.Time(rng.Int63n(int64(cfg.AttackWindow)))
-		victim := rng.Intn(cfg.Objects)
-		offsets := randomOffsets(rng, base)
-		if err := runTrial(migrating, ts, sim.SemiPartitioned, cfg, offsets, twAttack, kmAttack, victim); err != nil {
-			return nil, nil, err
-		}
-		if err := runTrial(pinned, ts, sim.FullyPartitioned, cfg, offsets, twAttack, kmAttack, victim); err != nil {
-			return nil, nil, err
-		}
-	}
-	return migrating, pinned, nil
+	return runTrialSweep(cfg, trialStreamControlled, base,
+		schemePlan{"migrating", ts, sim.SemiPartitioned},
+		schemePlan{"pinned", ts, sim.FullyPartitioned})
 }

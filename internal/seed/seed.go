@@ -1,0 +1,26 @@
+// Package seed derives independent, reproducible RNG seeds for sweep
+// items. It is the root of the repository's determinism contract (see
+// DESIGN.md): work items must take all randomness from At — never
+// from a shared stream — so an item's outcome is a pure function of
+// its coordinates, independent of which worker runs it or when.
+package seed
+
+// At derives the private RNG seed of item (group, index) from a base
+// seed by splitmix64-style mixing. group doubles as a stream
+// discriminator for callers with several independent sweeps over one
+// base seed.
+func At(base int64, group, index int) int64 {
+	h := mix64(uint64(base))
+	h = mix64(h ^ uint64(int64(group)))
+	h = mix64(h ^ uint64(int64(index)))
+	return int64(h)
+}
+
+// mix64 is the splitmix64 finaliser (Vigna 2015): a bijective avalanche
+// mix whose increments decorrelate consecutive inputs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

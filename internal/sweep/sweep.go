@@ -1,0 +1,172 @@
+// Package sweep is the parallel sweep engine behind the design-space
+// experiments: it shards a (group × index) work grid across a pool of
+// workers while guaranteeing that the aggregate result is *identical*
+// — bitwise, including floating-point accumulation order — at any
+// worker count and any chunk size.
+//
+// Determinism rests on two rules (see DESIGN.md for the full
+// contract):
+//
+//  1. Item independence. Work items must derive all randomness from
+//     seed.At(base, group, index) (package internal/seed), never from
+//     a shared stream, so an item's outcome does not depend on which
+//     worker runs it or when.
+//  2. Ordered reduction. The flat item space [0, Groups×PerGroup) is
+//     split into contiguous chunks; each chunk accumulates into its
+//     own partial, and partials are merged strictly in chunk order
+//     after all workers finish. Concatenating contiguous ranges in
+//     order reproduces the serial accumulation order exactly, so even
+//     order-sensitive reductions (float sums over raw samples) agree.
+//
+// Workers pull chunks from a shared queue (dynamic load balancing —
+// high-utilisation groups cost far more per item than low ones), which
+// is safe because chunk *boundaries* never influence results, only the
+// merge order does.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Item identifies one unit of work: set Index within utilisation
+// Group. Flat order is group-major: item (g, i) has rank g×PerGroup+i.
+type Item struct {
+	Group, Index int
+}
+
+// Config shapes one engine run.
+type Config struct {
+	// Groups and PerGroup define the work grid (Groups × PerGroup
+	// items).
+	Groups, PerGroup int
+	// Workers is the pool size: 0 (or negative) uses GOMAXPROCS, 1
+	// forces serial execution. The result is identical at any value.
+	Workers int
+	// ChunkSize overrides the scheduling granularity; 0 picks a size
+	// that gives each worker several chunks to balance load. Results
+	// do not depend on it.
+	ChunkSize int
+	// Progress, when non-nil, receives (done, total) item counts as
+	// chunks complete. Calls are serialised; done is monotone and
+	// reaches total on success.
+	Progress func(done, total int)
+}
+
+// Run executes proc on every item of the grid and returns the ordered
+// merge of the per-chunk partials.
+//
+// newPartial allocates an empty accumulator; proc folds one item into
+// the accumulator it is handed (no locking needed — a partial is owned
+// by one goroutine at a time); merge folds src into dst. Run calls
+// merge once per chunk, in flat item order, after all workers stop.
+//
+// A proc error aborts the run: in-flight chunks finish their current
+// item, no new chunks start, and Run returns one of the recorded
+// errors (the earliest in chunk order among those observed).
+func Run[P any](cfg Config, newPartial func() P, proc func(p P, it Item) error, merge func(dst, src P)) (P, error) {
+	var zero P
+	if cfg.Groups < 0 || cfg.PerGroup < 0 {
+		return zero, fmt.Errorf("sweep: negative grid %d×%d", cfg.Groups, cfg.PerGroup)
+	}
+	out := newPartial()
+	total := cfg.Groups * cfg.PerGroup
+	if total == 0 {
+		return out, nil
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		// Several chunks per worker so a slow chunk (high-utilisation
+		// groups retry generation hundreds of times) doesn't strand
+		// the pool; boundaries are irrelevant to the result.
+		chunk = total / (workers * chunksPerWorker)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	nChunks := (total + chunk - 1) / chunk
+
+	partials := make([]P, nChunks)
+	errs := make([]error, nChunks)
+	var (
+		next, done atomic.Int64
+		failed     atomic.Bool
+		progressMu sync.Mutex
+		wg         sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks || failed.Load() {
+					return
+				}
+				p := newPartial()
+				partials[c] = p
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > total {
+					hi = total
+				}
+				for flat := lo; flat < hi; flat++ {
+					if failed.Load() {
+						return
+					}
+					if err := proc(p, Item{Group: flat / cfg.PerGroup, Index: flat % cfg.PerGroup}); err != nil {
+						errs[c] = err
+						failed.Store(true)
+						return
+					}
+				}
+				if cfg.Progress != nil {
+					// Count and report under one lock so callbacks
+					// observe strictly increasing done values.
+					progressMu.Lock()
+					cfg.Progress(int(done.Add(int64(hi-lo))), total)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for c := 0; c < nChunks; c++ {
+		if errs[c] != nil {
+			return zero, errs[c]
+		}
+	}
+	for c := 0; c < nChunks; c++ {
+		merge(out, partials[c])
+	}
+	return out, nil
+}
+
+const chunksPerWorker = 8
+
+// ProgressPrinter returns a Config.Progress callback that writes one
+// label-prefixed line per ~10% of progress (and always the final
+// count) to w. CI-log friendly: whole lines, no carriage returns.
+func ProgressPrinter(w io.Writer, label string) func(done, total int) {
+	lastDecile := -1
+	return func(done, total int) {
+		decile := done * 10 / total
+		if decile == lastDecile && done != total {
+			return
+		}
+		lastDecile = decile
+		fmt.Fprintf(w, "%s %d/%d (%d%%)\n", label, done, total, done*100/total)
+	}
+}

@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"hydrac/internal/seed"
+)
+
+// orderPartial collects per-item float observations; order-sensitive
+// on purpose (a float sum replayed in a different order diverges), so
+// it exposes any merge-order violation.
+type orderPartial struct {
+	values []float64
+}
+
+func itemValue(it Item) float64 {
+	rng := rand.New(rand.NewSource(seed.At(77, it.Group, it.Index)))
+	return rng.Float64()
+}
+
+func runOrdered(t *testing.T, workers, chunkSize int) *orderPartial {
+	t.Helper()
+	res, err := Run(Config{Groups: 7, PerGroup: 13, Workers: workers, ChunkSize: chunkSize},
+		func() *orderPartial { return &orderPartial{} },
+		func(p *orderPartial, it Item) error {
+			p.values = append(p.values, itemValue(it))
+			return nil
+		},
+		func(dst, src *orderPartial) { dst.values = append(dst.values, src.values...) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunDeterministicAcrossWorkersAndChunks(t *testing.T) {
+	ref := runOrdered(t, 1, 0)
+	if len(ref.values) != 7*13 {
+		t.Fatalf("item count %d, want %d", len(ref.values), 7*13)
+	}
+	for _, workers := range []int{0, 2, 3, 4, 16} {
+		for _, chunk := range []int{0, 1, 5, 91, 1000} {
+			got := runOrdered(t, workers, chunk)
+			if !reflect.DeepEqual(ref.values, got.values) {
+				t.Errorf("workers=%d chunk=%d: value sequence diverged from serial", workers, chunk)
+			}
+		}
+	}
+}
+
+func TestRunVisitsEveryItemOnce(t *testing.T) {
+	res, err := Run(Config{Groups: 4, PerGroup: 9, Workers: 3},
+		func() *orderPartial { return &orderPartial{} },
+		func(p *orderPartial, it Item) error {
+			p.values = append(p.values, float64(it.Group*9+it.Index))
+			return nil
+		},
+		func(dst, src *orderPartial) { dst.values = append(dst.values, src.values...) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.values) != 36 {
+		t.Fatalf("visited %d items, want 36", len(res.values))
+	}
+	for flat, v := range res.values {
+		if v != float64(flat) {
+			t.Fatalf("position %d holds item %g: merge order broken", flat, v)
+		}
+	}
+}
+
+func TestRunEmptyGridAndErrors(t *testing.T) {
+	res, err := Run(Config{Groups: 0, PerGroup: 10},
+		func() *orderPartial { return &orderPartial{} },
+		func(p *orderPartial, it Item) error { return nil },
+		func(dst, src *orderPartial) {})
+	if err != nil || res == nil {
+		t.Fatalf("empty grid: res=%v err=%v", res, err)
+	}
+	if _, err := Run(Config{Groups: -1, PerGroup: 10},
+		func() *orderPartial { return &orderPartial{} },
+		func(p *orderPartial, it Item) error { return nil },
+		func(dst, src *orderPartial) {}); err == nil {
+		t.Error("negative grid accepted")
+	}
+}
+
+func TestRunPropagatesProcError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := Run(Config{Groups: 10, PerGroup: 100, Workers: 4, ChunkSize: 10},
+		func() *orderPartial { return &orderPartial{} },
+		func(p *orderPartial, it Item) error {
+			calls.Add(1)
+			if it.Group == 3 && it.Index == 7 {
+				return boom
+			}
+			return nil
+		},
+		func(dst, src *orderPartial) {})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The abort must actually stop the pool early.
+	if n := calls.Load(); n == 1000 {
+		t.Error("error did not stop the sweep")
+	}
+}
+
+func TestRunProgressMonotoneAndComplete(t *testing.T) {
+	var dones []int
+	total := 0
+	_, err := Run(Config{Groups: 5, PerGroup: 20, Workers: 4, ChunkSize: 7,
+		Progress: func(d, tot int) { dones = append(dones, d); total = tot }},
+		func() *orderPartial { return &orderPartial{} },
+		func(p *orderPartial, it Item) error { return nil },
+		func(dst, src *orderPartial) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 100 {
+		t.Fatalf("reported total %d, want 100", total)
+	}
+	if len(dones) == 0 || dones[len(dones)-1] != 100 {
+		t.Fatalf("progress never reached total: %v", dones)
+	}
+	for i := 1; i < len(dones); i++ {
+		if dones[i] <= dones[i-1] {
+			t.Fatalf("progress not monotone: %v", dones)
+		}
+	}
+}
+
+func TestRunManyWorkersFewItems(t *testing.T) {
+	// More workers than items must not panic or double-visit.
+	res, err := Run(Config{Groups: 1, PerGroup: 3, Workers: 64},
+		func() *orderPartial { return &orderPartial{} },
+		func(p *orderPartial, it Item) error {
+			p.values = append(p.values, float64(it.Index))
+			return nil
+		},
+		func(dst, src *orderPartial) { dst.values = append(dst.values, src.values...) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.values) != "[0 1 2]" {
+		t.Fatalf("values = %v", res.values)
+	}
+}
