@@ -1,0 +1,92 @@
+package hydrac_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"hydrac"
+	"hydrac/internal/gen"
+)
+
+// benchAnalyzerSet draws one mid-utilisation Table-3 set; heavy enough
+// that period selection does real work.
+func benchAnalyzerSet(b *testing.B) *hydrac.TaskSet {
+	b.Helper()
+	ts, err := gen.TableThree(2).Generate(rand.New(rand.NewSource(11)), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts
+}
+
+// BenchmarkAnalyzeCold measures the full pipeline with caching
+// disabled: every iteration validates, selects periods and shapes a
+// report from scratch. Metric: ns/op is the per-request analysis cost
+// an uncached service pays.
+func BenchmarkAnalyzeCold(b *testing.B) {
+	a, err := hydrac.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := benchAnalyzerSet(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(ctx, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeCached measures the repeated-traffic path: the same
+// set re-submitted against a warm LRU. The gap to BenchmarkAnalyzeCold
+// is what the cache buys an admission-control service per duplicate
+// request (hash + lookup + clone instead of the full analysis).
+func BenchmarkAnalyzeCached(b *testing.B) {
+	a, err := hydrac.New(hydrac.WithCache(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := benchAnalyzerSet(b)
+	ctx := context.Background()
+	if _, err := a.Analyze(ctx, ts); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := a.Analyze(ctx, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.FromCache {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkAnalyzeBatch measures bulk admission over the sweep
+// engine at full parallelism, reports per second.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	cfg := gen.TableThree(2)
+	var sets []*hydrac.TaskSet
+	for i := 0; i < 32; i++ {
+		ts, err := cfg.Generate(rand.New(rand.NewSource(int64(i+1))), i%6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets = append(sets, ts)
+	}
+	a, err := hydrac.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.AnalyzeBatch(ctx, sets); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(sets)), "sets/batch")
+}

@@ -1,24 +1,31 @@
 // Command hydrac is the front door to the HYDRA-C framework: it reads
 // a task-set description (JSON) and computes security-task periods,
 // compares against the baseline schemes, simulates the resulting
-// schedule, or renders a Gantt chart.
+// schedule, or renders a Gantt chart. The analysis subcommands run on
+// the hydrac.Analyzer pipeline — the same engine cmd/hydrad serves
+// over HTTP.
 //
 // Usage:
 //
-//	hydrac analyze  -in taskset.json [-scheme hydra-c|hydra|hydra-tmax|global-tmax] [-exhaustive]
+//	hydrac analyze  -in taskset.json [-scheme hydra-c|hydra|hydra-tmax|global-tmax] [-exhaustive] [-json]
 //	hydrac simulate -in taskset.json [-horizon N] [-policy semi|partitioned|global]
 //	hydrac gantt    -in taskset.json [-to N] [-step N]
 //	hydrac generate [-cores M] [-group G] [-seed S]        (emit a random Table-3 task set)
 //	hydrac example                                          (emit the paper's rover task set)
+//
+// -in - reads the task set from standard input.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
-	"hydrac/internal/baseline"
+	"hydrac"
 	"hydrac/internal/core"
 	"hydrac/internal/gen"
 	"hydrac/internal/rover"
@@ -27,38 +34,58 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// usageError marks failures of argument handling (exit 2, like flag
+// parsing) as opposed to runtime failures (exit 1).
+type usageError struct{ error }
+
+// run is the testable entry point: it dispatches subcommands and maps
+// errors to exit codes (0 ok / help, 1 runtime failure, 2 usage).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "analyze":
-		err = analyze(os.Args[2:])
+		err = analyze(args[1:], stdin, stdout, stderr)
 	case "simulate":
-		err = simulate(os.Args[2:])
+		err = simulate(args[1:], stdin, stdout, stderr)
 	case "gantt":
-		err = gantt(os.Args[2:])
+		err = gantt(args[1:], stdin, stdout, stderr)
 	case "sensitivity":
-		err = sensitivity(os.Args[2:])
+		err = sensitivity(args[1:], stdin, stdout, stderr)
 	case "generate":
-		err = generate(os.Args[2:])
+		err = generate(args[1:], stdout, stderr)
 	case "example":
-		err = task.Encode(os.Stdout, rover.TaskSet())
+		err = task.Encode(stdout, rover.TaskSet())
 	case "-h", "--help", "help":
-		usage()
+		usage(stdout)
+		return 0
 	default:
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hydrac: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hydrac:", err)
-		os.Exit(1)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.As(err, &usageError{}):
+		fmt.Fprintln(stderr, "hydrac:", err)
+		return 2
+	default:
+		fmt.Fprintln(stderr, "hydrac:", err)
+		return 1
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `hydrac — period adaptation for continuous security monitoring (DATE 2020)
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `hydrac — period adaptation for continuous security monitoring (DATE 2020)
 
 subcommands:
   analyze      compute security-task periods for a task set
@@ -66,10 +93,38 @@ subcommands:
   gantt        render a schedule chart (ASCII, optionally SVG)
   sensitivity  report how much each monitor's WCET can grow
   generate     emit a random Table-3 synthetic task set (JSON)
-  example      emit the paper's rover task set (JSON)`)
+  example      emit the paper's rover task set (JSON)
+
+run 'hydrac <subcommand> -h' for flags; 'hydrac -h' prints this help.
+cmd/hydrad serves the analyze pipeline over HTTP.`)
 }
 
-func load(path string) (*task.Set, error) {
+// newFlagSet standardises subcommand flag handling: errors print to
+// stderr and surface as usage errors, -h as flag.ErrHelp.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err}
+	}
+	if fs.NArg() > 0 {
+		return usageError{fmt.Errorf("%s: unexpected argument %q", fs.Name(), fs.Arg(0))}
+	}
+	return nil
+}
+
+// load reads a task set from path, or from stdin when path is "-".
+func load(path string, stdin io.Reader) (*task.Set, error) {
+	if path == "-" {
+		return task.Decode(stdin)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -78,80 +133,110 @@ func load(path string) (*task.Set, error) {
 	return task.Decode(f)
 }
 
-func analyze(args []string) error {
-	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	in := fs.String("in", "", "task set JSON file (required)")
-	scheme := fs.String("scheme", "hydra-c", "hydra-c | hydra | hydra-tmax | global-tmax")
+func analyze(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := newFlagSet("analyze", stderr)
+	in := fs.String("in", "", "task set JSON file (required; - for stdin)")
+	scheme := fs.String("scheme", "hydra-c", "hydra-c | hydra | hydra-aggressive | hydra-tmax | global-tmax")
 	exhaustive := fs.Bool("exhaustive", false, "use the literal Eq. 8 carry-in enumeration")
 	explain := fs.Bool("explain", false, "print the per-task interference breakdown (hydra-c only)")
-	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("analyze: -in is required")
+	jsonOut := fs.Bool("json", false, "emit the versioned report envelope instead of tables")
+	if err := parseFlags(fs, args); err != nil {
+		return err
 	}
-	ts, err := load(*in)
+	if *in == "" {
+		return usageError{errors.New("analyze: -in is required")}
+	}
+	ts, err := load(*in, stdin)
 	if err != nil {
 		return err
 	}
-	switch *scheme {
-	case "hydra-c":
-		opt := core.Options{}
-		if *exhaustive {
-			opt.CarryIn = core.Exhaustive
-		}
-		res, err := core.SelectPeriods(ts, opt)
+	opt := core.Options{}
+	if *exhaustive {
+		opt.CarryIn = core.Exhaustive
+	}
+
+	ctx := context.Background()
+	a, err := hydrac.New(hydrac.WithOptions(opt))
+	if err != nil {
+		return err
+	}
+	if *scheme == "hydra-c" {
+		rep, err := a.Analyze(ctx, ts)
 		if err != nil {
 			return err
 		}
-		if !res.Schedulable {
-			fmt.Println("UNSCHEDULABLE: no period assignment within the designer bounds")
+		if *jsonOut {
+			return hydrac.WriteReport(stdout, rep)
+		}
+		if !rep.Schedulable {
+			fmt.Fprintln(stdout, "UNSCHEDULABLE: no period assignment within the designer bounds")
 			return nil
 		}
-		fmt.Printf("%-16s %10s %10s %10s\n", "security task", "T* (ms)", "WCRT (ms)", "Tmax (ms)")
-		for i, s := range ts.Security {
-			fmt.Printf("%-16s %10d %10d %10d\n", s.Name, res.Periods[i], res.Resp[i], s.MaxPeriod)
+		fmt.Fprintf(stdout, "%-16s %10s %10s %10s\n", "security task", "T* (ms)", "WCRT (ms)", "Tmax (ms)")
+		for _, v := range rep.Tasks {
+			fmt.Fprintf(stdout, "%-16s %10d %10d %10d\n", v.Name, v.Period, v.WCRT, v.MaxPeriod)
 		}
 		if *explain {
-			diags, err := core.Diagnose(ts, res.Periods, opt.CarryIn)
+			periods := make([]task.Time, len(rep.Tasks))
+			for i, v := range rep.Tasks {
+				periods[i] = v.Period
+			}
+			// Diagnose the placement the Analyzer actually analysed —
+			// ApplyTo reconstructs it when the input arrived
+			// unpartitioned.
+			analysed, err := rep.ApplyTo(ts)
 			if err != nil {
 				return err
 			}
-			fmt.Println()
+			diags, err := core.Diagnose(analysed, periods, opt.CarryIn)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
 			for _, d := range diags {
-				fmt.Print(d.Render())
+				fmt.Fprint(stdout, d.Render())
 			}
 		}
-	case "hydra", "hydra-tmax":
-		var res *baseline.PartitionedResult
-		if *scheme == "hydra" {
-			res, err = baseline.HydraAggressive(ts)
-		} else {
-			res, err = baseline.HydraTMax(ts)
+		return nil
+	}
+
+	sch, err := hydrac.ParseScheme(*scheme)
+	if err != nil {
+		return usageError{fmt.Errorf("analyze: %w", err)}
+	}
+	v, err := a.Baseline(ctx, ts, sch)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		// Scheme marks the top-level verdict as this baseline's, not
+		// HYDRA-C's — consumers of the shared envelope must not read
+		// it as an admission verdict.
+		rep := &hydrac.Report{
+			Scheme:      sch,
+			Schedulable: v.Schedulable, TaskSetHash: ts.Hash(), Cores: ts.Cores,
+			Tasks: v.Tasks, Baselines: []hydrac.BaselineVerdict{*v},
 		}
-		if err != nil {
-			return err
+		return hydrac.WriteReport(stdout, rep)
+	}
+	switch sch {
+	case hydrac.SchemeGlobalTMax:
+		fmt.Fprintf(stdout, "schedulable: %v\n", v.Schedulable)
+		for _, t := range v.RT {
+			fmt.Fprintf(stdout, "%-16s R=%d D=%d\n", t.Name, t.WCRT, t.Deadline)
 		}
-		if !res.Schedulable {
-			fmt.Println("UNSCHEDULABLE under the partitioned baseline")
-			return nil
-		}
-		fmt.Printf("%-16s %10s %10s %6s\n", "security task", "T (ms)", "WCRT (ms)", "core")
-		for i, s := range ts.Security {
-			fmt.Printf("%-16s %10d %10d %6d\n", s.Name, res.Periods[i], res.Resp[i], res.Cores[i])
-		}
-	case "global-tmax":
-		res, err := baseline.GlobalTMax(ts)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("schedulable: %v\n", res.Schedulable)
-		for i, t := range ts.RT {
-			fmt.Printf("%-16s R=%d D=%d\n", t.Name, res.RTResp[i], t.Deadline)
-		}
-		for i, s := range ts.Security {
-			fmt.Printf("%-16s R=%d Tmax=%d\n", s.Name, res.SecResp[i], s.MaxPeriod)
+		for _, s := range v.Tasks {
+			fmt.Fprintf(stdout, "%-16s R=%d Tmax=%d\n", s.Name, s.WCRT, s.MaxPeriod)
 		}
 	default:
-		return fmt.Errorf("analyze: unknown scheme %q", *scheme)
+		if !v.Schedulable {
+			fmt.Fprintln(stdout, "UNSCHEDULABLE under the partitioned baseline")
+			return nil
+		}
+		fmt.Fprintf(stdout, "%-16s %10s %10s %6s\n", "security task", "T (ms)", "WCRT (ms)", "core")
+		for _, s := range v.Tasks {
+			fmt.Fprintf(stdout, "%-16s %10d %10d %6d\n", s.Name, s.Period, s.WCRT, s.Core)
+		}
 	}
 	return nil
 }
@@ -169,24 +254,29 @@ func configure(ts *task.Set, policy sim.Policy) (*task.Set, error) {
 	if have {
 		return ts, nil
 	}
-	if policy == sim.FullyPartitioned {
-		res, err := baseline.HydraAggressive(ts)
-		if err != nil {
-			return nil, err
-		}
-		if !res.Schedulable {
-			return nil, fmt.Errorf("HYDRA cannot configure this set")
-		}
-		return baseline.ApplyPartitioned(ts, res), nil
-	}
-	res, err := core.SelectPeriods(ts, core.Options{})
+	a, err := hydrac.New()
 	if err != nil {
 		return nil, err
 	}
-	if !res.Schedulable {
+	ctx := context.Background()
+	if policy == sim.FullyPartitioned {
+		v, err := a.Baseline(ctx, ts, hydrac.SchemeHydraAggressive)
+		if err != nil {
+			return nil, err
+		}
+		if !v.Schedulable {
+			return nil, fmt.Errorf("HYDRA cannot configure this set")
+		}
+		return v.ApplyTo(ts)
+	}
+	rep, err := a.Analyze(ctx, ts)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Schedulable {
 		return nil, fmt.Errorf("HYDRA-C cannot configure this set")
 	}
-	return core.Apply(ts, res), nil
+	return rep.ApplyTo(ts)
 }
 
 func parsePolicy(s string) (sim.Policy, error) {
@@ -202,22 +292,24 @@ func parsePolicy(s string) (sim.Policy, error) {
 	}
 }
 
-func simulate(args []string) error {
-	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
-	in := fs.String("in", "", "task set JSON file (required)")
+func simulate(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := newFlagSet("simulate", stderr)
+	in := fs.String("in", "", "task set JSON file (required; - for stdin)")
 	horizon := fs.Int64("horizon", 60000, "simulation horizon in ticks")
 	policy := fs.String("policy", "semi", "semi | partitioned | global")
-	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("simulate: -in is required")
+	if err := parseFlags(fs, args); err != nil {
+		return err
 	}
-	ts, err := load(*in)
+	if *in == "" {
+		return usageError{errors.New("simulate: -in is required")}
+	}
+	ts, err := load(*in, stdin)
 	if err != nil {
 		return err
 	}
 	pol, err := parsePolicy(*policy)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 	cfgd, err := configure(ts, pol)
 	if err != nil {
@@ -227,28 +319,30 @@ func simulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Summary())
+	fmt.Fprint(stdout, res.Summary())
 	return nil
 }
 
-func gantt(args []string) error {
-	fs := flag.NewFlagSet("gantt", flag.ExitOnError)
-	in := fs.String("in", "", "task set JSON file (required)")
+func gantt(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := newFlagSet("gantt", stderr)
+	in := fs.String("in", "", "task set JSON file (required; - for stdin)")
 	to := fs.Int64("to", 2000, "render window end (ticks)")
 	step := fs.Int64("step", 0, "ticks per column (default: window/100)")
 	policy := fs.String("policy", "semi", "semi | partitioned | global")
 	svgPath := fs.String("svg", "", "also write an SVG chart to this file")
-	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("gantt: -in is required")
+	if err := parseFlags(fs, args); err != nil {
+		return err
 	}
-	ts, err := load(*in)
+	if *in == "" {
+		return usageError{errors.New("gantt: -in is required")}
+	}
+	ts, err := load(*in, stdin)
 	if err != nil {
 		return err
 	}
 	pol, err := parsePolicy(*policy)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 	cfgd, err := configure(ts, pol)
 	if err != nil {
@@ -262,7 +356,7 @@ func gantt(args []string) error {
 	if st <= 0 {
 		st = max(*to/100, 1)
 	}
-	fmt.Print(sim.Gantt(res, 0, *to, st))
+	fmt.Fprint(stdout, sim.Gantt(res, 0, *to, st))
 	if *svgPath != "" {
 		f, err := os.Create(*svgPath)
 		if err != nil {
@@ -272,19 +366,21 @@ func gantt(args []string) error {
 		if err := sim.GanttSVG(f, res, 0, *to); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
+		fmt.Fprintf(stderr, "wrote %s\n", *svgPath)
 	}
 	return nil
 }
 
-func sensitivity(args []string) error {
-	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
-	in := fs.String("in", "", "task set JSON file (required)")
-	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("sensitivity: -in is required")
+func sensitivity(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := newFlagSet("sensitivity", stderr)
+	in := fs.String("in", "", "task set JSON file (required; - for stdin)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
 	}
-	ts, err := load(*in)
+	if *in == "" {
+		return usageError{errors.New("sensitivity: -in is required")}
+	}
+	ts, err := load(*in, stdin)
 	if err != nil {
 		return err
 	}
@@ -296,24 +392,26 @@ func sensitivity(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-16s %10s %12s %8s\n", "security task", "WCET (ms)", "max WCET", "headroom")
+	fmt.Fprintf(stdout, "%-16s %10s %12s %8s\n", "security task", "WCET (ms)", "max WCET", "headroom")
 	for i, s := range ts.Security {
-		fmt.Printf("%-16s %10d %12d %7.1fx\n", s.Name, s.WCET, perTask[i], float64(perTask[i])/float64(s.WCET))
+		fmt.Fprintf(stdout, "%-16s %10d %12d %7.1fx\n", s.Name, s.WCET, perTask[i], float64(perTask[i])/float64(s.WCET))
 	}
-	fmt.Printf("uniform scale factor for the whole security band: %.2fx\n", scale)
+	fmt.Fprintf(stdout, "uniform scale factor for the whole security band: %.2fx\n", scale)
 	return nil
 }
 
-func generate(args []string) error {
-	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+func generate(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("generate", stderr)
 	cores := fs.Int("cores", 2, "number of cores M")
 	group := fs.Int("group", 3, "utilisation group 0..9")
 	seed := fs.Int64("seed", 1, "random seed")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	cfg := gen.TableThree(*cores)
 	ts, err := cfg.Generate(rand.New(rand.NewSource(*seed)), *group)
 	if err != nil {
 		return err
 	}
-	return task.Encode(os.Stdout, ts)
+	return task.Encode(stdout, ts)
 }

@@ -1,12 +1,13 @@
 package main
 
 import (
-	"io"
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"hydrac"
 	"hydrac/internal/rover"
 	"hydrac/internal/sim"
 	"hydrac/internal/task"
@@ -26,92 +27,121 @@ func writeRoverFile(t *testing.T) string {
 	return path
 }
 
-// capture redirects stdout around fn.
-func capture(t *testing.T, fn func() error) string {
+// exec runs the CLI and returns (stdout, stderr), failing the test on
+// a non-zero exit unless wantCode says otherwise.
+func exec(t *testing.T, stdin string, wantCode int, args ...string) (string, string) {
 	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	if code != wantCode {
+		t.Fatalf("run(%v) exited %d, want %d\nstdout: %s\nstderr: %s", args, code, wantCode, out.String(), errb.String())
 	}
-	os.Stdout = w
-	errRun := fn()
-	w.Close()
-	os.Stdout = old
-	out, readErr := io.ReadAll(r)
-	r.Close()
-	if readErr != nil {
-		t.Fatal(readErr)
-	}
-	if errRun != nil {
-		t.Fatalf("command failed: %v", errRun)
-	}
-	return string(out)
+	return out.String(), errb.String()
 }
 
 func TestAnalyzeHydraC(t *testing.T) {
 	path := writeRoverFile(t)
-	out := capture(t, func() error { return analyze([]string{"-in", path}) })
+	out, _ := exec(t, "", 0, "analyze", "-in", path)
 	if !strings.Contains(out, "tripwire") || !strings.Contains(out, "7582") {
 		t.Fatalf("unexpected analyze output:\n%s", out)
 	}
 }
 
+func TestAnalyzeFromStdin(t *testing.T) {
+	var buf bytes.Buffer
+	if err := task.Encode(&buf, rover.TaskSet()); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := exec(t, buf.String(), 0, "analyze", "-in", "-")
+	if !strings.Contains(out, "tripwire") {
+		t.Fatalf("stdin analyze output:\n%s", out)
+	}
+}
+
+func TestAnalyzeJSONEnvelope(t *testing.T) {
+	path := writeRoverFile(t)
+	out, _ := exec(t, "", 0, "analyze", "-in", path, "-json")
+	rep, err := hydrac.ReadReport(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("analyze -json is not a report envelope: %v\n%s", err, out)
+	}
+	if !rep.Schedulable || len(rep.Tasks) == 0 {
+		t.Fatalf("report malformed: %+v", rep)
+	}
+}
+
 func TestAnalyzeBaselines(t *testing.T) {
 	path := writeRoverFile(t)
-	out := capture(t, func() error { return analyze([]string{"-in", path, "-scheme", "hydra"}) })
+	out, _ := exec(t, "", 0, "analyze", "-in", path, "-scheme", "hydra-aggressive")
 	if !strings.Contains(out, "core") || !strings.Contains(out, "463") {
-		t.Fatalf("unexpected hydra output:\n%s", out)
+		t.Fatalf("unexpected hydra-aggressive output:\n%s", out)
 	}
-	out = capture(t, func() error { return analyze([]string{"-in", path, "-scheme", "hydra-tmax"}) })
+	out, _ = exec(t, "", 0, "analyze", "-in", path, "-scheme", "hydra-tmax")
 	if !strings.Contains(out, "10000") {
 		t.Fatalf("unexpected hydra-tmax output:\n%s", out)
 	}
-	out = capture(t, func() error { return analyze([]string{"-in", path, "-scheme", "global-tmax"}) })
+	out, _ = exec(t, "", 0, "analyze", "-in", path, "-scheme", "global-tmax")
 	if !strings.Contains(out, "schedulable: true") {
 		t.Fatalf("unexpected global-tmax output:\n%s", out)
 	}
 }
 
-func TestAnalyzeErrors(t *testing.T) {
-	if err := analyze([]string{}); err == nil {
-		t.Error("missing -in accepted")
-	}
+func TestUsageErrorsExitTwo(t *testing.T) {
+	exec(t, "", 2, "analyze")
 	path := writeRoverFile(t)
-	if err := analyze([]string{"-in", path, "-scheme", "bogus"}); err == nil {
-		t.Error("bogus scheme accepted")
+	exec(t, "", 2, "analyze", "-in", path, "-scheme", "bogus")
+	exec(t, "", 2, "analyze", "-in", path, "stray-arg")
+	exec(t, "", 2, "simulate", "-in", path, "-policy", "bogus")
+	exec(t, "", 2, "bogus-subcommand")
+	exec(t, "", 2)
+}
+
+func TestRuntimeErrorsExitOne(t *testing.T) {
+	_, errOut := exec(t, "", 1, "analyze", "-in", "/nonexistent.json")
+	if !strings.Contains(errOut, "hydrac:") {
+		t.Fatalf("error not reported: %s", errOut)
 	}
-	if err := analyze([]string{"-in", "/nonexistent.json"}); err == nil {
-		t.Error("missing file accepted")
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	out, _ := exec(t, "", 0, "-h")
+	if !strings.Contains(out, "subcommands") {
+		t.Fatalf("help output:\n%s", out)
+	}
+	// Per-subcommand -h also exits 0 (usage goes to stderr).
+	_, errOut := exec(t, "", 0, "analyze", "-h")
+	if !strings.Contains(errOut, "-in") {
+		t.Fatalf("analyze -h usage:\n%s", errOut)
 	}
 }
 
 func TestSimulateAndGantt(t *testing.T) {
 	path := writeRoverFile(t)
-	out := capture(t, func() error {
-		return simulate([]string{"-in", path, "-horizon", "20000"})
-	})
+	out, _ := exec(t, "", 0, "simulate", "-in", path, "-horizon", "20000")
 	if !strings.Contains(out, "context switches") {
 		t.Fatalf("simulate output:\n%s", out)
 	}
-	out = capture(t, func() error {
-		return gantt([]string{"-in", path, "-to", "5000"})
-	})
+	out, _ = exec(t, "", 0, "gantt", "-in", path, "-to", "5000")
 	if !strings.Contains(out, "core 0") || !strings.Contains(out, "legend") {
 		t.Fatalf("gantt output:\n%s", out)
 	}
 }
 
 func TestGenerateEmitsValidSet(t *testing.T) {
-	out := capture(t, func() error {
-		return generate([]string{"-cores", "2", "-group", "2", "-seed", "5"})
-	})
+	out, _ := exec(t, "", 0, "generate", "-cores", "2", "-group", "2", "-seed", "5")
 	ts, err := task.Decode(strings.NewReader(out))
 	if err != nil {
 		t.Fatalf("generated set does not round-trip: %v\n%s", err, out)
 	}
 	if ts.Cores != 2 || len(ts.RT) == 0 || len(ts.Security) == 0 {
 		t.Fatalf("generated set malformed: %+v", ts)
+	}
+}
+
+func TestExampleRoundTrips(t *testing.T) {
+	out, _ := exec(t, "", 0, "example")
+	if _, err := task.Decode(strings.NewReader(out)); err != nil {
+		t.Fatalf("example set does not decode: %v", err)
 	}
 }
 
@@ -147,18 +177,16 @@ func TestConfigureRespectsExistingPeriods(t *testing.T) {
 
 func TestSensitivitySubcommand(t *testing.T) {
 	path := writeRoverFile(t)
-	out := capture(t, func() error { return sensitivity([]string{"-in", path}) })
+	out, _ := exec(t, "", 0, "sensitivity", "-in", path)
 	if !strings.Contains(out, "headroom") || !strings.Contains(out, "uniform scale factor") {
 		t.Fatalf("sensitivity output malformed:\n%s", out)
 	}
-	if err := sensitivity([]string{}); err == nil {
-		t.Error("missing -in accepted")
-	}
+	exec(t, "", 2, "sensitivity")
 }
 
 func TestAnalyzeExplain(t *testing.T) {
 	path := writeRoverFile(t)
-	out := capture(t, func() error { return analyze([]string{"-in", path, "-explain"}) })
+	out, _ := exec(t, "", 0, "analyze", "-in", path, "-explain")
 	if !strings.Contains(out, "interference") || !strings.Contains(out, "RT band") {
 		t.Fatalf("explain output malformed:\n%s", out)
 	}
@@ -167,9 +195,7 @@ func TestAnalyzeExplain(t *testing.T) {
 func TestGanttSVGFlag(t *testing.T) {
 	path := writeRoverFile(t)
 	svg := filepath.Join(t.TempDir(), "sched.svg")
-	capture(t, func() error {
-		return gantt([]string{"-in", path, "-to", "3000", "-svg", svg})
-	})
+	exec(t, "", 0, "gantt", "-in", path, "-to", "3000", "-svg", svg)
 	data, err := os.ReadFile(svg)
 	if err != nil {
 		t.Fatal(err)

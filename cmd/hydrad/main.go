@@ -1,0 +1,273 @@
+// Command hydrad serves the HYDRA-C admission-control pipeline over
+// HTTP: clients POST task sets (the same JSON schema cmd/hydrac
+// reads) and receive versioned analysis reports. One long-lived
+// hydrac.Analyzer backs every request, so the report cache is shared
+// across clients — repeated admission checks of the same workload are
+// served from memory.
+//
+// Usage:
+//
+//	hydrad [-addr HOST:PORT] [-cache N] [-heuristic H]
+//	       [-baselines hydra,global-tmax,...] [-sim-horizon N] [-sim-seed S]
+//
+// Endpoints:
+//
+//	POST /v1/analyze        one task set in, one report envelope out
+//	POST /v1/analyze/batch  {"task_sets": [...]} in, a reports envelope out
+//	GET  /healthz           liveness + configuration summary
+//
+// Errors are JSON ({"error": "..."}): 400 for malformed or invalid
+// input, 405 for wrong methods, 413 for oversized bodies, 422 for
+// sets the pipeline rejects (an RT band that is infeasible under
+// Eq. 1 or that no heuristic can place). An unschedulable *security*
+// band is NOT an error — the report says so.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hydrac"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// maxBodyBytes bounds request bodies; the largest paper-scale task
+// sets encode to a few kilobytes, so a megabyte leaves two orders of
+// magnitude of headroom while keeping hostile payloads cheap.
+const maxBodyBytes = 1 << 20
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hydrad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	cacheSize := fs.Int("cache", 1024, "report cache entries (0 disables)")
+	heuristic := fs.String("heuristic", "best-fit", "partitioning heuristic: best-fit | first-fit | worst-fit | next-fit")
+	baselines := fs.String("baselines", "", "comma-separated baseline schemes to attach to every report (hydra, hydra-aggressive, hydra-tmax, global-tmax)")
+	simHorizon := fs.Int64("sim-horizon", 0, "when positive, simulate every admitted set for this many ticks")
+	simSeed := fs.Int64("sim-seed", 0, "seed for the simulation's jitter/variation randomness")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "hydrad: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	a, summary, err := buildAnalyzer(*cacheSize, *heuristic, *baselines, *simHorizon, *simSeed)
+	if err != nil {
+		fmt.Fprintln(stderr, "hydrad:", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "hydrad:", err)
+		return 1
+	}
+	srv := &http.Server{
+		Handler:           newHandler(a, summary),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "hydrad: listening on %s\n", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stderr, "hydrad: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(stderr, "hydrad:", err)
+			return 1
+		}
+		return 0
+	case err := <-errc:
+		fmt.Fprintln(stderr, "hydrad:", err)
+		return 1
+	}
+}
+
+// buildAnalyzer translates flags into Analyzer options and a summary
+// for /healthz.
+func buildAnalyzer(cacheSize int, heuristic, baselines string, simHorizon, simSeed int64) (*hydrac.Analyzer, map[string]any, error) {
+	var opts []hydrac.AnalyzerOption
+	summary := map[string]any{
+		"cache":     cacheSize,
+		"heuristic": heuristic,
+	}
+	h, err := hydrac.ParseHeuristic(heuristic)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts = append(opts, hydrac.WithHeuristic(h), hydrac.WithCache(cacheSize))
+	if baselines != "" {
+		var schemes []hydrac.Scheme
+		for _, name := range strings.Split(baselines, ",") {
+			sch, err := hydrac.ParseScheme(strings.TrimSpace(name))
+			if err != nil {
+				return nil, nil, err
+			}
+			schemes = append(schemes, sch)
+		}
+		opts = append(opts, hydrac.WithBaselines(schemes...))
+		summary["baselines"] = schemes
+	}
+	if simHorizon > 0 {
+		opts = append(opts, hydrac.WithSimulation(hydrac.SimConfig{
+			Policy: hydrac.SemiPartitioned, Horizon: simHorizon, Seed: simSeed,
+		}))
+		summary["sim_horizon"] = simHorizon
+	}
+	a, err := hydrac.New(opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, summary, nil
+}
+
+// server carries the shared analyzer behind the HTTP surface.
+type server struct {
+	analyzer *hydrac.Analyzer
+	summary  map[string]any
+}
+
+// newHandler wires the routes; separated from run so tests can mount
+// it on httptest servers.
+func newHandler(a *hydrac.Analyzer, summary map[string]any) http.Handler {
+	s := &server{analyzer: a, summary: summary}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.analyze)
+	mux.HandleFunc("/v1/analyze/batch", s.analyzeBatch)
+	mux.HandleFunc("/healthz", s.healthz)
+	return mux
+}
+
+// batchRequest is the body of POST /v1/analyze/batch. Each element is
+// one task set in the standard file schema.
+type batchRequest struct {
+	TaskSets []json.RawMessage `json:"task_sets"`
+}
+
+func (s *server) analyze(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	ts, err := hydrac.DecodeTaskSet(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, badRequestStatus(err), err)
+		return
+	}
+	rep, err := s.analyzer.Analyze(r.Context(), ts)
+	if err != nil {
+		writeAnalysisError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := hydrac.WriteReport(w, rep); err != nil {
+		// Headers are gone; nothing to do but note it server-side.
+		return
+	}
+}
+
+func (s *server) analyzeBatch(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, badRequestStatus(err), fmt.Errorf("decoding batch request: %w", err))
+		return
+	}
+	if len(req.TaskSets) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch request carries no task sets"))
+		return
+	}
+	sets := make([]*hydrac.TaskSet, len(req.TaskSets))
+	for i, raw := range req.TaskSets {
+		ts, err := hydrac.DecodeTaskSet(bytes.NewReader(raw))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("task set %d: %w", i, err))
+			return
+		}
+		sets[i] = ts
+	}
+	reps, err := s.analyzer.AnalyzeBatch(r.Context(), sets)
+	if err != nil {
+		writeAnalysisError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	hydrac.WriteReports(w, reps)
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"report_version": hydrac.ReportVersion,
+		"config":         s.summary,
+	})
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodPost {
+		return true
+	}
+	w.Header().Set("Allow", http.MethodPost)
+	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	return false
+}
+
+// writeAnalysisError maps pipeline failures: a dead client context is
+// not worth a response, everything else is the client's input.
+func writeAnalysisError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		return // the client hung up; the analysis was shed
+	}
+	writeError(w, http.StatusUnprocessableEntity, err)
+}
+
+// badRequestStatus distinguishes an oversized body (413) from plain
+// bad input (400).
+func badRequestStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

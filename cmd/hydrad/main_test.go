@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hydrac"
+	"hydrac/internal/rover"
+)
+
+func testHandler(t *testing.T, opts ...hydrac.AnalyzerOption) http.Handler {
+	t.Helper()
+	a, err := hydrac.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newHandler(a, map[string]any{"cache": 0})
+}
+
+func roverJSON(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := hydrac.EncodeTaskSet(&buf, rover.TaskSet()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t, hydrac.WithBaselines(hydrac.SchemeHydra)))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(roverJSON(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	rep, err := hydrac.ReadReport(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Schedulable {
+		t.Fatal("rover set reported unschedulable")
+	}
+	if len(rep.Tasks) != len(rover.TaskSet().Security) {
+		t.Fatalf("verdict count %d", len(rep.Tasks))
+	}
+	if len(rep.Baselines) != 1 || rep.Baselines[0].Scheme != hydrac.SchemeHydra {
+		t.Fatalf("baselines: %+v", rep.Baselines)
+	}
+	if rep.Timing == nil || rep.Timing.TotalNS <= 0 {
+		t.Fatal("report carries no timing")
+	}
+}
+
+func TestAnalyzeEndpointCacheAcrossRequests(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t, hydrac.WithCache(8)))
+	defer srv.Close()
+
+	post := func() *hydrac.Report {
+		resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(roverJSON(t)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		rep, err := hydrac.ReadReport(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if post().FromCache {
+		t.Fatal("first request claims a cache hit")
+	}
+	if !post().FromCache {
+		t.Fatal("second request missed the shared cache")
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t))
+	defer srv.Close()
+
+	one := json.RawMessage(roverJSON(t))
+	body, err := json.Marshal(map[string]any{"task_sets": []json.RawMessage{one, one, one}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/analyze/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	reps, err := hydrac.ReadReports(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("%d reports for 3 sets", len(reps))
+	}
+	for i, rep := range reps {
+		if !rep.Schedulable {
+			t.Fatalf("report %d unschedulable", i)
+		}
+		if rep.Timing != nil || rep.FromCache {
+			t.Fatalf("batch report %d carries per-call stamps", i)
+		}
+	}
+	// Identical inputs must yield identical reports.
+	a, _ := json.Marshal(reps[0])
+	b, _ := json.Marshal(reps[1])
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical task sets produced different reports")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status        string `json:"status"`
+		ReportVersion int    `json:"report_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.ReportVersion != hydrac.ReportVersion {
+		t.Fatalf("health: %+v", health)
+	}
+}
+
+func TestEndpointErrors(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t))
+	defer srv.Close()
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"get analyze", http.MethodGet, "/v1/analyze", "", http.StatusMethodNotAllowed},
+		{"put batch", http.MethodPut, "/v1/analyze/batch", "{}", http.StatusMethodNotAllowed},
+		{"post healthz", http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
+		{"garbage", http.MethodPost, "/v1/analyze", "not json", http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/analyze", `{"cores": 1, "bogus": true}`, http.StatusBadRequest},
+		{"invalid set", http.MethodPost, "/v1/analyze", `{"cores": 0}`, http.StatusBadRequest},
+		{"empty batch", http.MethodPost, "/v1/analyze/batch", `{"task_sets": []}`, http.StatusBadRequest},
+		{"bad batch member", http.MethodPost, "/v1/analyze/batch", `{"task_sets": [{"cores": 0}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				body, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Fatalf("error body malformed: %v", err)
+			}
+		})
+	}
+}
+
+func TestUnschedulableIsSemanticError(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t))
+	defer srv.Close()
+
+	// An RT band nothing can host: partitioning fails, so the
+	// pipeline itself errors — 422, not 500.
+	body := `{"cores": 1, "rt_tasks": [
+		{"name": "a", "wcet": 90, "period": 100, "core": -1},
+		{"name": "b", "wcet": 90, "period": 100, "core": -1}],
+		"security_tasks": [{"name": "s", "wcet": 1, "max_period": 1000}]}`
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+
+	// A set that partitions but admits no periods is NOT an error:
+	// 200 with schedulable=false.
+	tight := `{"cores": 1, "rt_tasks": [
+		{"name": "a", "wcet": 70, "period": 100, "core": 0}],
+		"security_tasks": [{"name": "s", "wcet": 500, "max_period": 600}]}`
+	resp2, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(tight))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("status %d: %s", resp2.StatusCode, b)
+	}
+	rep, err := hydrac.ReadReport(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable {
+		t.Fatal("hopeless set reported schedulable")
+	}
+}
+
+func TestOversizedBody(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t))
+	defer srv.Close()
+	big := fmt.Sprintf(`{"cores": 1, "meta": {"pad": %q}}`, strings.Repeat("x", maxBodyBytes))
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestRunFlagHandling(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d", code)
+	}
+	if !strings.Contains(errb.String(), "-addr") {
+		t.Fatalf("usage not printed:\n%s", errb.String())
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+	if code := run([]string{"-heuristic", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad heuristic exited %d, want 2", code)
+	}
+	if code := run([]string{"-baselines", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad baseline exited %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &out, &errb); code != 2 {
+		t.Fatalf("stray argument exited %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.256.256.256:99999"}, &out, &errb); code != 1 {
+		t.Fatalf("unbindable address exited %d, want 1", code)
+	}
+}

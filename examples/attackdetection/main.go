@@ -9,12 +9,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"hydrac/internal/baseline"
-	"hydrac/internal/core"
+	"hydrac"
 	"hydrac/internal/ids"
 	"hydrac/internal/rover"
 	"hydrac/internal/sim"
@@ -54,20 +54,33 @@ func main() {
 		store.Name(victim), twAttack, ids.RootkitName(1), kmAttack)
 
 	ts := rover.TaskSet()
+	ctx := context.Background()
+	analyzer, err := hydrac.New()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// HYDRA-C: Algorithm 1 periods, migrating security band.
-	cres, err := core.SelectPeriods(ts, core.Options{})
-	if err != nil || !cres.Schedulable {
+	rep, err := analyzer.Analyze(ctx, ts)
+	if err != nil || !rep.Schedulable {
 		log.Fatal("HYDRA-C configuration failed: ", err)
 	}
-	report("HYDRA-C", core.Apply(ts, cres), sim.SemiPartitioned, store.Len(), twAttack, kmAttack, victim)
+	configured, err := rep.ApplyTo(ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("HYDRA-C", configured, sim.SemiPartitioned, store.Len(), twAttack, kmAttack, victim)
 
 	// HYDRA: greedy partitioned baseline on the same scenario.
-	hres, err := baseline.HydraAggressive(ts)
-	if err != nil || !hres.Schedulable {
+	hv, err := analyzer.Baseline(ctx, ts, hydrac.SchemeHydraAggressive)
+	if err != nil || !hv.Schedulable {
 		log.Fatal("HYDRA configuration failed: ", err)
 	}
-	report("HYDRA", baseline.ApplyPartitioned(ts, hres), sim.FullyPartitioned, store.Len(), twAttack, kmAttack, victim)
+	pinned, err := hv.ApplyTo(ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("HYDRA", pinned, sim.FullyPartitioned, store.Len(), twAttack, kmAttack, victim)
 }
 
 func report(scheme string, ts *task.Set, policy sim.Policy, objects int, twAttack, kmAttack task.Time, victim int) {

@@ -11,12 +11,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
+	"hydrac"
 	"hydrac/internal/canbus"
-	"hydrac/internal/core"
 	"hydrac/internal/sim"
 	"hydrac/internal/task"
 )
@@ -38,23 +39,31 @@ func main() {
 			{Name: "fwcheck", WCET: 55, MaxPeriod: 5000, Priority: 1, Core: -1},
 		},
 	}
-	res, err := core.SelectPeriods(ts, core.Options{})
+	analyzer, err := hydrac.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Schedulable {
+	rep, err := analyzer.Analyze(context.Background(), ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep.Schedulable {
 		log.Fatal("gateway task set unschedulable")
 	}
 	var idsPeriod task.Time
-	for i, s := range ts.Security {
-		fmt.Printf("%-8s T*=%-5d ms (Tmax %d)\n", s.Name, res.Periods[i], s.MaxPeriod)
-		if s.Name == "canids" {
-			idsPeriod = res.Periods[i]
+	for _, v := range rep.Tasks {
+		fmt.Printf("%-8s T*=%-5d ms (Tmax %d)\n", v.Name, v.Period, v.MaxPeriod)
+		if v.Name == "canids" {
+			idsPeriod = v.Period
 		}
 	}
 
 	const horizon = 30000
-	out, err := sim.Run(core.Apply(ts, res), sim.Config{
+	configured, err := rep.ApplyTo(ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sim.Run(configured, sim.Config{
 		Policy: sim.SemiPartitioned, Horizon: horizon, RecordIntervals: true,
 	})
 	if err != nil {

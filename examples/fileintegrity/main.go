@@ -10,11 +10,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"hydrac/internal/core"
+	"hydrac"
 	"hydrac/internal/ids"
 	"hydrac/internal/rover"
 	"hydrac/internal/sim"
@@ -27,18 +28,25 @@ func main() {
 	// The rover platform: navigation + camera RT tasks, Tripwire and
 	// the kernel-module checker as security tasks.
 	ts := rover.TaskSet()
-	res, err := core.SelectPeriods(ts, core.Options{})
+	analyzer, err := hydrac.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Schedulable {
+	rep, err := analyzer.Analyze(context.Background(), ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep.Schedulable {
 		log.Fatal("rover set unschedulable")
 	}
-	configured := core.Apply(ts, res)
+	configured, err := rep.ApplyTo(ts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var twPeriod task.Time
-	for i, s := range ts.Security {
-		if s.Name == "tripwire" {
-			twPeriod = res.Periods[i]
+	for _, v := range rep.Tasks {
+		if v.Name == "tripwire" {
+			twPeriod = v.Period
 		}
 	}
 	fmt.Printf("tripwire period selected by Algorithm 1: %d ms\n", twPeriod)

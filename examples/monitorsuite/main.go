@@ -10,11 +10,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"hydrac/internal/core"
+	"hydrac"
 	"hydrac/internal/ids"
 	"hydrac/internal/sim"
 	"hydrac/internal/task"
@@ -38,20 +39,28 @@ func main() {
 			{Name: "fscheck", WCET: 420, MaxPeriod: 8000, Priority: 3, Core: -1},
 		},
 	}
-	res, err := core.SelectPeriods(ts, core.Options{})
+	analyzer, err := hydrac.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Schedulable {
+	rep, err := analyzer.Analyze(context.Background(), ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep.Schedulable {
 		log.Fatal("monitor suite does not fit — relax Tmax bounds")
 	}
 	fmt.Println("periods selected by HYDRA-C (Table 1 monitor classes):")
-	for i, s := range ts.Security {
+	for _, v := range rep.Tasks {
 		fmt.Printf("  %-10s C=%-4d T*=%-5d (Tmax %d)  %.2f Hz\n",
-			s.Name, s.WCET, res.Periods[i], s.MaxPeriod, 1000/float64(res.Periods[i]))
+			v.Name, wcetOf(ts, v.Name), v.Period, v.MaxPeriod, 1000/float64(v.Period))
 	}
 
-	out, err := sim.Run(core.Apply(ts, res), sim.Config{
+	configured, err := rep.ApplyTo(ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sim.Run(configured, sim.Config{
 		Policy: sim.SemiPartitioned, Horizon: 30000, RecordIntervals: true,
 	})
 	if err != nil {
@@ -151,4 +160,14 @@ func report(mon, attack string, at, detect task.Time) {
 		return
 	}
 	fmt.Printf("%-10s %-20s at t=%-6d detected t=%-6d latency %d ms\n", mon, attack, at, detect, detect-at)
+}
+
+// wcetOf looks a security task's WCET up by name.
+func wcetOf(ts *task.Set, name string) task.Time {
+	for _, s := range ts.Security {
+		if s.Name == name {
+			return s.WCET
+		}
+	}
+	return 0
 }

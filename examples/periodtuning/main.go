@@ -9,30 +9,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"hydrac/internal/core"
-	"hydrac/internal/task"
+	"hydrac"
 )
 
 func main() {
+	// One analyzer serves every sweep below; with a cache sized for
+	// the sweep, repeated configurations are free.
+	a, err := hydrac.New(hydrac.WithCache(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	fmt.Println("— sweep 1: one scanner (C=40) vs RT load, Tmax=2000 —")
 	fmt.Printf("%-12s %-14s %-10s\n", "RT util/core", "scanner T*", "frequency")
-	for load := task.Time(10); load <= 80; load += 10 {
+	for load := hydrac.Time(10); load <= 80; load += 10 {
 		ts := platform(load)
-		ts.Security = []task.SecurityTask{
+		ts.Security = []hydrac.SecurityTask{
 			{Name: "scanner", WCET: 40, MaxPeriod: 2000, Priority: 0, Core: -1},
 		}
-		res, err := core.SelectPeriods(ts, core.Options{})
+		rep, err := a.Analyze(ctx, ts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !res.Schedulable {
+		if !rep.Schedulable {
 			fmt.Printf("%-12.2f UNSCHEDULABLE\n", float64(load)/100)
 			continue
 		}
-		fmt.Printf("%-12.2f %-14d %.2f Hz\n", float64(load)/100, res.Periods[0], 1000/float64(res.Periods[0]))
+		fmt.Printf("%-12.2f %-14d %.2f Hz\n", float64(load)/100, rep.Tasks[0].Period, 1000/float64(rep.Tasks[0].Period))
 	}
 
 	fmt.Println()
@@ -41,51 +49,55 @@ func main() {
 	for n := 1; n <= 6; n++ {
 		ts := platform(40)
 		for i := 0; i < n; i++ {
-			ts.Security = append(ts.Security, task.SecurityTask{
+			ts.Security = append(ts.Security, hydrac.SecurityTask{
 				Name: fmt.Sprintf("mon%d", i), WCET: 40,
 				MaxPeriod: 3000, Priority: i, Core: -1,
 			})
 		}
-		res, err := core.SelectPeriods(ts, core.Options{})
+		rep, err := a.Analyze(ctx, ts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !res.Schedulable {
+		if !rep.Schedulable {
 			fmt.Printf("%-8d UNSCHEDULABLE within Tmax=3000\n", n)
 			continue
 		}
-		fmt.Printf("%-8d %v\n", n, res.Periods)
+		periods := make([]hydrac.Time, n)
+		for i, v := range rep.Tasks {
+			periods[i] = v.Period
+		}
+		fmt.Printf("%-8d %v\n", n, periods)
 	}
 
 	fmt.Println()
 	fmt.Println("— sweep 3: Tmax sensitivity for the rover tripwire —")
 	fmt.Printf("%-10s %-12s %-12s\n", "Tmax", "T*", "verdict")
-	for tmax := task.Time(6000); tmax <= 14000; tmax += 2000 {
+	for tmax := hydrac.Time(6000); tmax <= 14000; tmax += 2000 {
 		ts := platform(48) // navigation-like load on core 0
 		ts.RT[1].WCET = 1120
 		ts.RT[1].Period = 5000
 		ts.RT[1].Deadline = 5000
-		ts.Security = []task.SecurityTask{
+		ts.Security = []hydrac.SecurityTask{
 			{Name: "tripwire", WCET: 5342, MaxPeriod: tmax, Priority: 0, Core: -1},
 		}
-		res, err := core.SelectPeriods(ts, core.Options{})
+		rep, err := a.Analyze(ctx, ts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !res.Schedulable {
+		if !rep.Schedulable {
 			fmt.Printf("%-10d %-12s %s\n", tmax, "-", "unschedulable — raise Tmax or shed RT load")
 			continue
 		}
-		fmt.Printf("%-10d %-12d schedulable\n", tmax, res.Periods[0])
+		fmt.Printf("%-10d %-12d schedulable\n", tmax, rep.Tasks[0].Period)
 	}
 }
 
 // platform builds a two-core system whose per-core RT utilisation is
 // load/100: one task of period 100 on each core.
-func platform(load task.Time) *task.Set {
-	return &task.Set{
+func platform(load hydrac.Time) *hydrac.TaskSet {
+	return &hydrac.TaskSet{
 		Cores: 2,
-		RT: []task.RTTask{
+		RT: []hydrac.RTTask{
 			{Name: "rt0", WCET: load, Period: 100, Deadline: 100, Core: 0, Priority: 0},
 			{Name: "rt1", WCET: load, Period: 100, Deadline: 100, Core: 1, Priority: 1},
 		},

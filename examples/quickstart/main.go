@@ -1,59 +1,77 @@
-// Quickstart: integrate two security tasks into a legacy two-core
-// real-time system with HYDRA-C, in five steps:
+// Quickstart: integrate a security monitor into a legacy two-core
+// real-time system with HYDRA-C, through the service API:
 //
 //  1. describe the partitioned RT tasks and the security tasks,
-//  2. run Algorithm 1 to pick the security periods,
-//  3. apply the periods,
-//  4. simulate the semi-partitioned schedule,
-//  5. inspect the schedule as a Gantt chart.
+//  2. build an Analyzer (one per process; it is concurrency-safe and
+//     caches reports across calls),
+//  3. Analyze — validation, Algorithm 1 period selection and a
+//     simulation run in one call, one structured Report out,
+//  4. apply the report and render the schedule as a Gantt chart.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"hydrac/internal/core"
-	"hydrac/internal/sim"
-	"hydrac/internal/task"
+	"hydrac"
 )
 
 func main() {
 	// Step 1 — the legacy system: two RT tasks pinned to two cores
 	// (the paper's Fig. 1 setup), plus one security monitor to
 	// integrate. Times are in ticks (think milliseconds).
-	ts := &task.Set{
+	ts := &hydrac.TaskSet{
 		Cores: 2,
-		RT: []task.RTTask{
+		RT: []hydrac.RTTask{
 			{Name: "control", WCET: 12, Period: 40, Deadline: 40, Core: 0, Priority: 0},
 			{Name: "vision", WCET: 25, Period: 100, Deadline: 100, Core: 1, Priority: 1},
 		},
-		Security: []task.SecurityTask{
+		Security: []hydrac.SecurityTask{
 			{Name: "scanner", WCET: 30, MaxPeriod: 500, Priority: 0, Core: -1},
 		},
 	}
 
-	// Step 2 — period selection: as frequent as schedulability allows.
-	res, err := core.SelectPeriods(ts, core.Options{})
+	// Step 2 — the analyzer: period selection plus a 400-tick
+	// semi-partitioned simulation of every admitted set.
+	a, err := hydrac.New(
+		hydrac.WithSimulation(hydrac.SimConfig{
+			Policy:  hydrac.SemiPartitioned,
+			Horizon: 400,
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Schedulable {
+
+	// Step 3 — analyze: as frequent as schedulability allows.
+	rep, err := a.Analyze(context.Background(), ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep.Schedulable {
 		log.Fatal("the security task cannot meet its Tmax bound on this platform")
 	}
-	for i, s := range ts.Security {
+	for _, v := range rep.Tasks {
 		fmt.Printf("%s: period %d ticks (WCRT %d, designer bound %d)\n",
-			s.Name, res.Periods[i], res.Resp[i], s.MaxPeriod)
+			v.Name, v.Period, v.WCRT, v.MaxPeriod)
 	}
+	s := rep.Simulation
+	fmt.Printf("\nsimulated %d ticks: %d context switches, %d migrations, "+
+		"deadline misses RT %d / security %d\n",
+		s.Horizon, s.ContextSwitches, s.Migrations,
+		s.RTDeadlineMisses, s.SecurityDeadlineMisses)
 
-	// Step 3 — apply the chosen periods.
-	configured := core.Apply(ts, res)
-
-	// Step 4 — simulate: the scanner runs below the RT tasks and hops
-	// to whichever core is idle.
-	out, err := sim.Run(configured, sim.Config{
-		Policy:          sim.SemiPartitioned,
+	// Step 4 — look at the schedule: apply the selected periods and
+	// re-run with interval recording for the chart.
+	configured, err := rep.ApplyTo(ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := hydrac.Simulate(configured, hydrac.SimConfig{
+		Policy:          hydrac.SemiPartitioned,
 		Horizon:         400,
 		RecordIntervals: true,
 	})
@@ -61,9 +79,5 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println()
-	fmt.Print(out.Summary())
-
-	// Step 5 — look at the schedule.
-	fmt.Println()
-	fmt.Print(sim.Gantt(out, 0, 400, 4))
+	fmt.Print(hydrac.Gantt(out, 0, 400, 4))
 }

@@ -10,7 +10,29 @@
 // period is minimised — the monitor runs as often as possible — while
 // every schedulability guarantee is preserved.
 //
-// This root package is a façade over the implementation packages:
+// The public API is the Analyzer, a long-lived, concurrency-safe
+// service object running the whole admission pipeline (validate →
+// partition → Algorithm 1 period selection → baselines → simulation)
+// and returning one structured Report per task set:
+//
+//	a, err := hydrac.New(
+//		hydrac.WithBaselines(hydrac.SchemeHydra),
+//		hydrac.WithSimulation(hydrac.SimConfig{Horizon: 60000}),
+//		hydrac.WithCache(1024),
+//	)
+//	rep, err := a.Analyze(ctx, ts)
+//	if err != nil || !rep.Schedulable { … }
+//	for _, v := range rep.Tasks {
+//		fmt.Println(v.Name, v.Period, v.WCRT)
+//	}
+//
+// AnalyzeBatch fans a bulk admission check out over all cores with
+// deterministic results; cmd/hydrad serves the same pipeline over
+// HTTP (POST /v1/analyze). The one-shot functions below (SelectPeriods,
+// Hydra, Simulate, …) predate the Analyzer and remain as thin
+// deprecated wrappers.
+//
+// Implementation packages:
 //
 //	internal/task       task model (RT + security, integer ticks)
 //	internal/rta        uniprocessor response-time analysis (Eq. 1)
@@ -20,26 +42,20 @@
 //	internal/gen        Table-3 synthetic workload generator
 //	internal/seed       per-item RNG seed derivation (splitmix64)
 //	internal/sweep      parallel sweep engine (deterministic sharding)
+//	internal/lru        concurrency-safe LRU for the report cache
 //	internal/sim        discrete-event multicore scheduler
 //	internal/ids        integrity/rootkit detection substrate
 //	internal/rover      the paper's rover platform and Fig. 5 trials
 //	internal/experiments  figure-by-figure reproduction harness
-//
-// A minimal integration looks like:
-//
-//	ts := &hydrac.TaskSet{Cores: 2, RT: …, Security: …}
-//	res, err := hydrac.SelectPeriods(ts, hydrac.Options{})
-//	if err != nil || !res.Schedulable { … }
-//	configured := hydrac.Apply(ts, res)
-//	out, err := hydrac.Simulate(configured, hydrac.SimConfig{
-//		Policy: hydrac.SemiPartitioned, Horizon: 60000,
-//	})
 //
 // See examples/ for runnable scenarios and DESIGN.md for the full
 // system inventory.
 package hydrac
 
 import (
+	"context"
+	"io"
+
 	"hydrac/internal/baseline"
 	"hydrac/internal/core"
 	"hydrac/internal/partition"
@@ -52,6 +68,8 @@ type (
 	// Time is an instant or duration in integer clock ticks.
 	Time = task.Time
 	// TaskSet is a complete system: cores, RT tasks, security tasks.
+	// Validate, Hash, Clone and the utilisation helpers are promoted
+	// from the underlying type.
 	TaskSet = task.Set
 	// RTTask is a partitioned hard real-time task (C, T, D).
 	RTTask = task.RTTask
@@ -59,22 +77,66 @@ type (
 	SecurityTask = task.SecurityTask
 )
 
+// DecodeTaskSet reads a task set from its JSON file format (the same
+// schema cmd/hydrac and cmd/hydrad speak). Missing deadlines default
+// to the period; missing priorities default to rate-monotonic (RT)
+// and max-period-monotonic (security) order. The set is validated.
+func DecodeTaskSet(r io.Reader) (*TaskSet, error) { return task.Decode(r) }
+
+// EncodeTaskSet writes a task set as indented JSON in the file format
+// DecodeTaskSet reads.
+func EncodeTaskSet(w io.Writer, ts *TaskSet) error { return task.Encode(w, ts) }
+
 // Period selection (the paper's primary contribution).
 type (
-	// Options tunes SelectPeriods; the zero value is the paper's
+	// Options tunes Algorithm 1; the zero value is the paper's
 	// configuration.
 	Options = core.Options
 	// Result carries the selected periods and response times.
+	//
+	// Deprecated: new code should read the richer Report returned by
+	// Analyzer.Analyze.
 	Result = core.Result
 )
 
 // SelectPeriods runs Algorithm 1: minimum feasible periods for the
-// security tasks of ts under semi-partitioned scheduling.
+// security tasks of ts under semi-partitioned scheduling. Unlike the
+// original one-shot function it accepts unpartitioned RT tasks and
+// places them best-fit first.
+//
+// Deprecated: build an Analyzer once and call Analyze; it adds
+// context cancellation, caching, baselines and batching.
 func SelectPeriods(ts *TaskSet, opt Options) (*Result, error) {
-	return core.SelectPeriods(ts, opt)
+	a, err := New(WithOptions(opt))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := a.Analyze(context.Background(), ts)
+	if err != nil {
+		return nil, err
+	}
+	return rep.toResult(), nil
+}
+
+// toResult converts a report back to the legacy Result shape.
+func (r *Report) toResult() *Result {
+	if !r.Schedulable {
+		return &Result{}
+	}
+	res := &Result{
+		Schedulable: true,
+		Periods:     make([]Time, len(r.Tasks)),
+		Resp:        make([]Time, len(r.Tasks)),
+	}
+	for i, v := range r.Tasks {
+		res.Periods[i], res.Resp[i] = v.Period, v.WCRT
+	}
+	return res
 }
 
 // Apply writes selected periods into a clone of ts.
+//
+// Deprecated: use Report.ApplyTo.
 func Apply(ts *TaskSet, res *Result) *TaskSet { return core.Apply(ts, res) }
 
 // Baseline schemes of the paper's evaluation.
@@ -82,21 +144,71 @@ type PartitionedResult = baseline.PartitionedResult
 
 // Hydra is the DATE 2018 fully partitioned baseline (greedy placement
 // with per-core period optimisation).
-func Hydra(ts *TaskSet) (*PartitionedResult, error) { return baseline.Hydra(ts) }
+//
+// Deprecated: use Analyzer.Baseline(ctx, ts, SchemeHydra), or
+// WithBaselines to attach the verdict to every report.
+func Hydra(ts *TaskSet) (*PartitionedResult, error) {
+	return legacyPartitioned(ts, SchemeHydra)
+}
 
 // HydraAggressive pins each period to its WCRT on placement — the
 // paper's verbatim description of HYDRA's greedy.
-func HydraAggressive(ts *TaskSet) (*PartitionedResult, error) { return baseline.HydraAggressive(ts) }
+//
+// Deprecated: use Analyzer.Baseline with SchemeHydraAggressive.
+func HydraAggressive(ts *TaskSet) (*PartitionedResult, error) {
+	return legacyPartitioned(ts, SchemeHydraAggressive)
+}
 
 // HydraTMax keeps the partitioned placement with periods at Tmax.
-func HydraTMax(ts *TaskSet) (*PartitionedResult, error) { return baseline.HydraTMax(ts) }
+//
+// Deprecated: use Analyzer.Baseline with SchemeHydraTMax.
+func HydraTMax(ts *TaskSet) (*PartitionedResult, error) {
+	return legacyPartitioned(ts, SchemeHydraTMax)
+}
+
+func legacyPartitioned(ts *TaskSet, scheme Scheme) (*PartitionedResult, error) {
+	a, err := New()
+	if err != nil {
+		return nil, err
+	}
+	v, err := a.Baseline(context.Background(), ts, scheme)
+	if err != nil {
+		return nil, err
+	}
+	res := &PartitionedResult{Schedulable: v.Schedulable}
+	for _, t := range v.Tasks {
+		res.Periods = append(res.Periods, t.Period)
+		res.Resp = append(res.Resp, t.WCRT)
+		res.Cores = append(res.Cores, t.Core)
+	}
+	return res, nil
+}
 
 // GlobalResult carries GLOBAL-TMax response times.
 type GlobalResult = baseline.GlobalResult
 
 // GlobalTMax checks global fixed-priority schedulability with periods
 // at Tmax.
-func GlobalTMax(ts *TaskSet) (*GlobalResult, error) { return baseline.GlobalTMax(ts) }
+//
+// Deprecated: use Analyzer.Baseline with SchemeGlobalTMax.
+func GlobalTMax(ts *TaskSet) (*GlobalResult, error) {
+	a, err := New()
+	if err != nil {
+		return nil, err
+	}
+	v, err := a.Baseline(context.Background(), ts, SchemeGlobalTMax)
+	if err != nil {
+		return nil, err
+	}
+	res := &GlobalResult{Schedulable: v.Schedulable}
+	for _, t := range v.RT {
+		res.RTResp = append(res.RTResp, t.WCRT)
+	}
+	for _, t := range v.Tasks {
+		res.SecResp = append(res.SecResp, t.WCRT)
+	}
+	return res, nil
+}
 
 // RT task partitioning.
 type PartitionHeuristic = partition.Heuristic
@@ -110,6 +222,9 @@ const (
 )
 
 // Partition assigns the RT tasks of ts to cores in place.
+//
+// Deprecated: the Analyzer partitions unassigned sets automatically
+// (configure the heuristic with WithHeuristic).
 func Partition(ts *TaskSet, h PartitionHeuristic) error { return partition.Assign(ts, h) }
 
 // Simulation.
@@ -134,7 +249,15 @@ const (
 )
 
 // Simulate runs the discrete-event scheduler on a configured set.
+// For the summary quantities alone, prefer WithSimulation, which
+// attaches them to every admitted report; Simulate remains the door
+// to full traces (JobLog, Gantt).
 func Simulate(ts *TaskSet, cfg SimConfig) (*SimResult, error) { return sim.Run(ts, cfg) }
+
+// SimulateCtx is Simulate with cancellation.
+func SimulateCtx(ctx context.Context, ts *TaskSet, cfg SimConfig) (*SimResult, error) {
+	return sim.RunCtx(ctx, ts, cfg)
+}
 
 // Gantt renders an ASCII schedule chart from a traced run.
 func Gantt(r *SimResult, from, to, step Time) string { return sim.Gantt(r, from, to, step) }

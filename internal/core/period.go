@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -44,6 +45,18 @@ type Options struct {
 // The returned periods and response times follow the order of
 // ts.Security. The input set is not modified.
 func SelectPeriods(ts *task.Set, opt Options) (*Result, error) {
+	return SelectPeriodsCtx(context.Background(), ts, opt)
+}
+
+// SelectPeriodsCtx is SelectPeriods with cancellation: the search is
+// abandoned between priority levels and between binary-search probes
+// when ctx is done, returning ctx.Err(). Analysis of a large set can
+// take seconds; a service serving many clients needs to shed the work
+// of a caller that hung up.
+func SelectPeriodsCtx(ctx context.Context, ts *task.Set, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,12 +95,18 @@ func SelectPeriods(ts *task.Set, opt Options) (*Result, error) {
 		// Lines 5–9: from highest to lowest priority, shrink each
 		// period as far as every lower-priority task tolerates.
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			lo, hi := resp[i], sec[i].MaxPeriod
 			var star task.Time
 			if opt.LinearSearch {
-				star = linearMinPeriod(sys, sec, periods, resp, i, lo, hi, opt.CarryIn)
+				star = linearMinPeriod(ctx, sys, sec, periods, resp, i, lo, hi, opt.CarryIn)
 			} else {
-				star = logMinPeriod(sys, sec, periods, resp, i, lo, hi, opt.CarryIn)
+				star = logMinPeriod(ctx, sys, sec, periods, resp, i, lo, hi, opt.CarryIn)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 			periods[i] = star
 			// Line 8: refresh the WCRT of every lower-priority task
@@ -112,9 +131,12 @@ func SelectPeriods(ts *task.Set, opt Options) (*Result, error) {
 // lower-priority security task schedulable (Rj ≤ Tmax_j). hi (= Tmax)
 // is always feasible because Algorithm 1 verified it first, so the
 // feasible set initialised with {Tmax} is never empty.
-func logMinPeriod(sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
+func logMinPeriod(ctx context.Context, sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
 	star := hi // T̂s initialised to {Tmax}; its minimum so far.
 	for lo <= hi {
+		if ctx.Err() != nil {
+			return star // the caller surfaces ctx.Err()
+		}
 		mid := (lo + hi) / 2
 		if lowerPrioritySchedulable(sys, sec, periods, resp, i, mid, mode) {
 			if mid < star {
@@ -130,9 +152,12 @@ func logMinPeriod(sys *System, sec []task.SecurityTask, periods, resp []task.Tim
 
 // linearMinPeriod scans downward from hi; it is the brute-force oracle
 // for Algorithm 2 and the ablation benchmark.
-func linearMinPeriod(sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
+func linearMinPeriod(ctx context.Context, sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
 	star := hi
 	for t := hi; t >= lo; t-- {
+		if ctx.Err() != nil {
+			return star // the caller surfaces ctx.Err()
+		}
 		if !lowerPrioritySchedulable(sys, sec, periods, resp, i, t, mode) {
 			break
 		}

@@ -8,6 +8,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -62,6 +63,16 @@ func (e ErrInfeasible) Error() string {
 // field is set; on failure the set is left unmodified and an
 // ErrInfeasible is returned.
 func Assign(ts *task.Set, h Heuristic) error {
+	return AssignCtx(context.Background(), ts, h)
+}
+
+// AssignCtx is Assign with cancellation: placement is abandoned
+// between tasks when ctx is done, returning ctx.Err() with the set
+// unmodified.
+func AssignCtx(ctx context.Context, ts *task.Set, h Heuristic) error {
+	if err := ts.Validate(); err != nil {
+		return err
+	}
 	order := make([]int, len(ts.RT))
 	for i := range order {
 		order[i] = i
@@ -80,6 +91,9 @@ func Assign(ts *task.Set, h Heuristic) error {
 	last := 0 // next-fit cursor
 
 	for _, i := range order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t := ts.RT[i]
 		best := -1
 		var bestKey float64

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -154,6 +155,17 @@ func (j *job) before(o *job) bool {
 // carry an assigned period; FullyPartitioned additionally requires
 // security core bindings.
 func Run(ts *task.Set, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), ts, cfg)
+}
+
+// RunCtx is Run with cancellation: the event loop checks ctx every
+// few scheduling events and aborts with ctx.Err() when it is done.
+// Long horizons over large sets simulate millions of events; a caller
+// that timed out must not keep a core busy to the horizon.
+func RunCtx(ctx context.Context, ts *task.Set, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,12 +211,13 @@ func Run(ts *task.Set, cfg Config) (*Result, error) {
 	if cfg.ReleaseJitter < 0 {
 		return nil, fmt.Errorf("sim: negative release jitter %d", cfg.ReleaseJitter)
 	}
-	eng := &engine{cfg: cfg, cores: ts.Cores, infos: infos, rng: rand.New(rand.NewSource(cfg.Seed))}
+	eng := &engine{ctx: ctx, cfg: cfg, cores: ts.Cores, infos: infos, rng: rand.New(rand.NewSource(cfg.Seed))}
 	return eng.run()
 }
 
 // engine holds the mutable simulation state.
 type engine struct {
+	ctx   context.Context
 	cfg   Config
 	cores int
 	infos []*taskInfo
@@ -227,7 +240,16 @@ func (e *engine) run() (*Result, error) {
 	e.running = make([]*job, e.cores)
 	e.result = newResult(e.cores, e.cfg.Horizon)
 
+	// Cancellation is polled every eventsPerCtxCheck events, not every
+	// event: ctx.Err() takes a lock and the loop body is only a few
+	// microseconds for small sets.
+	events := 0
 	for e.now < e.cfg.Horizon {
+		if events++; events&(eventsPerCtxCheck-1) == 0 {
+			if err := e.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e.releaseDue()
 		prev := append([]*job(nil), e.running...)
 		e.dispatch()
@@ -253,6 +275,10 @@ func (e *engine) run() (*Result, error) {
 	e.finishOpenJobs()
 	return e.result, nil
 }
+
+// eventsPerCtxCheck is the cancellation polling stride; a power of two
+// so the check compiles to a mask.
+const eventsPerCtxCheck = 1024
 
 // alertWCET returns the escalated demand for a job of the named task
 // released at rel, or 0 when no mode switch applies.

@@ -25,6 +25,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -54,6 +55,10 @@ type Config struct {
 	// chunks complete. Calls are serialised; done is monotone and
 	// reaches total on success.
 	Progress func(done, total int)
+	// Context, when non-nil, cancels the run: workers stop picking up
+	// chunks once it is done, in-flight items finish, and Run returns
+	// Context.Err(). A nil Context never cancels.
+	Context context.Context
 }
 
 // Run executes proc on every item of the grid and returns the ordered
@@ -72,10 +77,14 @@ func Run[P any](cfg Config, newPartial func() P, proc func(p P, it Item) error, 
 	if cfg.Groups < 0 || cfg.PerGroup < 0 {
 		return zero, fmt.Errorf("sweep: negative grid %d×%d", cfg.Groups, cfg.PerGroup)
 	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := newPartial()
 	total := cfg.Groups * cfg.PerGroup
 	if total == 0 {
-		return out, nil
+		return out, ctx.Err()
 	}
 
 	workers := cfg.Workers
@@ -114,6 +123,10 @@ func Run[P any](cfg Config, newPartial func() P, proc func(p P, it Item) error, 
 				if c >= nChunks || failed.Load() {
 					return
 				}
+				if ctx.Err() != nil {
+					failed.Store(true)
+					return
+				}
 				p := newPartial()
 				partials[c] = p
 				lo := c * chunk
@@ -143,6 +156,9 @@ func Run[P any](cfg Config, newPartial func() P, proc func(p P, it Item) error, 
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
 	for c := 0; c < nChunks; c++ {
 		if errs[c] != nil {
 			return zero, errs[c]

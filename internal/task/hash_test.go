@@ -1,0 +1,75 @@
+package task
+
+import (
+	"regexp"
+	"testing"
+)
+
+func hashSet() *Set {
+	return &Set{
+		Cores: 2,
+		RT: []RTTask{
+			{Name: "a", WCET: 2, Period: 10, Deadline: 10, Core: 0, Priority: 0},
+			{Name: "b", WCET: 3, Period: 20, Deadline: 20, Core: 1, Priority: 1},
+		},
+		Security: []SecurityTask{
+			{Name: "s1", WCET: 5, MaxPeriod: 100, Priority: 0, Core: -1},
+			{Name: "s2", WCET: 7, MaxPeriod: 200, Priority: 1, Core: -1},
+		},
+	}
+}
+
+func TestHashStableAndHex(t *testing.T) {
+	h1, h2 := hashSet().Hash(), hashSet().Hash()
+	if h1 != h2 {
+		t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(h1) {
+		t.Fatalf("hash is not 64 hex chars: %q", h1)
+	}
+	if c := hashSet().Clone(); c.Hash() != h1 {
+		t.Fatal("clone hashes differently")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := hashSet().Hash()
+	mutations := map[string]func(*Set){
+		"cores":        func(s *Set) { s.Cores = 3 },
+		"rt wcet":      func(s *Set) { s.RT[0].WCET++ },
+		"rt period":    func(s *Set) { s.RT[1].Period++ },
+		"rt deadline":  func(s *Set) { s.RT[1].Deadline-- },
+		"rt core":      func(s *Set) { s.RT[0].Core = 1 },
+		"rt priority":  func(s *Set) { s.RT[0].Priority = 7 },
+		"rt name":      func(s *Set) { s.RT[0].Name = "a2" },
+		"sec wcet":     func(s *Set) { s.Security[0].WCET++ },
+		"sec period":   func(s *Set) { s.Security[0].Period = 50 },
+		"sec tmax":     func(s *Set) { s.Security[1].MaxPeriod++ },
+		"sec priority": func(s *Set) { s.Security[0].Priority = 5 },
+		"sec core":     func(s *Set) { s.Security[0].Core = 0 },
+		"sec name":     func(s *Set) { s.Security[1].Name = "s2b" },
+		"drop rt":      func(s *Set) { s.RT = s.RT[:1] },
+		"drop sec":     func(s *Set) { s.Security = s.Security[:1] },
+		"swap sec": func(s *Set) {
+			s.Security[0], s.Security[1] = s.Security[1], s.Security[0]
+		},
+	}
+	for name, mutate := range mutations {
+		s := hashSet()
+		mutate(s)
+		if s.Hash() == base {
+			t.Errorf("%s: mutation did not change the hash", name)
+		}
+	}
+}
+
+// TestHashFieldBoundaries guards against length-extension style
+// collisions between adjacent string fields: moving a byte between a
+// name's end and the next field must change the hash.
+func TestHashFieldBoundaries(t *testing.T) {
+	a := &Set{Cores: 1, RT: []RTTask{{Name: "ab", WCET: 1, Period: 10, Deadline: 10, Core: 0}}}
+	b := &Set{Cores: 1, RT: []RTTask{{Name: "a", WCET: 1, Period: 10, Deadline: 10, Core: 0}}}
+	if a.Hash() == b.Hash() {
+		t.Fatal("name boundary collision")
+	}
+}

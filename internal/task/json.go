@@ -21,7 +21,7 @@ type rtRecord struct {
 	WCET     Time   `json:"wcet"`
 	Period   Time   `json:"period"`
 	Deadline Time   `json:"deadline,omitempty"` // defaults to period (implicit deadline)
-	Core     int    `json:"core"`
+	Core     *int   `json:"core,omitempty"`     // defaults to -1 (unassigned; the Analyzer partitions)
 	Priority *int   `json:"priority,omitempty"` // defaults to rate-monotonic
 }
 
@@ -31,11 +31,13 @@ type secRecord struct {
 	MaxPeriod Time   `json:"max_period"`
 	Period    Time   `json:"period,omitempty"`
 	Priority  *int   `json:"priority,omitempty"` // defaults to max-period-monotonic
+	Core      *int   `json:"core,omitempty"`     // defaults to -1 (migrating)
 }
 
 // Decode reads a task set from JSON. Missing deadlines default to the
 // period; missing priorities default to rate-monotonic (RT) and
-// max-period-monotonic (security) order.
+// max-period-monotonic (security) order; missing cores default to -1
+// (unassigned — the Analyzer partitions such sets itself).
 func Decode(r io.Reader) (*Set, error) {
 	var f fileFormat
 	dec := json.NewDecoder(r)
@@ -46,7 +48,10 @@ func Decode(r io.Reader) (*Set, error) {
 	ts := &Set{Cores: f.Cores}
 	explicitRT := true
 	for _, rec := range f.RT {
-		t := RTTask{Name: rec.Name, WCET: rec.WCET, Period: rec.Period, Deadline: rec.Deadline, Core: rec.Core}
+		t := RTTask{Name: rec.Name, WCET: rec.WCET, Period: rec.Period, Deadline: rec.Deadline, Core: -1}
+		if rec.Core != nil {
+			t.Core = *rec.Core
+		}
 		if t.Deadline == 0 {
 			t.Deadline = t.Period
 		}
@@ -63,6 +68,9 @@ func Decode(r io.Reader) (*Set, error) {
 	explicitSec := true
 	for _, rec := range f.Security {
 		s := SecurityTask{Name: rec.Name, WCET: rec.WCET, MaxPeriod: rec.MaxPeriod, Period: rec.Period, Core: -1}
+		if rec.Core != nil {
+			s.Core = *rec.Core
+		}
 		if rec.Priority != nil {
 			s.Priority = *rec.Priority
 		} else {
@@ -83,12 +91,16 @@ func Decode(r io.Reader) (*Set, error) {
 func Encode(w io.Writer, ts *Set) error {
 	f := fileFormat{Cores: ts.Cores}
 	for _, t := range ts.RT {
-		p := t.Priority
-		f.RT = append(f.RT, rtRecord{Name: t.Name, WCET: t.WCET, Period: t.Period, Deadline: t.Deadline, Core: t.Core, Priority: &p})
+		p, c := t.Priority, t.Core
+		f.RT = append(f.RT, rtRecord{Name: t.Name, WCET: t.WCET, Period: t.Period, Deadline: t.Deadline, Core: &c, Priority: &p})
 	}
 	for _, s := range ts.Security {
-		p := s.Priority
-		f.Security = append(f.Security, secRecord{Name: s.Name, WCET: s.WCET, MaxPeriod: s.MaxPeriod, Period: s.Period, Priority: &p})
+		p, c := s.Priority, s.Core
+		rec := secRecord{Name: s.Name, WCET: s.WCET, MaxPeriod: s.MaxPeriod, Period: s.Period, Priority: &p}
+		if c >= 0 {
+			rec.Core = &c // migrating (-1) stays implicit, as in hand-written files
+		}
+		f.Security = append(f.Security, rec)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

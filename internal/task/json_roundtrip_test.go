@@ -1,0 +1,134 @@
+package task
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomValidSet draws a structurally valid set: unique names, distinct
+// security priorities, deadlines within periods, cores in range.
+func randomValidSet(rng *rand.Rand) *Set {
+	cores := 1 + rng.Intn(8)
+	ts := &Set{Cores: cores}
+	for i := 0; i < 1+rng.Intn(6); i++ {
+		period := Time(2 + rng.Int63n(10_000))
+		wcet := Time(1 + rng.Int63n(int64(period)))
+		deadline := wcet + rng.Int63n(int64(period-wcet)+1)
+		core := rng.Intn(cores+1) - 1 // -1 = unassigned is legal
+		ts.RT = append(ts.RT, RTTask{
+			Name: fmt.Sprintf("rt%d", i), WCET: wcet, Period: period,
+			Deadline: deadline, Core: core, Priority: rng.Intn(20),
+		})
+	}
+	for i := 0; i < 1+rng.Intn(5); i++ {
+		tmax := Time(2 + rng.Int63n(100_000))
+		wcet := Time(1 + rng.Int63n(int64(tmax)))
+		var period Time
+		if rng.Intn(2) == 0 { // half the sets carry assigned periods
+			period = wcet + rng.Int63n(int64(tmax-wcet)+1)
+		}
+		ts.Security = append(ts.Security, SecurityTask{
+			Name: fmt.Sprintf("sec%d", i), WCET: wcet, MaxPeriod: tmax,
+			Period: period, Priority: i, Core: rng.Intn(cores+1) - 1,
+		})
+	}
+	return ts
+}
+
+// TestJSONRoundTripProperty checks the codec is lossless: for many
+// random valid sets, Encode→Decode reproduces the set exactly, and a
+// second Encode reproduces the bytes exactly (a canonical form).
+func TestJSONRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ts := randomValidSet(rng)
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("seed %d: generator produced an invalid set: %v", seed, err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, ts); err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		first := buf.String()
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v\n%s", seed, err, first)
+		}
+		if !reflect.DeepEqual(got, ts) {
+			t.Fatalf("seed %d: round trip lost data:\nwant %+v\ngot  %+v", seed, ts, got)
+		}
+		buf.Reset()
+		if err := Encode(&buf, got); err != nil {
+			t.Fatalf("seed %d: re-encode: %v", seed, err)
+		}
+		if buf.String() != first {
+			t.Fatalf("seed %d: encoding is not canonical:\n%s\nvs\n%s", seed, first, buf.String())
+		}
+		if got.Hash() != ts.Hash() {
+			t.Fatalf("seed %d: hash changed across the round trip", seed)
+		}
+	}
+}
+
+// TestDecodeDefaultsOmittedCores: a wire client that sends no "core"
+// gets unassigned tasks (-1, so the Analyzer partitions them), never
+// an accidental pile-up on core 0.
+func TestDecodeDefaultsOmittedCores(t *testing.T) {
+	ts, err := Decode(bytes.NewReader([]byte(`{
+		"cores": 2,
+		"rt_tasks": [
+			{"name": "a", "wcet": 1, "period": 10},
+			{"name": "b", "wcet": 1, "period": 20, "core": 1}
+		],
+		"security_tasks": [{"name": "s", "wcet": 1, "max_period": 100}]
+	}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.RT[0].Core != -1 {
+		t.Fatalf("omitted core decoded as %d, want -1", ts.RT[0].Core)
+	}
+	if ts.RT[1].Core != 1 {
+		t.Fatalf("explicit core decoded as %d, want 1", ts.RT[1].Core)
+	}
+	if ts.Security[0].Core != -1 {
+		t.Fatalf("omitted security core decoded as %d, want -1", ts.Security[0].Core)
+	}
+}
+
+// TestJSONRoundTripBoundaryTicks exercises the extremes of the tick
+// domain: 1-tick tasks and periods at the Infinity sentinel. JSON
+// numbers must survive as exact int64s, never as float64s.
+func TestJSONRoundTripBoundaryTicks(t *testing.T) {
+	ts := &Set{
+		Cores: 1,
+		RT: []RTTask{
+			{Name: "tiny", WCET: 1, Period: 1, Deadline: 1, Core: 0, Priority: 0},
+			{Name: "huge", WCET: 1, Period: Infinity, Deadline: Infinity, Core: 0, Priority: 1},
+		},
+		Security: []SecurityTask{
+			{Name: "slow", WCET: Infinity - 1, MaxPeriod: Infinity, Period: Infinity, Priority: 0, Core: -1},
+			{Name: "fast", WCET: 1, MaxPeriod: 1, Period: 1, Priority: 1, Core: 0},
+		},
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatalf("boundary set invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ts) {
+		t.Fatalf("boundary ticks corrupted:\nwant %+v\ngot  %+v", ts, got)
+	}
+	if got.RT[1].Period != Infinity || got.Security[0].WCET != Infinity-1 {
+		t.Fatalf("int64 precision lost: %d %d", got.RT[1].Period, got.Security[0].WCET)
+	}
+}

@@ -115,7 +115,7 @@ func (s SecurityTask) Validate() error {
 	case s.MaxPeriod <= 0:
 		return fmt.Errorf("security task %s: max period must be positive, got %d", s.Name, s.MaxPeriod)
 	case s.WCET > s.MaxPeriod:
-		return fmt.Errorf("security task %s: WCET %d exceeds max period %d", s.Name, s.WCET, s.MaxPeriod)
+		return fmt.Errorf("security task %s: max period %d is below the minimum feasible period (a job needs at least its WCET %d to run; raise Tmax or shrink the monitor)", s.Name, s.MaxPeriod, s.WCET)
 	case s.Period < 0:
 		return fmt.Errorf("security task %s: period must be non-negative, got %d", s.Name, s.Period)
 	case s.Period > 0 && s.Period > s.MaxPeriod:
@@ -140,12 +140,17 @@ type Set struct {
 var ErrEmpty = errors.New("task set is empty")
 
 // Validate checks structural well-formedness: positive core count,
-// valid tasks, distinct security priorities, and core assignments
-// within range when present.
+// valid tasks, distinct security priorities, unique task names, and
+// core assignments within range when present. It is the single
+// admission gate — every public entry point of the analysis packages
+// calls it, so a set that validates here is accepted everywhere.
 func (ts *Set) Validate() error {
 	if ts.Cores <= 0 {
-		return fmt.Errorf("core count must be positive, got %d", ts.Cores)
+		return fmt.Errorf("core count must be positive, got %d (a platform needs at least one core)", ts.Cores)
 	}
+	// Names key traces, reports and period lookups; a duplicate would
+	// silently merge two tasks' statistics. Unnamed tasks are allowed.
+	names := make(map[string]bool, len(ts.RT)+len(ts.Security))
 	for _, t := range ts.RT {
 		if err := t.Validate(); err != nil {
 			return err
@@ -153,6 +158,10 @@ func (ts *Set) Validate() error {
 		if t.Core >= ts.Cores {
 			return fmt.Errorf("task %s: core %d out of range [0,%d)", t.Name, t.Core, ts.Cores)
 		}
+		if t.Name != "" && names[t.Name] {
+			return fmt.Errorf("duplicate task name %q (names identify tasks in reports and traces; rename one)", t.Name)
+		}
+		names[t.Name] = true
 	}
 	seen := make(map[int]string, len(ts.Security))
 	for _, s := range ts.Security {
@@ -166,6 +175,10 @@ func (ts *Set) Validate() error {
 		if s.Core >= ts.Cores {
 			return fmt.Errorf("security task %s: core %d out of range [0,%d)", s.Name, s.Core, ts.Cores)
 		}
+		if s.Name != "" && names[s.Name] {
+			return fmt.Errorf("duplicate task name %q (names identify tasks in reports and traces; rename one)", s.Name)
+		}
+		names[s.Name] = true
 	}
 	return nil
 }

@@ -48,7 +48,7 @@ func TestSecurityTaskValidate(t *testing.T) {
 		{"valid with period", SecurityTask{Name: "s", WCET: 5, MaxPeriod: 100, Period: 50}, ""},
 		{"zero wcet", SecurityTask{Name: "s", WCET: 0, MaxPeriod: 100}, "WCET must be positive"},
 		{"zero max period", SecurityTask{Name: "s", WCET: 5, MaxPeriod: 0}, "max period must be positive"},
-		{"wcet beyond max", SecurityTask{Name: "s", WCET: 101, MaxPeriod: 100}, "exceeds max period"},
+		{"wcet beyond max", SecurityTask{Name: "s", WCET: 101, MaxPeriod: 100}, "below the minimum feasible period"},
 		{"negative period", SecurityTask{Name: "s", WCET: 5, MaxPeriod: 100, Period: -1}, "period must be non-negative"},
 		{"period beyond max", SecurityTask{Name: "s", WCET: 5, MaxPeriod: 100, Period: 101}, "exceeds max period"},
 	}

@@ -1,0 +1,283 @@
+package hydrac
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ReportVersion is the version of the Report wire format produced by
+// WriteReport/WriteReports. Readers reject other versions so a client
+// never silently misparses a response from a newer daemon.
+const ReportVersion = 1
+
+// SecurityVerdict is the per-security-task outcome of an analysis:
+// the selected period, its worst-case response time, and where the
+// task runs. Period and WCRT are zero when the owning scheme found the
+// set unschedulable.
+type SecurityVerdict struct {
+	Name      string `json:"name"`
+	Period    Time   `json:"period"`
+	WCRT      Time   `json:"wcrt"`
+	MaxPeriod Time   `json:"max_period"`
+	// Core is the core a partitioned scheme bound the task to;
+	// -1 means the task migrates (HYDRA-C, GLOBAL-TMax).
+	Core int `json:"core"`
+}
+
+// RTVerdict carries a real-time task's response time under a scheme
+// that re-analyses the RT band (GLOBAL-TMax).
+type RTVerdict struct {
+	Name     string `json:"name"`
+	WCRT     Time   `json:"wcrt"`
+	Deadline Time   `json:"deadline"`
+}
+
+// RTAssignment records where the pipeline placed one RT task, so a
+// report of an auto-partitioned set is self-contained: ApplyTo can
+// reconstruct the exact configuration that was analysed.
+type RTAssignment struct {
+	Name string `json:"name"`
+	Core int    `json:"core"`
+}
+
+// BaselineVerdict is the outcome of one comparison scheme.
+type BaselineVerdict struct {
+	Scheme      Scheme `json:"scheme"`
+	Schedulable bool   `json:"schedulable"`
+	// Tasks follows the order of the analysed set's Security slice.
+	// Empty when the scheme could not place the tasks at all.
+	Tasks []SecurityVerdict `json:"tasks,omitempty"`
+	// RT is populated by schemes that re-analyse the RT band
+	// (GLOBAL-TMax); order follows the set's RT slice.
+	RT []RTVerdict `json:"rt,omitempty"`
+	// Placement records the RT core assignments the partitioned
+	// schemes analysed (input's own, or the Analyzer heuristic's when
+	// the set arrived unassigned), so ApplyTo reconstructs them.
+	// Absent for GLOBAL-TMax, where the RT band migrates.
+	Placement []RTAssignment `json:"placement,omitempty"`
+}
+
+// SimSummary condenses a simulation run to its scheduling-level
+// observables.
+type SimSummary struct {
+	Policy                 string  `json:"policy"`
+	Horizon                Time    `json:"horizon"`
+	ContextSwitches        int     `json:"context_switches"`
+	Migrations             int     `json:"migrations"`
+	RTDeadlineMisses       int     `json:"rt_deadline_misses"`
+	SecurityDeadlineMisses int     `json:"security_deadline_misses"`
+	Utilization            float64 `json:"utilization"`
+}
+
+// Timing records wall-clock cost per pipeline stage, in nanoseconds.
+// It is stamped on reports returned by Analyze and deliberately absent
+// from cached canonical reports and AnalyzeBatch results, which must
+// be bit-identical across runs and worker counts.
+type Timing struct {
+	PartitionNS  int64 `json:"partition_ns,omitempty"`
+	SelectionNS  int64 `json:"selection_ns,omitempty"`
+	BaselinesNS  int64 `json:"baselines_ns,omitempty"`
+	SimulationNS int64 `json:"simulation_ns,omitempty"`
+	TotalNS      int64 `json:"total_ns,omitempty"`
+}
+
+// Report is the structured outcome of one Analyzer pipeline run over
+// one task set: the HYDRA-C admission verdict and selected periods,
+// plus whatever baselines and simulation the Analyzer was configured
+// with.
+type Report struct {
+	// Scheme names the analysis that produced the top-level verdict:
+	// SchemeHydraC for Analyzer.Analyze, or the baseline scheme when a
+	// tool wraps a single baseline run in a report (cmd/hydrac
+	// analyze -scheme X -json). Consumers must check it before reading
+	// Schedulable as an admission verdict.
+	Scheme Scheme `json:"scheme"`
+	// Schedulable is the Scheme's verdict; for hydra-c, every security
+	// task admits a period within [WCRT, Tmax].
+	Schedulable bool `json:"schedulable"`
+	// Heuristic names the partitioning heuristic the Analyzer applied,
+	// or "" when the input arrived already partitioned.
+	Heuristic string `json:"heuristic,omitempty"`
+	// RT records the per-task core placement the pipeline analysed —
+	// the input's own assignments, or the heuristic's when the set
+	// arrived unpartitioned. Order follows the input's RT slice.
+	RT []RTAssignment `json:"rt,omitempty"`
+	// TaskSetHash is the canonical hash of the analysed set — the
+	// cache key, echoed so clients can correlate requests.
+	TaskSetHash string `json:"task_set_hash"`
+	Cores       int    `json:"cores"`
+	// Tasks follows the order of the input set's Security slice.
+	Tasks []SecurityVerdict `json:"tasks"`
+	// Baselines appear in the order the Analyzer was configured with.
+	Baselines []BaselineVerdict `json:"baselines,omitempty"`
+	// Simulation is present when the Analyzer simulates admitted sets.
+	Simulation *SimSummary `json:"simulation,omitempty"`
+	// Timing is stamped by Analyze; nil on batch results.
+	Timing *Timing `json:"timing,omitempty"`
+	// FromCache reports whether Analyze served this report from the
+	// LRU cache. Always false on batch results.
+	FromCache bool `json:"from_cache,omitempty"`
+}
+
+// Clone returns a deep copy.
+func (r *Report) Clone() *Report {
+	cp := *r
+	cp.RT = append([]RTAssignment(nil), r.RT...)
+	cp.Tasks = append([]SecurityVerdict(nil), r.Tasks...)
+	cp.Baselines = make([]BaselineVerdict, len(r.Baselines))
+	for i, b := range r.Baselines {
+		cp.Baselines[i] = b
+		cp.Baselines[i].Tasks = append([]SecurityVerdict(nil), b.Tasks...)
+		cp.Baselines[i].RT = append([]RTVerdict(nil), b.RT...)
+		cp.Baselines[i].Placement = append([]RTAssignment(nil), b.Placement...)
+	}
+	if len(r.Baselines) == 0 {
+		cp.Baselines = nil
+	}
+	if r.Simulation != nil {
+		s := *r.Simulation
+		cp.Simulation = &s
+	}
+	if r.Timing != nil {
+		t := *r.Timing
+		cp.Timing = &t
+	}
+	return &cp
+}
+
+// ApplyTo writes the report's configuration into a clone of ts, ready
+// for simulation: the selected periods and core bindings of the
+// security tasks, and — when the pipeline partitioned the set — the
+// RT placements it analysed. Entries are matched to ts by position,
+// with names cross-checked, so the natural call is against the very
+// set that was analysed.
+func (r *Report) ApplyTo(ts *TaskSet) (*TaskSet, error) {
+	if !r.Schedulable {
+		return nil, errors.New("report is not schedulable; no periods to apply")
+	}
+	if len(r.Tasks) != len(ts.Security) {
+		return nil, fmt.Errorf("report covers %d security tasks, set has %d", len(r.Tasks), len(ts.Security))
+	}
+	if len(r.RT) != 0 && len(r.RT) != len(ts.RT) {
+		return nil, fmt.Errorf("report covers %d RT tasks, set has %d", len(r.RT), len(ts.RT))
+	}
+	cp := ts.Clone()
+	for i, asgn := range r.RT {
+		if asgn.Name != cp.RT[i].Name {
+			return nil, fmt.Errorf("RT assignment %d is for task %q, set has %q at that position", i, asgn.Name, cp.RT[i].Name)
+		}
+		cp.RT[i].Core = asgn.Core
+	}
+	for i := range cp.Security {
+		v := r.Tasks[i]
+		if v.Name != cp.Security[i].Name {
+			return nil, fmt.Errorf("verdict %d is for task %q, set has %q at that position", i, v.Name, cp.Security[i].Name)
+		}
+		cp.Security[i].Period = v.Period
+		cp.Security[i].Core = v.Core
+	}
+	return cp, nil
+}
+
+// ApplyTo writes a partitioned baseline's configuration into a clone
+// of ts for simulation under the FullyPartitioned policy: the RT
+// placement the scheme analysed, then the security periods and core
+// bindings. It matches by position with name cross-checks, like
+// Report.ApplyTo.
+func (v *BaselineVerdict) ApplyTo(ts *TaskSet) (*TaskSet, error) {
+	if !v.Schedulable {
+		return nil, fmt.Errorf("%s verdict is not schedulable; nothing to apply", v.Scheme)
+	}
+	if len(v.Tasks) != len(ts.Security) {
+		return nil, fmt.Errorf("%s verdict covers %d security tasks, set has %d", v.Scheme, len(v.Tasks), len(ts.Security))
+	}
+	if len(v.Placement) != 0 && len(v.Placement) != len(ts.RT) {
+		return nil, fmt.Errorf("%s verdict places %d RT tasks, set has %d", v.Scheme, len(v.Placement), len(ts.RT))
+	}
+	cp := ts.Clone()
+	for i, asgn := range v.Placement {
+		if asgn.Name != cp.RT[i].Name {
+			return nil, fmt.Errorf("placement %d is for task %q, set has %q at that position", i, asgn.Name, cp.RT[i].Name)
+		}
+		cp.RT[i].Core = asgn.Core
+	}
+	for i := range cp.Security {
+		t := v.Tasks[i]
+		if t.Name != cp.Security[i].Name {
+			return nil, fmt.Errorf("verdict %d is for task %q, set has %q at that position", i, t.Name, cp.Security[i].Name)
+		}
+		cp.Security[i].Period = t.Period
+		cp.Security[i].Core = t.Core
+	}
+	return cp, nil
+}
+
+// reportEnvelope is the versioned wire format: one of Report/Reports
+// is set depending on the endpoint. Reports is a slice pointer so an
+// empty batch ("reports": []) stays distinguishable from a
+// non-batch envelope with the field absent.
+type reportEnvelope struct {
+	Version int        `json:"version"`
+	Report  *Report    `json:"report,omitempty"`
+	Reports *[]*Report `json:"reports,omitempty"`
+}
+
+// WriteReport writes r as versioned, indented JSON.
+func WriteReport(w io.Writer, r *Report) error {
+	return writeEnvelope(w, reportEnvelope{Version: ReportVersion, Report: r})
+}
+
+// WriteReports writes a batch of reports as versioned, indented JSON.
+func WriteReports(w io.Writer, rs []*Report) error {
+	if rs == nil {
+		rs = []*Report{}
+	}
+	return writeEnvelope(w, reportEnvelope{Version: ReportVersion, Reports: &rs})
+}
+
+func writeEnvelope(w io.Writer, env reportEnvelope) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// ReadReport reads a single-report envelope written by WriteReport.
+func ReadReport(r io.Reader) (*Report, error) {
+	env, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	if env.Report == nil {
+		return nil, errors.New("report envelope carries no report")
+	}
+	return env.Report, nil
+}
+
+// ReadReports reads a batch envelope written by WriteReports.
+func ReadReports(r io.Reader) ([]*Report, error) {
+	env, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	// WriteReports always emits at least "reports": []; an envelope
+	// without the field is not a batch response, not an empty one.
+	if env.Reports == nil {
+		return nil, errors.New("expected a batch envelope (missing \"reports\")")
+	}
+	return *env.Reports, nil
+}
+
+func readEnvelope(r io.Reader) (*reportEnvelope, error) {
+	var env reportEnvelope
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("decoding report: %w", err)
+	}
+	if env.Version != ReportVersion {
+		return nil, fmt.Errorf("unsupported report version %d (this build speaks %d)", env.Version, ReportVersion)
+	}
+	return &env, nil
+}

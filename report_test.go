@@ -1,0 +1,147 @@
+package hydrac_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hydrac"
+	"hydrac/internal/task"
+)
+
+// randomReport builds a structurally rich report with boundary tick
+// values mixed in.
+func randomReport(rng *rand.Rand) *hydrac.Report {
+	ticks := []hydrac.Time{0, 1, 2, 1000, task.Infinity - 1, task.Infinity}
+	tick := func() hydrac.Time { return ticks[rng.Intn(len(ticks))] }
+	rep := &hydrac.Report{
+		Scheme:      hydrac.SchemeHydraC,
+		Schedulable: rng.Intn(2) == 0,
+		TaskSetHash: "deadbeef",
+		Cores:       1 + rng.Intn(8),
+	}
+	if rng.Intn(2) == 0 {
+		rep.Heuristic = "best-fit"
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		rep.RT = append(rep.RT, hydrac.RTAssignment{Name: "rt" + string(rune('a'+i)), Core: rng.Intn(8)})
+	}
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		rep.Tasks = append(rep.Tasks, hydrac.SecurityVerdict{
+			Name: "s" + string(rune('a'+i)), Period: tick(), WCRT: tick(),
+			MaxPeriod: tick(), Core: rng.Intn(9) - 1,
+		})
+	}
+	for _, sch := range []hydrac.Scheme{hydrac.SchemeHydra, hydrac.SchemeGlobalTMax} {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		v := hydrac.BaselineVerdict{Scheme: sch, Schedulable: rng.Intn(2) == 0}
+		for i := 0; i < rng.Intn(3); i++ {
+			v.Tasks = append(v.Tasks, hydrac.SecurityVerdict{Name: "b", Period: tick(), WCRT: tick(), MaxPeriod: tick(), Core: -1})
+		}
+		if sch == hydrac.SchemeGlobalTMax {
+			v.RT = append(v.RT, hydrac.RTVerdict{Name: "rt", WCRT: tick(), Deadline: tick()})
+		} else {
+			v.Placement = append(v.Placement, hydrac.RTAssignment{Name: "rt", Core: rng.Intn(4)})
+		}
+		rep.Baselines = append(rep.Baselines, v)
+	}
+	if rng.Intn(2) == 0 {
+		rep.Simulation = &hydrac.SimSummary{
+			Policy: "semi-partitioned", Horizon: tick(),
+			ContextSwitches: rng.Intn(1000), Migrations: rng.Intn(100),
+			Utilization: rng.Float64(),
+		}
+	}
+	if rng.Intn(2) == 0 {
+		rep.Timing = &hydrac.Timing{SelectionNS: rng.Int63(), TotalNS: rng.Int63()}
+		rep.FromCache = rng.Intn(2) == 0
+	}
+	return rep
+}
+
+// TestReportCodecRoundTripProperty: Write→Read is lossless and
+// Write∘Read∘Write is byte-stable for many random reports.
+func TestReportCodecRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rep := randomReport(rng)
+		var buf bytes.Buffer
+		if err := hydrac.WriteReport(&buf, rep); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		first := buf.String()
+		got, err := hydrac.ReadReport(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("seed %d: read: %v\n%s", seed, err, first)
+		}
+		if !reflect.DeepEqual(got, rep) {
+			t.Fatalf("seed %d: round trip lost data:\nwant %+v\ngot  %+v", seed, rep, got)
+		}
+		buf.Reset()
+		if err := hydrac.WriteReport(&buf, got); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != first {
+			t.Fatalf("seed %d: re-encode unstable", seed)
+		}
+	}
+}
+
+func TestReportsBatchCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	reps := []*hydrac.Report{randomReport(rng), randomReport(rng), randomReport(rng)}
+	var buf bytes.Buffer
+	if err := hydrac.WriteReports(&buf, reps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := hydrac.ReadReports(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, reps) {
+		t.Fatalf("batch round trip lost data")
+	}
+	// Empty batches survive too.
+	buf.Reset()
+	if err := hydrac.WriteReports(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := hydrac.ReadReports(&buf); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+func TestReportCodecRejectsBadInput(t *testing.T) {
+	if _, err := hydrac.ReadReport(strings.NewReader(`{"version": 99, "report": {}}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := hydrac.ReadReport(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Fatal("missing report accepted")
+	}
+	if _, err := hydrac.ReadReport(strings.NewReader(`{"version": 1, "bogus": 1, "report": {}}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := hydrac.ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := hydrac.ReadReports(strings.NewReader(`{"version": 1, "report": {}}`)); err == nil {
+		t.Fatal("single envelope accepted as a batch")
+	}
+}
+
+func TestReportCloneIsDeep(t *testing.T) {
+	rep := randomReport(rand.New(rand.NewSource(7)))
+	rep.Simulation = &hydrac.SimSummary{Horizon: 10}
+	rep.Baselines = []hydrac.BaselineVerdict{{Scheme: hydrac.SchemeHydra, Tasks: []hydrac.SecurityVerdict{{Name: "x"}}}}
+	cp := rep.Clone()
+	cp.Tasks[0].Period = 999999
+	cp.Baselines[0].Tasks[0].Name = "mutated"
+	cp.Simulation.Horizon = 999999
+	if rep.Tasks[0].Period == 999999 || rep.Baselines[0].Tasks[0].Name == "mutated" || rep.Simulation.Horizon == 999999 {
+		t.Fatal("Clone shares memory with the original")
+	}
+}
