@@ -316,7 +316,19 @@ func (a *Analyzer) analyzeCanonical(ctx context.Context, ts *TaskSet, key string
 		return nil, nil, err
 	}
 	tm.SelectionNS = time.Since(t0).Nanoseconds()
+	rep, err := a.buildReport(ctx, cp, res, heur, key, tm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, tm, nil
+}
 
+// buildReport shapes the canonical report for an analysed, fully
+// placed set and runs the configured baseline and simulation stages.
+// It is shared between the cold pipeline (analyzeCanonical) and the
+// incremental session path, which is how session reports stay
+// byte-identical to cold reports of the same set.
+func (a *Analyzer) buildReport(ctx context.Context, cp *TaskSet, res *core.Result, heur, key string, tm *Timing) (*Report, error) {
 	rep := &Report{
 		Scheme:      SchemeHydraC,
 		Schedulable: res.Schedulable,
@@ -338,14 +350,14 @@ func (a *Analyzer) analyzeCanonical(ctx context.Context, ts *TaskSet, key string
 	}
 
 	if len(a.baselines) > 0 {
-		t0 = time.Now()
+		t0 := time.Now()
 		for _, scheme := range a.baselines {
 			if err := ctx.Err(); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			v, err := runBaseline(cp, scheme)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			rep.Baselines = append(rep.Baselines, *v)
 		}
@@ -353,10 +365,10 @@ func (a *Analyzer) analyzeCanonical(ctx context.Context, ts *TaskSet, key string
 	}
 
 	if a.simulate && res.Schedulable {
-		t0 = time.Now()
+		t0 := time.Now()
 		out, err := sim.RunCtx(ctx, core.Apply(cp, res), a.simCfg)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		tm.SimulationNS = time.Since(t0).Nanoseconds()
 		rep.Simulation = &SimSummary{
@@ -369,7 +381,7 @@ func (a *Analyzer) analyzeCanonical(ctx context.Context, ts *TaskSet, key string
 			Utilization:            out.Utilization(),
 		}
 	}
-	return rep, tm, nil
+	return rep, nil
 }
 
 // runBaseline executes one comparison scheme on an already

@@ -90,3 +90,88 @@ func BenchmarkAnalyzeBatch(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(sets)), "sets/batch")
 }
+
+// benchAdmitBase draws a deterministic 50-task set (RT + security) for
+// the incremental-admission benchmarks: big enough that Algorithm 1
+// dominates, the scale the ISSUE's ≥5x speedup criterion names.
+func benchAdmitBase(b *testing.B) *hydrac.TaskSet {
+	b.Helper()
+	cfg := gen.TableThree(4)
+	rng := rand.New(rand.NewSource(2))
+	for attempt := 0; attempt < 4096; attempt++ {
+		ts, err := cfg.Generate(rng, 4)
+		if err != nil {
+			continue
+		}
+		if len(ts.RT)+len(ts.Security) == 50 {
+			return ts
+		}
+	}
+	b.Fatal("no 50-task draw found")
+	return nil
+}
+
+// benchDeltaMonitor is the 1-task delta the admit benchmarks replay.
+func benchDeltaMonitor() hydrac.Delta {
+	return hydrac.Delta{AddSecurity: []hydrac.SecurityTask{{
+		Name: "probe_mon", WCET: 5, MaxPeriod: 30000, Core: -1, Priority: 1000,
+	}}}
+}
+
+// BenchmarkAnalyzeCold50 is the from-scratch cost of analysing the
+// 51-task set (base + the probe monitor) — the work an admission
+// service without the incremental engine pays on every delta.
+func BenchmarkAnalyzeCold50(b *testing.B) {
+	a, err := hydrac.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, _, err := a.NewSession(ctx, benchAdmitBase(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := sess.Admit(ctx, benchDeltaMonitor()); err != nil {
+		b.Fatal(err)
+	}
+	ts := sess.Set() // the exact post-delta set, fully placed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(ctx, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmitDelta is the incremental cost of the same delta: one
+// Admit of the probe monitor against a warm 50-task session. The
+// session state is restored outside the timer each iteration, so
+// ns/op is the pure warm-path admission. Compare with
+// BenchmarkAnalyzeCold50: the acceptance bar is ≥5x.
+func BenchmarkAdmitDelta(b *testing.B) {
+	a, err := hydrac.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, _, err := a.NewSession(ctx, benchAdmitBase(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := benchDeltaMonitor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, admitted, err := sess.Admit(ctx, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !admitted {
+			b.Fatal("probe monitor denied")
+		}
+		b.StopTimer()
+		if _, _, err := sess.Remove(ctx, "probe_mon"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	hydrac analyze  -in taskset.json [-scheme hydra-c|hydra|hydra-tmax|global-tmax] [-exhaustive] [-json]
+//	hydrac admit    -in base.json -deltas deltas.json [-json]   (replay a delta log incrementally)
 //	hydrac simulate -in taskset.json [-horizon N] [-policy semi|partitioned|global]
 //	hydrac gantt    -in taskset.json [-to N] [-step N]
 //	hydrac generate [-cores M] [-group G] [-seed S]        (emit a random Table-3 task set)
@@ -52,6 +53,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	switch args[0] {
 	case "analyze":
 		err = analyze(args[1:], stdin, stdout, stderr)
+	case "admit":
+		err = admitReplay(args[1:], stdin, stdout, stderr)
 	case "simulate":
 		err = simulate(args[1:], stdin, stdout, stderr)
 	case "gantt":
@@ -89,6 +92,7 @@ func usage(w io.Writer) {
 
 subcommands:
   analyze      compute security-task periods for a task set
+  admit        replay a delta log against a base set through an incremental session
   simulate     run the discrete-event scheduler on a configured set
   gantt        render a schedule chart (ASCII, optionally SVG)
   sensitivity  report how much each monitor's WCET can grow
@@ -237,6 +241,88 @@ func analyze(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		for _, s := range v.Tasks {
 			fmt.Fprintf(stdout, "%-16s %10d %10d %6d\n", s.Name, s.Period, s.WCRT, s.Core)
 		}
+	}
+	return nil
+}
+
+// admitReplay replays a delta log against a base set through an
+// incremental admission session — the CLI face of the same engine
+// hydrad's /v1/session endpoints serve. Each delta prints one status
+// line (admitted / denied); the final committed state's report follows
+// (table, or the envelope with -json). Denials do not abort the
+// replay; hard errors (unknown names, infeasible RT placements) do.
+func admitReplay(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := newFlagSet("admit", stderr)
+	in := fs.String("in", "", "base task set JSON file (required; - for stdin)")
+	deltas := fs.String("deltas", "", "delta log JSON file: an array of delta objects (required)")
+	jsonOut := fs.Bool("json", false, "emit the final report envelope instead of tables")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return usageError{errors.New("admit: -in is required")}
+	}
+	if *deltas == "" {
+		return usageError{errors.New("admit: -deltas is required")}
+	}
+	ts, err := load(*in, stdin)
+	if err != nil {
+		return err
+	}
+	df, err := os.Open(*deltas)
+	if err != nil {
+		return err
+	}
+	log, err := hydrac.DecodeDeltaLog(df)
+	df.Close()
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	a, err := hydrac.New()
+	if err != nil {
+		return err
+	}
+	sess, rep, err := a.NewSession(ctx, ts)
+	if err != nil {
+		return err
+	}
+	status := io.Writer(stdout)
+	if *jsonOut {
+		status = stderr // keep stdout a clean envelope
+	}
+	fmt.Fprintf(status, "base: %d RT + %d security tasks on %d cores, schedulable=%v\n",
+		len(ts.RT), len(ts.Security), ts.Cores, rep.Schedulable)
+	final := rep
+	for i, d := range log {
+		stepRep, admitted, err := sess.Admit(ctx, d)
+		if err != nil {
+			return fmt.Errorf("delta %d: %w", i, err)
+		}
+		verdict := "DENIED"
+		switch {
+		case admitted && stepRep.Schedulable:
+			verdict = "admitted"
+		case admitted:
+			verdict = "committed (removal-only, still unschedulable)"
+		}
+		fmt.Fprintf(status, "delta %d: %s (-%d +%d RT +%d security)\n",
+			i, verdict, len(d.Remove), len(d.AddRT), len(d.AddSecurity))
+		if admitted {
+			final = stepRep
+		}
+	}
+	if *jsonOut {
+		return hydrac.WriteReport(stdout, final)
+	}
+	if !final.Schedulable {
+		fmt.Fprintln(stdout, "UNSCHEDULABLE: no period assignment within the designer bounds")
+		return nil
+	}
+	fmt.Fprintf(stdout, "%-16s %10s %10s %10s\n", "security task", "T* (ms)", "WCRT (ms)", "Tmax (ms)")
+	for _, v := range final.Tasks {
+		fmt.Fprintf(stdout, "%-16s %10d %10d %10d\n", v.Name, v.Period, v.WCRT, v.MaxPeriod)
 	}
 	return nil
 }

@@ -204,3 +204,99 @@ func TestGanttSVGFlag(t *testing.T) {
 		t.Fatalf("SVG file malformed: %.80s", data)
 	}
 }
+
+func TestAdmitReplay(t *testing.T) {
+	base := writeRoverFile(t)
+	deltaPath := filepath.Join(t.TempDir(), "deltas.json")
+	log := `[
+  {"add_security": [{"name": "extra_mon", "wcet": 2, "max_period": 9000, "priority": 99}]},
+  {"add_security": [{"name": "hog", "wcet": 4000, "max_period": 4100, "priority": 98}]},
+  {"remove": ["extra_mon"]}
+]`
+	if err := os.WriteFile(deltaPath, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := exec(t, "", 0, "admit", "-in", base, "-deltas", deltaPath)
+	for _, want := range []string{"delta 0: admitted", "delta 1: DENIED", "delta 2: admitted", "tripwire"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("admit output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "extra_mon") || strings.Contains(out, "hog") {
+		t.Fatalf("final table should hold only the base monitors:\n%s", out)
+	}
+}
+
+// With -json the final envelope must be byte-identical to a cold
+// `analyze -json` of the same base (the replay ends where it started).
+func TestAdmitReplayJSONMatchesAnalyze(t *testing.T) {
+	base := writeRoverFile(t)
+	deltaPath := filepath.Join(t.TempDir(), "deltas.json")
+	log := `[
+  {"add_security": [{"name": "extra_mon", "wcet": 2, "max_period": 9000, "priority": 99}]},
+  {"remove": ["extra_mon"]}
+]`
+	if err := os.WriteFile(deltaPath, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	admitOut, _ := exec(t, "", 0, "admit", "-in", base, "-deltas", deltaPath, "-json")
+	analyzeOut, _ := exec(t, "", 0, "analyze", "-in", base, "-json")
+	admitRep, err := hydrac.ReadReport(strings.NewReader(admitOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRep, err := hydrac.ReadReport(strings.NewReader(analyzeOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRep.Timing, coldRep.FromCache = nil, false
+	var a, b bytes.Buffer
+	hydrac.WriteReport(&a, admitRep)
+	hydrac.WriteReport(&b, coldRep)
+	if a.String() != b.String() {
+		t.Fatalf("admit -json final differs from analyze -json:\nadmit:   %s\nanalyze: %s", a.String(), b.String())
+	}
+}
+
+func TestAdmitUsageErrors(t *testing.T) {
+	exec(t, "", 2, "admit")
+	exec(t, "", 2, "admit", "-in", "x.json")
+}
+
+// The golden conformance corpus, second surface: `analyze -json` on
+// each corpus set must reproduce the same goldens the library and
+// HTTP tests assert.
+func TestCorpusGoldenCLI(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, p := range paths {
+		if strings.HasSuffix(p, ".golden.json") {
+			continue
+		}
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			out, _ := exec(t, "", 0, "analyze", "-in", p, "-json")
+			rep, err := hydrac.ReadReport(strings.NewReader(out))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep.Timing, rep.FromCache = nil, false
+			var got bytes.Buffer
+			hydrac.WriteReport(&got, rep)
+			want, err := os.ReadFile(strings.TrimSuffix(p, ".json") + ".golden.json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != string(want) {
+				t.Errorf("CLI report drifted from golden:\n got: %s\nwant: %s", got.String(), want)
+			}
+		})
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("corpus too thin: %d sets", checked)
+	}
+}

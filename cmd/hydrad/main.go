@@ -12,20 +12,32 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze        one task set in, one report envelope out
-//	POST /v1/analyze/batch  {"task_sets": [...]} in, a reports envelope out
-//	GET  /healthz           liveness + configuration summary
+//	POST /v1/analyze             one task set in, one report envelope out
+//	POST /v1/analyze/batch       {"task_sets": [...]} in, a reports envelope out
+//	POST /v1/session             open an incremental admission session on a base set
+//	GET  /v1/session/{id}        the session's current (placed) task set
+//	POST /v1/session/{id}/admit  apply one delta; the report envelope describes the result
+//	GET  /healthz                liveness + configuration summary
 //
 // Errors are JSON ({"error": "..."}): 400 for malformed or invalid
-// input, 405 for wrong methods, 413 for oversized bodies, 422 for
-// sets the pipeline rejects (an RT band that is infeasible under
-// Eq. 1 or that no heuristic can place). An unschedulable *security*
-// band is NOT an error — the report says so.
+// input, 404 for unknown sessions, 405 for wrong methods, 413 for
+// oversized bodies, 422 for sets or deltas the pipeline rejects (an
+// RT band that is infeasible under Eq. 1 or that no heuristic can
+// place, a delta naming an unknown task). An unschedulable *security*
+// band is NOT an error — the report says so; on the admit endpoint a
+// "schedulable": false report means the delta was DENIED and the
+// session state is unchanged (removal-only deltas always commit).
+//
+// Sessions live in a fixed-capacity LRU (-sessions); the least
+// recently used session is evicted when a new one would exceed it,
+// and later requests against it answer 404.
 package main
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -40,6 +52,7 @@ import (
 	"time"
 
 	"hydrac"
+	"hydrac/internal/lru"
 )
 
 func main() {
@@ -56,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	cacheSize := fs.Int("cache", 1024, "report cache entries (0 disables)")
+	sessions := fs.Int("sessions", 256, "live admission sessions kept (LRU eviction)")
 	heuristic := fs.String("heuristic", "best-fit", "partitioning heuristic: best-fit | first-fit | worst-fit | next-fit")
 	baselines := fs.String("baselines", "", "comma-separated baseline schemes to attach to every report (hydra, hydra-aggressive, hydra-tmax, global-tmax)")
 	simHorizon := fs.Int64("sim-horizon", 0, "when positive, simulate every admitted set for this many ticks")
@@ -76,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hydrad:", err)
 		return 2
 	}
+	summary["sessions"] = *sessions
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -83,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	srv := &http.Server{
-		Handler:           newHandler(a, summary),
+		Handler:           newHandler(a, summary, *sessions),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -151,15 +166,23 @@ func buildAnalyzer(cacheSize int, heuristic, baselines string, simHorizon, simSe
 type server struct {
 	analyzer *hydrac.Analyzer
 	summary  map[string]any
+	sessions *lru.Cache[string, *hydrac.Session]
 }
 
 // newHandler wires the routes; separated from run so tests can mount
-// it on httptest servers.
-func newHandler(a *hydrac.Analyzer, summary map[string]any) http.Handler {
-	s := &server{analyzer: a, summary: summary}
+// it on httptest servers. maxSessions bounds the live session store
+// (LRU eviction; 0 disables the session endpoints).
+func newHandler(a *hydrac.Analyzer, summary map[string]any, maxSessions int) http.Handler {
+	s := &server{
+		analyzer: a,
+		summary:  summary,
+		sessions: lru.New[string, *hydrac.Session](maxSessions),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.analyze)
 	mux.HandleFunc("/v1/analyze/batch", s.analyzeBatch)
+	mux.HandleFunc("/v1/session", s.sessionCreate)
+	mux.HandleFunc("/v1/session/", s.sessionRoute)
 	mux.HandleFunc("/healthz", s.healthz)
 	return mux
 }
@@ -222,6 +245,97 @@ func (s *server) analyzeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	hydrac.WriteReports(w, reps)
+}
+
+// sessionCreateResponse is the body of a successful POST /v1/session:
+// the standard report envelope fields plus the session id.
+type sessionCreateResponse struct {
+	Version   int            `json:"version"`
+	SessionID string         `json:"session_id"`
+	Report    *hydrac.Report `json:"report"`
+}
+
+func (s *server) sessionCreate(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	if s.sessions == nil {
+		// -sessions 0: the store never retains anything, so handing
+		// out a session id would be a dead credential.
+		writeError(w, http.StatusNotFound, errors.New("sessions are disabled on this daemon (-sessions 0)"))
+		return
+	}
+	ts, err := hydrac.DecodeTaskSet(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, badRequestStatus(err), err)
+		return
+	}
+	sess, rep, err := s.analyzer.NewSession(r.Context(), ts)
+	if err != nil {
+		writeAnalysisError(w, r, err)
+		return
+	}
+	id, err := newSessionID()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.sessions.Add(id, sess)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(sessionCreateResponse{Version: hydrac.ReportVersion, SessionID: id, Report: rep})
+}
+
+// sessionRoute dispatches /v1/session/{id} and /v1/session/{id}/admit.
+func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/session/")
+	id, op, _ := strings.Cut(rest, "/")
+	sess, ok := s.sessions.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (expired, evicted, or never created)", id))
+		return
+	}
+	switch op {
+	case "":
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		hydrac.EncodeTaskSet(w, sess.Set())
+	case "admit":
+		if !requirePost(w, r) {
+			return
+		}
+		d, err := hydrac.DecodeDelta(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeError(w, badRequestStatus(err), err)
+			return
+		}
+		rep, admitted, err := sess.Admit(r.Context(), *d)
+		if err != nil {
+			writeAnalysisError(w, r, err)
+			return
+		}
+		// The envelope must stay byte-identical to a cold analysis of
+		// the same set, so the commit verdict travels in a header.
+		w.Header().Set("X-Hydra-Admitted", fmt.Sprintf("%v", admitted))
+		w.Header().Set("Content-Type", "application/json")
+		hydrac.WriteReport(w, rep)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session operation %q", op))
+	}
+}
+
+// newSessionID draws a 128-bit random id.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("generating session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {

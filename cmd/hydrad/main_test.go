@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -20,7 +22,7 @@ func testHandler(t *testing.T, opts ...hydrac.AnalyzerOption) http.Handler {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newHandler(a, map[string]any{"cache": 0})
+	return newHandler(a, map[string]any{"cache": 0}, 16)
 }
 
 func roverJSON(t *testing.T) []byte {
@@ -275,5 +277,244 @@ func TestRunFlagHandling(t *testing.T) {
 	}
 	if code := run([]string{"-addr", "256.256.256.256:99999"}, &out, &errb); code != 1 {
 		t.Fatalf("unbindable address exited %d, want 1", code)
+	}
+}
+
+// postJSON posts body and decodes the status + raw bytes.
+func postJSON(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestSessionEndpoints(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t))
+	defer srv.Close()
+
+	// Open a session on the rover set.
+	code, body := postJSON(t, srv.URL+"/v1/session", roverJSON(t))
+	if code != http.StatusOK {
+		t.Fatalf("create: status %d: %s", code, body)
+	}
+	var created struct {
+		Version   int            `json:"version"`
+		SessionID string         `json:"session_id"`
+		Report    *hydrac.Report `json:"report"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.SessionID == "" || created.Report == nil || !created.Report.Schedulable {
+		t.Fatalf("create response: %s", body)
+	}
+
+	// Admit one monitor; the report must match a cold /v1/analyze of
+	// the session's current set, byte for byte (volatile fields aside).
+	delta := []byte(`{"add_security": [{"name": "extra_mon", "wcet": 2, "max_period": 9000, "priority": 99}]}`)
+	code, body = postJSON(t, srv.URL+"/v1/session/"+created.SessionID+"/admit", delta)
+	if code != http.StatusOK {
+		t.Fatalf("admit: status %d: %s", code, body)
+	}
+	admitRep, err := hydrac.ReadReport(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !admitRep.Schedulable {
+		t.Fatalf("extra monitor denied: %s", body)
+	}
+
+	// Fetch the materialized set and cross-check against /v1/analyze.
+	resp, err := http.Get(srv.URL + "/v1/session/" + created.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get session: %d: %s", resp.StatusCode, setBytes)
+	}
+	code, coldBytes := postJSON(t, srv.URL+"/v1/analyze", setBytes)
+	if code != http.StatusOK {
+		t.Fatalf("cold analyze of session set: %d", code)
+	}
+	coldRep, err := hydrac.ReadReport(bytes.NewReader(coldBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRep.Timing, coldRep.FromCache = nil, false
+	var a, b bytes.Buffer
+	hydrac.WriteReport(&a, admitRep)
+	hydrac.WriteReport(&b, coldRep)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("session admit differs from cold analyze:\nsession: %s\ncold:    %s", a.Bytes(), b.Bytes())
+	}
+
+	// Unknown name in a delta: 422, state unchanged.
+	code, body = postJSON(t, srv.URL+"/v1/session/"+created.SessionID+"/admit", []byte(`{"remove": ["ghost"]}`))
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("removing a ghost: status %d: %s", code, body)
+	}
+
+	// Malformed delta: 400.
+	code, _ = postJSON(t, srv.URL+"/v1/session/"+created.SessionID+"/admit", []byte(`{"add_rt": [{`))
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed delta: status %d", code)
+	}
+
+	// Unknown session: 404.
+	code, _ = postJSON(t, srv.URL+"/v1/session/deadbeef/admit", delta)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", code)
+	}
+
+	// Wrong method on the session resource: 405.
+	resp, err = http.Post(srv.URL+"/v1/session/"+created.SessionID, "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST on session resource: status %d", resp.StatusCode)
+	}
+}
+
+func TestSessionDenialKeepsStateOverHTTP(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t))
+	defer srv.Close()
+	code, body := postJSON(t, srv.URL+"/v1/session", roverJSON(t))
+	if code != http.StatusOK {
+		t.Fatalf("create: %d", code)
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	json.Unmarshal(body, &created)
+
+	// A monitor that saturates the platform: 200 with a denial report.
+	code, body = postJSON(t, srv.URL+"/v1/session/"+created.SessionID+"/admit",
+		[]byte(`{"add_security": [{"name": "hog", "wcet": 4000, "max_period": 4100, "priority": 99}]}`))
+	if code != http.StatusOK {
+		t.Fatalf("denial should be 200 + schedulable:false, got %d: %s", code, body)
+	}
+	rep, err := hydrac.ReadReport(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable {
+		t.Fatal("hog admitted")
+	}
+	// The state must not contain the hog.
+	resp, _ := http.Get(srv.URL + "/v1/session/" + created.SessionID)
+	setBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if bytes.Contains(setBytes, []byte("hog")) {
+		t.Fatal("denied delta leaked into the session state")
+	}
+}
+
+// The golden conformance corpus, third surface: POST each corpus set
+// to /v1/analyze and compare against the same goldens the library and
+// CLI tests assert.
+func TestCorpusGoldenHTTP(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t))
+	defer srv.Close()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, p := range paths {
+		if strings.HasSuffix(p, ".golden.json") {
+			continue
+		}
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			in, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, body := postJSON(t, srv.URL+"/v1/analyze", in)
+			if code != http.StatusOK {
+				t.Fatalf("status %d: %s", code, body)
+			}
+			rep, err := hydrac.ReadReport(bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep.Timing, rep.FromCache = nil, false
+			var got bytes.Buffer
+			hydrac.WriteReport(&got, rep)
+			want, err := os.ReadFile(strings.TrimSuffix(p, ".json") + ".golden.json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("HTTP report drifted from golden:\n got: %s\nwant: %s", got.Bytes(), want)
+			}
+		})
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("corpus too thin: %d sets", checked)
+	}
+}
+
+// -sessions 0 disables the session endpoints: creating must fail
+// loudly instead of handing out an id the store will never retain.
+func TestSessionsDisabled(t *testing.T) {
+	a, err := hydrac.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(a, map[string]any{}, 0))
+	defer srv.Close()
+	code, body := postJSON(t, srv.URL+"/v1/session", roverJSON(t))
+	if code != http.StatusNotFound {
+		t.Fatalf("create with sessions disabled: status %d: %s", code, body)
+	}
+	if !bytes.Contains(body, []byte("disabled")) {
+		t.Fatalf("error should say sessions are disabled: %s", body)
+	}
+}
+
+// The commit verdict travels in the X-Hydra-Admitted header so the
+// envelope body stays byte-identical to a cold analysis.
+func TestAdmitHeaderCarriesVerdict(t *testing.T) {
+	srv := httptest.NewServer(testHandler(t))
+	defer srv.Close()
+	_, body := postJSON(t, srv.URL+"/v1/session", roverJSON(t))
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	json.Unmarshal(body, &created)
+	post := func(delta string) (string, bool) {
+		resp, err := http.Post(srv.URL+"/v1/session/"+created.SessionID+"/admit", "application/json", strings.NewReader(delta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		rep, err := hydrac.ReadReport(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("X-Hydra-Admitted"), rep.Schedulable
+	}
+	if h, sched := post(`{"add_security": [{"name": "ok_mon", "wcet": 2, "max_period": 9000, "priority": 99}]}`); h != "true" || !sched {
+		t.Fatalf("committed admit: header %q sched %v", h, sched)
+	}
+	if h, sched := post(`{"add_security": [{"name": "hog", "wcet": 4000, "max_period": 4100, "priority": 98}]}`); h != "false" || sched {
+		t.Fatalf("denied admit: header %q sched %v", h, sched)
+	}
+	// Removal from a schedulable state: committed and schedulable.
+	if h, _ := post(`{"remove": ["ok_mon"]}`); h != "true" {
+		t.Fatalf("removal: header %q", h)
 	}
 }

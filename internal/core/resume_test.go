@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hydrac/internal/task"
+)
+
+// resumeTestSet draws a small partitioned-RT set; same shape as the
+// quick-check sets used elsewhere in the package.
+func resumeTestSet(rng *rand.Rand) *task.Set {
+	ts := &task.Set{Cores: 1 + rng.Intn(2)}
+	nrt := 2 + rng.Intn(4)
+	for i := 0; i < nrt; i++ {
+		period := task.Time(16 + rng.Intn(60))
+		ts.RT = append(ts.RT, task.RTTask{
+			Name: "rt" + string(rune('a'+i)), WCET: 1 + task.Time(rng.Intn(4)),
+			Period: period, Deadline: period, Core: rng.Intn(ts.Cores), Priority: i,
+		})
+	}
+	nsec := 1 + rng.Intn(4)
+	for i := 0; i < nsec; i++ {
+		ts.Security = append(ts.Security, task.SecurityTask{
+			Name: "sec" + string(rune('a'+i)), WCET: 1 + task.Time(rng.Intn(3)),
+			MaxPeriod: task.Time(80 + rng.Intn(300)), Core: -1, Priority: i,
+		})
+	}
+	return ts
+}
+
+// The resumable selector without hints must agree with SelectPeriodsCtx
+// exactly, and with correct hints it must agree while verifying (not
+// searching) every task.
+func TestSelectPeriodsResumableMatchesCold(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	verified := 0
+	for trial := 0; trial < 400; trial++ {
+		ts := resumeTestSet(rng)
+		if err := ts.Validate(); err != nil {
+			continue
+		}
+		cold, err := SelectPeriodsCtx(ctx, ts, Options{})
+		if err != nil {
+			continue // RT band infeasible for this draw
+		}
+		warm, stats, err := SelectPeriodsResumable(ctx, ts, Options{}, nil)
+		if err != nil {
+			t.Fatalf("trial %d: resumable errored where cold succeeded: %v", trial, err)
+		}
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("trial %d: hintless resumable diverged from cold:\ncold %+v\nwarm %+v", trial, cold, warm)
+		}
+		if !cold.Schedulable {
+			continue
+		}
+		if stats.Verified != 0 {
+			t.Fatalf("trial %d: verified %d tasks without hints", trial, stats.Verified)
+		}
+		// Perfect hints: every task must verify in place.
+		hints := &Hints{Periods: map[string]task.Time{}, RTVerified: true}
+		for i, s := range ts.Security {
+			hints.Periods[s.Name] = cold.Periods[i]
+		}
+		again, stats2, err := SelectPeriodsResumable(ctx, ts, Options{}, hints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, again) {
+			t.Fatalf("trial %d: hinted resumable diverged from cold", trial)
+		}
+		if stats2.Searched != 0 {
+			t.Fatalf("trial %d: %d searches despite perfect hints", trial, stats2.Searched)
+		}
+		verified += stats2.Verified
+		// Wrong hints must be rejected by verification, not trusted.
+		bad := &Hints{Periods: map[string]task.Time{}}
+		for i, s := range ts.Security {
+			bad.Periods[s.Name] = cold.Periods[i] + 1 + task.Time(rng.Intn(5))
+		}
+		fixed, _, err := SelectPeriodsResumable(ctx, ts, Options{}, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, fixed) {
+			t.Fatalf("trial %d: wrong hints leaked into the result", trial)
+		}
+	}
+	if verified == 0 {
+		t.Fatal("no trial exercised the verification fast path")
+	}
+}
+
+// Hints must be result-neutral for the linear-search ablation too.
+func TestSelectPeriodsResumableLinearSearch(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		ts := resumeTestSet(rng)
+		opt := Options{LinearSearch: true}
+		cold, err := SelectPeriodsCtx(ctx, ts, opt)
+		if err != nil {
+			continue
+		}
+		warm, _, err := SelectPeriodsResumable(ctx, ts, opt, nil)
+		if err != nil || !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("trial %d: linear resumable diverged (err %v)", trial, err)
+		}
+	}
+}
+
+// SkipOptimization pins periods at Tmax; the resumable path must take
+// the identical shortcut.
+func TestSelectPeriodsResumableSkipOptimization(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		ts := resumeTestSet(rng)
+		opt := Options{SkipOptimization: true}
+		cold, err := SelectPeriodsCtx(ctx, ts, opt)
+		if err != nil {
+			continue
+		}
+		warm, stats, err := SelectPeriodsResumable(ctx, ts, opt, &Hints{Periods: map[string]task.Time{"seca": 1}})
+		if err != nil || !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("trial %d: SkipOptimization resumable diverged (err %v)", trial, err)
+		}
+		if stats.Verified+stats.Searched != 0 {
+			t.Fatalf("trial %d: selection ran under SkipOptimization", trial)
+		}
+	}
+}
+
+// Regression for the MaxFixpointIterations backstop: when every
+// core's interference clamp binds, the Eq. 7 recurrence creeps one
+// tick per iteration for a span proportional to the WCETs in the
+// window — with ~1e7-tick WCETs that is beyond the iteration budget,
+// and before the cap it was an effective hang at 2^40 scale. The
+// analysis must terminate promptly with a conservative unschedulable
+// verdict instead.
+func TestFixpointIterationCapTerminates(t *testing.T) {
+	ts := &task.Set{
+		Cores: 1,
+		RT: []task.RTTask{
+			{Name: "big", WCET: 10_000_000, Period: 1_000_000_000, Deadline: 1_000_000_000, Core: 0, Priority: 0},
+		},
+		Security: []task.SecurityTask{
+			{Name: "huge", WCET: 100_000_000, MaxPeriod: 900_000_000, Core: -1, Priority: 0},
+		},
+	}
+	res, err := SelectPeriods(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Fatal("creep set accepted; the iteration cap should have fired conservatively")
+	}
+}

@@ -68,10 +68,22 @@ func (sys *System) MigratingWCRT(cs task.Time, hp []Interferer, limit task.Time,
 	})
 }
 
+// MaxFixpointIterations bounds the Eq. 7 iteration. Near the clamp
+// boundary (every core's interference bound x − Cs + 1 binding at
+// once) the recurrence can creep upward one tick per step, so with
+// 2^40-scale tick resolutions an unbounded loop could take ~10^11
+// refinements to settle — an effective hang. A task that has not
+// converged after this many refinements is reported unschedulable.
+// The verdict is conservative and part of the analysis definition:
+// internal/oracle applies the identical bound, so the differential
+// corpus stays byte-identical even if a pathological set ever trips
+// it. Paper-scale workloads converge orders of magnitude below it.
+const MaxFixpointIterations = 1 << 22
+
 // fixedPoint runs Eq. 7 with the supplied total-interference function.
 func (sys *System) fixedPoint(cs, limit task.Time, omega func(task.Time) task.Time) (task.Time, bool) {
 	x := cs
-	for {
+	for iter := 0; iter < MaxFixpointIterations; iter++ {
 		next := omega(x)/task.Time(sys.M) + cs
 		if next == x {
 			return x, true
@@ -81,6 +93,7 @@ func (sys *System) fixedPoint(cs, limit task.Time, omega func(task.Time) task.Ti
 		}
 		x = next
 	}
+	return task.Infinity, false
 }
 
 // omegaDominance is Eq. 6 with the carry-in set chosen by dominance:

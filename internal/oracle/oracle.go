@@ -1,0 +1,265 @@
+// Package oracle is a deliberately naive re-implementation of the
+// paper's period-selection procedure, used as a differential test
+// oracle for internal/core and the incremental engine. It optimises
+// for being obviously correct, not for speed:
+//
+//   - the minimum period is found by a downward linear scan, never a
+//     binary search;
+//   - every feasibility probe recomputes every response time from
+//     scratch — no memoization, no threaded interferer lists, no
+//     reuse of previous fixpoints;
+//   - the workload, interference and fixpoint equations (Eqs. 2–8
+//     with the dominance carry-in bound) are restated here from the
+//     paper rather than shared with internal/core, so a transcription
+//     slip in either implementation makes the differential tests
+//     scream instead of being self-consistent.
+//
+// Anything beyond small task sets is intractable here — that is the
+// point. The property tests keep the sets small.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"hydrac/internal/task"
+)
+
+// Result mirrors core.Result field for field (kept separate so this
+// package does not depend on the code it checks).
+type Result struct {
+	Schedulable bool
+	Periods     []task.Time
+	Resp        []task.Time
+}
+
+// SelectPeriods is Algorithm 1, restated naively: highest priority
+// first, scan each security task's period down from Tmax while every
+// lower-priority task remains schedulable, recomputing the whole
+// response-time picture at every probe. Output order follows
+// ts.Security, like core.SelectPeriods.
+func SelectPeriods(ts *task.Set) (*Result, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	for _, t := range ts.RT {
+		if t.Core < 0 {
+			return nil, fmt.Errorf("RT task %s is not partitioned", t.Name)
+		}
+	}
+	if !rtBandSchedulable(ts) {
+		return nil, fmt.Errorf("RT band is not schedulable under Eq. 1")
+	}
+	sec := securityByPriority(ts)
+	n := len(sec)
+	periods := make([]task.Time, n)
+	for i, s := range sec {
+		periods[i] = s.MaxPeriod
+	}
+	// Feasibility at Tmax (Algorithm 1, lines 2–4).
+	resp := responseTimes(ts, sec, periods)
+	for i, s := range sec {
+		if resp[i] > s.MaxPeriod {
+			return &Result{Schedulable: false}, nil
+		}
+	}
+	// Lines 5–9: downward scan per priority level.
+	for i := 0; i < n; i++ {
+		lo := responseTimes(ts, sec, periods)[i]
+		star := sec[i].MaxPeriod
+		for cand := sec[i].MaxPeriod; cand >= lo; cand-- {
+			if !feasibleWith(ts, sec, periods, i, cand) {
+				break
+			}
+			star = cand
+		}
+		periods[i] = star
+	}
+	// Final response times under the selected periods.
+	resp = responseTimes(ts, sec, periods)
+	out := &Result{Schedulable: true, Periods: make([]task.Time, n), Resp: make([]task.Time, n)}
+	for i, s := range sec {
+		for j := range ts.Security {
+			if ts.Security[j].Name == s.Name {
+				out.Periods[j] = periods[i]
+				out.Resp[j] = resp[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// feasibleWith checks Algorithm 2 line 5: with sec[i]'s period set to
+// cand (tasks above at their chosen periods, tasks below still at
+// Tmax), does every lower-priority task keep R ≤ Tmax? The whole
+// response-time picture is recomputed from scratch.
+func feasibleWith(ts *task.Set, sec []task.SecurityTask, periods []task.Time, i int, cand task.Time) bool {
+	probe := append([]task.Time(nil), periods...)
+	probe[i] = cand
+	resp := responseTimes(ts, sec, probe)
+	for j := i + 1; j < len(sec); j++ {
+		if resp[j] > sec[j].MaxPeriod {
+			return false
+		}
+	}
+	return true
+}
+
+// responseTimes computes the WCRT of every security task top-down
+// under the given period vector (priority order), Eqs. 6–8 with the
+// dominance carry-in bound. A task whose fixpoint diverges past its
+// Tmax gets task.Infinity and interferes below with the pessimistic
+// R = T bound, exactly as §4.4 prescribes.
+func responseTimes(ts *task.Set, sec []task.SecurityTask, periods []task.Time) []task.Time {
+	resp := make([]task.Time, len(sec))
+	for i := range sec {
+		r, ok := migratingWCRT(ts, sec, periods, resp, i)
+		if !ok {
+			r = task.Infinity
+		}
+		resp[i] = r
+	}
+	return resp
+}
+
+// migratingWCRT is the Eq. 7 fixpoint x ← ⌊Ω(x)/M⌋ + Cs for sec[i],
+// with interference from the partitioned RT band (Eq. 3) and the
+// higher-priority migrating tasks (Eq. 5, dominance carry-in).
+func migratingWCRT(ts *task.Set, sec []task.SecurityTask, periods, resp []task.Time, i int) (task.Time, bool) {
+	cs := sec[i].WCET
+	limit := sec[i].MaxPeriod
+	if cs > limit {
+		return 0, false
+	}
+	x := cs
+	// 1<<22 mirrors core.MaxFixpointIterations: the iteration bound is
+	// part of the analysis definition (non-convergence after that many
+	// refinements counts as divergence), restated here literally so
+	// the oracle stays import-free of the code it checks.
+	for iter := 0; iter < 1<<22; iter++ {
+		next := omega(ts, sec, periods, resp, i, x)/task.Time(ts.Cores) + cs
+		if next == x {
+			return x, true
+		}
+		if next > limit || next < x {
+			return 0, false
+		}
+		x = next
+	}
+	return 0, false
+}
+
+// omega is Eq. 6: RT interference per core plus migrating
+// interference, the at-most-(M−1) carry-in set chosen by dominance
+// (largest positive CI−NC differences).
+func omega(ts *task.Set, sec []task.SecurityTask, periods, resp []task.Time, i int, x task.Time) task.Time {
+	cs := sec[i].WCET
+	var total task.Time
+	for m := 0; m < ts.Cores; m++ {
+		var w task.Time
+		for _, rt := range ts.RT {
+			if rt.Core == m {
+				w += workloadNC(x, rt.WCET, rt.Period)
+			}
+		}
+		total += clamp(w, x, cs)
+	}
+	var diffs []task.Time
+	for k := 0; k < i; k++ {
+		r := resp[k]
+		if r == task.Infinity {
+			// Diverged above: pessimistic carry-in with R = T.
+			r = periods[k]
+		}
+		nc := clamp(workloadNC(x, sec[k].WCET, periods[k]), x, cs)
+		ci := clamp(workloadCI(x, sec[k].WCET, periods[k], r), x, cs)
+		total += nc
+		if d := ci - nc; d > 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	sort.Slice(diffs, func(a, b int) bool { return diffs[a] > diffs[b] })
+	for k := 0; k < len(diffs) && k < ts.Cores-1; k++ {
+		total += diffs[k]
+	}
+	return total
+}
+
+// workloadNC is Eq. 2.
+func workloadNC(x, c, t task.Time) task.Time {
+	if x <= 0 {
+		return 0
+	}
+	w := (x / t) * c
+	if rem := x % t; rem < c {
+		w += rem
+	} else {
+		w += c
+	}
+	return w
+}
+
+// workloadCI is Eq. 4.
+func workloadCI(x, c, t, r task.Time) task.Time {
+	xbar := c - 1 + t - r
+	head := x - xbar
+	if head < 0 {
+		head = 0
+	}
+	tail := c - 1
+	if x < tail {
+		tail = x
+	}
+	return workloadNC(head, c, t) + tail
+}
+
+// clamp is the Eq. 3/5 bound W ↦ min(W, x − Cs + 1).
+func clamp(w, x, cs task.Time) task.Time {
+	if cap := x - cs + 1; w > cap {
+		return cap
+	}
+	return w
+}
+
+// rtBandSchedulable is Eq. 1 per core, restated: the classic
+// uniprocessor recurrence x ← Cr + Σ ⌈x/Ti⌉·Ci over each core's
+// higher-priority tasks.
+func rtBandSchedulable(ts *task.Set) bool {
+	for m := 0; m < ts.Cores; m++ {
+		var onCore []task.RTTask
+		for _, t := range ts.RT {
+			if t.Core == m {
+				onCore = append(onCore, t)
+			}
+		}
+		sort.Slice(onCore, func(a, b int) bool { return onCore[a].Priority < onCore[b].Priority })
+		for i, t := range onCore {
+			x := t.WCET
+			for {
+				next := t.WCET
+				for _, h := range onCore[:i] {
+					next += ((x + h.Period - 1) / h.Period) * h.WCET
+				}
+				if next == x {
+					break
+				}
+				if next > t.Deadline || next < x {
+					return false
+				}
+				x = next
+			}
+			if x > t.Deadline {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// securityByPriority returns the security tasks highest priority
+// first.
+func securityByPriority(ts *task.Set) []task.SecurityTask {
+	out := append([]task.SecurityTask(nil), ts.Security...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Priority < out[b].Priority })
+	return out
+}

@@ -1,0 +1,147 @@
+package oracle_test
+
+import (
+	"context"
+	"testing"
+
+	"hydrac/internal/admit"
+	"hydrac/internal/core"
+	"hydrac/internal/gen"
+	"hydrac/internal/oracle"
+	"hydrac/internal/partition"
+	"hydrac/internal/task"
+)
+
+// smallConfig keeps the sets tractable for the linear-scan oracle:
+// tick-resolution periods a couple of hundred ticks long at most.
+func smallConfig(cores int) gen.Config {
+	return gen.Config{
+		Cores:           cores,
+		RTTasksMin:      2 * cores,
+		RTTasksMax:      4 * cores,
+		SecTasksMin:     2,
+		SecTasksMax:     4,
+		RTPeriodMin:     10,
+		RTPeriodMax:     40,
+		SecMaxPeriodMin: 50,
+		SecMaxPeriodMax: 150,
+		SecurityShare:   0.35,
+		Groups:          9,
+		SetsPerGroup:    1,
+		Partition:       partition.BestFit,
+		MaxAttempts:     60,
+		TicksPerMS:      1,
+	}
+}
+
+func sameResult(t *testing.T, label string, want *core.Result, gotSched bool, gotPeriods, gotResp []task.Time) {
+	t.Helper()
+	if want.Schedulable != gotSched {
+		t.Fatalf("%s: schedulable=%v, want %v", label, gotSched, want.Schedulable)
+	}
+	if !want.Schedulable {
+		return
+	}
+	for i := range want.Periods {
+		if want.Periods[i] != gotPeriods[i] {
+			t.Fatalf("%s: period[%d]=%d, want %d", label, i, gotPeriods[i], want.Periods[i])
+		}
+		if want.Resp[i] != gotResp[i] {
+			t.Fatalf("%s: resp[%d]=%d, want %d", label, i, gotResp[i], want.Resp[i])
+		}
+	}
+}
+
+// TestDifferentialOracle cross-checks four implementations of period
+// selection on ~1k generated sets: Algorithm 2's binary search, its
+// linear-scan ablation, the from-scratch oracle, and the incremental
+// admission engine replaying the security band one task at a time.
+// All four must agree bit for bit.
+func TestDifferentialOracle(t *testing.T) {
+	perGroup := 60
+	if testing.Short() {
+		perGroup = 8
+	}
+	ctx := context.Background()
+	const seedBase = 20260729
+	sets, unschedulable, verified := 0, 0, 0
+	for _, cores := range []int{1, 2} {
+		cfg := smallConfig(cores)
+		for g := 0; g < cfg.Groups; g++ {
+			for i := 0; i < perGroup; i++ {
+				ts, err := cfg.GenerateAt(seedBase, g, i)
+				if err != nil {
+					continue // no partitionable draw in this slot
+				}
+				sets++
+				cold, err := core.SelectPeriods(ts, core.Options{})
+				if err != nil {
+					t.Fatalf("cores=%d g=%d i=%d: cold selection failed on a generated set: %v", cores, g, i, err)
+				}
+				lin, err := core.SelectPeriods(ts, core.Options{LinearSearch: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, "linear-scan ablation", cold, lin.Schedulable, lin.Periods, lin.Resp)
+				ora, err := oracle.SelectPeriods(ts)
+				if err != nil {
+					t.Fatalf("cores=%d g=%d i=%d: oracle failed: %v", cores, g, i, err)
+				}
+				sameResult(t, "naive oracle", cold, ora.Schedulable, ora.Periods, ora.Resp)
+				if !cold.Schedulable {
+					unschedulable++
+				}
+				verified += incrementalReplay(t, ctx, ts, cold)
+			}
+		}
+	}
+	if sets < 500 && !testing.Short() {
+		t.Fatalf("only %d sets generated; corpus too thin to mean anything", sets)
+	}
+	if unschedulable == 0 {
+		t.Error("corpus never exercised the unschedulable path")
+	}
+	if verified == 0 {
+		t.Error("incremental replay never hit the verification fast path")
+	}
+	t.Logf("%d sets (%d unschedulable), %d hinted verifications", sets, unschedulable, verified)
+}
+
+// incrementalReplay admits ts's security tasks one at a time into an
+// engine seeded with the RT band only, asserting every intermediate
+// and the final state against a cold analysis of the same set. Returns
+// the number of hint verifications the engine performed.
+func incrementalReplay(t *testing.T, ctx context.Context, ts *task.Set, cold *core.Result) int {
+	t.Helper()
+	rtOnly := ts.Clone()
+	rtOnly.Security = nil
+	eng, _, err := admit.New(ctx, rtOnly, admit.Config{})
+	if err != nil {
+		t.Fatalf("engine rejected an RT band the generator partitioned: %v", err)
+	}
+	verified := 0
+	for i, s := range ts.Security {
+		out, err := eng.Apply(ctx, task.Delta{AddSecurity: []task.SecurityTask{s}})
+		if err != nil {
+			t.Fatalf("admitting %s: %v", s.Name, err)
+		}
+		verified += out.Stats.Selection.Verified
+		stepCold, err := core.SelectPeriods(out.Set, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "incremental step", stepCold, out.Result.Schedulable, out.Result.Periods, out.Result.Resp)
+		if !out.Admitted {
+			// A subset is already unschedulable; the full set must be
+			// too (admitting more tasks only adds interference).
+			if cold.Schedulable {
+				t.Fatalf("prefix through %s denied but the full set is schedulable", s.Name)
+			}
+			return verified
+		}
+		if i == len(ts.Security)-1 {
+			sameResult(t, "final incremental state", cold, out.Result.Schedulable, out.Result.Periods, out.Result.Resp)
+		}
+	}
+	return verified
+}

@@ -17,6 +17,15 @@ type Demand struct {
 	Period task.Time
 }
 
+// MaxIterations bounds the fixed-point iteration of ResponseTime. A
+// converging recurrence settles in a handful of steps per interferer;
+// the cap only matters for near-overload demand, where x creeps up by
+// a few ticks per step and, with a huge limit (or task.Infinity), the
+// loop would otherwise run for practically ever. A task that has not
+// converged after this many refinements is reported unschedulable —
+// conservative, never wrong in the accepting direction.
+const MaxIterations = 1 << 22
+
 // ResponseTime returns the worst-case response time of a task with
 // execution time wcet under interference from hp on one core, or
 // (task.Infinity, false) if the iteration exceeds limit (the task's
@@ -24,12 +33,31 @@ type Demand struct {
 //
 // The iteration is x(0) = wcet; x(k+1) = wcet + Σ ⌈x(k)/Ti⌉·Ci and
 // terminates at the least fixed point.
+//
+// Termination is guaranteed for every limit including task.Infinity:
+// a core whose higher-priority demand alone reaches 100% utilisation
+// has no fixed point (Σ ⌈x/Ti⌉·Ci ≥ x·ΣCi/Ti ≥ x, so the recurrence
+// strictly grows forever) and is rejected up front, and MaxIterations
+// backstops near-overload creep the utilisation screen's floating-
+// point sum cannot distinguish from exactly 1. CoreSchedulable and
+// CoreResponseTimes share this function with identical limits (the
+// task's deadline), so a core is CoreSchedulable iff no entry of
+// CoreResponseTimes is task.Infinity.
 func ResponseTime(wcet task.Time, hp []Demand, limit task.Time) (task.Time, bool) {
 	if wcet > limit {
 		return task.Infinity, false
 	}
+	var u float64
+	for _, d := range hp {
+		u += float64(d.WCET) / float64(d.Period)
+	}
+	if u >= 1 && wcet > 0 {
+		// Exactly-100% (or more) higher-priority utilisation: the
+		// recurrence has no fixed point for any positive wcet.
+		return task.Infinity, false
+	}
 	x := wcet
-	for {
+	for iter := 0; iter < MaxIterations; iter++ {
 		next := wcet
 		for _, d := range hp {
 			next += ceilDiv(x, d.Period) * d.WCET
@@ -44,6 +72,7 @@ func ResponseTime(wcet task.Time, hp []Demand, limit task.Time) (task.Time, bool
 		}
 		x = next
 	}
+	return task.Infinity, false
 }
 
 // CoreSchedulable checks Eq. 1 for every RT task assigned to a single
@@ -51,6 +80,11 @@ func ResponseTime(wcet task.Time, hp []Demand, limit task.Time) (task.Time, bool
 // the higher-priority tasks on the same core. The input must be the
 // core's tasks sorted by priority (highest first), as produced by
 // task.Set.RTOnCore.
+//
+// CoreSchedulable and CoreResponseTimes run the identical per-task
+// iteration with the identical limit (the task's deadline), so
+// CoreSchedulable(tasks) is true iff CoreResponseTimes(tasks) contains
+// no task.Infinity entry.
 func CoreSchedulable(tasks []task.RTTask) bool {
 	for i, t := range tasks {
 		hp := make([]Demand, 0, i)
@@ -66,7 +100,8 @@ func CoreSchedulable(tasks []task.RTTask) bool {
 
 // CoreResponseTimes returns the WCRT of every task on one core
 // (ordered as the input, which must be priority-sorted highest first).
-// Unschedulable tasks get task.Infinity.
+// Unschedulable tasks get task.Infinity; the verdict is consistent
+// with CoreSchedulable (see there).
 func CoreResponseTimes(tasks []task.RTTask) []task.Time {
 	out := make([]task.Time, len(tasks))
 	for i, t := range tasks {

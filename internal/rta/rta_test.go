@@ -173,3 +173,65 @@ func TestResponseTimeIsFixedPoint(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a core whose higher-priority demand sits at exactly 100%
+// utilisation has no fixed point for any task below it. Before the
+// divergence screen, ResponseTime with an effectively unbounded limit
+// (task.Infinity) would creep a few ticks per iteration for ~2^62
+// steps — an effective hang. The test passing at all is the fix.
+func TestResponseTimeExactlyFullUtilizationDiverges(t *testing.T) {
+	hp := []Demand{{WCET: 1, Period: 2}, {WCET: 1, Period: 2}} // ΣC/T = 1 exactly
+	if r, ok := ResponseTime(1, hp, task.Infinity); ok {
+		t.Fatalf("accepted a task under exactly-100%% higher-priority load: R=%d", r)
+	}
+	// Same demand, finite limit: identical verdict.
+	if _, ok := ResponseTime(1, hp, 1<<40); ok {
+		t.Fatal("accepted under exactly-100%% load with a finite limit")
+	}
+	// Sanity: the screen must not fire below 100%.
+	hp = []Demand{{WCET: 1, Period: 2}, {WCET: 1, Period: 3}} // 5/6
+	if _, ok := ResponseTime(1, hp, task.Infinity); !ok {
+		t.Fatal("rejected a schedulable task under 5/6 load")
+	}
+}
+
+// A zero-WCET probe converges at 0 even under full load; the
+// divergence screen must not reject it.
+func TestResponseTimeZeroWCETUnderFullLoad(t *testing.T) {
+	hp := []Demand{{WCET: 1, Period: 2}, {WCET: 1, Period: 2}}
+	r, ok := ResponseTime(0, hp, task.Infinity)
+	if !ok || r != 0 {
+		t.Fatalf("got (%d, %v), want (0, true)", r, ok)
+	}
+}
+
+// Documented consistency: CoreSchedulable(tasks) iff
+// CoreResponseTimes(tasks) has no Infinity entry, on random cores
+// spanning schedulable and overloaded demand.
+func TestCoreSchedulableConsistentWithCoreResponseTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(6)
+		tasks := make([]task.RTTask, n)
+		for i := range tasks {
+			period := task.Time(4 + rng.Intn(40))
+			wcet := 1 + task.Time(rng.Intn(int(period)))
+			deadline := wcet + task.Time(rng.Intn(int(period-wcet)+1))
+			tasks[i] = task.RTTask{
+				Name: "t", WCET: wcet, Period: period,
+				Deadline: deadline, Priority: i,
+			}
+		}
+		sched := CoreSchedulable(tasks)
+		resp := CoreResponseTimes(tasks)
+		anyInf := false
+		for _, r := range resp {
+			if r == task.Infinity {
+				anyInf = true
+			}
+		}
+		if sched == anyInf {
+			t.Fatalf("trial %d: CoreSchedulable=%v but CoreResponseTimes=%v", trial, sched, resp)
+		}
+	}
+}

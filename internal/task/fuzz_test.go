@@ -1,0 +1,48 @@
+package task
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTaskSetRoundTrip drives the decode → validate → encode → decode
+// cycle of the task-set file format with mutated inputs. Decode
+// rejects (error return) or accepts; every accepted set must validate,
+// re-encode, decode again to a deeply equal set, and keep its
+// canonical Hash — the cache key of the whole service stack — stable
+// across the trip. Seed corpus: testdata/fuzz/FuzzTaskSetRoundTrip.
+func FuzzTaskSetRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"cores": 2,
+		"rt_tasks": [{"name": "rt0", "wcet": 2, "period": 20, "core": 0}],
+		"security_tasks": [{"name": "sec0", "wcet": 1, "max_period": 100}]}`))
+	f.Add([]byte(`{"cores": 1,
+		"rt_tasks": [{"name": "a", "wcet": 1, "period": 4, "deadline": 3, "priority": 0, "core": 0}],
+		"security_tasks": [{"name": "s", "wcet": 1, "max_period": 50, "period": 10, "priority": 1, "core": 0}]}`))
+	f.Add([]byte(`{"cores": 4, "rt_tasks": [], "security_tasks": []}`))
+	f.Add([]byte(`{"cores": 2, "security_tasks": [{"name": "s", "wcet": 1, "max_period": 4611686018427387903}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("Decode accepted a set Validate rejects: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, ts); err != nil {
+			t.Fatalf("Encode failed on a decoded set: %v", err)
+		}
+		ts2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Decode failed: %v\nencoded: %s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(ts, ts2) {
+			t.Fatalf("round trip changed the set:\n got %+v\nwant %+v", ts2, ts)
+		}
+		if ts.Hash() != ts2.Hash() {
+			t.Fatalf("round trip changed the canonical hash")
+		}
+	})
+}
