@@ -9,6 +9,15 @@
 //
 //	hydrad [-addr HOST:PORT] [-cache N] [-heuristic H]
 //	       [-baselines hydra,global-tmax,...] [-sim-horizon N] [-sim-seed S]
+//	       [-pprof HOST:PORT]
+//
+// -pprof exposes net/http/pprof on a SEPARATE listener restricted to
+// loopback addresses (off by default), so production hot spots can be
+// profiled in place without ever exposing the profiler alongside the
+// service API:
+//
+//	hydrad -addr :8080 -pprof 127.0.0.1:6060 &
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //
 // Endpoints:
 //
@@ -45,6 +54,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -68,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hydrad", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 	cacheSize := fs.Int("cache", 1024, "report cache entries (0 disables)")
 	sessions := fs.Int("sessions", 256, "live admission sessions kept (LRU eviction)")
 	heuristic := fs.String("heuristic", "best-fit", "partitioning heuristic: best-fit | first-fit | worst-fit | next-fit")
@@ -91,6 +102,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	summary["sessions"] = *sessions
+
+	if *pprofAddr != "" {
+		pln, err := listenPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "hydrad:", err)
+			return 1
+		}
+		defer pln.Close()
+		// A dedicated server on a dedicated loopback listener: the
+		// profiling surface never shares a port (or a handler) with
+		// the service API, so exposing the service does not expose
+		// the profiler.
+		go func() {
+			psrv := &http.Server{Handler: pprofHandler(), ReadHeaderTimeout: 10 * time.Second}
+			_ = psrv.Serve(pln)
+		}()
+		fmt.Fprintf(stderr, "hydrad: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		summary["pprof"] = pln.Addr().String()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -184,6 +214,36 @@ func newHandler(a *hydrac.Analyzer, summary map[string]any, maxSessions int) htt
 	mux.HandleFunc("/v1/session", s.sessionCreate)
 	mux.HandleFunc("/v1/session/", s.sessionRoute)
 	mux.HandleFunc("/healthz", s.healthz)
+	return mux
+}
+
+// listenPprof opens the profiling listener, refusing any address that
+// is not loopback: pprof exposes heap contents and CPU samples, so it
+// must never ride on an externally reachable interface by accident.
+func listenPprof(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof %q: %w", addr, err)
+	}
+	if host != "localhost" {
+		ip := net.ParseIP(host)
+		if ip == nil || !ip.IsLoopback() {
+			return nil, fmt.Errorf("-pprof %q: profiling must stay on a loopback address (127.0.0.1, ::1 or localhost)", addr)
+		}
+	}
+	return net.Listen("tcp", addr)
+}
+
+// pprofHandler mounts the net/http/pprof endpoints on a fresh mux (the
+// package's side-effect registration targets http.DefaultServeMux,
+// which hydrad never serves).
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
 	return mux
 }
 

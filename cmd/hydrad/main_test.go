@@ -518,3 +518,48 @@ func TestAdmitHeaderCarriesVerdict(t *testing.T) {
 		t.Fatalf("removal: header %q", h)
 	}
 }
+
+func TestPprofListenerRejectsNonLoopback(t *testing.T) {
+	for _, addr := range []string{"0.0.0.0:0", "192.168.1.10:6060", "example.com:6060", "bad"} {
+		if ln, err := listenPprof(addr); err == nil {
+			ln.Close()
+			t.Fatalf("listenPprof(%q) accepted a non-loopback address", addr)
+		}
+	}
+}
+
+func TestPprofListenerAndHandler(t *testing.T) {
+	ln, err := listenPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv := &http.Server{Handler: pprofHandler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty pprof cmdline response")
+	}
+}
+
+func TestRunRejectsNonLoopbackPprof(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-pprof", "0.0.0.0:0", "-addr", "127.0.0.1:0"}, &out, &errOut); code != 1 {
+		t.Fatalf("run with non-loopback -pprof returned %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "loopback") {
+		t.Fatalf("error does not explain the loopback restriction: %s", errOut.String())
+	}
+}

@@ -90,8 +90,13 @@ type Engine struct {
 	// the fixpoint iteration's outcome, which is all the pipeline
 	// gates on.
 	coreCache *lru.Cache[string, bool]
-	nextFit   int // next-fit cursor across incremental placements
-	log       []task.Delta
+	// scratch is the engine's reusable kernel workspace: one analysis
+	// at a time (serialized by mu), re-primed per delta so
+	// steady-state admissions run the Eq. 5–8 fixpoints without
+	// allocating. Never handed out to callers.
+	scratch *core.Scratch
+	nextFit int // next-fit cursor across incremental placements
+	log     []task.Delta
 }
 
 // New builds an engine over base and runs the initial full analysis.
@@ -129,7 +134,7 @@ func New(ctx context.Context, base *task.Set, cfg Config) (*Engine, *Outcome, er
 	if cacheSize <= 0 {
 		cacheSize = 8 * cp.Cores
 	}
-	e := &Engine{cfg: cfg, coreCache: lru.New[string, bool](cacheSize)}
+	e := &Engine{cfg: cfg, coreCache: lru.New[string, bool](cacheSize), scratch: core.NewScratch(nil)}
 	out, err := e.analyse(ctx, cp)
 	if err != nil {
 		return nil, nil, err
@@ -247,7 +252,7 @@ func (e *Engine) analyse(ctx context.Context, cand *task.Set) (*Outcome, error) 
 	}
 	hints := &core.Hints{Periods: e.hints, RTVerified: true}
 	stats.FullSelection = e.hints == nil
-	res, rstats, err := core.SelectPeriodsResumable(ctx, cand, e.cfg.Opts, hints)
+	res, rstats, err := core.SelectPeriodsResumableWith(ctx, cand, e.cfg.Opts, hints, e.scratch)
 	if err != nil {
 		return nil, err
 	}

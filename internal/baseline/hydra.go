@@ -315,9 +315,12 @@ func GlobalTMax(ts *task.Set) (*GlobalResult, error) {
 		order = append(order, entry{wcet: s.WCET, period: s.MaxPeriod, limit: s.MaxPeriod, rt: false, index: indexByName(ts.Security, s.Name)})
 	}
 
+	// One scratch serves the whole top-down pass: every per-task
+	// fixpoint below reuses its buffers.
+	sc := core.NewScratch(sys)
 	hp := make([]core.Interferer, 0, len(order))
 	for _, e := range order {
-		r, ok := sys.MigratingWCRT(e.wcet, hp, e.limit, core.Dominance)
+		r, ok := sc.MigratingWCRT(e.wcet, hp, e.limit, core.Dominance)
 		if !ok {
 			r = task.Infinity
 			res.Schedulable = false

@@ -76,12 +76,19 @@ func SelectPeriodsCtx(ctx context.Context, ts *task.Set, opt Options) (*Result, 
 		return &Result{Schedulable: true, Periods: []task.Time{}, Resp: []task.Time{}}, nil
 	}
 
+	// One scratch serves the whole analysis: every probe below reuses
+	// its buffers, so the search loops run allocation-free.
+	sc := NewScratch(sys)
+	sc.ensure(n)
+
 	// Line 1: Ts := Tmax for every task, compute response times.
-	periods := make([]task.Time, n)
-	for i, s := range sec {
-		periods[i] = s.MaxPeriod
+	periods := sc.periods[:0]
+	for _, s := range sec {
+		periods = append(periods, s.MaxPeriod)
 	}
-	resp := sys.ResponseTimes(sec, periods, opt.CarryIn)
+	sc.periods = periods
+	resp := sc.responseTimes(sec, periods, opt.CarryIn, sc.resp)
+	sc.resp = resp
 
 	// Lines 2–4: if any task misses even at Tmax, the set is
 	// unschedulable within the designer bounds.
@@ -101,25 +108,33 @@ func SelectPeriodsCtx(ctx context.Context, ts *task.Set, opt Options) (*Result, 
 			lo, hi := resp[i], sec[i].MaxPeriod
 			var star task.Time
 			if opt.LinearSearch {
-				star = linearMinPeriod(ctx, sys, sec, periods, resp, i, lo, hi, opt.CarryIn)
+				star = linearMinPeriod(ctx, sc, sec, periods, resp, i, lo, hi, opt.CarryIn)
 			} else {
-				star = logMinPeriod(ctx, sys, sec, periods, resp, i, lo, hi, opt.CarryIn)
+				star = logMinPeriod(ctx, sc, sec, periods, resp, i, lo, hi, opt.CarryIn)
 			}
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			periods[i] = star
 			// Line 8: refresh the WCRT of every lower-priority task
-			// under the newly fixed period.
-			recomputeBelow(sys, sec, periods, resp, i, opt.CarryIn)
+			// under the newly fixed period. The search's last feasible
+			// probe is exactly the star (the binary search only
+			// shrinks star on feasible probes), so its captured
+			// response vector is that refresh, already computed.
+			if sc.probeFrom == i && sc.probeCand == star {
+				copy(resp[i+1:], sc.probeResp[i+1:len(sec)])
+			} else {
+				recomputeBelow(sc, sec, periods, resp, i, opt.CarryIn)
+			}
 		}
 	}
 
 	// Report in the original ts.Security order.
 	outPeriods := make([]task.Time, n)
 	outResp := make([]task.Time, n)
+	byName := securityIndex(ts.Security)
 	for i, s := range sec {
-		j := indexByName(ts.Security, s.Name)
+		j := byName[s.Name]
 		outPeriods[j] = periods[i]
 		outResp[j] = resp[i]
 	}
@@ -131,14 +146,14 @@ func SelectPeriodsCtx(ctx context.Context, ts *task.Set, opt Options) (*Result, 
 // lower-priority security task schedulable (Rj ≤ Tmax_j). hi (= Tmax)
 // is always feasible because Algorithm 1 verified it first, so the
 // feasible set initialised with {Tmax} is never empty.
-func logMinPeriod(ctx context.Context, sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
+func logMinPeriod(ctx context.Context, sc *Scratch, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
 	star := hi // T̂s initialised to {Tmax}; its minimum so far.
 	for lo <= hi {
 		if ctx.Err() != nil {
 			return star // the caller surfaces ctx.Err()
 		}
 		mid := (lo + hi) / 2
-		if lowerPrioritySchedulable(sys, sec, periods, resp, i, mid, mode) {
+		if lowerPrioritySchedulable(sc, sec, periods, resp, i, mid, mode) {
 			if mid < star {
 				star = mid
 			}
@@ -152,13 +167,13 @@ func logMinPeriod(ctx context.Context, sys *System, sec []task.SecurityTask, per
 
 // linearMinPeriod scans downward from hi; it is the brute-force oracle
 // for Algorithm 2 and the ablation benchmark.
-func linearMinPeriod(ctx context.Context, sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
+func linearMinPeriod(ctx context.Context, sc *Scratch, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
 	star := hi
 	for t := hi; t >= lo; t-- {
 		if ctx.Err() != nil {
 			return star // the caller surfaces ctx.Err()
 		}
-		if !lowerPrioritySchedulable(sys, sec, periods, resp, i, t, mode) {
+		if !lowerPrioritySchedulable(sc, sec, periods, resp, i, t, mode) {
 			break
 		}
 		star = t
@@ -170,42 +185,58 @@ func linearMinPeriod(ctx context.Context, sys *System, sec []task.SecurityTask, 
 // period set to cand (and every unprocessed task still at Tmax), does
 // every lower-priority security task keep Rj ≤ Tmax_j? Response times
 // are recomputed top-down from task i+1 because carry-in bounds of
-// deeper tasks depend on the response times above them.
-func lowerPrioritySchedulable(sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, cand task.Time, mode CarryInMode) bool {
+// deeper tasks depend on the response times above them. The probe
+// runs allocation-free on the scratch and restores periods[i]
+// directly on every exit path (a deferred restore would cost a
+// closure per probe of the binary search).
+func lowerPrioritySchedulable(sc *Scratch, sec []task.SecurityTask, periods, resp []task.Time, i int, cand task.Time, mode CarryInMode) bool {
 	saved := periods[i]
 	periods[i] = cand
-	defer func() { periods[i] = saved }()
 
-	hp := make([]Interferer, 0, len(sec))
+	hp := sc.hp[:0]
 	for k := 0; k <= i; k++ {
 		hp = append(hp, Interferer{WCET: sec[k].WCET, Period: periods[k], Resp: resp[k]})
 	}
+	ok := true
 	for j := i + 1; j < len(sec); j++ {
-		r, ok := sys.MigratingWCRT(sec[j].WCET, hp, sec[j].MaxPeriod, mode)
-		if !ok || r > sec[j].MaxPeriod {
-			return false
+		r, fine := sc.MigratingWCRT(sec[j].WCET, hp, sec[j].MaxPeriod, mode)
+		if !fine || r > sec[j].MaxPeriod {
+			ok = false
+			break
 		}
+		sc.probeResp[j] = r
 		hp = append(hp, Interferer{WCET: sec[j].WCET, Period: periods[j], Resp: r})
 	}
-	return true
+	sc.hp = hp[:0]
+	periods[i] = saved
+	if ok {
+		// Remember the full response vector of this feasible probe:
+		// when the search settles on this candidate, the line-8
+		// refresh can reuse it verbatim (same inputs, same fixpoints).
+		sc.probeFrom, sc.probeCand = i, cand
+	} else {
+		sc.probeFrom = -1
+	}
+	return ok
 }
 
 // recomputeBelow refreshes resp[i+1:] after periods[i] was fixed
 // (Algorithm 1 line 8). resp[i] itself depends only on tasks above i
 // and is already final.
-func recomputeBelow(sys *System, sec []task.SecurityTask, periods, resp []task.Time, i int, mode CarryInMode) {
-	hp := make([]Interferer, 0, len(sec))
+func recomputeBelow(sc *Scratch, sec []task.SecurityTask, periods, resp []task.Time, i int, mode CarryInMode) {
+	hp := sc.hp[:0]
 	for k := 0; k <= i; k++ {
 		hp = append(hp, Interferer{WCET: sec[k].WCET, Period: periods[k], Resp: resp[k]})
 	}
 	for j := i + 1; j < len(sec); j++ {
-		r, ok := sys.MigratingWCRT(sec[j].WCET, hp, sec[j].MaxPeriod, mode)
+		r, ok := sc.MigratingWCRT(sec[j].WCET, hp, sec[j].MaxPeriod, mode)
 		if !ok {
 			r = task.Infinity
 		}
 		resp[j] = r
 		hp = append(hp, Interferer{WCET: sec[j].WCET, Period: periods[j], Resp: r})
 	}
+	sc.hp = hp[:0]
 }
 
 func indexByName(sec []task.SecurityTask, name string) int {
@@ -215,6 +246,20 @@ func indexByName(sec []task.SecurityTask, name string) int {
 		}
 	}
 	return -1
+}
+
+// securityIndex maps each security-task name to its index in sec,
+// first occurrence winning — the same resolution rule as indexByName,
+// built once instead of rescanned per task (the remap at the end of a
+// selection was O(n²)).
+func securityIndex(sec []task.SecurityTask) map[string]int {
+	idx := make(map[string]int, len(sec))
+	for i, s := range sec {
+		if _, ok := idx[s.Name]; !ok {
+			idx[s.Name] = i
+		}
+	}
+	return idx
 }
 
 // Apply writes the selected periods into a clone of ts and returns it;

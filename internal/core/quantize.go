@@ -44,13 +44,14 @@ func QuantizePeriods(ts *task.Set, res *Result, grid task.Time) (*Result, error)
 	// Recompute response times under the quantized vector.
 	sys := NewSystem(ts)
 	sec := ts.SecurityByPriority()
+	byName := securityIndex(ts.Security)
 	ordered := make([]task.Time, len(sec))
 	for i, s := range sec {
-		ordered[i] = out.Periods[indexByName(ts.Security, s.Name)]
+		ordered[i] = out.Periods[byName[s.Name]]
 	}
 	resp := sys.ResponseTimes(sec, ordered, Dominance)
 	for i, s := range sec {
-		j := indexByName(ts.Security, s.Name)
+		j := byName[s.Name]
 		out.Resp[j] = resp[i]
 		if resp[i] > out.Periods[j] {
 			// Cannot happen — larger periods mean less interference —

@@ -54,6 +54,15 @@ type ResumeStats struct {
 // just recomputes it (n−i) times more often — and the differential
 // oracle corpus (internal/oracle) pins the equivalence.
 func SelectPeriodsResumable(ctx context.Context, ts *task.Set, opt Options, hints *Hints) (*Result, *ResumeStats, error) {
+	return SelectPeriodsResumableWith(ctx, ts, opt, hints, NewScratch(nil))
+}
+
+// SelectPeriodsResumableWith is SelectPeriodsResumable with a
+// caller-owned Scratch: a long-lived owner (the admission engine)
+// re-primes one workspace per analysis instead of reallocating the
+// kernel buffers on every delta. The scratch must not be shared
+// across goroutines; results are identical to the scratch-free form.
+func SelectPeriodsResumableWith(ctx context.Context, ts *task.Set, opt Options, hints *Hints, sc *Scratch) (*Result, *ResumeStats, error) {
 	stats := &ResumeStats{}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -80,13 +89,18 @@ func SelectPeriodsResumable(ctx context.Context, ts *task.Set, opt Options, hint
 		return &Result{Schedulable: true, Periods: []task.Time{}, Resp: []task.Time{}}, stats, nil
 	}
 
+	sc.Reset(sys)
+	sc.ensure(n)
+
 	// Line 1 + lines 2–4: every period at Tmax; if any task misses even
 	// there, the set is unschedulable within the designer bounds.
-	periods := make([]task.Time, n)
-	for i, s := range sec {
-		periods[i] = s.MaxPeriod
+	periods := sc.periods[:0]
+	for _, s := range sec {
+		periods = append(periods, s.MaxPeriod)
 	}
-	resp := sys.ResponseTimes(sec, periods, opt.CarryIn)
+	sc.periods = periods
+	resp := sc.responseTimes(sec, periods, opt.CarryIn, sc.resp)
+	sc.resp = resp
 	for i, s := range sec {
 		if resp[i] > s.MaxPeriod {
 			return &Result{Schedulable: false}, stats, nil
@@ -95,16 +109,17 @@ func SelectPeriodsResumable(ctx context.Context, ts *task.Set, opt Options, hint
 
 	if !opt.SkipOptimization {
 		// Lines 5–9, resumable form. hp accumulates the finalized
-		// interferer prefix; resp[i] is recomputed from it once per
+		// interferer prefix (on its own buffer — the probe helpers
+		// below reuse sc.hp); resp[i] is recomputed from it once per
 		// task (it cannot depend on the unfixed periods below, nor on
 		// the task's own period).
-		hp := make([]Interferer, 0, n)
+		hp := sc.hpOuter[:0]
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, nil, err
 			}
 			if i > 0 {
-				r, ok := sys.MigratingWCRT(sec[i].WCET, hp, sec[i].MaxPeriod, opt.CarryIn)
+				r, ok := sc.MigratingWCRT(sec[i].WCET, hp, sec[i].MaxPeriod, opt.CarryIn)
 				if !ok {
 					// Cannot happen: the task was feasible at Tmax and
 					// the prefix only shrank periods the feasibility
@@ -117,17 +132,17 @@ func SelectPeriodsResumable(ctx context.Context, ts *task.Set, opt Options, hint
 			lo, hi := resp[i], sec[i].MaxPeriod
 			star := task.Time(-1)
 			if cand, ok := hints.Periods[sec[i].Name]; ok && cand >= lo && cand <= hi {
-				if lowerPrioritySchedulable(sys, sec, periods, resp, i, cand, opt.CarryIn) &&
-					(cand == lo || !lowerPrioritySchedulable(sys, sec, periods, resp, i, cand-1, opt.CarryIn)) {
+				if lowerPrioritySchedulable(sc, sec, periods, resp, i, cand, opt.CarryIn) &&
+					(cand == lo || !lowerPrioritySchedulable(sc, sec, periods, resp, i, cand-1, opt.CarryIn)) {
 					star = cand
 					stats.Verified++
 				}
 			}
 			if star < 0 {
 				if opt.LinearSearch {
-					star = linearMinPeriod(ctx, sys, sec, periods, resp, i, lo, hi, opt.CarryIn)
+					star = linearMinPeriod(ctx, sc, sec, periods, resp, i, lo, hi, opt.CarryIn)
 				} else {
-					star = logMinPeriod(ctx, sys, sec, periods, resp, i, lo, hi, opt.CarryIn)
+					star = logMinPeriod(ctx, sc, sec, periods, resp, i, lo, hi, opt.CarryIn)
 				}
 				stats.Searched++
 			}
@@ -137,13 +152,15 @@ func SelectPeriodsResumable(ctx context.Context, ts *task.Set, opt Options, hint
 			periods[i] = star
 			hp = append(hp, Interferer{WCET: sec[i].WCET, Period: periods[i], Resp: resp[i]})
 		}
+		sc.hpOuter = hp[:0]
 	}
 
 	// Report in the original ts.Security order.
 	outPeriods := make([]task.Time, n)
 	outResp := make([]task.Time, n)
+	byName := securityIndex(ts.Security)
 	for i, s := range sec {
-		j := indexByName(ts.Security, s.Name)
+		j := byName[s.Name]
 		outPeriods[j] = periods[i]
 		outResp[j] = resp[i]
 	}

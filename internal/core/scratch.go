@@ -1,0 +1,595 @@
+package core
+
+import "hydrac/internal/task"
+
+// This file is the hot Eq. 5–8 kernel: an allocation-free,
+// staircase-accelerated evaluation of the interference function Ω and
+// its Eq. 7 fixed point. The naive forms in wcrt.go (omegaDominance,
+// fixedPoint) remain the readable reference — the Exhaustive mode and
+// the equivalence property tests still run them — but every production
+// path goes through a Scratch.
+//
+// Three observations drive the design:
+//
+//  1. The Eq. 7 refinement sequence is the contract. The iteration
+//     budget (MaxFixpointIterations) is part of the analysis
+//     definition — a set the naive creep abandons mid-iteration must
+//     stay abandoned — so the kernel never changes WHICH refinements
+//     happen, only how cheaply they are computed and counted.
+//
+//  2. Ω is piecewise LINEAR in the window length x. Every elementary
+//     term — an Eq. 2 staircase, an Eq. 4 carry-in bound, the
+//     x−Cs+1 interference clamp of Eqs. 3/5, and the top-(M−1)
+//     dominance selection of Eq. 6 — is linear between breakpoints:
+//     task release-structure edges, clamp crossovers, and changes of
+//     the selected carry-in set. One pass over the tasks yields the
+//     exact value, slope and next breakpoint of Ω at x (omegaLine).
+//     On such a piece every refinement is three integer operations,
+//     and when the slope is exactly M the stride is constant, so the
+//     clamp-bound creep the iteration budget exists for — millions of
+//     one-tick refinements — is counted in closed form and resolved
+//     in O(1).
+//
+//  3. Creep betrays itself: slope-M pieces produce runs of EQUAL
+//     short strides. The kernel therefore runs a lean value-only
+//     evaluation (omegaValue — the naive arithmetic without the sort
+//     or the allocations) and drops into the piecewise-linear escape
+//     only when two consecutive strides match below creepStride;
+//     after the piece is resolved it returns to the fast path. Long-
+//     stride iterations — the common converging case — never pay for
+//     piece geometry they would not use.
+//
+// Because both evaluators compute the identical Ω and the escape
+// replays (or batch-counts) the identical refinements, results are
+// bit-identical to the naive creep in every case, including the
+// conservative MaxFixpointIterations verdicts. The equivalence is
+// property-tested against the reference creep in scratch_test.go and
+// pinned end-to-end by the differential oracle corpus.
+
+// Scratch is the reusable per-analysis workspace of the kernel: the
+// RT band flattened into structure-of-arrays form plus the buffers the
+// fixpoint and the period-selection helpers need. One Scratch serves
+// one analysis at a time — SelectPeriodsCtx, SelectPeriodsResumable
+// and the admission engine each own one — and must never be shared
+// across goroutines. Reset re-primes it for a new System, reusing all
+// capacity, so steady-state analyses allocate nothing.
+type Scratch struct {
+	sys  *System
+	sysM int
+
+	// coreEnd delimits the RT band per core: core m's tasks span
+	// rtWin[coreEnd[m−1]:coreEnd[m]] (built once per Reset).
+	coreEnd []int
+
+	// diffs is the Eq. 6 carry-in selection buffer.
+	diffs []diffTerm
+
+	// rtWin is the RT band's period-window cache: each task carries
+	// its current period window [lo, hi) and the completed-jobs
+	// workload qc, so the hot path computes an Eq. 2 workload with a
+	// compare and a subtract instead of a 64-bit div+mod. A window is
+	// a pure function of the window length, so it stays valid across
+	// calls — the division reruns only when an evaluation leaves the
+	// window on either side. One packed struct per task keeps the
+	// walk on ~1.5 cache lines per four tasks.
+	rtWin []rtWindow
+
+	// probeResp/probeCand/probeFrom capture the response-time vector
+	// of the most recent fully-feasible Algorithm 2 probe, so the
+	// line-8 refresh after a search can reuse the star probe's
+	// fixpoints instead of re-running them (the last feasible probe of
+	// the binary search IS the star, with identical inputs).
+	probeResp []task.Time
+	probeCand task.Time
+	probeFrom int
+
+	// hp is the probe-scoped interferer buffer shared by the leaf
+	// helpers (responseTimes, lowerPrioritySchedulable,
+	// recomputeBelow), which never nest. hpOuter is the selection-loop
+	// prefix of SelectPeriodsResumable, which is live across probes.
+	hp, hpOuter []Interferer
+
+	// resp/periods back the per-analysis working vectors of the
+	// period-selection entry points.
+	resp, periods []task.Time
+}
+
+// rtWindow is one RT task's demand and current period window.
+type rtWindow struct {
+	c, t, qc, lo, hi task.Time
+}
+
+// diffTerm is one higher-priority migrating task's carry-in minus
+// non-carry-in interference difference — a plain value for the fast
+// evaluator, a linear function of the window length (v, s) for the
+// piecewise escape.
+type diffTerm struct {
+	v, s task.Time
+	sel  bool
+}
+
+// NewScratch returns a workspace primed for sys (which may be nil;
+// call Reset before use then).
+func NewScratch(sys *System) *Scratch {
+	sc := &Scratch{}
+	if sys != nil {
+		sc.Reset(sys)
+	}
+	return sc
+}
+
+// Reset primes the scratch for a new System, reusing every buffer.
+func (sc *Scratch) Reset(sys *System) {
+	sc.sys = sys
+	sc.sysM = sys.M
+	sc.rtWin = sc.rtWin[:0]
+	sc.coreEnd = sc.coreEnd[:0]
+	for _, demands := range sys.RTCores {
+		for _, d := range demands {
+			sc.rtWin = append(sc.rtWin, rtWindow{c: d.WCET, t: d.Period, hi: -1})
+		}
+		sc.coreEnd = append(sc.coreEnd, len(sc.rtWin))
+	}
+	sc.probeFrom = -1
+}
+
+// refill recomputes the task's period window at window length y. The
+// first period — where every call starts, since the iteration begins
+// at Cs — needs no division.
+func (w *rtWindow) refill(y task.Time) {
+	if y < w.t {
+		w.lo, w.hi, w.qc = 0, w.t, 0
+		return
+	}
+	q := y / w.t
+	w.lo = q * w.t
+	w.hi = satAdd(w.lo, w.t)
+	w.qc = q * w.c
+}
+
+// ensure pre-sizes the selection buffers for a security band of n
+// tasks so the steady-state selection loops never grow them.
+func (sc *Scratch) ensure(n int) {
+	if cap(sc.hp) < n {
+		sc.hp = make([]Interferer, 0, n)
+	}
+	if cap(sc.hpOuter) < n {
+		sc.hpOuter = make([]Interferer, 0, n)
+	}
+	if cap(sc.diffs) < n {
+		sc.diffs = make([]diffTerm, 0, n)
+	}
+	if cap(sc.resp) < n {
+		sc.resp = make([]task.Time, 0, n)
+	}
+	if cap(sc.periods) < n {
+		sc.periods = make([]task.Time, 0, n)
+	}
+	if cap(sc.probeResp) < n {
+		sc.probeResp = make([]task.Time, n)
+	}
+	sc.probeResp = sc.probeResp[:n]
+	sc.probeFrom = -1
+}
+
+// replayCeiling bounds the in-piece offsets the replay multiplies the
+// slope by; past it the kernel re-evaluates Ω instead, avoiding
+// overflow on sets with 2^60-scale ticks. The fallback stays exact —
+// an evaluation is stateless.
+const replayCeiling task.Time = 1 << 50
+
+// creepStride is the refinement stride below which a run of equal
+// strides is treated as clamp-bound creep and handed to the
+// piecewise-linear escape. The trigger is a pure evaluation-strategy
+// switch — the refinement sequence is identical on both sides — so
+// the value moves constant factors, never results.
+const creepStride task.Time = 64
+
+// MigratingWCRT is the scratch-backed form of System.MigratingWCRT:
+// identical results — the identical refinement sequence, with
+// clamp-bound creep resolved through the piecewise-linear form of Ω
+// instead of one full evaluation per tick — and no steady-state
+// allocations. The Exhaustive mode delegates to the literal Eq. 8
+// enumeration (a test oracle; it allocates freely).
+func (sc *Scratch) MigratingWCRT(cs task.Time, hp []Interferer, limit task.Time, mode CarryInMode) (task.Time, bool) {
+	if cs > limit {
+		return task.Infinity, false
+	}
+	if mode == Exhaustive {
+		return sc.sys.migratingWCRTExhaustive(cs, hp, limit)
+	}
+	m := task.Time(sc.sysM)
+	x := cs
+	iters := 0
+	lastStride := task.Time(-1)
+	for iters < MaxFixpointIterations {
+		iters++
+		next := sc.omegaValue(x, cs, hp)/m + cs
+		if next == x {
+			return x, true
+		}
+		if next > limit || next < x {
+			return task.Infinity, false
+		}
+		stride := next - x
+		x = next
+		if stride >= creepStride || stride > lastStride || lastStride < 0 {
+			lastStride = stride
+			continue
+		}
+		lastStride = -1
+
+		// A short stride that failed to grow: the signature of a
+		// creep region (slope-M pieces hold their stride constant;
+		// growth phases strictly lengthen it), where the naive creep
+		// would grind one full evaluation per refinement. Switch to
+		// line mode:
+		// one line evaluation per piece, the in-piece refinements
+		// replayed at three integer ops each — or counted in closed
+		// form when the slope really is M. Line mode is sticky across
+		// consecutive creeping pieces (a creep region is many short
+		// pieces in a row) and hands back to the fast path as soon as
+		// a long stride shows the creep is over.
+	lineMode:
+		for iters < MaxFixpointIterations {
+			omega, slope, bp := sc.omegaLine(x, cs, hp)
+			x0 := x
+			for iters < MaxFixpointIterations {
+				if x-x0 >= replayCeiling {
+					break // refresh the line before the products get risky
+				}
+				iters++
+				next := (omega+slope*(x-x0))/m + cs
+				if next == x {
+					return x, true
+				}
+				if next > limit || next < x {
+					return task.Infinity, false
+				}
+				if next >= bp {
+					// Crossed into the next piece.
+					crossed := next - x
+					x = next
+					if crossed >= creepStride {
+						break lineMode // long stride: creep over, fast path resumes
+					}
+					break
+				}
+				if slope == m {
+					// Constant stride δ = next − x through the rest of
+					// the piece: count the remaining refinements in
+					// closed form instead of one at a time. This is
+					// the MaxFixpointIterations pathology reduced to
+					// O(1).
+					delta := next - x
+					steps := (bp - next + delta - 1) / delta // refinements from next to reach ≥ bp
+					if firstPast := (limit-next)/delta + 1; firstPast <= steps {
+						// One of them overshoots the limit first.
+						return task.Infinity, false
+					}
+					if steps > task.Time(MaxFixpointIterations-iters) {
+						// The naive creep exhausts the budget inside
+						// the piece: the same conservative verdict.
+						return task.Infinity, false
+					}
+					iters += int(steps)
+					x = next + steps*delta
+					break
+				}
+				// slope ≠ M: the gap f(y) − y strictly drifts
+				// (shrinking toward the fixed point below M, growing
+				// past the breakpoint above it), so this loop is
+				// short.
+				x = next
+			}
+		}
+	}
+	return task.Infinity, false
+}
+
+// omegaValue evaluates Eq. 6 at window length y exactly as
+// omegaDominance does — same workload formulas, same clamp, same
+// top-(M−1) dominance sum — without the sort, the allocations, or any
+// piece bookkeeping: every staircase reads through its period window,
+// so the steady-state cost per task is a compare and a subtract. It
+// is the kernel's fast-path evaluator.
+func (sc *Scratch) omegaValue(y, cs task.Time, hp []Interferer) task.Time {
+	capv := y - cs + 1
+	var omega task.Time
+	start := 0
+	for _, end := range sc.coreEnd {
+		var w task.Time
+		for i := start; i < end; i++ {
+			win := &sc.rtWin[i]
+			if y >= win.hi || y < win.lo {
+				win.refill(y)
+			}
+			r := y - win.lo
+			if r > win.c {
+				r = win.c
+			}
+			w += win.qc + r
+		}
+		start = end
+		omega += min(w, capv)
+	}
+	k := sc.sysM - 1
+	if k <= 0 {
+		for j := range hp {
+			omega += min(workloadNC(y, hp[j].WCET, hp[j].Period), capv)
+		}
+		return omega
+	}
+	diffs := sc.diffs[:0]
+	for j := range hp {
+		h := &hp[j]
+		nc := min(workloadNC(y, h.WCET, h.Period), capv)
+		omega += nc
+		if d := min(workloadCI(y, h.WCET, h.Period, h.Resp), capv) - nc; d > 0 {
+			diffs = append(diffs, diffTerm{v: d})
+		}
+	}
+	sc.diffs = diffs
+	if len(diffs) <= k {
+		for i := range diffs {
+			omega += diffs[i].v
+		}
+		return omega
+	}
+	// Top-k of the positive differences by bounded max-extraction; the
+	// sum over the k largest values is selection-order independent, so
+	// this matches the reference sort exactly.
+	for pass := 0; pass < k; pass++ {
+		best := 0
+		for i := 1; i < len(diffs); i++ {
+			if diffs[i].v > diffs[best].v {
+				best = i
+			}
+		}
+		omega += diffs[best].v
+		diffs[best].v = -1
+	}
+	return omega
+}
+
+// omegaLine evaluates Eq. 6 at window length y exactly as
+// omegaDominance does, and additionally reports the slope of Ω and the
+// next breakpoint bp > y such that Ω is linear with that slope on
+// [y, bp). It allocates nothing in steady state.
+func (sc *Scratch) omegaLine(y, cs task.Time, hp []Interferer) (omega, slope, bp task.Time) {
+	capv := y - cs + 1
+	bp = task.Infinity
+
+	// Eq. 3: the partitioned RT band, one clamped staircase sum per
+	// core, read through the same period windows as the fast path.
+	start := 0
+	for _, end := range sc.coreEnd {
+		var wv, ws task.Time
+		wb := task.Infinity
+		for i := start; i < end; i++ {
+			win := &sc.rtWin[i]
+			if y >= win.hi || y < win.lo {
+				win.refill(y)
+			}
+			if r := y - win.lo; r < win.c {
+				wv += win.qc + r
+				ws++
+				if b := win.lo + win.c; b < wb {
+					wb = b
+				}
+			} else {
+				wv += win.qc + win.c
+				if win.hi < wb {
+					wb = win.hi
+				}
+			}
+		}
+		start = end
+		v, s, b := clampLine(y, cs, wv, ws, wb, capv)
+		omega += v
+		slope += s
+		if b < bp {
+			bp = b
+		}
+	}
+
+	// Eq. 5: higher-priority migrating tasks. Every task contributes
+	// its non-carry-in interference; the carry-in/non-carry-in
+	// differences feed the top-(M−1) dominance selection (skipped
+	// entirely when M == 1, where the carry-in set is empty).
+	k := sc.sysM - 1
+	diffs := sc.diffs[:0]
+	for _, h := range hp {
+		nv, ns, nb := lineNC(y, h.WCET, h.Period)
+		nv, ns, nb = clampLine(y, cs, nv, ns, nb, capv)
+		omega += nv
+		slope += ns
+		if nb < bp {
+			bp = nb
+		}
+		if k > 0 {
+			cv, cslope, cb := lineCI(y, h.WCET, h.Period, h.Resp)
+			cv, cslope, cb = clampLine(y, cs, cv, cslope, cb, capv)
+			if cb < bp {
+				bp = cb
+			}
+			diffs = append(diffs, diffTerm{v: cv - nv, s: cslope - ns})
+		}
+	}
+	sc.diffs = diffs
+
+	if len(diffs) > 0 {
+		// Select the at-most-k largest positive differences by
+		// bounded max-extraction (M is small; a full sort is waste).
+		// Value ties break toward the larger slope so the selection
+		// matches Ω's forward behaviour and stays stable for at least
+		// one tick.
+		nsel := 0
+		for pass := 0; pass < k; pass++ {
+			best := -1
+			for i := range diffs {
+				d := &diffs[i]
+				if d.sel || d.v <= 0 {
+					continue
+				}
+				if best < 0 || d.v > diffs[best].v || (d.v == diffs[best].v && d.s > diffs[best].s) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			diffs[best].sel = true
+			nsel++
+			omega += diffs[best].v
+			slope += diffs[best].s
+		}
+		// The piece ends wherever the selected set could change: a
+		// selected difference decaying to zero, a non-positive one
+		// turning positive while slots are free, or an unselected one
+		// overtaking a selected one with smaller slope.
+		for i := range diffs {
+			d := &diffs[i]
+			if d.sel {
+				if d.s < 0 {
+					if b := satAdd(y, floorDiv(d.v-1, -d.s)+1); b < bp {
+						bp = b
+					}
+				}
+				continue
+			}
+			if d.v <= 0 && d.s <= 0 {
+				continue
+			}
+			if d.v <= 0 && nsel < k {
+				if b := satAdd(y, floorDiv(-d.v, d.s)+1); b < bp {
+					bp = b
+				}
+				continue
+			}
+			for j := range diffs {
+				sj := &diffs[j]
+				if !sj.sel || sj.s >= d.s {
+					continue
+				}
+				if b := satAdd(y, floorDiv(sj.v-d.v, d.s-sj.s)+1); b < bp {
+					bp = b
+				}
+			}
+		}
+	}
+
+	if bp <= y {
+		bp = y + 1
+	}
+	return omega, slope, bp
+}
+
+// lineNC is workloadNC (Eq. 2) as a linear piece: value and slope at
+// window length y, plus the absolute position of the next kink.
+func lineNC(y, c, t task.Time) (v, s, b task.Time) {
+	if y <= 0 {
+		// Below one tick the workload is pinned at zero; the first
+		// job's ramp starts at y = 0.
+		if c > 0 {
+			return 0, 1, satAdd(y, c)
+		}
+		return 0, 0, task.Infinity
+	}
+	q, r := y/t, y%t
+	if r < c {
+		return q*c + r, 1, satAdd(y, c-r)
+	}
+	return (q + 1) * c, 0, satAdd(y, t-r)
+}
+
+// lineCI is workloadCI (Eq. 4) as a linear piece.
+func lineCI(y, c, t, r task.Time) (v, s, b task.Time) {
+	xbar := c - 1 + t - r
+	var hv, hs, hb task.Time
+	if y <= xbar {
+		// The shifted staircase has not started: flat zero through
+		// xbar, first ramp tick at xbar+1.
+		hv, hs, hb = 0, 0, satAdd(xbar, 1)
+	} else {
+		hv, hs, hb = lineNC(y-xbar, c, t)
+		hb = satAdd(xbar, hb)
+	}
+	tv, ts, tb := c-1, task.Time(0), task.Infinity
+	if y < c-1 {
+		tv, ts, tb = y, 1, c
+	}
+	return hv + tv, hs + ts, min(hb, tb)
+}
+
+// clampLine applies the Eq. 3/5 interference clamp min(w, y−Cs+1) to a
+// linear workload piece (wv, ws) valid until wb, tightening the kink
+// to the clamp crossover when the two lines meet inside the piece
+// (the clamp line has slope 1, so a crossover from below needs
+// ws ≥ 2). While the clamp binds the term ignores the workload's
+// internal kinks entirely, so the piece extends past wb to wherever
+// the clamp could first release: the workload never shrinks, hence
+// w(y) ≥ wv, and the cap line y−cs+1 cannot reach wv before
+// y = wv + cs. That one observation turns the clamp-bound creep — the
+// regime the iteration budget exists for — from a kink-by-kink walk
+// into a single piece per clamp release.
+func clampLine(y, cs, wv, ws, wb, capv task.Time) (task.Time, task.Time, task.Time) {
+	if wv <= capv {
+		b := wb
+		if ws >= 2 {
+			if cb := satAdd(y, floorDiv(capv-wv, ws-1)+1); cb < b {
+				b = cb
+			}
+		}
+		return wv, ws, b
+	}
+	b := satAdd(wv, cs)
+	if ws >= 1 && wb > b {
+		// The workload line outruns the cap line for as long as it
+		// stays structurally valid, so the clamp holds to wb too.
+		b = wb
+	}
+	return capv, 1, b
+}
+
+// responseTimes is ResponseTimes on the scratch: identical top-down
+// computation, interferer list and result storage reused.
+func (sc *Scratch) responseTimes(sec []task.SecurityTask, periods []task.Time, mode CarryInMode, resp []task.Time) []task.Time {
+	resp = resp[:0]
+	hp := sc.hp[:0]
+	for i, s := range sec {
+		r, ok := sc.MigratingWCRT(s.WCET, hp, s.MaxPeriod, mode)
+		if !ok {
+			// A diverged task still interferes with lower-priority
+			// ones; bound its carry-in pessimistically with R = T so
+			// the analysis of the rest remains sound.
+			resp = append(resp, task.Infinity)
+			hp = append(hp, Interferer{WCET: s.WCET, Period: periods[i], Resp: periods[i]})
+			continue
+		}
+		resp = append(resp, r)
+		hp = append(hp, Interferer{WCET: s.WCET, Period: periods[i], Resp: r})
+	}
+	sc.hp = hp[:0]
+	return resp
+}
+
+// floorDiv returns ⌊a/b⌋ for b > 0 and any a (Go's / truncates toward
+// zero, which differs for negative a).
+func floorDiv(a, b task.Time) task.Time {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// satAdd adds a delta to a position, saturating at task.Infinity
+// instead of wrapping (periods near the 2^62 sentinel would otherwise
+// overflow the breakpoint arithmetic).
+func satAdd(a, b task.Time) task.Time {
+	if s := a + b; s >= a {
+		return s
+	}
+	return task.Infinity
+}

@@ -56,31 +56,35 @@ const (
 // starts at x = Cs and stops at the least fixed point, or reports
 // failure once x exceeds limit (the task is then unschedulable within
 // its period bound, §4.4).
+//
+// This convenience form allocates a fresh Scratch per call; hot paths
+// (period selection, the admission engine, the baselines) thread one
+// Scratch through instead. Results are identical either way.
 func (sys *System) MigratingWCRT(cs task.Time, hp []Interferer, limit task.Time, mode CarryInMode) (task.Time, bool) {
-	if cs > limit {
-		return task.Infinity, false
-	}
-	if mode == Exhaustive {
-		return sys.migratingWCRTExhaustive(cs, hp, limit)
-	}
-	return sys.fixedPoint(cs, limit, func(x task.Time) task.Time {
-		return sys.omegaDominance(x, cs, hp)
-	})
+	return NewScratch(sys).MigratingWCRT(cs, hp, limit, mode)
 }
 
 // MaxFixpointIterations bounds the Eq. 7 iteration. Near the clamp
 // boundary (every core's interference bound x − Cs + 1 binding at
-// once) the recurrence can creep upward one tick per step, so with
-// 2^40-scale tick resolutions an unbounded loop could take ~10^11
-// refinements to settle — an effective hang. A task that has not
-// converged after this many refinements is reported unschedulable.
+// once) the naive recurrence can creep upward one tick per step, so
+// with 2^40-scale tick resolutions an unbounded loop could take
+// ~10^11 refinements to settle — an effective hang. A task that has
+// not converged after this many refinements is reported unschedulable.
 // The verdict is conservative and part of the analysis definition:
 // internal/oracle applies the identical bound, so the differential
 // corpus stays byte-identical even if a pathological set ever trips
 // it. Paper-scale workloads converge orders of magnitude below it.
+//
+// The production kernel (Scratch.MigratingWCRT) advances at least one
+// interference breakpoint per iteration instead of one tick, so it
+// reaches the same verdicts in no more iterations than the naive
+// creep; the budget is shared so the two kernels stay comparable.
 const MaxFixpointIterations = 1 << 22
 
-// fixedPoint runs Eq. 7 with the supplied total-interference function.
+// fixedPoint runs Eq. 7 with the supplied total-interference function,
+// one refinement at a time. It is the reference creep the staircase
+// kernel is property-tested against, and the engine of the Exhaustive
+// mode.
 func (sys *System) fixedPoint(cs, limit task.Time, omega func(task.Time) task.Time) (task.Time, bool) {
 	x := cs
 	for iter := 0; iter < MaxFixpointIterations; iter++ {
@@ -99,7 +103,10 @@ func (sys *System) fixedPoint(cs, limit task.Time, omega func(task.Time) task.Ti
 // omegaDominance is Eq. 6 with the carry-in set chosen by dominance:
 // every higher-priority migrating task contributes its non-carry-in
 // interference, and the at-most-(M−1) largest positive differences
-// I(W^CI) − I(W^NC) are added on top.
+// I(W^CI) − I(W^NC) are added on top. This is the readable reference
+// form; the production path is Scratch.omegaLine, which computes the
+// identical value without allocating and with the piece geometry the
+// staircase jump needs.
 func (sys *System) omegaDominance(x, cs task.Time, hp []Interferer) task.Time {
 	var total task.Time
 	for _, demands := range sys.RTCores {
@@ -189,21 +196,7 @@ func (sys *System) migratingWCRTExhaustive(cs task.Time, hp []Interferer, limit 
 // task with implicit deadline must finish within its period, and is
 // hopeless past Tmax).
 func (sys *System) ResponseTimes(sec []task.SecurityTask, periods []task.Time, mode CarryInMode) []task.Time {
-	resp := make([]task.Time, len(sec))
-	hp := make([]Interferer, 0, len(sec))
-	for i, s := range sec {
-		limit := s.MaxPeriod
-		r, ok := sys.MigratingWCRT(s.WCET, hp, limit, mode)
-		if !ok {
-			resp[i] = task.Infinity
-			// A diverged task still interferes with lower-priority
-			// ones; bound its carry-in pessimistically with R = T
-			// so the analysis of the rest remains sound.
-			hp = append(hp, Interferer{WCET: s.WCET, Period: periods[i], Resp: periods[i]})
-			continue
-		}
-		resp[i] = r
-		hp = append(hp, Interferer{WCET: s.WCET, Period: periods[i], Resp: r})
-	}
-	return resp
+	sc := NewScratch(sys)
+	sc.ensure(len(sec))
+	return sc.responseTimes(sec, periods, mode, make([]task.Time, 0, len(sec)))
 }

@@ -32,7 +32,14 @@ const MaxIterations = 1 << 22
 // deadline or period bound): the task is then unschedulable.
 //
 // The iteration is x(0) = wcet; x(k+1) = wcet + Σ ⌈x(k)/Ti⌉·Ci and
-// terminates at the least fixed point.
+// terminates at the least fixed point. The demand Σ ⌈y/Ti⌉·Ci is a
+// staircase, constant between release boundaries, so when a refinement
+// lands strictly below the next boundary the recurrence has already
+// converged: re-evaluating at x(k+1) reads the same staircase step and
+// returns x(k+1) unchanged. The loop exploits that to finish one
+// boundary-crossing per iteration instead of creeping tick by tick
+// through dense-release near-overload cores — same least fixed point,
+// never more iterations than the naive creep.
 //
 // Termination is guaranteed for every limit including task.Infinity:
 // a core whose higher-priority demand alone reaches 100% utilisation
@@ -59,8 +66,17 @@ func ResponseTime(wcet task.Time, hp []Demand, limit task.Time) (task.Time, bool
 	x := wcet
 	for iter := 0; iter < MaxIterations; iter++ {
 		next := wcet
+		// bound is the first window length where any ⌈y/Ti⌉ step
+		// rises: the demand is constant on [x, bound).
+		bound := task.Infinity
 		for _, d := range hp {
-			next += ceilDiv(x, d.Period) * d.WCET
+			q := ceilDiv(x, d.Period)
+			next += q * d.WCET
+			// q·T ≥ x always; a smaller product is overflow wrap, and
+			// skipping the bound update just forfeits the shortcut.
+			if b := q * d.Period; b >= x && b+1 < bound {
+				bound = b + 1
+			}
 		}
 		if next == x {
 			return x, true
@@ -69,6 +85,12 @@ func ResponseTime(wcet task.Time, hp []Demand, limit task.Time) (task.Time, bool
 			// next < x cannot happen with non-negative demands but
 			// guards against overflow wrap-around.
 			return task.Infinity, false
+		}
+		if next < bound {
+			// The refinement stayed on the same staircase step, so
+			// the demand at next equals the demand at x and next is
+			// the least fixed point.
+			return next, true
 		}
 		x = next
 	}
@@ -86,14 +108,12 @@ func ResponseTime(wcet task.Time, hp []Demand, limit task.Time) (task.Time, bool
 // CoreSchedulable(tasks) is true iff CoreResponseTimes(tasks) contains
 // no task.Infinity entry.
 func CoreSchedulable(tasks []task.RTTask) bool {
-	for i, t := range tasks {
-		hp := make([]Demand, 0, i)
-		for _, h := range tasks[:i] {
-			hp = append(hp, Demand{WCET: h.WCET, Period: h.Period})
-		}
+	hp := make([]Demand, 0, len(tasks))
+	for _, t := range tasks {
 		if _, ok := ResponseTime(t.WCET, hp, t.Deadline); !ok {
 			return false
 		}
+		hp = append(hp, Demand{WCET: t.WCET, Period: t.Period})
 	}
 	return true
 }
@@ -104,16 +124,14 @@ func CoreSchedulable(tasks []task.RTTask) bool {
 // with CoreSchedulable (see there).
 func CoreResponseTimes(tasks []task.RTTask) []task.Time {
 	out := make([]task.Time, len(tasks))
+	hp := make([]Demand, 0, len(tasks))
 	for i, t := range tasks {
-		hp := make([]Demand, 0, i)
-		for _, h := range tasks[:i] {
-			hp = append(hp, Demand{WCET: h.WCET, Period: h.Period})
-		}
 		r, ok := ResponseTime(t.WCET, hp, t.Deadline)
 		if !ok {
 			r = task.Infinity
 		}
 		out[i] = r
+		hp = append(hp, Demand{WCET: t.WCET, Period: t.Period})
 	}
 	return out
 }

@@ -235,3 +235,68 @@ func TestCoreSchedulableConsistentWithCoreResponseTimes(t *testing.T) {
 		}
 	}
 }
+
+// naiveResponseTime is the pre-jump reference iteration: one full
+// demand evaluation per refinement, identical utilisation screen and
+// budget. The staircase shortcut must match it bit for bit.
+func naiveResponseTime(wcet task.Time, hp []Demand, limit task.Time) (task.Time, bool) {
+	if wcet > limit {
+		return task.Infinity, false
+	}
+	var u float64
+	for _, d := range hp {
+		u += float64(d.WCET) / float64(d.Period)
+	}
+	if u >= 1 && wcet > 0 {
+		return task.Infinity, false
+	}
+	x := wcet
+	for iter := 0; iter < MaxIterations; iter++ {
+		next := wcet
+		for _, d := range hp {
+			next += ((x + d.Period - 1) / d.Period) * d.WCET
+		}
+		if next == x {
+			return x, true
+		}
+		if next > limit || next < x {
+			return task.Infinity, false
+		}
+		x = next
+	}
+	return task.Infinity, false
+}
+
+// The staircase shortcut (returning the refinement that lands on the
+// same demand step) must agree with the naive creep on dense random
+// cores, including near-overload divergence verdicts.
+func TestResponseTimeStaircaseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 5000; trial++ {
+		var hp []Demand
+		for n := rng.Intn(6); n > 0; n-- {
+			p := task.Time(1 + rng.Intn(50))
+			c := 1 + rng.Int63n(int64(p))
+			hp = append(hp, Demand{WCET: c, Period: p})
+		}
+		wcet := task.Time(1 + rng.Intn(30))
+		limit := wcet + rng.Int63n(4000)
+		gotR, gotOK := ResponseTime(wcet, hp, limit)
+		wantR, wantOK := naiveResponseTime(wcet, hp, limit)
+		if gotR != wantR || gotOK != wantOK {
+			t.Fatalf("trial %d (%d hp, wcet=%d, limit=%d): jump (%d,%v) != naive (%d,%v)",
+				trial, len(hp), wcet, limit, gotR, gotOK, wantR, wantOK)
+		}
+	}
+}
+
+// The Eq. 1 fixpoint is the admission engine's per-core screen; it
+// must not allocate.
+func TestResponseTimeAllocFree(t *testing.T) {
+	hp := []Demand{{WCET: 2, Period: 10}, {WCET: 7, Period: 35}, {WCET: 11, Period: 90}}
+	if avg := testing.AllocsPerRun(200, func() {
+		ResponseTime(9, hp, 1_000_000)
+	}); avg != 0 {
+		t.Fatalf("ResponseTime allocates %.1f objects per call; want 0", avg)
+	}
+}

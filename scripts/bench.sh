@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR4.json, the machine-readable before/after
+# snapshot of the PR 4 kernel-optimisation benchmarks
+# (BenchmarkAnalyzeCold, BenchmarkAdmitDelta, BenchmarkSweepParallel).
+#
+# Usage:
+#   scripts/bench.sh                  # re-run, rewrite the "after" side
+#   scripts/bench.sh --before out.txt # also replace the "before" side
+#                                     # from a saved `go test -bench`
+#                                     # output (e.g. from the base
+#                                     # commit's bench artifact)
+#   COUNT=5 scripts/bench.sh          # more samples per benchmark
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+BEFORE_TXT=""
+if [ "${1:-}" = "--before" ]; then
+  BEFORE_TXT="$2"
+fi
+
+AFTER_TXT="$(mktemp)"
+trap 'rm -f "$AFTER_TXT"' EXIT
+go test -run '^$' \
+  -bench 'BenchmarkAnalyzeCold$|BenchmarkAnalyzeCold50$|BenchmarkAdmitDelta$|BenchmarkSweepParallel' \
+  -benchmem -count="$COUNT" . | tee "$AFTER_TXT"
+
+python3 - "$AFTER_TXT" "$BEFORE_TXT" <<'PY'
+import json, re, sys
+
+def parse(path):
+    # Benchmark lines: name-N  iters  X ns/op [...]  Y B/op  Z allocs/op
+    out = {}
+    line_re = re.compile(r'^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$')
+    for line in open(path):
+        m = line_re.match(line.strip())
+        if not m:
+            continue
+        name, rest = m.groups()
+        fields = {}
+        for value, unit in re.findall(r'([\d.]+)\s+(\S+)', rest):
+            fields.setdefault(unit, []).append(float(value))
+        rec = out.setdefault(name, {"ns_per_op": [], "b_per_op": [], "allocs_per_op": []})
+        if 'ns/op' in fields:
+            rec["ns_per_op"].append(fields['ns/op'][0])
+        if 'B/op' in fields:
+            rec["b_per_op"].append(fields['B/op'][0])
+        if 'allocs/op' in fields:
+            rec["allocs_per_op"].append(fields['allocs/op'][0])
+    return {
+        name: {
+            "samples": len(rec["ns_per_op"]),
+            **{k: round(sum(v) / len(v), 1) for k, v in rec.items() if v},
+        }
+        for name, rec in out.items() if rec["ns_per_op"]
+    }
+
+after = parse(sys.argv[1])
+path = "BENCH_PR4.json"
+try:
+    doc = json.load(open(path))
+except FileNotFoundError:
+    doc = {"pr": 4, "benchmarks": {}}
+if sys.argv[2]:
+    for name, rec in parse(sys.argv[2]).items():
+        doc["benchmarks"].setdefault(name, {})["before"] = rec
+for name, rec in after.items():
+    entry = doc["benchmarks"].setdefault(name, {})
+    entry["after"] = rec
+    if "before" in entry and entry["before"].get("ns_per_op"):
+        entry["speedup"] = round(entry["before"]["ns_per_op"] / rec["ns_per_op"], 2)
+doc["note"] = ("mean over per-benchmark samples of `go test -bench` output; "
+               "regenerate with scripts/bench.sh")
+json.dump(doc, open(path, "w"), indent=2, sort_keys=True)
+open(path, "a").write("\n")
+print(f"wrote {path}")
+PY
