@@ -3,6 +3,7 @@ package hydrac
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"hydrac/internal/baseline"
@@ -71,7 +72,24 @@ type Analyzer struct {
 	simulate  bool
 	simCfg    SimConfig
 	workers   int
-	cache     *lru.Cache[string, *Report]
+	cache     *lru.Cache[string, *cacheEntry]
+	// pool recycles kernel workspaces across analyses: Analyze borrows
+	// one per call, AnalyzeBatch pins one per sweep chunk, and the
+	// baseline stage reuses whichever scratch the pipeline already
+	// holds. Results are bit-identical to fresh-scratch runs (a Reset
+	// re-primes every buffer); the pool only removes the steady-state
+	// allocations.
+	pool *core.ScratchPool
+}
+
+// cacheEntry is one cached analysis: the canonical report plus the
+// lazily rendered envelope bytes a cache hit is served with. rep is
+// immutable once stored; enc is written at most once per entry under
+// the usual benign same-bytes race (two goroutines encoding the same
+// canonical report produce identical slices).
+type cacheEntry struct {
+	rep *Report
+	enc atomic.Pointer[[]byte]
 }
 
 // AnalyzerOption configures an Analyzer at construction.
@@ -134,7 +152,7 @@ func WithSimulation(cfg SimConfig) AnalyzerOption {
 // (the default).
 func WithCache(n int) AnalyzerOption {
 	return func(a *Analyzer) error {
-		a.cache = lru.New[string, *Report](n)
+		a.cache = lru.New[string, *cacheEntry](n)
 		return nil
 	}
 }
@@ -148,12 +166,29 @@ func WithBatchWorkers(n int) AnalyzerOption {
 	}
 }
 
+// WithAnalysisWorkers bounds the worker group a single analysis fans
+// its independent per-core RTA verdicts out over (the Eq. 1 screen of
+// period selection and the admission engine's memoized per-core
+// check). The default 1 runs those screens serially — byte-identical
+// legacy behaviour; any n yields bit-identical reports by the same
+// ordered-merge argument as the sweep engine, so the option is purely
+// a latency knob for many-core sets on otherwise idle machines.
+func WithAnalysisWorkers(n int) AnalyzerOption {
+	return func(a *Analyzer) error {
+		if n < 0 {
+			return fmt.Errorf("analysis workers must be >= 0, got %d", n)
+		}
+		a.opts.AnalysisWorkers = n
+		return nil
+	}
+}
+
 // New builds an Analyzer from functional options. The zero
 // configuration runs exactly the paper's pipeline: best-fit
 // partitioning when needed, Algorithm 1 with the dominance carry-in
 // bound, no baselines, no simulation, no cache.
 func New(options ...AnalyzerOption) (*Analyzer, error) {
-	a := &Analyzer{heuristic: BestFit}
+	a := &Analyzer{heuristic: BestFit, pool: core.DefaultScratchPool}
 	for _, opt := range options {
 		if err := opt(a); err != nil {
 			return nil, err
@@ -172,11 +207,11 @@ func New(options ...AnalyzerOption) (*Analyzer, error) {
 // canonical (identical for identical input).
 func (a *Analyzer) Analyze(ctx context.Context, ts *TaskSet) (*Report, error) {
 	start := time.Now()
-	rep, tm, cached, err := a.analyzeShared(ctx, ts)
+	entry, tm, cached, err := a.analyzeShared(ctx, ts, nil)
 	if err != nil {
 		return nil, err
 	}
-	out := rep.Clone()
+	out := entry.rep.Clone()
 	if tm == nil {
 		tm = &Timing{}
 	}
@@ -184,6 +219,60 @@ func (a *Analyzer) Analyze(ctx context.Context, ts *TaskSet) (*Report, error) {
 	out.Timing = tm
 	out.FromCache = cached
 	return out, nil
+}
+
+// AnalyzeEnvelope is the service hot path: it returns the versioned
+// report envelope exactly as WriteReport renders it, as bytes ready
+// for one response Write. A cache miss behaves like Analyze (the
+// envelope carries per-call Timing); a cache hit is served from the
+// entry's pre-encoded bytes — no report clone, no JSON marshal — so
+// the envelope of a hit is canonical: FromCache is true and Timing is
+// absent (a replayed byte slice cannot carry a per-call stamp).
+//
+// The returned bytes are shared with the cache (every future hit of
+// the same set replays the same slice); callers must treat them as
+// read-only — write them out or copy them, never modify or append in
+// place.
+func (a *Analyzer) AnalyzeEnvelope(ctx context.Context, ts *TaskSet) ([]byte, bool, error) {
+	start := time.Now()
+	entry, tm, cached, err := a.analyzeShared(ctx, ts, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if cached {
+		if b := entry.enc.Load(); b != nil {
+			return *b, true, nil
+		}
+		b, err := entry.hitEnvelope()
+		if err != nil {
+			return nil, false, err
+		}
+		return b, true, nil
+	}
+	out := entry.rep.Clone()
+	if tm == nil {
+		tm = &Timing{}
+	}
+	tm.TotalNS = time.Since(start).Nanoseconds()
+	out.Timing = tm
+	b, err := marshalReportEnvelope(out)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+// hitEnvelope renders (once) and memoizes the canonical cache-hit
+// bytes of an entry.
+func (e *cacheEntry) hitEnvelope() ([]byte, error) {
+	hit := e.rep.Clone()
+	hit.FromCache = true
+	b, err := marshalReportEnvelope(hit)
+	if err != nil {
+		return nil, err
+	}
+	e.enc.Store(&b)
+	return b, nil
 }
 
 // AnalyzeBatch analyses many sets in parallel over the deterministic
@@ -195,28 +284,51 @@ func (a *Analyzer) AnalyzeBatch(ctx context.Context, sets []*TaskSet) ([]*Report
 	if len(sets) == 0 {
 		return nil, nil
 	}
+	maxHint := 0
+	for _, ts := range sets {
+		if n := core.SizeHint(ts); n > maxHint {
+			maxHint = n
+		}
+	}
 	type slot struct {
 		idx int
 		rep *Report
 	}
-	partial, err := sweep.Run(
+	// Each sweep chunk is processed by one goroutine, so the chunk's
+	// partial pins one pooled scratch, re-primed per item: the whole
+	// batch runs the kernel without per-analysis workspace churn. The
+	// scratch returns to the pool at merge time (merge runs after all
+	// workers stop); on an aborted run the unreturned scratches are
+	// simply collected — a sync.Pool holds no resources.
+	type partial struct {
+		slots []slot
+		sc    *core.Scratch
+	}
+	merged, err := sweep.Run(
 		sweep.Config{Groups: len(sets), PerGroup: 1, Workers: a.workers, Context: ctx},
-		func() *[]slot { return new([]slot) },
-		func(p *[]slot, it sweep.Item) error {
-			rep, _, _, err := a.analyzeShared(ctx, sets[it.Group])
+		func() *partial { return &partial{} },
+		func(p *partial, it sweep.Item) error {
+			if p.sc == nil {
+				p.sc = a.pool.Get(nil, maxHint)
+			}
+			entry, _, _, err := a.analyzeShared(ctx, sets[it.Group], p.sc)
 			if err != nil {
 				return fmt.Errorf("task set %d: %w", it.Group, err)
 			}
-			*p = append(*p, slot{idx: it.Group, rep: rep.Clone()})
+			p.slots = append(p.slots, slot{idx: it.Group, rep: entry.rep.Clone()})
 			return nil
 		},
-		func(dst, src *[]slot) { *dst = append(*dst, *src...) },
+		func(dst, src *partial) {
+			dst.slots = append(dst.slots, src.slots...)
+			a.pool.Put(src.sc)
+			src.sc = nil
+		},
 	)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Report, len(sets))
-	for _, s := range *partial {
+	for _, s := range merged.slots {
 		out[s.idx] = s.rep
 	}
 	return out, nil
@@ -242,31 +354,42 @@ func (a *Analyzer) Baseline(ctx context.Context, ts *TaskSet, scheme Scheme) (*B
 			return nil, err
 		}
 	}
-	return runBaseline(cp, scheme)
+	return a.runBaseline(cp, scheme, nil)
 }
 
 // analyzeShared is the cache-aware core of Analyze/AnalyzeBatch. It
-// returns the canonical report (no Timing, FromCache unset) — callers
-// must Clone before exposing it.
-func (a *Analyzer) analyzeShared(ctx context.Context, ts *TaskSet) (*Report, *Timing, bool, error) {
+// returns the cache entry holding the canonical report (no Timing,
+// FromCache unset) — callers must Clone entry.rep before exposing it.
+// sc, when non-nil, is the caller's pinned kernel workspace; nil
+// borrows one from the pool for the duration of the analysis.
+func (a *Analyzer) analyzeShared(ctx context.Context, ts *TaskSet, sc *core.Scratch) (*cacheEntry, *Timing, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, false, err
+	}
+	// Hash before validating: only validated sets are ever cached, and
+	// the hash covers every analysis-relevant field, so a hit means
+	// this exact content already passed Validate — the hot path skips
+	// straight to the entry.
+	key := ts.Hash()
+	if entry, ok := a.cache.Get(key); ok {
+		return entry, nil, true, nil
 	}
 	if err := ts.Validate(); err != nil {
 		return nil, nil, false, err
 	}
-	key := ts.Hash()
-	if rep, ok := a.cache.Get(key); ok {
-		return rep, nil, true, nil
+	if sc == nil {
+		sc = a.pool.Get(nil, core.SizeHint(ts))
+		defer a.pool.Put(sc)
 	}
-	rep, tm, err := a.analyzeCanonical(ctx, ts, key)
+	rep, tm, err := a.analyzeCanonical(ctx, ts, key, sc)
 	if err != nil {
 		return nil, nil, false, err
 	}
+	entry := &cacheEntry{rep: rep}
 	// Two goroutines may compute the same key concurrently; both
 	// arrive at the same canonical report, so the race is benign.
-	a.cache.Add(key, rep)
-	return rep, tm, false, nil
+	a.cache.Add(key, entry)
+	return entry, tm, false, nil
 }
 
 // partitioned returns a clone of ts with every RT task placed,
@@ -298,8 +421,9 @@ func (a *Analyzer) partitioned(ctx context.Context, ts *TaskSet) (*TaskSet, stri
 	}
 }
 
-// analyzeCanonical runs the pipeline for one uncached set.
-func (a *Analyzer) analyzeCanonical(ctx context.Context, ts *TaskSet, key string) (*Report, *Timing, error) {
+// analyzeCanonical runs the pipeline for one uncached set on the
+// caller's scratch.
+func (a *Analyzer) analyzeCanonical(ctx context.Context, ts *TaskSet, key string, sc *core.Scratch) (*Report, *Timing, error) {
 	tm := &Timing{}
 	t0 := time.Now()
 	cp, heur, err := a.partitioned(ctx, ts)
@@ -311,12 +435,12 @@ func (a *Analyzer) analyzeCanonical(ctx context.Context, ts *TaskSet, key string
 	}
 
 	t0 = time.Now()
-	res, err := core.SelectPeriodsCtx(ctx, cp, a.opts)
+	res, err := core.SelectPeriodsCtxWith(ctx, cp, a.opts, sc)
 	if err != nil {
 		return nil, nil, err
 	}
 	tm.SelectionNS = time.Since(t0).Nanoseconds()
-	rep, err := a.buildReport(ctx, cp, res, heur, key, tm)
+	rep, err := a.buildReport(ctx, cp, res, heur, key, tm, sc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -327,8 +451,11 @@ func (a *Analyzer) analyzeCanonical(ctx context.Context, ts *TaskSet, key string
 // placed set and runs the configured baseline and simulation stages.
 // It is shared between the cold pipeline (analyzeCanonical) and the
 // incremental session path, which is how session reports stay
-// byte-identical to cold reports of the same set.
-func (a *Analyzer) buildReport(ctx context.Context, cp *TaskSet, res *core.Result, heur, key string, tm *Timing) (*Report, error) {
+// byte-identical to cold reports of the same set. sc, when non-nil,
+// is reused by the GLOBAL-TMax baseline (the selection that held it
+// is finished by now and results never alias scratch buffers); nil
+// makes the baseline borrow from the pool.
+func (a *Analyzer) buildReport(ctx context.Context, cp *TaskSet, res *core.Result, heur, key string, tm *Timing, sc *core.Scratch) (*Report, error) {
 	rep := &Report{
 		Scheme:      SchemeHydraC,
 		Schedulable: res.Schedulable,
@@ -355,7 +482,7 @@ func (a *Analyzer) buildReport(ctx context.Context, cp *TaskSet, res *core.Resul
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := runBaseline(cp, scheme)
+			v, err := a.runBaseline(cp, scheme, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -385,8 +512,9 @@ func (a *Analyzer) buildReport(ctx context.Context, cp *TaskSet, res *core.Resul
 }
 
 // runBaseline executes one comparison scheme on an already
-// partitioned set and shapes its verdict.
-func runBaseline(ts *TaskSet, scheme Scheme) (*BaselineVerdict, error) {
+// partitioned set and shapes its verdict. sc, when non-nil, is the
+// kernel workspace the GLOBAL-TMax scheme reuses.
+func (a *Analyzer) runBaseline(ts *TaskSet, scheme Scheme, sc *core.Scratch) (*BaselineVerdict, error) {
 	v := &BaselineVerdict{Scheme: scheme}
 	switch scheme {
 	case SchemeHydra, SchemeHydraAggressive, SchemeHydraTMax:
@@ -416,7 +544,13 @@ func runBaseline(ts *TaskSet, scheme Scheme) (*BaselineVerdict, error) {
 			}
 		}
 	case SchemeGlobalTMax:
-		res, err := baseline.GlobalTMax(ts)
+		var res *baseline.GlobalResult
+		var err error
+		if sc != nil {
+			res, err = baseline.GlobalTMaxWith(ts, sc)
+		} else {
+			res, err = baseline.GlobalTMax(ts)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", scheme, err)
 		}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hydrac"
+	"hydrac/internal/rover"
+)
+
+// The in-process smoke mode must complete a short sweep and emit a
+// parseable document with nonzero throughput at every level.
+func TestRunInProcessSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-c", "1,2", "-d", "150ms"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var doc output
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(doc.Levels) != 2 {
+		t.Fatalf("%d levels for -c 1,2", len(doc.Levels))
+	}
+	for _, l := range doc.Levels {
+		if l.Requests == 0 || l.RPS <= 0 {
+			t.Fatalf("level c=%d did no work: %+v", l.Concurrency, l)
+		}
+		if l.Errors != 0 {
+			t.Fatalf("level c=%d saw %d errors", l.Concurrency, l.Errors)
+		}
+		if l.P50MS <= 0 || l.P99MS < l.P50MS {
+			t.Fatalf("level c=%d has nonsense quantiles: %+v", l.Concurrency, l)
+		}
+	}
+}
+
+// -out writes the same document to a file, and -set loads a caller
+// workload.
+func TestRunOutFileAndSetFile(t *testing.T) {
+	dir := t.TempDir()
+	setPath := filepath.Join(dir, "set.json")
+	f, err := os.Create(setPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hydrac.EncodeTaskSet(f, rover.TaskSet()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	outPath := filepath.Join(dir, "bench.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-c", "1", "-d", "100ms", "-set", setPath, "-out", outPath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc output
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("out file is not JSON: %v", err)
+	}
+	if len(doc.Levels) != 1 || doc.Levels[0].RPS <= 0 {
+		t.Fatalf("bad levels: %+v", doc.Levels)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-c", "0"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-c 0 exited %d, want 2", code)
+	}
+	if code := run([]string{"-c", "abc"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-c abc exited %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("stray arg exited %d, want 2", code)
+	}
+	if code := run([]string{"-set", "/does/not/exist.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing set exited %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "hydrabench") {
+		t.Fatal("-h printed no usage")
+	}
+}

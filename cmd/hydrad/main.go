@@ -46,6 +46,7 @@ import (
 	"bytes"
 	"context"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -58,6 +59,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -128,7 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	srv := &http.Server{
-		Handler:           newHandler(a, summary, *sessions),
+		Handler:           newHandler(a, summary, *sessions, *cacheSize),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -196,17 +198,37 @@ func buildAnalyzer(cacheSize int, heuristic, baselines string, simHorizon, simSe
 type server struct {
 	analyzer *hydrac.Analyzer
 	summary  map[string]any
-	sessions *lru.Cache[string, *hydrac.Session]
+	// sessions is sharded by session-id hash: ids are random hex, so
+	// concurrent sessions spread across shard locks instead of
+	// serialising on one store mutex per request.
+	sessions *lru.Sharded[*hydrac.Session]
+	// respCache short-circuits exact-byte duplicate /v1/analyze
+	// requests: body digest → the canonical cache-hit envelope bytes.
+	// A hit costs one digest and one Write — no task-set decode, no
+	// report marshal. Entries are only ever populated from analyzer
+	// cache hits, so the replayed bytes are the canonical envelope
+	// (FromCache true, no per-call Timing), which is identical for
+	// every duplicate of those bytes; analysis is deterministic, so
+	// entries never go stale.
+	respCache *lru.Cache[[sha256.Size]byte, []byte]
 }
+
+// sessionShards spreads the session store's locking; 16 shards keeps
+// contention negligible up to hundreds of concurrent sessions while
+// costing nothing at -sessions values this small.
+const sessionShards = 16
 
 // newHandler wires the routes; separated from run so tests can mount
 // it on httptest servers. maxSessions bounds the live session store
-// (LRU eviction; 0 disables the session endpoints).
-func newHandler(a *hydrac.Analyzer, summary map[string]any, maxSessions int) http.Handler {
+// (sharded LRU eviction; 0 disables the session endpoints) and
+// cacheSize the duplicate-request byte cache (0 disables it, matching
+// a cacheless analyzer where replayable hit envelopes never exist).
+func newHandler(a *hydrac.Analyzer, summary map[string]any, maxSessions, cacheSize int) http.Handler {
 	s := &server{
-		analyzer: a,
-		summary:  summary,
-		sessions: lru.New[string, *hydrac.Session](maxSessions),
+		analyzer:  a,
+		summary:   summary,
+		sessions:  lru.NewSharded[*hydrac.Session](maxSessions, sessionShards),
+		respCache: lru.New[[sha256.Size]byte, []byte](cacheSize),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.analyze)
@@ -216,6 +238,26 @@ func newHandler(a *hydrac.Analyzer, summary map[string]any, maxSessions int) htt
 	mux.HandleFunc("/healthz", s.healthz)
 	return mux
 }
+
+// bodyPool recycles request read buffers: every handler slurps the
+// (bounded) body once, decodes from the buffer, and returns it, so
+// steady-state traffic stops allocating per-request scratch space.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBody reads the whole (size-capped) request body into a pooled
+// buffer. The caller must putBody the buffer when done with its
+// bytes.
+func readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, error) {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+		bodyPool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+func putBody(buf *bytes.Buffer) { bodyPool.Put(buf) }
 
 // listenPprof opens the profiling listener, refusing any address that
 // is not loopback: pprof exposes heap contents and CPU samples, so it
@@ -257,29 +299,59 @@ func (s *server) analyze(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
-	ts, err := hydrac.DecodeTaskSet(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	buf, err := readBody(w, r)
 	if err != nil {
 		writeError(w, badRequestStatus(err), err)
 		return
 	}
-	rep, err := s.analyzer.Analyze(r.Context(), ts)
+	defer putBody(buf)
+
+	// Exact-byte duplicate of a previously analysed request: one
+	// digest, one Write. Admission-control traffic is dominated by
+	// re-posts of the same deployment manifest, so this is the
+	// steady-state path.
+	var key [sha256.Size]byte
+	if s.respCache != nil {
+		key = sha256.Sum256(buf.Bytes())
+		if body, ok := s.respCache.Get(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return
+		}
+	}
+
+	ts, err := hydrac.DecodeTaskSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		writeError(w, badRequestStatus(err), err)
+		return
+	}
+	body, fromCache, err := s.analyzer.AnalyzeEnvelope(r.Context(), ts)
 	if err != nil {
 		writeAnalysisError(w, r, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := hydrac.WriteReport(w, rep); err != nil {
-		// Headers are gone; nothing to do but note it server-side.
-		return
+	if s.respCache != nil && fromCache {
+		// Only hit envelopes are replayable: they carry no per-call
+		// Timing, so every future duplicate of these bytes gets the
+		// identical response.
+		s.respCache.Add(key, body)
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 func (s *server) analyzeBatch(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	buf, err := readBody(w, r)
+	if err != nil {
+		writeError(w, badRequestStatus(err), err)
+		return
+	}
+	defer putBody(buf)
 	var req batchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, badRequestStatus(err), fmt.Errorf("decoding batch request: %w", err))
@@ -325,7 +397,13 @@ func (s *server) sessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("sessions are disabled on this daemon (-sessions 0)"))
 		return
 	}
-	ts, err := hydrac.DecodeTaskSet(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	buf, err := readBody(w, r)
+	if err != nil {
+		writeError(w, badRequestStatus(err), err)
+		return
+	}
+	ts, err := hydrac.DecodeTaskSet(bytes.NewReader(buf.Bytes()))
+	putBody(buf)
 	if err != nil {
 		writeError(w, badRequestStatus(err), err)
 		return
@@ -369,7 +447,13 @@ func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
 		if !requirePost(w, r) {
 			return
 		}
-		d, err := hydrac.DecodeDelta(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		buf, err := readBody(w, r)
+		if err != nil {
+			writeError(w, badRequestStatus(err), err)
+			return
+		}
+		d, err := hydrac.DecodeDelta(bytes.NewReader(buf.Bytes()))
+		putBody(buf)
 		if err != nil {
 			writeError(w, badRequestStatus(err), err)
 			return

@@ -22,7 +22,7 @@ func testHandler(t *testing.T, opts ...hydrac.AnalyzerOption) http.Handler {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newHandler(a, map[string]any{"cache": 0}, 16)
+	return newHandler(a, map[string]any{"cache": 0}, 16, 8)
 }
 
 func roverJSON(t *testing.T) []byte {
@@ -474,7 +474,7 @@ func TestSessionsDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(a, map[string]any{}, 0))
+	srv := httptest.NewServer(newHandler(a, map[string]any{}, 0, 0))
 	defer srv.Close()
 	code, body := postJSON(t, srv.URL+"/v1/session", roverJSON(t))
 	if code != http.StatusNotFound {

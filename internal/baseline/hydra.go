@@ -292,6 +292,15 @@ type GlobalResult struct {
 // M−1 carry-in bound. Schedulable iff Rr ≤ Dr for every RT task and
 // Rs ≤ Tmax for every security task (§5.2.3).
 func GlobalTMax(ts *task.Set) (*GlobalResult, error) {
+	sc := core.DefaultScratchPool.Get(nil, len(ts.RT)+len(ts.Security))
+	defer core.DefaultScratchPool.Put(sc)
+	return GlobalTMaxWith(ts, sc)
+}
+
+// GlobalTMaxWith is GlobalTMax on a caller-owned kernel workspace, so
+// a service running the baseline per report can thread the scratch it
+// already holds instead of borrowing another. Results are identical.
+func GlobalTMaxWith(ts *task.Set, sc *core.Scratch) (*GlobalResult, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
@@ -316,8 +325,9 @@ func GlobalTMax(ts *task.Set) (*GlobalResult, error) {
 	}
 
 	// One scratch serves the whole top-down pass: every per-task
-	// fixpoint below reuses its buffers.
-	sc := core.NewScratch(sys)
+	// fixpoint below reuses its buffers (they grow to the band size on
+	// the first pass and stay grown across pooled reuses).
+	sc.Reset(sys)
 	hp := make([]core.Interferer, 0, len(order))
 	for _, e := range order {
 		r, ok := sc.MigratingWCRT(e.wcet, hp, e.limit, core.Dominance)

@@ -35,6 +35,22 @@ type Options struct {
 	// SkipOptimization pins every period at Tmax after the feasibility
 	// check — the "w/o period optimisation" reference of Fig. 7b.
 	SkipOptimization bool
+	// AnalysisWorkers bounds the worker group the per-core Eq. 1 RTA
+	// screen fans out over: the cores' verdicts are independent, so
+	// they can be computed concurrently and merged in core order.
+	// 0 or 1 runs the screen serially (byte-identical legacy
+	// behaviour); any value yields bit-identical results by the same
+	// ordered-merge argument as the sweep engine.
+	AnalysisWorkers int
+}
+
+// setSchedulable dispatches the Eq. 1 screen serially or across the
+// configured worker group.
+func setSchedulable(ts *task.Set, workers int) bool {
+	if workers <= 1 {
+		return rta.SetSchedulable(ts)
+	}
+	return rta.SetSchedulableWorkers(ts, workers)
 }
 
 // SelectPeriods is Algorithm 1: given a task set whose RT tasks are
@@ -53,7 +69,23 @@ func SelectPeriods(ts *task.Set, opt Options) (*Result, error) {
 // when ctx is done, returning ctx.Err(). Analysis of a large set can
 // take seconds; a service serving many clients needs to shed the work
 // of a caller that hung up.
+//
+// The kernel workspace is borrowed from DefaultScratchPool for the
+// duration of the call; services that thread their own scratch use
+// SelectPeriodsCtxWith.
 func SelectPeriodsCtx(ctx context.Context, ts *task.Set, opt Options) (*Result, error) {
+	sc := DefaultScratchPool.Get(nil, SizeHint(ts))
+	defer DefaultScratchPool.Put(sc)
+	return SelectPeriodsCtxWith(ctx, ts, opt, sc)
+}
+
+// SelectPeriodsCtxWith is SelectPeriodsCtx on a caller-owned Scratch:
+// identical results — a Reset re-primes every buffer — with zero
+// steady-state allocations for callers that keep one workspace per
+// worker (AnalyzeBatch, the sweep engine, the baselines). The scratch
+// must not be shared across goroutines while the call runs, and the
+// returned Result never aliases its buffers.
+func SelectPeriodsCtxWith(ctx context.Context, ts *task.Set, opt Options, sc *Scratch) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -65,7 +97,7 @@ func SelectPeriodsCtx(ctx context.Context, ts *task.Set, opt Options) (*Result, 
 			return nil, fmt.Errorf("RT task %s is not partitioned; run partition.Assign first", t.Name)
 		}
 	}
-	if !rta.SetSchedulable(ts) {
+	if !setSchedulable(ts, opt.AnalysisWorkers) {
 		return nil, fmt.Errorf("RT band is not schedulable under Eq. 1; HYDRA-C requires a feasible legacy system")
 	}
 
@@ -78,7 +110,7 @@ func SelectPeriodsCtx(ctx context.Context, ts *task.Set, opt Options) (*Result, 
 
 	// One scratch serves the whole analysis: every probe below reuses
 	// its buffers, so the search loops run allocation-free.
-	sc := NewScratch(sys)
+	sc.Reset(sys)
 	sc.ensure(n)
 
 	// Line 1: Ts := Tmax for every task, compute response times.
@@ -146,7 +178,23 @@ func SelectPeriodsCtx(ctx context.Context, ts *task.Set, opt Options) (*Result, 
 // lower-priority security task schedulable (Rj ≤ Tmax_j). hi (= Tmax)
 // is always feasible because Algorithm 1 verified it first, so the
 // feasible set initialised with {Tmax} is never empty.
+//
+// The search probes lo before bisecting: lo = Rs is the least period
+// any search could return, and on paper-scale workloads more than
+// half of all searches end exactly there — one probe instead of
+// log2(Tmax−Rs). When lo is infeasible the bisection proceeds on
+// [lo+1, hi], which returns the identical star by the monotone-
+// feasibility assumption Algorithm 2 itself rests on (the same
+// argument as the resumable path's two-probe verification, pinned by
+// the differential oracle corpus).
 func logMinPeriod(ctx context.Context, sc *Scratch, sec []task.SecurityTask, periods, resp []task.Time, i int, lo, hi task.Time, mode CarryInMode) task.Time {
+	if ctx.Err() != nil {
+		return hi // the caller surfaces ctx.Err()
+	}
+	if lowerPrioritySchedulable(sc, sec, periods, resp, i, lo, mode) {
+		return lo
+	}
+	lo++
 	star := hi // T̂s initialised to {Tmax}; its minimum so far.
 	for lo <= hi {
 		if ctx.Err() != nil {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"hydrac/internal/rta"
 	"hydrac/internal/task"
 )
 
@@ -54,7 +53,9 @@ type ResumeStats struct {
 // just recomputes it (n−i) times more often — and the differential
 // oracle corpus (internal/oracle) pins the equivalence.
 func SelectPeriodsResumable(ctx context.Context, ts *task.Set, opt Options, hints *Hints) (*Result, *ResumeStats, error) {
-	return SelectPeriodsResumableWith(ctx, ts, opt, hints, NewScratch(nil))
+	sc := DefaultScratchPool.Get(nil, SizeHint(ts))
+	defer DefaultScratchPool.Put(sc)
+	return SelectPeriodsResumableWith(ctx, ts, opt, hints, sc)
 }
 
 // SelectPeriodsResumableWith is SelectPeriodsResumable with a
@@ -78,7 +79,7 @@ func SelectPeriodsResumableWith(ctx context.Context, ts *task.Set, opt Options, 
 	if hints == nil {
 		hints = &Hints{}
 	}
-	if !hints.RTVerified && !rta.SetSchedulable(ts) {
+	if !hints.RTVerified && !setSchedulable(ts, opt.AnalysisWorkers) {
 		return nil, nil, fmt.Errorf("RT band is not schedulable under Eq. 1; HYDRA-C requires a feasible legacy system")
 	}
 

@@ -89,14 +89,53 @@ type Scratch struct {
 	// prefix of SelectPeriodsResumable, which is live across probes.
 	hp, hpOuter []Interferer
 
+	// hpWin caches the higher-priority migrating band's Eq. 2/4
+	// staircases as period windows, exactly as rtWin does for the RT
+	// band: primeHP rebuilds it at every MigratingWCRT entry (the hp
+	// set is fixed for the duration of one fixpoint), after which each
+	// Eq. 5 term costs a compare and a subtract per iteration instead
+	// of the two 64-bit divisions of workloadNC + workloadCI.
+	hpWin []hpWindow
+
 	// resp/periods back the per-analysis working vectors of the
 	// period-selection entry points.
 	resp, periods []task.Time
 }
 
-// rtWindow is one RT task's demand and current period window.
+// rtWindow is one staircase task's demand and current period window.
 type rtWindow struct {
 	c, t, qc, lo, hi task.Time
+}
+
+// hpWindow is one higher-priority migrating task's pair of cached
+// staircases: the Eq. 2 non-carry-in workload over the window length
+// y, and the Eq. 4 carry-in staircase over the shifted coordinate
+// z = y − x̄ (its tail term min(y, C−1) is division-free and computed
+// inline).
+type hpWindow struct {
+	nc   rtWindow
+	ci   rtWindow
+	xbar task.Time
+	cm1  task.Time
+}
+
+// primeHP loads the interferer band into the scratch's staircase
+// window caches. The windows start invalid (hi = −1) and fill lazily
+// at first use, so priming costs one pass of plain stores — no
+// divisions — and pays for itself from the second fixpoint iteration
+// on.
+func (sc *Scratch) primeHP(hp []Interferer) {
+	hw := sc.hpWin[:0]
+	for j := range hp {
+		h := &hp[j]
+		hw = append(hw, hpWindow{
+			nc:   rtWindow{c: h.WCET, t: h.Period, hi: -1},
+			ci:   rtWindow{c: h.WCET, t: h.Period, hi: -1},
+			xbar: h.WCET - 1 + h.Period - h.Resp,
+			cm1:  h.WCET - 1,
+		})
+	}
+	sc.hpWin = hw
 }
 
 // diffTerm is one higher-priority migrating task's carry-in minus
@@ -135,7 +174,9 @@ func (sc *Scratch) Reset(sys *System) {
 
 // refill recomputes the task's period window at window length y. The
 // first period — where every call starts, since the iteration begins
-// at Cs — needs no division.
+// at Cs — needs no division. The body must stay under the compiler's
+// inlining budget: it sits on the innermost staircase walk, and a
+// call here costs more than the division it wraps.
 func (w *rtWindow) refill(y task.Time) {
 	if y < w.t {
 		w.lo, w.hi, w.qc = 0, w.t, 0
@@ -158,6 +199,9 @@ func (sc *Scratch) ensure(n int) {
 	}
 	if cap(sc.diffs) < n {
 		sc.diffs = make([]diffTerm, 0, n)
+	}
+	if cap(sc.hpWin) < n {
+		sc.hpWin = make([]hpWindow, 0, n)
 	}
 	if cap(sc.resp) < n {
 		sc.resp = make([]task.Time, 0, n)
@@ -198,13 +242,14 @@ func (sc *Scratch) MigratingWCRT(cs task.Time, hp []Interferer, limit task.Time,
 	if mode == Exhaustive {
 		return sc.sys.migratingWCRTExhaustive(cs, hp, limit)
 	}
+	sc.primeHP(hp)
 	m := task.Time(sc.sysM)
 	x := cs
 	iters := 0
 	lastStride := task.Time(-1)
 	for iters < MaxFixpointIterations {
 		iters++
-		next := sc.omegaValue(x, cs, hp)/m + cs
+		next := sc.omegaValue(x, cs)/m + cs
 		if next == x {
 			return x, true
 		}
@@ -232,7 +277,7 @@ func (sc *Scratch) MigratingWCRT(cs task.Time, hp []Interferer, limit task.Time,
 		// a long stride shows the creep is over.
 	lineMode:
 		for iters < MaxFixpointIterations {
-			omega, slope, bp := sc.omegaLine(x, cs, hp)
+			omega, slope, bp := sc.omegaLine(x, cs)
 			x0 := x
 			for iters < MaxFixpointIterations {
 				if x-x0 >= replayCeiling {
@@ -290,17 +335,21 @@ func (sc *Scratch) MigratingWCRT(cs task.Time, hp []Interferer, limit task.Time,
 // omegaValue evaluates Eq. 6 at window length y exactly as
 // omegaDominance does — same workload formulas, same clamp, same
 // top-(M−1) dominance sum — without the sort, the allocations, or any
-// piece bookkeeping: every staircase reads through its period window,
-// so the steady-state cost per task is a compare and a subtract. It
-// is the kernel's fast-path evaluator.
-func (sc *Scratch) omegaValue(y, cs task.Time, hp []Interferer) task.Time {
+// piece bookkeeping: every staircase (RT band and, via primeHP, the
+// migrating band) reads through its period window, so the
+// steady-state cost per task is a compare and a subtract. It is the
+// kernel's fast-path evaluator.
+func (sc *Scratch) omegaValue(y, cs task.Time) task.Time {
 	capv := y - cs + 1
 	var omega task.Time
 	start := 0
+	rtWin := sc.rtWin
 	for _, end := range sc.coreEnd {
 		var w task.Time
-		for i := start; i < end; i++ {
-			win := &sc.rtWin[i]
+		wins := rtWin[start:end]
+		start = end
+		for i := range wins {
+			win := &wins[i]
 			if y >= win.hi || y < win.lo {
 				win.refill(y)
 			}
@@ -310,22 +359,118 @@ func (sc *Scratch) omegaValue(y, cs task.Time, hp []Interferer) task.Time {
 			}
 			w += win.qc + r
 		}
-		start = end
-		omega += min(w, capv)
+		if w > capv {
+			w = capv
+		}
+		omega += w
 	}
 	k := sc.sysM - 1
+	hw := sc.hpWin
 	if k <= 0 {
-		for j := range hp {
-			omega += min(workloadNC(y, hp[j].WCET, hp[j].Period), capv)
+		// M == 1: no carry-in set; only the NC staircases contribute.
+		for j := range hw {
+			h := &hw[j]
+			var nc task.Time
+			if y > 0 {
+				w := &h.nc
+				if y >= w.hi || y < w.lo {
+					w.refill(y)
+				}
+				r := y - w.lo
+				if r > w.c {
+					r = w.c
+				}
+				nc = w.qc + r
+				if nc > capv {
+					nc = capv
+				}
+			}
+			omega += nc
 		}
 		return omega
 	}
+	if k == 1 {
+		// M == 2, the dominant platform shape: the carry-in set has
+		// at most one member, so the top-k machinery reduces to a
+		// running maximum — no diffs buffer at all.
+		var best task.Time
+		for j := range hw {
+			h := &hw[j]
+			var nc task.Time
+			if y > 0 {
+				w := &h.nc
+				if y >= w.hi || y < w.lo {
+					w.refill(y)
+				}
+				r := y - w.lo
+				if r > w.c {
+					r = w.c
+				}
+				nc = w.qc + r
+				if nc > capv {
+					nc = capv
+				}
+			}
+			omega += nc
+			ci := min(y, h.cm1)
+			if z := y - h.xbar; z > 0 {
+				w := &h.ci
+				if z >= w.hi || z < w.lo {
+					w.refill(z)
+				}
+				r := z - w.lo
+				if r > w.c {
+					r = w.c
+				}
+				ci += w.qc + r
+			}
+			if ci > capv {
+				ci = capv
+			}
+			if d := ci - nc; d > best {
+				best = d
+			}
+		}
+		return omega + best
+	}
 	diffs := sc.diffs[:0]
-	for j := range hp {
-		h := &hp[j]
-		nc := min(workloadNC(y, h.WCET, h.Period), capv)
+	for j := range hw {
+		// The windowed reads of workloadNC (Eq. 2) and workloadCI
+		// (Eq. 4), written out inline: this loop runs once per
+		// interferer per refinement and must not pay a call.
+		h := &hw[j]
+		var nc task.Time
+		if y > 0 {
+			w := &h.nc
+			if y >= w.hi || y < w.lo {
+				w.refill(y)
+			}
+			r := y - w.lo
+			if r > w.c {
+				r = w.c
+			}
+			nc = w.qc + r
+			if nc > capv {
+				nc = capv
+			}
+		}
 		omega += nc
-		if d := min(workloadCI(y, h.WCET, h.Period, h.Resp), capv) - nc; d > 0 {
+		ci := min(y, h.cm1)
+		if z := y - h.xbar; z > 0 {
+			w := &h.ci
+			if z >= w.hi || z < w.lo {
+				w.refill(z)
+			}
+			r := z - w.lo
+			if r > w.c {
+				r = w.c
+			}
+			ci += w.qc + r
+		}
+		if ci > capv {
+			ci = capv
+		}
+		if d := ci - nc; d > 0 {
 			diffs = append(diffs, diffTerm{v: d})
 		}
 	}
@@ -355,19 +500,23 @@ func (sc *Scratch) omegaValue(y, cs task.Time, hp []Interferer) task.Time {
 // omegaLine evaluates Eq. 6 at window length y exactly as
 // omegaDominance does, and additionally reports the slope of Ω and the
 // next breakpoint bp > y such that Ω is linear with that slope on
-// [y, bp). It allocates nothing in steady state.
-func (sc *Scratch) omegaLine(y, cs task.Time, hp []Interferer) (omega, slope, bp task.Time) {
+// [y, bp). It allocates nothing in steady state. The interferer band
+// must be primed (primeHP) — MigratingWCRT always has.
+func (sc *Scratch) omegaLine(y, cs task.Time) (omega, slope, bp task.Time) {
 	capv := y - cs + 1
 	bp = task.Infinity
 
 	// Eq. 3: the partitioned RT band, one clamped staircase sum per
 	// core, read through the same period windows as the fast path.
 	start := 0
+	rtWin := sc.rtWin
 	for _, end := range sc.coreEnd {
 		var wv, ws task.Time
 		wb := task.Infinity
-		for i := start; i < end; i++ {
-			win := &sc.rtWin[i]
+		wins := rtWin[start:end]
+		start = end
+		for i := range wins {
+			win := &wins[i]
 			if y >= win.hi || y < win.lo {
 				win.refill(y)
 			}
@@ -384,7 +533,6 @@ func (sc *Scratch) omegaLine(y, cs task.Time, hp []Interferer) (omega, slope, bp
 				}
 			}
 		}
-		start = end
 		v, s, b := clampLine(y, cs, wv, ws, wb, capv)
 		omega += v
 		slope += s
@@ -399,8 +547,10 @@ func (sc *Scratch) omegaLine(y, cs task.Time, hp []Interferer) (omega, slope, bp
 	// entirely when M == 1, where the carry-in set is empty).
 	k := sc.sysM - 1
 	diffs := sc.diffs[:0]
-	for _, h := range hp {
-		nv, ns, nb := lineNC(y, h.WCET, h.Period)
+	hw := sc.hpWin
+	for j := range hw {
+		h := &hw[j]
+		nv, ns, nb := h.nc.lineAt(y)
 		nv, ns, nb = clampLine(y, cs, nv, ns, nb, capv)
 		omega += nv
 		slope += ns
@@ -408,7 +558,7 @@ func (sc *Scratch) omegaLine(y, cs task.Time, hp []Interferer) (omega, slope, bp
 			bp = nb
 		}
 		if k > 0 {
-			cv, cslope, cb := lineCI(y, h.WCET, h.Period, h.Resp)
+			cv, cslope, cb := h.lineCI(y)
 			cv, cslope, cb = clampLine(y, cs, cv, cslope, cb, capv)
 			if cb < bp {
 				bp = cb
@@ -485,39 +635,43 @@ func (sc *Scratch) omegaLine(y, cs task.Time, hp []Interferer) (omega, slope, bp
 	return omega, slope, bp
 }
 
-// lineNC is workloadNC (Eq. 2) as a linear piece: value and slope at
-// window length y, plus the absolute position of the next kink.
-func lineNC(y, c, t task.Time) (v, s, b task.Time) {
+// lineAt is workloadNC (Eq. 2) as a linear piece read through the
+// cached window: value and slope at window length y, plus the
+// absolute position of the next kink.
+func (w *rtWindow) lineAt(y task.Time) (v, s, b task.Time) {
 	if y <= 0 {
 		// Below one tick the workload is pinned at zero; the first
 		// job's ramp starts at y = 0.
-		if c > 0 {
-			return 0, 1, satAdd(y, c)
+		if w.c > 0 {
+			return 0, 1, satAdd(y, w.c)
 		}
 		return 0, 0, task.Infinity
 	}
-	q, r := y/t, y%t
-	if r < c {
-		return q*c + r, 1, satAdd(y, c-r)
+	if y >= w.hi || y < w.lo {
+		w.refill(y)
 	}
-	return (q + 1) * c, 0, satAdd(y, t-r)
+	r := y - w.lo
+	if r < w.c {
+		return w.qc + r, 1, satAdd(y, w.c-r)
+	}
+	return w.qc + w.c, 0, satAdd(y, w.t-r)
 }
 
-// lineCI is workloadCI (Eq. 4) as a linear piece.
-func lineCI(y, c, t, r task.Time) (v, s, b task.Time) {
-	xbar := c - 1 + t - r
+// lineCI is workloadCI (Eq. 4) as a linear piece, read through the
+// cached shifted window.
+func (h *hpWindow) lineCI(y task.Time) (v, s, b task.Time) {
 	var hv, hs, hb task.Time
-	if y <= xbar {
+	if y <= h.xbar {
 		// The shifted staircase has not started: flat zero through
 		// xbar, first ramp tick at xbar+1.
-		hv, hs, hb = 0, 0, satAdd(xbar, 1)
+		hv, hs, hb = 0, 0, satAdd(h.xbar, 1)
 	} else {
-		hv, hs, hb = lineNC(y-xbar, c, t)
-		hb = satAdd(xbar, hb)
+		hv, hs, hb = h.ci.lineAt(y - h.xbar)
+		hb = satAdd(h.xbar, hb)
 	}
-	tv, ts, tb := c-1, task.Time(0), task.Infinity
-	if y < c-1 {
-		tv, ts, tb = y, 1, c
+	tv, ts, tb := h.cm1, task.Time(0), task.Infinity
+	if y < h.cm1 {
+		tv, ts, tb = y, 1, h.cm1+1
 	}
 	return hv + tv, hs + ts, min(hb, tb)
 }

@@ -56,8 +56,9 @@ func TestOmegaLineIsExactPiecewiseForm(t *testing.T) {
 	for trial := 0; trial < 3000; trial++ {
 		sys, hp, cs := randKernelCase(rng)
 		sc := NewScratch(sys)
+		sc.primeHP(hp)
 		x := cs + rng.Int63n(400)
-		omega, slope, bp := sc.omegaLine(x, cs, hp)
+		omega, slope, bp := sc.omegaLine(x, cs)
 		if ref := sys.omegaDominance(x, cs, hp); omega != ref {
 			t.Fatalf("trial %d: omegaLine(%d) = %d, omegaDominance = %d", trial, x, omega, ref)
 		}

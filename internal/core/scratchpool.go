@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+
+	"hydrac/internal/task"
+)
+
+// ScratchPool recycles Scratch workspaces across analyses. A Scratch
+// is ~10 slices that grow to the analysed set's size; the service
+// layers (Analyzer.Analyze, AnalyzeBatch workers, the admission
+// engine, the baselines) each used to allocate a fresh one per
+// analysis, which at steady state is pure garbage — a Reset re-primes
+// every buffer, so a recycled Scratch is state-equivalent to a fresh
+// one and results are bit-identical either way.
+//
+// The pool is size-tiered: a returned Scratch is filed under the
+// capacity class of its selection buffers, and a borrower asks for the
+// class of the set it is about to analyse. Small analyses therefore
+// never pin the giant buffers a one-off huge set grew (those age out
+// of their own tier under GC pressure, the usual sync.Pool contract),
+// and big analyses don't churn through undersized scratches that
+// would immediately reallocate every buffer.
+//
+// The zero value is not usable; use NewScratchPool. All methods are
+// safe for concurrent use — but the Scratches themselves keep their
+// single-goroutine ownership rule: between Get and Put exactly one
+// goroutine may touch a Scratch.
+type ScratchPool struct {
+	tiers [scratchTiers]sync.Pool
+}
+
+// scratchTiers is the number of capacity classes: powers of two from
+// scratchTierMin up, with one open-ended top tier.
+const (
+	scratchTiers   = 7
+	scratchTierMin = 16 // capacity class of tier 0
+)
+
+// scratchTier files a security-band capacity n into its class: the
+// smallest power-of-two class ≥ n, with everything past the top class
+// in the final open-ended tier.
+func scratchTier(n int) int {
+	limit := scratchTierMin
+	for t := 0; t < scratchTiers-1; t++ {
+		if n <= limit {
+			return t
+		}
+		limit <<= 1
+	}
+	return scratchTiers - 1
+}
+
+// NewScratchPool returns an empty pool.
+func NewScratchPool() *ScratchPool {
+	return &ScratchPool{}
+}
+
+// DefaultScratchPool serves the convenience entry points that have no
+// longer-lived owner to borrow from (System.MigratingWCRT,
+// SelectPeriodsCtx, the baselines). Long-lived services may share it
+// or hold their own pool; the tiers keep unrelated workload sizes
+// from interfering either way.
+var DefaultScratchPool = NewScratchPool()
+
+// Get borrows a Scratch suitable for a largest band of about n tasks
+// — use the larger of the set's RT and security bands, the same
+// metric Put files by (sizeHint computes it for a task set). Any
+// value is safe; buffers still grow on demand. When sys is non-nil
+// the scratch comes back primed for it, exactly as NewScratch(sys)
+// would be.
+func (p *ScratchPool) Get(sys *System, n int) *Scratch {
+	sc, _ := p.tiers[scratchTier(n)].Get().(*Scratch)
+	if sc == nil {
+		sc = NewScratch(nil)
+	}
+	if sys != nil {
+		sc.Reset(sys)
+	}
+	return sc
+}
+
+// Put returns a borrowed Scratch. The caller must not touch sc (or
+// any state aliasing its buffers) afterwards. Put(nil) is a no-op so
+// deferred returns need no branching.
+func (p *ScratchPool) Put(sc *Scratch) {
+	if sc == nil {
+		return
+	}
+	// Drop the System so a pooled scratch never pins an analysed
+	// set's demand slices beyond the analysis that borrowed it.
+	sc.sys = nil
+	p.tiers[scratchTier(sc.sizeClass())].Put(sc)
+}
+
+// SizeHint is the Get hint for analysing ts: the larger of its two
+// task bands, matching the metric Put files returned scratches by
+// (rtWin scales with the RT band, probeResp/hpWin with the security
+// band).
+func SizeHint(ts *task.Set) int {
+	if len(ts.RT) > len(ts.Security) {
+		return len(ts.RT)
+	}
+	return len(ts.Security)
+}
+
+// sizeClass is the capacity a scratch is filed under when returned:
+// the largest of its per-band buffers. probeResp tracks the security
+// band of selection runs, but fixpoint-only borrowers (GlobalTMax,
+// the MigratingWCRT convenience wrapper) grow only rtWin/hpWin —
+// filing by probeResp alone would park a huge scratch in the small
+// tier, exactly the pinning the tiers exist to prevent.
+func (sc *Scratch) sizeClass() int {
+	n := cap(sc.probeResp)
+	if c := cap(sc.hpWin); c > n {
+		n = c
+	}
+	if c := cap(sc.rtWin); c > n {
+		n = c
+	}
+	return n
+}

@@ -57,11 +57,14 @@ const (
 // failure once x exceeds limit (the task is then unschedulable within
 // its period bound, §4.4).
 //
-// This convenience form allocates a fresh Scratch per call; hot paths
-// (period selection, the admission engine, the baselines) thread one
-// Scratch through instead. Results are identical either way.
+// This convenience form borrows a Scratch from DefaultScratchPool for
+// the call; hot paths (period selection, the admission engine, the
+// baselines) thread one Scratch through instead. Results are
+// identical either way.
 func (sys *System) MigratingWCRT(cs task.Time, hp []Interferer, limit task.Time, mode CarryInMode) (task.Time, bool) {
-	return NewScratch(sys).MigratingWCRT(cs, hp, limit, mode)
+	sc := DefaultScratchPool.Get(sys, max(len(hp), sys.rtCount()))
+	defer DefaultScratchPool.Put(sc)
+	return sc.MigratingWCRT(cs, hp, limit, mode)
 }
 
 // MaxFixpointIterations bounds the Eq. 7 iteration. Near the clamp
@@ -196,7 +199,19 @@ func (sys *System) migratingWCRTExhaustive(cs task.Time, hp []Interferer, limit 
 // task with implicit deadline must finish within its period, and is
 // hopeless past Tmax).
 func (sys *System) ResponseTimes(sec []task.SecurityTask, periods []task.Time, mode CarryInMode) []task.Time {
-	sc := NewScratch(sys)
+	sc := DefaultScratchPool.Get(sys, max(len(sec), sys.rtCount()))
+	defer DefaultScratchPool.Put(sc)
 	sc.ensure(len(sec))
 	return sc.responseTimes(sec, periods, mode, make([]task.Time, 0, len(sec)))
+}
+
+// rtCount is the size of the partitioned RT band — the tier-hint
+// component the convenience wrappers use so a pooled scratch files
+// and fetches under the same class.
+func (sys *System) rtCount() int {
+	n := 0
+	for _, demands := range sys.RTCores {
+		n += len(demands)
+	}
+	return n
 }

@@ -1,0 +1,101 @@
+package lru
+
+// Sharded is a string-keyed LRU split across independently locked
+// shards. A single Cache serialises every Get behind one mutex —
+// fine for a report cache hit that saved milliseconds of analysis,
+// a real bottleneck for a session store touched on every request of
+// many concurrent sessions. Keys are distributed by FNV-1a, so
+// uniformly random keys (session ids) spread evenly.
+//
+// Eviction is per shard, which needs care: with capacity split
+// exactly capacity/shards ways, random keys overflow the unluckiest
+// shard — and evict a live entry — well before the store as a whole
+// reaches capacity. NewSharded therefore clamps the shard count so
+// every shard holds at least minShardCap entries (a store too small
+// for that gets one shard with exactly the legacy single-cache
+// semantics), and gives each shard twice its fair share as slack, so
+// an under-capacity store sheds an entry only under an implausible
+// (> 2x mean) key skew. The hard retention bound is 2x capacity plus
+// shard rounding — for the session store, briefly retaining more is
+// strictly better than silently dropping a live session.
+//
+// The zero value is not usable; call NewSharded. A nil *Sharded (the
+// product of capacity <= 0) never retains anything, mirroring Cache.
+type Sharded[V any] struct {
+	shards []*Cache[string, V]
+}
+
+// minShardCap is the smallest per-shard fair share worth splitting
+// for: below it, lock contention is a non-problem and exact capacity
+// matters more.
+const minShardCap = 32
+
+// NewSharded returns a store for about capacity entries split over at
+// most the given shard count (values <= 0 choose 1; see the type
+// comment for the clamping and slack rules). capacity <= 0 returns
+// nil, the never-retains store.
+func NewSharded[V any](capacity, shards int) *Sharded[V] {
+	if capacity <= 0 {
+		return nil
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	if max := capacity / minShardCap; shards > max {
+		shards = max
+	}
+	if shards <= 1 {
+		return &Sharded[V]{shards: []*Cache[string, V]{New[string, V](capacity)}}
+	}
+	per := 2 * ((capacity + shards - 1) / shards)
+	s := &Sharded[V]{shards: make([]*Cache[string, V], shards)}
+	for i := range s.shards {
+		s.shards[i] = New[string, V](per)
+	}
+	return s
+}
+
+// shard picks the shard for k by FNV-1a.
+func (s *Sharded[V]) shard(k string) *Cache[string, V] {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime64
+	}
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// Get returns the value stored under k and marks it most recently
+// used within its shard.
+func (s *Sharded[V]) Get(k string) (V, bool) {
+	if s == nil {
+		var zero V
+		return zero, false
+	}
+	return s.shard(k).Get(k)
+}
+
+// Add stores v under k, evicting its shard's least recently used
+// entry if the shard is over capacity.
+func (s *Sharded[V]) Add(k string, v V) {
+	if s == nil {
+		return
+	}
+	s.shard(k).Add(k, v)
+}
+
+// Len returns the total number of entries across shards.
+func (s *Sharded[V]) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range s.shards {
+		n += c.Len()
+	}
+	return n
+}

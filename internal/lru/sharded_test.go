@@ -1,0 +1,95 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedBasics(t *testing.T) {
+	s := NewSharded[int](64, 8)
+	for i := 0; i < 64; i++ {
+		s.Add(fmt.Sprintf("key-%d", i), i)
+	}
+	// A capacity-sized working set must survive intact: the 2x
+	// per-shard slack exists precisely so an under-capacity store
+	// never sheds a live entry.
+	for i := 0; i < 64; i++ {
+		v, ok := s.Get(fmt.Sprintf("key-%d", i))
+		if !ok {
+			t.Fatalf("key-%d evicted with the store under capacity", i)
+		}
+		if v != i {
+			t.Fatalf("key-%d = %d", i, v)
+		}
+	}
+	if s.Len() != 64 {
+		t.Fatalf("Len %d != 64", s.Len())
+	}
+}
+
+func TestShardedSmallCapacityIsExact(t *testing.T) {
+	// Below minShardCap per shard the store degrades to one shard
+	// with the legacy single-cache semantics: exact capacity.
+	s := NewSharded[int](10, 4)
+	for i := 0; i < 1000; i++ {
+		s.Add(fmt.Sprintf("k%d", i), i)
+	}
+	if n := s.Len(); n != 10 {
+		t.Fatalf("retained %d entries for capacity 10; want exactly 10 (single shard)", n)
+	}
+}
+
+func TestShardedCapacityBound(t *testing.T) {
+	s := NewSharded[int](256, 16)
+	for i := 0; i < 100000; i++ {
+		s.Add(fmt.Sprintf("k%d", i), i)
+	}
+	// 256/32 = 8 shards at 2*32 = 64 entries: hard bound 512.
+	if n := s.Len(); n > 512 {
+		t.Fatalf("retained %d entries for capacity 256 (2x slack bound 512)", n)
+	}
+	// And a fresh store filled to exactly its capacity keeps it all.
+	s2 := NewSharded[int](256, 16)
+	for i := 0; i < 256; i++ {
+		s2.Add(fmt.Sprintf("key-%d", i), i)
+	}
+	if n := s2.Len(); n != 256 {
+		t.Fatalf("under-capacity store evicted: retained %d of 256", n)
+	}
+}
+
+func TestShardedNilNeverRetains(t *testing.T) {
+	var s *Sharded[string]
+	s = NewSharded[string](0, 8)
+	if s != nil {
+		t.Fatal("capacity 0 should return the nil store")
+	}
+	s.Add("a", "b")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("nil store retained an entry")
+	}
+	if s.Len() != 0 {
+		t.Fatal("nil store has nonzero Len")
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	s := NewSharded[int](256, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("g%d-%d", g, i%50)
+				s.Add(k, i)
+				s.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Fatal("nothing retained after concurrent churn")
+	}
+}

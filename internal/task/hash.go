@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"io"
 )
 
 // CoreHash returns a canonical content hash of one core's RT tasks,
@@ -45,13 +44,19 @@ func CoreHash(rt []RTTask) string {
 func (ts *Set) Hash() string {
 	h := sha256.New()
 	var buf [8]byte
+	// Names are appended into one reused scratch slice: io.WriteString
+	// would convert every name to a fresh []byte (sha256's digest has
+	// no WriteString), which made hashing — the cache-lookup key on
+	// the service hot path — cost one allocation per task.
+	scratch := make([]byte, 0, 64)
 	num := func(v int64) {
 		binary.LittleEndian.PutUint64(buf[:], uint64(v))
 		h.Write(buf[:])
 	}
 	str := func(s string) {
 		num(int64(len(s)))
-		io.WriteString(h, s)
+		scratch = append(scratch[:0], s...)
+		h.Write(scratch)
 	}
 	num(int64(ts.Cores))
 	num(int64(len(ts.RT)))

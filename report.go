@@ -243,6 +243,17 @@ func writeEnvelope(w io.Writer, env reportEnvelope) error {
 	return enc.Encode(env)
 }
 
+// marshalReportEnvelope renders exactly the bytes WriteReport writes
+// (indented envelope plus trailing newline), as a slice the service
+// hot path can cache and replay with a single Write.
+func marshalReportEnvelope(r *Report) ([]byte, error) {
+	b, err := json.MarshalIndent(reportEnvelope{Version: ReportVersion, Report: r}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
 // ReadReport reads a single-report envelope written by WriteReport.
 func ReadReport(r io.Reader) (*Report, error) {
 	env, err := readEnvelope(r)

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR4.json, the machine-readable before/after
-# snapshot of the PR 4 kernel-optimisation benchmarks
-# (BenchmarkAnalyzeCold, BenchmarkAdmitDelta, BenchmarkSweepParallel).
+# Regenerates BENCH_PR5.json, the machine-readable before/after
+# snapshot of the throughput-layer benchmarks: the kernel/pipeline
+# side (BenchmarkAnalyzeCold, BenchmarkAnalyzeCold50,
+# BenchmarkAdmitDelta, BenchmarkSweepParallel, BenchmarkAnalyzeBatch,
+# BenchmarkAnalyzeCached) plus the hydrad service benchmarks
+# (BenchmarkHydradAnalyzeCacheHit*) and a short hydrabench closed-loop
+# run (RPS + latency quantiles against the in-process service).
 #
 # Usage:
 #   scripts/bench.sh                  # re-run, rewrite the "after" side
@@ -10,22 +14,34 @@
 #                                     # output (e.g. from the base
 #                                     # commit's bench artifact)
 #   COUNT=5 scripts/bench.sh          # more samples per benchmark
+#   SKIP_HYDRABENCH=1 scripts/bench.sh  # benches only, no load run
 set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
+OUT="${OUT:-BENCH_PR5.json}"
 BEFORE_TXT=""
 if [ "${1:-}" = "--before" ]; then
   BEFORE_TXT="$2"
 fi
 
 AFTER_TXT="$(mktemp)"
-trap 'rm -f "$AFTER_TXT"' EXIT
+LOAD_JSON="$(mktemp)"
+trap 'rm -f "$AFTER_TXT" "$LOAD_JSON"' EXIT
 go test -run '^$' \
-  -bench 'BenchmarkAnalyzeCold$|BenchmarkAnalyzeCold50$|BenchmarkAdmitDelta$|BenchmarkSweepParallel' \
+  -bench 'BenchmarkAnalyzeCold$|BenchmarkAnalyzeCold50$|BenchmarkAdmitDelta$|BenchmarkSweepParallel|BenchmarkAnalyzeBatch$|BenchmarkAnalyzeCached$' \
   -benchmem -count="$COUNT" . | tee "$AFTER_TXT"
+go test -run '^$' \
+  -bench 'BenchmarkHydradAnalyzeCacheHit' \
+  -benchmem -count="$COUNT" ./cmd/hydrad | tee -a "$AFTER_TXT"
 
-python3 - "$AFTER_TXT" "$BEFORE_TXT" <<'PY'
+if [ -z "${SKIP_HYDRABENCH:-}" ]; then
+  go run ./cmd/hydrabench -c 1,4 -d 2s -out "$LOAD_JSON"
+else
+  echo '{}' > "$LOAD_JSON"
+fi
+
+python3 - "$AFTER_TXT" "$BEFORE_TXT" "$LOAD_JSON" "$OUT" <<'PY'
 import json, re, sys
 
 def parse(path):
@@ -56,11 +72,11 @@ def parse(path):
     }
 
 after = parse(sys.argv[1])
-path = "BENCH_PR4.json"
+path = sys.argv[4]
 try:
     doc = json.load(open(path))
 except FileNotFoundError:
-    doc = {"pr": 4, "benchmarks": {}}
+    doc = {"pr": 5, "benchmarks": {}}
 if sys.argv[2]:
     for name, rec in parse(sys.argv[2]).items():
         doc["benchmarks"].setdefault(name, {})["before"] = rec
@@ -69,8 +85,15 @@ for name, rec in after.items():
     entry["after"] = rec
     if "before" in entry and entry["before"].get("ns_per_op"):
         entry["speedup"] = round(entry["before"]["ns_per_op"] / rec["ns_per_op"], 2)
+        if entry["before"].get("allocs_per_op") and rec.get("allocs_per_op"):
+            entry["allocs_ratio"] = round(
+                entry["before"]["allocs_per_op"] / max(rec["allocs_per_op"], 0.001), 2)
+load = json.load(open(sys.argv[3]))
+if load.get("levels"):
+    doc["hydrabench"] = load
 doc["note"] = ("mean over per-benchmark samples of `go test -bench` output; "
-               "regenerate with scripts/bench.sh")
+               "hydrabench = closed-loop RPS/latency against the in-process "
+               "service; regenerate with scripts/bench.sh")
 json.dump(doc, open(path, "w"), indent=2, sort_keys=True)
 open(path, "a").write("\n")
 print(f"wrote {path}")

@@ -128,7 +128,7 @@ func (s *Session) Log() []Delta { return s.eng.Log() }
 // session reports carry no Timing and never set FromCache — they must
 // be byte-identical to the canonical report of the same set.
 func (s *Session) report(ctx context.Context, out *admit.Outcome) (*Report, error) {
-	rep, err := s.a.buildReport(ctx, out.Set, out.Result, "", out.Set.Hash(), &Timing{})
+	rep, err := s.a.buildReport(ctx, out.Set, out.Result, "", out.Set.Hash(), &Timing{}, nil)
 	if err != nil {
 		return nil, err
 	}
