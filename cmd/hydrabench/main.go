@@ -1,18 +1,20 @@
 // Command hydrabench is a closed-loop load generator for hydrad: it
 // drives POST /v1/analyze at one or more concurrency levels and
 // reports throughput (requests per second) and latency quantiles
-// (p50/p95/p99) as JSON — the numbers that turn "the hot path feels
-// faster" into a recorded baseline (BENCH_PR5.json keeps one).
+// (p50/p95/p99) as JSON. The engine lives in internal/loadgen, which
+// cmd/hydraperf reuses to run the declarative regression cases under
+// test/regression/ — for paired before/after verdicts, reach for
+// `hydraperf run`; hydrabench is the one-shot probe.
 //
 // Usage:
 //
 //	hydrabench [-url http://HOST:PORT] [-set file.json]
 //	           [-c 1,4,16] [-d 2s] [-endpoint /v1/analyze] [-out -]
 //
-// Without -url, hydrabench serves an in-process hydrad handler over
-// httptest and loads that — a self-contained smoke mode for CI and
-// laptops (no ports, no daemon lifecycle). Without -set, the rover
-// task set ships as the workload.
+// Without -url, hydrabench serves the real hydrad handler
+// (internal/hydradhttp) over httptest and loads that — a
+// self-contained smoke mode for CI and laptops (no ports, no daemon
+// lifecycle). Without -set, the rover task set ships as the workload.
 //
 // Closed loop means every worker posts, waits for the full response,
 // then posts again: the offered load adapts to the service, so the
@@ -22,23 +24,20 @@ package main
 
 import (
 	"bytes"
-	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"net/http/httptest"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"hydrac"
-	"hydrac/internal/lru"
+	"hydrac/internal/hydradhttp"
+	"hydrac/internal/loadgen"
 	"hydrac/internal/rover"
 )
 
@@ -46,24 +45,11 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// levelResult is one concurrency level's aggregate outcome.
-type levelResult struct {
-	Concurrency int     `json:"concurrency"`
-	Requests    int     `json:"requests"`
-	Errors      int     `json:"errors"`
-	DurationS   float64 `json:"duration_s"`
-	RPS         float64 `json:"rps"`
-	MeanMS      float64 `json:"mean_ms"`
-	P50MS       float64 `json:"p50_ms"`
-	P95MS       float64 `json:"p95_ms"`
-	P99MS       float64 `json:"p99_ms"`
-}
-
 // output is the JSON document hydrabench emits.
 type output struct {
-	Target   string        `json:"target"`
-	Endpoint string        `json:"endpoint"`
-	Levels   []levelResult `json:"levels"`
+	Target   string                `json:"target"`
+	Endpoint string                `json:"endpoint"`
+	Levels   []loadgen.LevelResult `json:"levels"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -100,11 +86,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	target := *url
 	if target == "" {
-		srv, err := inProcessServer(*cache)
+		a, err := hydrac.New(hydrac.WithCache(*cache))
 		if err != nil {
 			fmt.Fprintln(stderr, "hydrabench:", err)
 			return 1
 		}
+		srv := httptest.NewServer(hydradhttp.NewHandler(a, map[string]any{"cache": *cache}, 0, *cache))
 		defer srv.Close()
 		target = srv.URL
 	}
@@ -115,24 +102,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			maxConc = c
 		}
 	}
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        maxConc,
-		MaxIdleConnsPerHost: maxConc,
-	}}
-
-	doc := output{Target: target, Endpoint: *endpoint}
-	full := target + *endpoint
+	client := loadgen.NewClient(maxConc)
 	// One request up front validates the pairing of set and endpoint
 	// and warms the server's caches out of band.
-	if err := post(client, full, body); err != nil {
+	if err := loadgen.Do(client, target, loadgen.Request{Path: *endpoint, Body: body}); err != nil {
 		fmt.Fprintln(stderr, "hydrabench:", err)
 		return 1
 	}
+
+	src := loadgen.Fixed{Path: *endpoint, Body: body}
+	doc := output{Target: target, Endpoint: *endpoint}
 	for _, c := range concs {
-		res := runLevel(client, full, body, c, *dur)
-		doc.Levels = append(doc.Levels, res)
+		res, err := loadgen.Run(target, src, loadgen.Config{
+			Levels:   []int{c},
+			Duration: *dur,
+			Client:   client,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "hydrabench:", err)
+			return 1
+		}
+		doc.Levels = append(doc.Levels, res[0])
+		r := res[0]
 		fmt.Fprintf(stderr, "hydrabench: c=%d  %0.f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms  (%d requests, %d errors)\n",
-			c, res.RPS, res.P50MS, res.P95MS, res.P99MS, res.Requests, res.Errors)
+			c, r.RPS, r.P50MS, r.P95MS, r.P99MS, r.Requests, r.Errors)
 	}
 
 	out := stdout
@@ -180,156 +173,4 @@ func parseLevels(s string) ([]int, error) {
 		return nil, errors.New("no concurrency levels")
 	}
 	return out, nil
-}
-
-// inProcessServer mounts hydrad's analyze hot path on an httptest
-// server, so the smoke mode measures the production pipeline minus
-// the TCP stack between processes. The route mirrors hydrad's
-// /v1/analyze exactly: pooled body read, body-digest replay cache
-// in front of decode, Analyzer.AnalyzeEnvelope, one Write. (hydrad's
-// handler lives in its own main package; keep this mirror in sync
-// with cmd/hydrad when the route changes.)
-func inProcessServer(cache int) (*httptest.Server, error) {
-	a, err := hydrac.New(hydrac.WithCache(cache))
-	if err != nil {
-		return nil, err
-	}
-	respCache := lru.New[[sha256.Size]byte, []byte](cache)
-	bodyPool := sync.Pool{New: func() any { return new(bytes.Buffer) }}
-	// maxBodyBytes mirrors hydrad's request-size cap.
-	const maxBodyBytes = 1 << 20
-	writeErr := func(w http.ResponseWriter, status int, err error) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/analyze", func(w http.ResponseWriter, r *http.Request) {
-		buf := bodyPool.Get().(*bytes.Buffer)
-		buf.Reset()
-		defer bodyPool.Put(buf)
-		if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
-			status := http.StatusBadRequest
-			var tooLarge *http.MaxBytesError
-			if errors.As(err, &tooLarge) {
-				status = http.StatusRequestEntityTooLarge
-			}
-			writeErr(w, status, err)
-			return
-		}
-		var key [sha256.Size]byte
-		if respCache != nil {
-			key = sha256.Sum256(buf.Bytes())
-			if body, ok := respCache.Get(key); ok {
-				w.Header().Set("Content-Type", "application/json")
-				w.Write(body)
-				return
-			}
-		}
-		ts, err := hydrac.DecodeTaskSet(bytes.NewReader(buf.Bytes()))
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		body, fromCache, err := a.AnalyzeEnvelope(r.Context(), ts)
-		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		if respCache != nil && fromCache {
-			respCache.Add(key, body)
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(body)
-	})
-	return httptest.NewServer(mux), nil
-}
-
-// post issues one request and drains the response.
-func post(client *http.Client, url string, body []byte) error {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d from %s", resp.StatusCode, url)
-	}
-	return nil
-}
-
-// runLevel drives one closed-loop concurrency level for d and
-// aggregates its latencies.
-func runLevel(client *http.Client, url string, body []byte, conc int, d time.Duration) levelResult {
-	type workerOut struct {
-		lat  []time.Duration
-		errs int
-	}
-	outs := make([]workerOut, conc)
-	deadline := time.Now().Add(d)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < conc; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for time.Now().Before(deadline) {
-				t0 := time.Now()
-				err := post(client, url, body)
-				if err != nil {
-					outs[w].errs++
-					continue
-				}
-				outs[w].lat = append(outs[w].lat, time.Since(t0))
-			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	var all []time.Duration
-	errs := 0
-	for _, o := range outs {
-		all = append(all, o.lat...)
-		errs += o.errs
-	}
-	res := levelResult{
-		Concurrency: conc,
-		Requests:    len(all),
-		Errors:      errs,
-		DurationS:   elapsed.Seconds(),
-	}
-	if len(all) == 0 {
-		return res
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	var sum time.Duration
-	for _, l := range all {
-		sum += l
-	}
-	res.RPS = float64(len(all)) / elapsed.Seconds()
-	res.MeanMS = sum.Seconds() * 1000 / float64(len(all))
-	res.P50MS = quantile(all, 0.50).Seconds() * 1000
-	res.P95MS = quantile(all, 0.95).Seconds() * 1000
-	res.P99MS = quantile(all, 0.99).Seconds() * 1000
-	return res
-}
-
-// quantile reads the q-quantile of sorted latencies by the
-// nearest-rank rule.
-func quantile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }

@@ -1,0 +1,337 @@
+// Command hydraperf is the declarative regression-detection runner:
+// it loads the experiment tree under test/regression/, measures every
+// case PAIRED — N interleaved samples of the merge-base build and the
+// head build — and judges each case's optimization goal with a
+// Mann–Whitney significance test, so only more-than-random changes
+// move the verdict.
+//
+// Subcommands:
+//
+//	hydraperf run     measure cases and print the verdict table
+//	hydraperf check   like run, but exit 1 if any case regressed or errored
+//	hydraperf history render a case's per-PR metric trajectory
+//	hydraperf list    list the cases in the tree
+//
+// `run` and `check` build the merge-base hydrad in a temporary git
+// worktree and run both sides as subprocesses on ephemeral ports; the
+// loadgen driving them is always head code, so traffic generation can
+// never skew the pairing. -selftest replaces the subprocess targets
+// with in-process handlers (identical for `aa`; head delayed by an
+// injected sleep for `regression`) to prove the gate itself works.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hydrac/internal/regression"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hydraperf:", err)
+		os.Exit(1)
+	}
+}
+
+// errRegressed makes gate failures distinguishable from harness
+// failures in tests while still exiting nonzero from main.
+var errRegressed = fmt.Errorf("regression gate failed")
+
+func run(args []string, stdout *os.File) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: hydraperf run|check|history|list [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "run", "check":
+		return runMeasure(cmd, rest, stdout)
+	case "history":
+		return runHistory(rest, stdout)
+	case "list":
+		return runList(rest, stdout)
+	case "-h", "--help", "help":
+		fmt.Fprintln(stdout, "usage: hydraperf run|check|history|list [flags]")
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q (want run, check, history or list)", cmd)
+}
+
+// treeFlags adds the flags every subcommand shares.
+func treeFlags(fs *flag.FlagSet) *string {
+	return fs.String("tree", "", "regression tree directory (default: <repo root>/test/regression)")
+}
+
+func resolveTree(tree string) (string, error) {
+	if tree != "" {
+		return tree, nil
+	}
+	root, err := gitOutput("", "rev-parse", "--show-toplevel")
+	if err != nil {
+		return "", fmt.Errorf("-tree not set and not in a git repository: %w", err)
+	}
+	return filepath.Join(root, "test", "regression"), nil
+}
+
+func runMeasure(cmd string, args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("hydraperf "+cmd, flag.ContinueOnError)
+	tree := treeFlags(fs)
+	cases := fs.String("cases", "", "comma-separated case names (default: all)")
+	base := fs.String("base", "auto", "base git rev to compare against; auto = merge-base with origin/main")
+	samples := fs.Int("samples", 5, "paired samples per side")
+	outDir := fs.String("out", "", "write one <case>.json result per case into this directory")
+	mdFile := fs.String("md", "", "write the verdict table as markdown to this file")
+	record := fs.String("record", "", "append results to the tree's history/ under this label (e.g. pr7)")
+	selftest := fs.String("selftest", "", "harness self-test: aa (identical in-process sides) or regression (head delayed by an injected sleep)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	treeDir, err := resolveTree(*tree)
+	if err != nil {
+		return err
+	}
+	var names []string
+	if *cases != "" {
+		names = strings.Split(*cases, ",")
+	}
+	loaded, err := regression.LoadCases(filepath.Join(treeDir, "cases"), names)
+	if err != nil {
+		return err
+	}
+
+	runner := regression.Runner{
+		Samples: *samples,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "hydraperf: "+format+"\n", a...)
+		},
+	}
+	switch *selftest {
+	case "":
+		cleanup, err := setupPairedSides(&runner, *base)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+	case "aa":
+		runner.Base = regression.Side{Name: "base", Target: regression.HandlerTarget{}}
+		runner.Head = regression.Side{Name: "head", Target: regression.HandlerTarget{}}
+	case "regression":
+		runner.Base = regression.Side{Name: "base", Target: regression.HandlerTarget{}}
+		runner.Head = regression.Side{
+			Name:   "head",
+			Target: regression.HandlerTarget{Wrap: regression.SleepInjector(5 * time.Millisecond)},
+		}
+	default:
+		return fmt.Errorf("-selftest %q (want aa or regression)", *selftest)
+	}
+
+	results := runner.RunCases(loaded)
+	fmt.Fprint(stdout, regression.TextTable(results))
+
+	if *outDir != "" {
+		if err := writeResults(*outDir, results); err != nil {
+			return err
+		}
+	}
+	if *mdFile != "" {
+		if err := os.WriteFile(*mdFile, []byte(regression.MarkdownTable(results)), 0o644); err != nil {
+			return err
+		}
+	}
+	if *record != "" {
+		when := time.Now().UTC().Format(time.RFC3339)
+		for _, r := range results {
+			if r.Verdict == regression.VerdictSkipped || r.Verdict == regression.VerdictError {
+				continue // only measured outcomes belong in the trajectory
+			}
+			if err := regression.AppendHistory(filepath.Join(treeDir, "history"), r.Case, regression.EntryFromResult(r, when, *record)); err != nil {
+				return err
+			}
+		}
+	}
+
+	if cmd == "check" {
+		failed := 0
+		for _, r := range results {
+			if r.Failed() {
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%w: %d of %d cases", errRegressed, failed, len(results))
+		}
+	}
+	return nil
+}
+
+// setupPairedSides resolves the base rev, materialises it in a
+// temporary worktree, builds hydrad for both sides and wires them
+// into the runner. The returned cleanup tears the worktree down.
+func setupPairedSides(r *regression.Runner, baseRev string) (func(), error) {
+	headSHA, err := gitOutput("", "rev-parse", "HEAD")
+	if err != nil {
+		return nil, fmt.Errorf("resolving HEAD: %w", err)
+	}
+	baseSHA, err := resolveBase(baseRev)
+	if err != nil {
+		return nil, err
+	}
+	root, err := gitOutput("", "rev-parse", "--show-toplevel")
+	if err != nil {
+		return nil, err
+	}
+
+	tmp, err := os.MkdirTemp("", "hydraperf-")
+	if err != nil {
+		return nil, err
+	}
+	cleanup := func() {
+		_ = exec.Command("git", "worktree", "remove", "--force", filepath.Join(tmp, "base-tree")).Run()
+		_ = os.RemoveAll(tmp)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			cleanup()
+		}
+	}()
+
+	baseTree := filepath.Join(tmp, "base-tree")
+	if _, err := gitOutput("", "worktree", "add", "--detach", baseTree, baseSHA); err != nil {
+		return nil, fmt.Errorf("checking out base %s: %w", short(baseSHA), err)
+	}
+	baseBin := filepath.Join(tmp, "hydrad-base")
+	if err := goBuild(baseTree, baseBin, "./cmd/hydrad"); err != nil {
+		return nil, fmt.Errorf("building base hydrad at %s: %w", short(baseSHA), err)
+	}
+	headBin := filepath.Join(tmp, "hydrad-head")
+	if err := goBuild(root, headBin, "./cmd/hydrad"); err != nil {
+		return nil, fmt.Errorf("building head hydrad: %w", err)
+	}
+
+	r.Base = regression.Side{Name: "base", SHA: short(baseSHA), Target: regression.BinaryTarget{Bin: baseBin}, TreeDir: baseTree}
+	r.Head = regression.Side{Name: "head", SHA: short(headSHA), Target: regression.BinaryTarget{Bin: headBin}, TreeDir: root}
+	fmt.Fprintf(os.Stderr, "hydraperf: paired run: base %s vs head %s\n", short(baseSHA), short(headSHA))
+	ok = true
+	return cleanup, nil
+}
+
+// resolveBase turns the -base flag into a SHA. "auto" prefers the
+// merge-base with origin/main, falling back to local main for clones
+// without the remote ref.
+func resolveBase(rev string) (string, error) {
+	if rev != "auto" && rev != "" {
+		sha, err := gitOutput("", "rev-parse", "--verify", rev+"^{commit}")
+		if err != nil {
+			return "", fmt.Errorf("resolving base %q: %w", rev, err)
+		}
+		return sha, nil
+	}
+	for _, ref := range []string{"origin/main", "main"} {
+		if sha, err := gitOutput("", "merge-base", "HEAD", ref); err == nil {
+			return sha, nil
+		}
+	}
+	return "", fmt.Errorf("could not find a merge-base with origin/main or main; pass -base explicitly")
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+func gitOutput(dir string, args ...string) (string, error) {
+	cmd := exec.Command("git", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return "", fmt.Errorf("git %s: %s", args[0], strings.TrimSpace(string(ee.Stderr)))
+		}
+		return "", fmt.Errorf("git %s: %w", args[0], err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+func goBuild(dir, out, pkg string) error {
+	cmd := exec.Command("go", "build", "-o", out, pkg)
+	cmd.Dir = dir
+	if b, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("%v: %s", err, strings.TrimSpace(string(b)))
+	}
+	return nil
+}
+
+func writeResults(dir string, results []regression.CaseResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range results {
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, r.Case+".json"), append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runHistory(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("hydraperf history", flag.ContinueOnError)
+	tree := treeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: hydraperf history [-tree dir] <case>")
+	}
+	treeDir, err := resolveTree(*tree)
+	if err != nil {
+		return err
+	}
+	name := fs.Arg(0)
+	entries, err := regression.ReadHistory(filepath.Join(treeDir, "history"), name)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no history for case %q under %s", name, filepath.Join(treeDir, "history"))
+	}
+	fmt.Fprintf(stdout, "%s (%s)\n", name, entries[len(entries)-1].Metric)
+	fmt.Fprint(stdout, regression.HistoryTable(entries))
+	return nil
+}
+
+func runList(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("hydraperf list", flag.ContinueOnError)
+	tree := treeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	treeDir, err := resolveTree(*tree)
+	if err != nil {
+		return err
+	}
+	cases, err := regression.LoadCases(filepath.Join(treeDir, "cases"), nil)
+	if err != nil {
+		return err
+	}
+	for _, c := range cases {
+		fmt.Fprintf(stdout, "%-22s %-10s %-8s tol=%.0f%%\n", c.Name, c.Experiment.Goal, c.Profile.Kind, 100*c.Experiment.Tolerance)
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+// Package hydradhttp is the HTTP surface of the hydrad daemon: the
+// routes, error mapping, pooled body handling, and duplicate-request
+// byte cache that cmd/hydrad serves. It lives in its own package so
+// every consumer of the service hot path mounts the SAME handler —
+// the daemon binary, cmd/hydrabench's in-process smoke mode, and the
+// regression harness's self-test targets — instead of keeping
+// hand-rolled mirrors in sync.
+package hydradhttp
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"hydrac"
+	"hydrac/internal/lru"
+)
+
+// MaxBodyBytes bounds request bodies; the largest paper-scale task
+// sets encode to a few kilobytes, so a megabyte leaves two orders of
+// magnitude of headroom while keeping hostile payloads cheap.
+const MaxBodyBytes = 1 << 20
+
+// server carries the shared analyzer behind the HTTP surface.
+type server struct {
+	analyzer *hydrac.Analyzer
+	summary  map[string]any
+	// sessions is sharded by session-id hash: ids are random hex, so
+	// concurrent sessions spread across shard locks instead of
+	// serialising on one store mutex per request.
+	sessions *lru.Sharded[*hydrac.Session]
+	// respCache short-circuits exact-byte duplicate /v1/analyze
+	// requests: body digest → the canonical cache-hit envelope bytes.
+	// A hit costs one digest and one Write — no task-set decode, no
+	// report marshal. Entries are only ever populated from analyzer
+	// cache hits, so the replayed bytes are the canonical envelope
+	// (FromCache true, no per-call Timing), which is identical for
+	// every duplicate of those bytes; analysis is deterministic, so
+	// entries never go stale.
+	respCache *lru.Cache[[sha256.Size]byte, []byte]
+}
+
+// sessionShards spreads the session store's locking; 16 shards keeps
+// contention negligible up to hundreds of concurrent sessions while
+// costing nothing at -sessions values this small.
+const sessionShards = 16
+
+// NewHandler wires the routes; cmd/hydrad serves it and tests mount
+// it on httptest servers. maxSessions bounds the live session store
+// (sharded LRU eviction; 0 disables the session endpoints) and
+// cacheSize the duplicate-request byte cache (0 disables it, matching
+// a cacheless analyzer where replayable hit envelopes never exist).
+// summary is echoed on /healthz.
+func NewHandler(a *hydrac.Analyzer, summary map[string]any, maxSessions, cacheSize int) http.Handler {
+	s := &server{
+		analyzer:  a,
+		summary:   summary,
+		sessions:  lru.NewSharded[*hydrac.Session](maxSessions, sessionShards),
+		respCache: lru.New[[sha256.Size]byte, []byte](cacheSize),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.analyze)
+	mux.HandleFunc("/v1/analyze/batch", s.analyzeBatch)
+	mux.HandleFunc("/v1/session", s.sessionCreate)
+	mux.HandleFunc("/v1/session/", s.sessionRoute)
+	mux.HandleFunc("/healthz", s.healthz)
+	return mux
+}
+
+// bodyPool recycles request read buffers: every handler slurps the
+// (bounded) body once, decodes from the buffer, and returns it, so
+// steady-state traffic stops allocating per-request scratch space.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBody reads the whole (size-capped) request body into a pooled
+// buffer. The caller must putBody the buffer when done with its
+// bytes.
+func readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, error) {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, MaxBodyBytes)); err != nil {
+		bodyPool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+func putBody(buf *bytes.Buffer) { bodyPool.Put(buf) }
+
+// batchRequest is the body of POST /v1/analyze/batch. Each element is
+// one task set in the standard file schema.
+type batchRequest struct {
+	TaskSets []json.RawMessage `json:"task_sets"`
+}
+
+func (s *server) analyze(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	buf, err := readBody(w, r)
+	if err != nil {
+		writeError(w, badRequestStatus(err), err)
+		return
+	}
+	defer putBody(buf)
+
+	// Exact-byte duplicate of a previously analysed request: one
+	// digest, one Write. Admission-control traffic is dominated by
+	// re-posts of the same deployment manifest, so this is the
+	// steady-state path.
+	var key [sha256.Size]byte
+	if s.respCache != nil {
+		key = sha256.Sum256(buf.Bytes())
+		if body, ok := s.respCache.Get(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return
+		}
+	}
+
+	ts, err := hydrac.DecodeTaskSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		writeError(w, badRequestStatus(err), err)
+		return
+	}
+	body, fromCache, err := s.analyzer.AnalyzeEnvelope(r.Context(), ts)
+	if err != nil {
+		writeAnalysisError(w, r, err)
+		return
+	}
+	if s.respCache != nil && fromCache {
+		// Only hit envelopes are replayable: they carry no per-call
+		// Timing, so every future duplicate of these bytes gets the
+		// identical response.
+		s.respCache.Add(key, body)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *server) analyzeBatch(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	buf, err := readBody(w, r)
+	if err != nil {
+		writeError(w, badRequestStatus(err), err)
+		return
+	}
+	defer putBody(buf)
+	var req batchRequest
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, badRequestStatus(err), fmt.Errorf("decoding batch request: %w", err))
+		return
+	}
+	if len(req.TaskSets) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch request carries no task sets"))
+		return
+	}
+	sets := make([]*hydrac.TaskSet, len(req.TaskSets))
+	for i, raw := range req.TaskSets {
+		ts, err := hydrac.DecodeTaskSet(bytes.NewReader(raw))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("task set %d: %w", i, err))
+			return
+		}
+		sets[i] = ts
+	}
+	reps, err := s.analyzer.AnalyzeBatch(r.Context(), sets)
+	if err != nil {
+		writeAnalysisError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	hydrac.WriteReports(w, reps)
+}
+
+// sessionCreateResponse is the body of a successful POST /v1/session:
+// the standard report envelope fields plus the session id.
+type sessionCreateResponse struct {
+	Version   int            `json:"version"`
+	SessionID string         `json:"session_id"`
+	Report    *hydrac.Report `json:"report"`
+}
+
+func (s *server) sessionCreate(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	if s.sessions == nil {
+		// -sessions 0: the store never retains anything, so handing
+		// out a session id would be a dead credential.
+		writeError(w, http.StatusNotFound, errors.New("sessions are disabled on this daemon (-sessions 0)"))
+		return
+	}
+	buf, err := readBody(w, r)
+	if err != nil {
+		writeError(w, badRequestStatus(err), err)
+		return
+	}
+	ts, err := hydrac.DecodeTaskSet(bytes.NewReader(buf.Bytes()))
+	putBody(buf)
+	if err != nil {
+		writeError(w, badRequestStatus(err), err)
+		return
+	}
+	sess, rep, err := s.analyzer.NewSession(r.Context(), ts)
+	if err != nil {
+		writeAnalysisError(w, r, err)
+		return
+	}
+	id, err := newSessionID()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.sessions.Add(id, sess)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(sessionCreateResponse{Version: hydrac.ReportVersion, SessionID: id, Report: rep})
+}
+
+// sessionRoute dispatches /v1/session/{id} and /v1/session/{id}/admit.
+func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/session/")
+	id, op, _ := strings.Cut(rest, "/")
+	sess, ok := s.sessions.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (expired, evicted, or never created)", id))
+		return
+	}
+	switch op {
+	case "":
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		hydrac.EncodeTaskSet(w, sess.Set())
+	case "admit":
+		if !requirePost(w, r) {
+			return
+		}
+		buf, err := readBody(w, r)
+		if err != nil {
+			writeError(w, badRequestStatus(err), err)
+			return
+		}
+		d, err := hydrac.DecodeDelta(bytes.NewReader(buf.Bytes()))
+		putBody(buf)
+		if err != nil {
+			writeError(w, badRequestStatus(err), err)
+			return
+		}
+		rep, admitted, err := sess.Admit(r.Context(), *d)
+		if err != nil {
+			writeAnalysisError(w, r, err)
+			return
+		}
+		// The envelope must stay byte-identical to a cold analysis of
+		// the same set, so the commit verdict travels in a header.
+		w.Header().Set("X-Hydra-Admitted", fmt.Sprintf("%v", admitted))
+		w.Header().Set("Content-Type", "application/json")
+		hydrac.WriteReport(w, rep)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session operation %q", op))
+	}
+}
+
+// newSessionID draws a 128-bit random id.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("generating session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"report_version": hydrac.ReportVersion,
+		"config":         s.summary,
+	})
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodPost {
+		return true
+	}
+	w.Header().Set("Allow", http.MethodPost)
+	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	return false
+}
+
+// writeAnalysisError maps pipeline failures: a dead client context is
+// not worth a response, everything else is the client's input.
+func writeAnalysisError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		return // the client hung up; the analysis was shed
+	}
+	writeError(w, http.StatusUnprocessableEntity, err)
+}
+
+// badRequestStatus distinguishes an oversized body (413) from plain
+// bad input (400).
+func badRequestStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

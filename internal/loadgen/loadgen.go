@@ -1,0 +1,240 @@
+// Package loadgen is the closed-loop load engine behind cmd/hydrabench
+// and the regression harness (internal/regression, cmd/hydraperf).
+// It drives an HTTP target at one or more concurrency levels and
+// reports throughput (requests per second) and latency quantiles
+// (p50/p95/p99) per level.
+//
+// Closed loop means every worker issues a request, waits for the full
+// response, then issues the next: the offered load adapts to the
+// service, so the measured RPS is the service's sustainable throughput
+// at that concurrency, not a drop rate under a fixed arrival schedule.
+//
+// Traffic shape is pluggable through Source: a fixed body re-posted
+// forever (dup-heavy, exercising hydrad's digest cache), a rotating
+// pool of distinct bodies (cold traffic, defeating the caches), a
+// per-worker admission session issuing admit/remove deltas, or a
+// weighted mix of any of these.
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Request is one unit of closed-loop work: Method on target+Path with
+// Body (nil for GET).
+type Request struct {
+	Method string
+	Path   string
+	Body   []byte
+}
+
+// Stream yields one worker's request sequence. Next(i) returns the
+// i-th request; streams are used by a single worker goroutine and need
+// not be safe for concurrent use.
+type Stream interface {
+	Next(i int) Request
+}
+
+// Source builds per-worker request streams. NewStream runs before the
+// measurement window opens, so setup traffic (e.g. opening an
+// admission session) never pollutes the recorded latencies.
+type Source interface {
+	NewStream(client *http.Client, target string, worker int) (Stream, error)
+}
+
+// LevelResult is one concurrency level's aggregate outcome. The JSON
+// shape is part of cmd/hydrabench's output contract.
+type LevelResult struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	DurationS   float64 `json:"duration_s"`
+	RPS         float64 `json:"rps"`
+	MeanMS      float64 `json:"mean_ms"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+// Config shapes one Run.
+type Config struct {
+	// Levels is the concurrency sweep; at least one level is required.
+	Levels []int
+	// Duration is the measurement window per level.
+	Duration time.Duration
+	// Warmup is the number of untimed requests each worker issues
+	// before its level's window opens; negative means none, zero means
+	// the default of one (validating the target/source pairing and
+	// warming server caches out of band).
+	Warmup int
+	// Client overrides the HTTP client; nil builds one sized to the
+	// largest level so the sweep never starves on idle connections.
+	Client *http.Client
+}
+
+// NewClient returns an HTTP client whose idle-connection pool fits
+// maxConc concurrent workers against one host.
+func NewClient(maxConc int) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        maxConc,
+		MaxIdleConnsPerHost: maxConc,
+	}}
+}
+
+// Run sweeps the configured concurrency levels against target.
+// A Stream setup failure (Source.NewStream) aborts the run; request
+// failures during the window are counted per level instead.
+func Run(target string, src Source, cfg Config) ([]LevelResult, error) {
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("loadgen: no concurrency levels")
+	}
+	client := cfg.Client
+	if client == nil {
+		maxConc := 0
+		for _, c := range cfg.Levels {
+			if c > maxConc {
+				maxConc = c
+			}
+		}
+		client = NewClient(maxConc)
+	}
+	warmup := cfg.Warmup
+	if warmup == 0 {
+		warmup = 1
+	}
+	var out []LevelResult
+	for _, c := range cfg.Levels {
+		res, err := runLevel(client, target, src, c, cfg.Duration, warmup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runLevel drives one closed-loop concurrency level for d and
+// aggregates its latencies. Streams are created and warmed before the
+// window opens.
+func runLevel(client *http.Client, target string, src Source, conc int, d time.Duration, warmup int) (LevelResult, error) {
+	streams := make([]Stream, conc)
+	for w := 0; w < conc; w++ {
+		s, err := src.NewStream(client, target, w)
+		if err != nil {
+			return LevelResult{}, fmt.Errorf("loadgen: stream for worker %d: %w", w, err)
+		}
+		streams[w] = s
+	}
+	type workerOut struct {
+		lat  []time.Duration
+		errs int
+	}
+	outs := make([]workerOut, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(d)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := streams[w]
+			i := 0
+			for ; i < warmup; i++ {
+				Do(client, target, s.Next(i))
+			}
+			for time.Now().Before(deadline) {
+				req := s.Next(i)
+				i++
+				t0 := time.Now()
+				if err := Do(client, target, req); err != nil {
+					outs[w].errs++
+					continue
+				}
+				outs[w].lat = append(outs[w].lat, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for _, o := range outs {
+		all = append(all, o.lat...)
+		errs += o.errs
+	}
+	res := LevelResult{
+		Concurrency: conc,
+		Requests:    len(all),
+		Errors:      errs,
+		DurationS:   elapsed.Seconds(),
+	}
+	if len(all) == 0 {
+		return res, nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum time.Duration
+	for _, l := range all {
+		sum += l
+	}
+	res.RPS = float64(len(all)) / elapsed.Seconds()
+	res.MeanMS = sum.Seconds() * 1000 / float64(len(all))
+	res.P50MS = Quantile(all, 0.50).Seconds() * 1000
+	res.P95MS = Quantile(all, 0.95).Seconds() * 1000
+	res.P99MS = Quantile(all, 0.99).Seconds() * 1000
+	return res, nil
+}
+
+// Do issues one request against target and drains the response; any
+// transport failure or non-200 status is an error.
+func Do(client *http.Client, target string, req Request) error {
+	method := req.Method
+	if method == "" {
+		method = http.MethodPost
+	}
+	var body io.Reader
+	if req.Body != nil {
+		body = bytes.NewReader(req.Body)
+	}
+	hr, err := http.NewRequest(method, target+req.Path, body)
+	if err != nil {
+		return err
+	}
+	if req.Body != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d from %s%s", resp.StatusCode, target, req.Path)
+	}
+	return nil
+}
+
+// Quantile reads the q-quantile of sorted latencies by the
+// nearest-rank rule.
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

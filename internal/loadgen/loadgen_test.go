@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hydrac"
+	"hydrac/internal/hydradhttp"
+	"hydrac/internal/rover"
+)
+
+func newTestTarget(t *testing.T) string {
+	t.Helper()
+	a, err := hydrac.New(hydrac.WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(hydradhttp.NewHandler(a, map[string]any{}, 16, 64))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func roverBody(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := hydrac.EncodeTaskSet(&buf, rover.TaskSet()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The engine must complete a short sweep against the real handler
+// with no request errors and sane quantiles.
+func TestRunFixedSweep(t *testing.T) {
+	target := newTestTarget(t)
+	res, err := Run(target, Fixed{Path: "/v1/analyze", Body: roverBody(t)}, Config{
+		Levels:   []int{1, 2},
+		Duration: 120 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("%d levels, want 2", len(res))
+	}
+	for _, l := range res {
+		if l.Requests == 0 || l.RPS <= 0 {
+			t.Fatalf("level c=%d did no work: %+v", l.Concurrency, l)
+		}
+		if l.Errors != 0 {
+			t.Fatalf("level c=%d saw %d errors", l.Concurrency, l.Errors)
+		}
+		if l.P50MS <= 0 || l.P99MS < l.P50MS {
+			t.Fatalf("level c=%d has nonsense quantiles: %+v", l.Concurrency, l)
+		}
+	}
+}
+
+// A session stream must open its session during setup and then admit
+// and remove its probe monitor without a single failed request.
+func TestSessionAdmitSource(t *testing.T) {
+	target := newTestTarget(t)
+	src := SessionAdmit{
+		Base:   roverBody(t),
+		Admit:  []byte(`{"add_security": [{"name": "lg_probe", "wcet": 1, "max_period": 900000, "priority": 1048576}]}`),
+		Remove: []byte(`{"remove": ["lg_probe"]}`),
+	}
+	res, err := Run(target, src, Config{Levels: []int{2}, Duration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Errors != 0 {
+		t.Fatalf("%d admit/remove errors", res[0].Errors)
+	}
+	if res[0].Requests == 0 {
+		t.Fatal("session stream did no work")
+	}
+}
+
+// countingSource records which paths were hit so the mix schedule is
+// observable.
+type pathCounter struct{ counts map[string]*atomic.Int64 }
+
+func (p pathCounter) handler() http.Handler {
+	mux := http.NewServeMux()
+	for path, c := range p.counts {
+		c := c
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			c.Add(1)
+			fmt.Fprint(w, "{}")
+		})
+	}
+	return mux
+}
+
+// Mix must interleave children proportionally to their weights.
+func TestMixWeights(t *testing.T) {
+	pc := pathCounter{counts: map[string]*atomic.Int64{
+		"/a": new(atomic.Int64),
+		"/b": new(atomic.Int64),
+	}}
+	srv := httptest.NewServer(pc.handler())
+	defer srv.Close()
+
+	src := Mix{Entries: []MixEntry{
+		{Source: Fixed{Path: "/a", Body: []byte("{}")}, Weight: 3},
+		{Source: Fixed{Path: "/b", Body: []byte("{}")}, Weight: 1},
+	}}
+	res, err := Run(srv.URL, src, Config{Levels: []int{1}, Duration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Errors != 0 {
+		t.Fatalf("%d errors", res[0].Errors)
+	}
+	na, nb := pc.counts["/a"].Load(), pc.counts["/b"].Load()
+	if na == 0 || nb == 0 {
+		t.Fatalf("mix starved a child: a=%d b=%d", na, nb)
+	}
+	// 3:1 weights; allow slack for the partial final schedule cycle.
+	if ratio := float64(na) / float64(nb); ratio < 2.0 || ratio > 4.5 {
+		t.Fatalf("mix ratio a:b = %.2f, want ≈3", ratio)
+	}
+}
+
+// Rotating must cycle distinct bodies rather than re-posting one.
+func TestRotatingCycles(t *testing.T) {
+	var seen atomic.Int64
+	bodies := make(map[string]*atomic.Int64)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		buf := new(bytes.Buffer)
+		buf.ReadFrom(r.Body)
+		if c, ok := bodies[buf.String()]; ok {
+			c.Add(1)
+		}
+		seen.Add(1)
+		fmt.Fprint(w, "{}")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var pool [][]byte
+	for i := 0; i < 4; i++ {
+		b := []byte(fmt.Sprintf(`{"i": %d}`, i))
+		pool = append(pool, b)
+		bodies[string(b)] = new(atomic.Int64)
+	}
+	res, err := Run(srv.URL, Rotating{Path: "/x", Bodies: pool}, Config{
+		Levels: []int{2}, Duration: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Errors != 0 {
+		t.Fatalf("%d errors", res[0].Errors)
+	}
+	for body, c := range bodies {
+		if c.Load() == 0 {
+			t.Fatalf("body %s never posted", body)
+		}
+	}
+}
+
+// Quantile follows the nearest-rank rule at the edges.
+func TestQuantileEdges(t *testing.T) {
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	one := []time.Duration{5}
+	if q := Quantile(one, 0.99); q != 5 {
+		t.Fatalf("single-sample p99 = %v", q)
+	}
+	four := []time.Duration{1, 2, 3, 4}
+	if q := Quantile(four, 0.5); q != 2 {
+		t.Fatalf("p50 of 1..4 = %v, want 2", q)
+	}
+	if q := Quantile(four, 1.0); q != 4 {
+		t.Fatalf("p100 of 1..4 = %v, want 4", q)
+	}
+}

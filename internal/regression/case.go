@@ -1,0 +1,599 @@
+// Package regression is the declarative regression-detection harness
+// behind cmd/hydraperf: a tree of self-describing experiment cases
+// (test/regression/cases/<name>/), each a load profile plus one
+// optimization goal, run PAIRED — N interleaved samples of the
+// merge-base build and the head build — with a nonparametric
+// significance test deciding whether the head moved the goal metric
+// by more than run-to-run noise. Modelled on DataDog's SMP Regression
+// Detector case tree (test/regression/ in datadog-agent).
+package regression
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"hydrac/internal/gen"
+	"hydrac/internal/loadgen"
+	"hydrac/internal/partition"
+	"hydrac/internal/task"
+)
+
+// Goal is what a case optimises for; its direction decides which
+// significant changes count as regressions.
+type Goal string
+
+const (
+	// GoalThroughput gates sustained requests per second (higher is
+	// better) of a closed-loop load profile.
+	GoalThroughput Goal = "throughput"
+	// GoalP99 gates tail latency in milliseconds (lower is better).
+	GoalP99 Goal = "p99"
+	// GoalAllocs gates allocations per operation of a Go benchmark
+	// (lower is better); gobench cases only.
+	GoalAllocs Goal = "allocs"
+)
+
+// HigherIsBetter reports the goal's good direction.
+func (g Goal) HigherIsBetter() bool { return g == GoalThroughput }
+
+// Metric names the scalar each goal extracts from a sample.
+func (g Goal) Metric() (name, unit string) {
+	switch g {
+	case GoalThroughput:
+		return "rps", "req/s"
+	case GoalP99:
+		return "p99_ms", "ms"
+	case GoalAllocs:
+		return "allocs_per_op", "allocs/op"
+	}
+	return string(g), ""
+}
+
+// Case kinds.
+const (
+	// KindLoad drives the hydrad HTTP service with internal/loadgen.
+	KindLoad = "load"
+	// KindGobench samples a `go test -bench` benchmark binary built in
+	// each tree — the path for allocation gates, which have no HTTP
+	// observable.
+	KindGobench = "gobench"
+)
+
+// Mix kinds for load profiles.
+const (
+	MixCold    = "cold"    // rotating pool of distinct generated sets → cache misses
+	MixDup     = "dup"     // one fixed body → exact-byte duplicate hot path
+	MixBatch   = "batch"   // rotating batch envelopes on /v1/analyze/batch
+	MixSession = "session" // per-worker admission session, alternating admit/remove
+)
+
+// Profile is a case's profile.yaml: how to generate load (or which
+// benchmark to sample).
+type Profile struct {
+	Kind string
+
+	// Load profiles.
+	Concurrency []int
+	Duration    time.Duration
+	Mix         map[string]int // mix kind → weight
+	Daemon      DaemonOpts
+	Workload    Workload
+
+	// Gobench profiles.
+	Package   string
+	Bench     string
+	Benchtime string
+}
+
+// DaemonOpts configures the hydrad instance a load sample boots.
+type DaemonOpts struct {
+	Cache    int
+	Sessions int
+}
+
+// Workload parameterises the input task-set generator (internal/gen,
+// the paper's Table 3 shape) for load profiles.
+type Workload struct {
+	// Cores is M; the generator scales task counts with it.
+	Cores int
+	// Group is the utilisation group (0–9): group g covers normalised
+	// utilisation ≈ (0.01+0.1g, 0.1+0.1g]. High groups approach
+	// overload.
+	Group int
+	// Seed derives the deterministic per-set RNG streams.
+	Seed int64
+	// Sets is the pool size of distinct task sets (cold/batch mixes).
+	Sets int
+	// Batch is the number of task sets per batch request.
+	Batch int
+}
+
+// Experiment is a case's experiment.yaml: the single optimization
+// goal plus gate tuning.
+type Experiment struct {
+	Goal Goal
+	// Tolerance is the relative change treated as within noise even
+	// when statistically significant (e.g. 0.05 = ±5%). Significant
+	// changes smaller than this never flip the gate.
+	Tolerance float64
+	// Alpha is the significance level of the Mann–Whitney test.
+	Alpha float64
+}
+
+// Case is one loaded experiment directory.
+type Case struct {
+	Name       string
+	Dir        string
+	Profile    Profile
+	Experiment Experiment
+}
+
+// Defaults applied during load.
+const (
+	defaultTolerance = 0.05
+	defaultAlpha     = 0.05
+	defaultBenchtime = "100x"
+)
+
+// LoadCases reads and validates every case under dir (the cases/
+// directory of a regression tree). Names is an optional filter; empty
+// loads all. Cases come back sorted by name.
+func LoadCases(dir string, names []string) ([]Case, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reading case tree: %w", err)
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var cases []Case
+	found := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if len(want) > 0 && !want[e.Name()] {
+			continue
+		}
+		c, err := loadCase(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("case %s: %w", e.Name(), err)
+		}
+		cases = append(cases, c)
+		found[e.Name()] = true
+	}
+	var missing []string
+	for n := range want {
+		if !found[n] {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("unknown cases: %s", strings.Join(missing, ", "))
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("no cases under %s", dir)
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].Name < cases[j].Name })
+	return cases, nil
+}
+
+func loadCase(dir string) (Case, error) {
+	c := Case{Name: filepath.Base(dir), Dir: dir}
+	prof, err := readYAMLFile(filepath.Join(dir, "profile.yaml"))
+	if err != nil {
+		return c, err
+	}
+	exp, err := readYAMLFile(filepath.Join(dir, "experiment.yaml"))
+	if err != nil {
+		return c, err
+	}
+	if c.Profile, err = parseProfile(prof); err != nil {
+		return c, fmt.Errorf("profile.yaml: %w", err)
+	}
+	if c.Experiment, err = parseExperiment(exp); err != nil {
+		return c, fmt.Errorf("experiment.yaml: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func readYAMLFile(path string) (map[string]any, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := parseYAML(string(raw))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return doc, nil
+}
+
+// fields wraps the decoded YAML tree with typed, key-tracking access
+// so unknown keys become load errors (a typo in a case file must not
+// silently change the experiment).
+type fields struct {
+	m    map[string]any
+	seen map[string]bool
+}
+
+func newFields(m map[string]any) *fields { return &fields{m: m, seen: map[string]bool{}} }
+
+func (f *fields) get(key string) (any, bool) {
+	v, ok := f.m[key]
+	f.seen[key] = true
+	return v, ok
+}
+
+func (f *fields) unknown() error {
+	var extra []string
+	for k := range f.m {
+		if !f.seen[k] {
+			extra = append(extra, k)
+		}
+	}
+	if len(extra) > 0 {
+		sort.Strings(extra)
+		return fmt.Errorf("unknown keys: %s", strings.Join(extra, ", "))
+	}
+	return nil
+}
+
+func (f *fields) str(key, def string) (string, error) {
+	v, ok := f.get(key)
+	if !ok {
+		return def, nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("%s: want a string, got %v", key, v)
+	}
+	return s, nil
+}
+
+func (f *fields) integer(key string, def int) (int, error) {
+	v, ok := f.get(key)
+	if !ok {
+		return def, nil
+	}
+	n, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("%s: want an integer, got %v", key, v)
+	}
+	return int(n), nil
+}
+
+func (f *fields) float(key string, def float64) (float64, error) {
+	v, ok := f.get(key)
+	if !ok {
+		return def, nil
+	}
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case int64:
+		return float64(x), nil
+	}
+	return 0, fmt.Errorf("%s: want a number, got %v", key, v)
+}
+
+func (f *fields) sub(key string) (*fields, error) {
+	v, ok := f.get(key)
+	if !ok {
+		return newFields(map[string]any{}), nil
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: want a mapping, got %v", key, v)
+	}
+	return newFields(m), nil
+}
+
+func (f *fields) intList(key string) ([]int, error) {
+	v, ok := f.get(key)
+	if !ok {
+		return nil, nil
+	}
+	seq, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: want a sequence, got %v", key, v)
+	}
+	out := make([]int, len(seq))
+	for i, item := range seq {
+		n, ok := item.(int64)
+		if !ok {
+			return nil, fmt.Errorf("%s[%d]: want an integer, got %v", key, i, item)
+		}
+		out[i] = int(n)
+	}
+	return out, nil
+}
+
+func parseProfile(doc map[string]any) (Profile, error) {
+	f := newFields(doc)
+	var p Profile
+	var err error
+	if p.Kind, err = f.str("kind", KindLoad); err != nil {
+		return p, err
+	}
+	switch p.Kind {
+	case KindLoad:
+		if p.Concurrency, err = f.intList("concurrency"); err != nil {
+			return p, err
+		}
+		durS, err := f.str("duration", "500ms")
+		if err != nil {
+			return p, err
+		}
+		if p.Duration, err = time.ParseDuration(durS); err != nil {
+			return p, fmt.Errorf("duration: %w", err)
+		}
+		mixF, err := f.sub("mix")
+		if err != nil {
+			return p, err
+		}
+		p.Mix = map[string]int{}
+		for kind := range mixF.m {
+			w, err := mixF.integer(kind, 0)
+			if err != nil {
+				return p, fmt.Errorf("mix: %w", err)
+			}
+			p.Mix[kind] = w
+		}
+		dF, err := f.sub("daemon")
+		if err != nil {
+			return p, err
+		}
+		if p.Daemon.Cache, err = dF.integer("cache", 1024); err != nil {
+			return p, err
+		}
+		if p.Daemon.Sessions, err = dF.integer("sessions", 256); err != nil {
+			return p, err
+		}
+		if err := dF.unknown(); err != nil {
+			return p, fmt.Errorf("daemon: %w", err)
+		}
+		wF, err := f.sub("workload")
+		if err != nil {
+			return p, err
+		}
+		if p.Workload.Cores, err = wF.integer("cores", 4); err != nil {
+			return p, err
+		}
+		if p.Workload.Group, err = wF.integer("group", 4); err != nil {
+			return p, err
+		}
+		seed, err := wF.integer("seed", 1)
+		if err != nil {
+			return p, err
+		}
+		p.Workload.Seed = int64(seed)
+		if p.Workload.Sets, err = wF.integer("sets", 32); err != nil {
+			return p, err
+		}
+		if p.Workload.Batch, err = wF.integer("batch", 8); err != nil {
+			return p, err
+		}
+		if err := wF.unknown(); err != nil {
+			return p, fmt.Errorf("workload: %w", err)
+		}
+	case KindGobench:
+		if p.Package, err = f.str("package", "."); err != nil {
+			return p, err
+		}
+		if p.Bench, err = f.str("bench", ""); err != nil {
+			return p, err
+		}
+		if p.Benchtime, err = f.str("benchtime", defaultBenchtime); err != nil {
+			return p, err
+		}
+	default:
+		return p, fmt.Errorf("kind: %q (want %s or %s)", p.Kind, KindLoad, KindGobench)
+	}
+	return p, f.unknown()
+}
+
+func parseExperiment(doc map[string]any) (Experiment, error) {
+	f := newFields(doc)
+	var e Experiment
+	goal, err := f.str("optimization_goal", "")
+	if err != nil {
+		return e, err
+	}
+	e.Goal = Goal(goal)
+	if e.Tolerance, err = f.float("tolerance", defaultTolerance); err != nil {
+		return e, err
+	}
+	if e.Alpha, err = f.float("alpha", defaultAlpha); err != nil {
+		return e, err
+	}
+	return e, f.unknown()
+}
+
+// validate enforces the cross-field rules a runnable case must meet.
+func (c *Case) validate() error {
+	switch c.Experiment.Goal {
+	case GoalThroughput, GoalP99:
+		if c.Profile.Kind != KindLoad {
+			return fmt.Errorf("goal %s requires a load profile", c.Experiment.Goal)
+		}
+	case GoalAllocs:
+		if c.Profile.Kind != KindGobench {
+			return fmt.Errorf("goal allocs requires a gobench profile (allocations are not observable over HTTP)")
+		}
+	case "":
+		return fmt.Errorf("experiment.yaml must name an optimization_goal (throughput, p99 or allocs)")
+	default:
+		return fmt.Errorf("unknown optimization_goal %q (want throughput, p99 or allocs)", c.Experiment.Goal)
+	}
+	if c.Experiment.Tolerance < 0 || c.Experiment.Tolerance >= 1 {
+		return fmt.Errorf("tolerance %v out of range [0, 1)", c.Experiment.Tolerance)
+	}
+	if c.Experiment.Alpha <= 0 || c.Experiment.Alpha >= 1 {
+		return fmt.Errorf("alpha %v out of range (0, 1)", c.Experiment.Alpha)
+	}
+	switch c.Profile.Kind {
+	case KindLoad:
+		if len(c.Profile.Concurrency) == 0 {
+			return fmt.Errorf("load profile needs a concurrency sweep")
+		}
+		for _, lvl := range c.Profile.Concurrency {
+			if lvl < 1 {
+				return fmt.Errorf("concurrency level %d < 1", lvl)
+			}
+		}
+		if c.Profile.Duration <= 0 {
+			return fmt.Errorf("duration must be positive")
+		}
+		if len(c.Profile.Mix) == 0 {
+			return fmt.Errorf("load profile needs a mix (cold, dup, batch, session)")
+		}
+		for kind, w := range c.Profile.Mix {
+			switch kind {
+			case MixCold, MixDup, MixBatch, MixSession:
+			default:
+				return fmt.Errorf("unknown mix kind %q", kind)
+			}
+			if w < 1 {
+				return fmt.Errorf("mix %s: weight %d < 1", kind, w)
+			}
+		}
+		w := c.Profile.Workload
+		if w.Cores < 1 || w.Group < 0 || w.Group > 9 || w.Sets < 1 || w.Batch < 1 {
+			return fmt.Errorf("bad workload parameters: %+v", w)
+		}
+	case KindGobench:
+		if c.Profile.Bench == "" {
+			return fmt.Errorf("gobench profile needs a bench regexp")
+		}
+	}
+	return nil
+}
+
+// BuildSource materialises a load case's traffic: the generated
+// task-set pool, batch envelopes, and session deltas, composed into a
+// loadgen source per the mix. The same source (same bodies) feeds
+// base AND head samples, so workload generation can never skew the
+// pairing.
+func (c *Case) BuildSource() (loadgen.Source, error) {
+	if c.Profile.Kind != KindLoad {
+		return nil, fmt.Errorf("case %s is not a load case", c.Name)
+	}
+	w := c.Profile.Workload
+	pool, err := generatePool(w)
+	if err != nil {
+		return nil, fmt.Errorf("case %s: %w", c.Name, err)
+	}
+	var entries []loadgen.MixEntry
+	// Deterministic order: kinds sorted by name.
+	kinds := make([]string, 0, len(c.Profile.Mix))
+	for k := range c.Profile.Mix {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		weight := c.Profile.Mix[kind]
+		var src loadgen.Source
+		switch kind {
+		case MixCold:
+			src = loadgen.Rotating{Path: "/v1/analyze", Bodies: pool}
+		case MixDup:
+			src = loadgen.Fixed{Path: "/v1/analyze", Body: pool[0]}
+		case MixBatch:
+			batches, err := batchBodies(pool, w.Batch)
+			if err != nil {
+				return nil, fmt.Errorf("case %s: %w", c.Name, err)
+			}
+			src = loadgen.Rotating{Path: "/v1/analyze/batch", Bodies: batches}
+		case MixSession:
+			admit, remove, err := sessionDeltas()
+			if err != nil {
+				return nil, fmt.Errorf("case %s: %w", c.Name, err)
+			}
+			src = loadgen.SessionAdmit{Base: pool[0], Admit: admit, Remove: remove}
+		}
+		entries = append(entries, loadgen.MixEntry{Source: src, Weight: weight})
+	}
+	if len(entries) == 1 {
+		return entries[0].Source, nil
+	}
+	return loadgen.Mix{Entries: entries}, nil
+}
+
+// generatePool draws the workload's pool of distinct task sets and
+// pre-encodes them. Draw failures (utilisation groups where some
+// seeds yield no partitionable set) skip to the next index; the pool
+// must still fill from a bounded number of attempts so a bad
+// workload spec fails loudly instead of looping.
+func generatePool(w Workload) ([][]byte, error) {
+	cfg := gen.TableThree(w.Cores)
+	cfg.Partition = partition.BestFit
+	pool := make([][]byte, 0, w.Sets)
+	maxIdx := w.Sets * 8
+	for i := 0; len(pool) < w.Sets && i < maxIdx; i++ {
+		ts, err := cfg.GenerateAt(w.Seed, w.Group, i)
+		if err != nil {
+			continue // this index has no partitionable draw; skip it
+		}
+		var buf bytes.Buffer
+		if err := task.Encode(&buf, ts); err != nil {
+			return nil, err
+		}
+		pool = append(pool, buf.Bytes())
+	}
+	if len(pool) < w.Sets {
+		return nil, fmt.Errorf("workload group %d on %d cores yielded only %d/%d sets — the group is too close to overload for this generator",
+			w.Group, w.Cores, len(pool), w.Sets)
+	}
+	return pool, nil
+}
+
+// batchBodies wraps the pool into /v1/analyze/batch envelopes of
+// batch sets each, rotating through the pool.
+func batchBodies(pool [][]byte, batch int) ([][]byte, error) {
+	n := len(pool)
+	count := (n + batch - 1) / batch
+	out := make([][]byte, 0, count)
+	for b := 0; b < count; b++ {
+		raws := make([]json.RawMessage, batch)
+		for j := 0; j < batch; j++ {
+			raws[j] = json.RawMessage(pool[(b*batch+j)%n])
+		}
+		body, err := json.Marshal(map[string]any{"task_sets": raws})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, body)
+	}
+	return out, nil
+}
+
+// sessionDeltas builds the admit/remove pair the session mix
+// alternates: one minimal security monitor at the lowest priority, so
+// admission virtually always succeeds and the session returns to its
+// base set every two requests.
+func sessionDeltas() (admit, remove []byte, err error) {
+	prio := 1 << 20 // far below any generated priority → lowest
+	d := task.Delta{AddSecurity: []task.SecurityTask{{
+		Name: "hydraperf_probe", WCET: 1, MaxPeriod: 900000, Core: -1, Priority: prio,
+	}}}
+	var abuf, rbuf bytes.Buffer
+	if err := task.EncodeDelta(&abuf, &d); err != nil {
+		return nil, nil, err
+	}
+	if err := task.EncodeDelta(&rbuf, &task.Delta{Remove: []string{"hydraperf_probe"}}); err != nil {
+		return nil, nil, err
+	}
+	return abuf.Bytes(), rbuf.Bytes(), nil
+}

@@ -1,0 +1,162 @@
+package regression
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeCase materialises a case directory under dir.
+func writeCase(t *testing.T, dir, name, profile, experiment string) {
+	t.Helper()
+	cd := filepath.Join(dir, name)
+	if err := os.MkdirAll(cd, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for file, body := range map[string]string{"profile.yaml": profile, "experiment.yaml": experiment} {
+		if err := os.WriteFile(filepath.Join(cd, file), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+const validLoadProfile = `# a small cold sweep
+kind: load
+concurrency: [1, 2]
+duration: 200ms
+mix:
+  cold: 3
+  dup: 1
+daemon:
+  cache: 64
+  sessions: 16
+workload:
+  cores: 4
+  group: 3
+  seed: 11
+  sets: 8
+  batch: 4
+`
+
+func TestLoadCasesValid(t *testing.T) {
+	dir := t.TempDir()
+	writeCase(t, dir, "zz-later", validLoadProfile, "optimization_goal: p99\ntolerance: 0.10\n")
+	writeCase(t, dir, "aa-first", validLoadProfile, "optimization_goal: throughput\n")
+	writeCase(t, dir, "allocs-bench",
+		"kind: gobench\npackage: .\nbench: BenchmarkAnalyzeCold$\nbenchtime: 50x\n",
+		"optimization_goal: allocs\ntolerance: 0.01\n")
+
+	cases, err := LoadCases(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 3 {
+		t.Fatalf("loaded %d cases, want 3", len(cases))
+	}
+	// Sorted by name.
+	if cases[0].Name != "aa-first" || cases[2].Name != "zz-later" {
+		t.Fatalf("cases not sorted: %v, %v, %v", cases[0].Name, cases[1].Name, cases[2].Name)
+	}
+	c := cases[0]
+	if c.Experiment.Goal != GoalThroughput || c.Experiment.Tolerance != defaultTolerance || c.Experiment.Alpha != defaultAlpha {
+		t.Fatalf("defaults not applied: %+v", c.Experiment)
+	}
+	if c.Profile.Duration != 200*time.Millisecond || c.Profile.Mix["cold"] != 3 || c.Profile.Workload.Seed != 11 {
+		t.Fatalf("profile mis-parsed: %+v", c.Profile)
+	}
+	if cases[1].Profile.Kind != KindGobench || cases[1].Profile.Benchtime != "50x" {
+		t.Fatalf("gobench profile mis-parsed: %+v", cases[1].Profile)
+	}
+
+	// Name filter — selecting an early name must not let the cases
+	// sorted after it leak into the load once the filter is satisfied.
+	one, err := LoadCases(dir, []string{"aa-first"})
+	if err != nil || len(one) != 1 || one[0].Name != "aa-first" {
+		t.Fatalf("filtered load: %v, %v", one, err)
+	}
+	if _, err := LoadCases(dir, []string{"nope"}); err == nil || !strings.Contains(err.Error(), "unknown cases: nope") {
+		t.Fatalf("unknown case name: err = %v", err)
+	}
+}
+
+func TestLoadCasesRejectsBadConfigs(t *testing.T) {
+	bad := []struct {
+		name, profile, experiment, wantErr string
+	}{
+		{"goal-kind-mismatch", validLoadProfile, "optimization_goal: allocs\n", "gobench"},
+		{"no-goal", validLoadProfile, "tolerance: 0.1\n", "optimization_goal"},
+		{"bad-goal", validLoadProfile, "optimization_goal: speed\n", "unknown optimization_goal"},
+		{"bad-tolerance", validLoadProfile, "optimization_goal: p99\ntolerance: 1.5\n", "tolerance"},
+		{"bad-alpha", validLoadProfile, "optimization_goal: p99\nalpha: 0\n", "alpha"},
+		{"typo-key", validLoadProfile, "optimization_goal: p99\ntollerance: 0.1\n", "unknown keys"},
+		{"no-concurrency", "kind: load\nduration: 1s\nmix:\n  dup: 1\n", "optimization_goal: p99\n", "concurrency"},
+		{"no-mix", "kind: load\nconcurrency: [1]\nduration: 1s\n", "optimization_goal: p99\n", "mix"},
+		{"bad-mix-kind", "kind: load\nconcurrency: [1]\nduration: 1s\nmix:\n  warm: 1\n", "optimization_goal: p99\n", "unknown mix kind"},
+		{"bad-group", "kind: load\nconcurrency: [1]\nduration: 1s\nmix:\n  dup: 1\nworkload:\n  group: 12\n", "optimization_goal: p99\n", "workload"},
+		{"gobench-no-bench", "kind: gobench\npackage: .\n", "optimization_goal: allocs\n", "bench"},
+		{"bad-kind", "kind: wrk\n", "optimization_goal: p99\n", "kind"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeCase(t, dir, tc.name, tc.profile, tc.experiment)
+			_, err := LoadCases(dir, nil)
+			if err == nil {
+				t.Fatalf("loaded invalid case %s without error", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLoadCasesEmptyTree(t *testing.T) {
+	if _, err := LoadCases(t.TempDir(), nil); err == nil {
+		t.Fatal("empty tree loaded without error")
+	}
+}
+
+func TestBuildSourceAllMixKinds(t *testing.T) {
+	c := Case{
+		Name: "all-mix",
+		Profile: Profile{
+			Kind:        KindLoad,
+			Concurrency: []int{1},
+			Duration:    time.Second,
+			Mix:         map[string]int{MixCold: 2, MixDup: 1, MixBatch: 1, MixSession: 1},
+			Workload:    Workload{Cores: 4, Group: 3, Seed: 5, Sets: 6, Batch: 3},
+		},
+		Experiment: Experiment{Goal: GoalThroughput, Tolerance: 0.05, Alpha: 0.05},
+	}
+	src, err := c.BuildSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src == nil {
+		t.Fatal("nil source")
+	}
+}
+
+func TestBuildSourceOverloadGroupFailsLoudly(t *testing.T) {
+	// Group 9 (utilisation ≈ 1.0) rarely yields partitionable sets; a
+	// huge pool demand must error rather than hang or under-fill.
+	c := Case{
+		Name: "overload",
+		Profile: Profile{
+			Kind:        KindLoad,
+			Concurrency: []int{1},
+			Duration:    time.Second,
+			Mix:         map[string]int{MixCold: 1},
+			Workload:    Workload{Cores: 2, Group: 9, Seed: 1, Sets: 512, Batch: 4},
+		},
+		Experiment: Experiment{Goal: GoalThroughput, Tolerance: 0.05, Alpha: 0.05},
+	}
+	if _, err := c.BuildSource(); err == nil {
+		t.Skip("group 9 filled the pool on this generator config; nothing to assert")
+	} else if !strings.Contains(err.Error(), "sets") {
+		t.Fatalf("unhelpful pool error: %v", err)
+	}
+}

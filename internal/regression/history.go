@@ -1,0 +1,126 @@
+package regression
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// HistoryEntry is one line of a case's JSONL history — a condensed
+// CaseResult plus provenance, so `hydraperf history <case>` can plot
+// the metric's trajectory across PRs.
+type HistoryEntry struct {
+	// When is an RFC 3339 timestamp of the run (or the PR label for
+	// seeded entries migrated from pre-harness benchmark files).
+	When string `json:"when"`
+	// Label names the run: a PR tag ("pr4"), a CI run id, or "local".
+	Label   string  `json:"label,omitempty"`
+	BaseSHA string  `json:"base_sha,omitempty"`
+	HeadSHA string  `json:"head_sha,omitempty"`
+	Goal    Goal    `json:"goal"`
+	Metric  string  `json:"metric"`
+	Unit    string  `json:"unit"`
+	Base    float64 `json:"base_median"`
+	Head    float64 `json:"head_median"`
+	Change  float64 `json:"change"`
+	P       float64 `json:"p,omitempty"`
+	Verdict string  `json:"verdict"`
+	// Note carries free-form provenance for seeded entries (e.g. which
+	// pre-harness benchmark a number came from).
+	Note string `json:"note,omitempty"`
+}
+
+// EntryFromResult condenses a finished CaseResult into a history line.
+func EntryFromResult(r CaseResult, when, label string) HistoryEntry {
+	return HistoryEntry{
+		When:    when,
+		Label:   label,
+		BaseSHA: r.BaseSHA,
+		HeadSHA: r.HeadSHA,
+		Goal:    r.Goal,
+		Metric:  r.Metric,
+		Unit:    r.Unit,
+		Base:    r.BaseMedian,
+		Head:    r.HeadMedian,
+		Change:  r.Change,
+		P:       r.P,
+		Verdict: r.Verdict,
+	}
+}
+
+// HistoryPath returns the JSONL file for a case under dir.
+func HistoryPath(dir, caseName string) string {
+	return filepath.Join(dir, caseName+".jsonl")
+}
+
+// AppendHistory appends one entry to the case's JSONL file, creating
+// the directory and file as needed.
+func AppendHistory(dir, caseName string, e HistoryEntry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(HistoryPath(dir, caseName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadHistory loads a case's JSONL history in file order. A missing
+// file is an empty history, not an error; a malformed line is an
+// error, since silently dropping history would mask corruption.
+func ReadHistory(dir, caseName string) ([]HistoryEntry, error) {
+	f, err := os.Open(HistoryPath(dir, caseName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal(text, &e); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", HistoryPath(dir, caseName), line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HistoryTable renders a case's trajectory for terminals.
+func HistoryTable(entries []HistoryEntry) string {
+	if len(entries) == 0 {
+		return "(no history)\n"
+	}
+	var b []byte
+	b = fmt.Appendf(b, "%-22s %-8s %-14s %14s %14s %9s  %s\n",
+		"WHEN", "LABEL", "METRIC", "BASE", "HEAD", "CHANGE", "VERDICT")
+	for _, e := range entries {
+		b = fmt.Appendf(b, "%-22s %-8s %-14s %14s %14s %+8.1f%%  %s\n",
+			e.When, e.Label, e.Metric,
+			formatValue(e.Base, e.Unit), formatValue(e.Head, e.Unit),
+			100*e.Change, e.Verdict)
+	}
+	return string(b)
+}

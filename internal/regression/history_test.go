@@ -1,0 +1,58 @@
+package regression
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestHistoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if got, err := ReadHistory(dir, "cold-analyze"); err != nil || got != nil {
+		t.Fatalf("missing history: %v, %v (want empty, nil)", got, err)
+	}
+	e1 := HistoryEntry{When: "2026-08-01T00:00:00Z", Label: "pr4", Goal: GoalThroughput,
+		Metric: "rps", Unit: "req/s", Base: 29000, Head: 29438, Change: 0.015, Verdict: VerdictNoChange}
+	e2 := HistoryEntry{When: "2026-08-07T00:00:00Z", Label: "pr6", Goal: GoalThroughput,
+		Metric: "rps", Unit: "req/s", Base: 29438, Head: 31000, Change: 0.053, P: 0.008, Verdict: VerdictImproved}
+	for _, e := range []HistoryEntry{e1, e2} {
+		if err := AppendHistory(dir, "cold-analyze", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadHistory(dir, "cold-analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != e1 || got[1] != e2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	table := HistoryTable(got)
+	for _, want := range []string{"pr4", "pr6", "improved", "+5.3%"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("history table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestHistoryMalformedLine(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(HistoryPath(dir, "bad"), []byte("{\"when\":\"x\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHistory(dir, "bad"); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed history line: err = %v", err)
+	}
+}
+
+func TestEntryFromResult(t *testing.T) {
+	r := CaseResult{
+		Case: "c", Goal: GoalP99, Metric: "p99_ms", Unit: "ms",
+		BaseSHA: "abc", HeadSHA: "def",
+		BaseMedian: 2.0, HeadMedian: 1.5, Change: -0.25, P: 0.01, Verdict: VerdictImproved,
+	}
+	e := EntryFromResult(r, "2026-08-07T12:00:00Z", "local")
+	if e.Base != 2.0 || e.Head != 1.5 || e.Verdict != VerdictImproved || e.Label != "local" || e.BaseSHA != "abc" {
+		t.Fatalf("condensed entry wrong: %+v", e)
+	}
+}

@@ -1,0 +1,167 @@
+package regression
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Verdicts a paired run can reach.
+const (
+	// VerdictImproved: significant change in the goal's good direction
+	// beyond tolerance.
+	VerdictImproved = "improved"
+	// VerdictNoChange: no more-than-random change beyond tolerance.
+	VerdictNoChange = "no-change"
+	// VerdictRegressed: significant change in the bad direction beyond
+	// tolerance — this is what fails `hydraperf check`.
+	VerdictRegressed = "regressed"
+	// VerdictSkipped: the case could not run in this configuration
+	// (e.g. a gobench case under in-process self-test).
+	VerdictSkipped = "skipped"
+	// VerdictError: the harness failed to measure (build failure,
+	// daemon crash, failed requests) — also fails `hydraperf check`,
+	// since an unmeasurable gate protects nothing.
+	VerdictError = "error"
+)
+
+// CaseResult is one case's paired outcome; `hydraperf run` writes one
+// JSON document per case and appends the condensed form to the
+// case's history.
+type CaseResult struct {
+	Case    string    `json:"case"`
+	Goal    Goal      `json:"goal"`
+	Metric  string    `json:"metric"`
+	Unit    string    `json:"unit"`
+	BaseSHA string    `json:"base_sha,omitempty"`
+	HeadSHA string    `json:"head_sha,omitempty"`
+	Samples int       `json:"samples"`
+	Base    []float64 `json:"base_samples,omitempty"`
+	Head    []float64 `json:"head_samples,omitempty"`
+	// BaseMedian/HeadMedian summarise the samples; Change is the
+	// relative move (head-base)/base of the medians.
+	BaseMedian float64 `json:"base_median"`
+	HeadMedian float64 `json:"head_median"`
+	Change     float64 `json:"change"`
+	// P is the two-sided Mann–Whitney p-value; Alpha and Tolerance the
+	// gate parameters it was judged against.
+	P         float64 `json:"p"`
+	Alpha     float64 `json:"alpha"`
+	Tolerance float64 `json:"tolerance"`
+	Verdict   string  `json:"verdict"`
+	Error     string  `json:"error,omitempty"`
+	// WallS is how long the paired case took to measure.
+	WallS float64 `json:"wall_s"`
+}
+
+// judge fills the statistical fields of a result whose samples are
+// complete: medians, relative change, p-value and verdict.
+func (r *CaseResult) judge() {
+	r.BaseMedian = median(r.Base)
+	r.HeadMedian = median(r.Head)
+	if r.BaseMedian != 0 {
+		r.Change = (r.HeadMedian - r.BaseMedian) / r.BaseMedian
+	}
+	r.P = MannWhitneyP(r.Base, r.Head)
+	significant := r.P < r.Alpha && abs(r.Change) > r.Tolerance
+	switch {
+	case !significant:
+		r.Verdict = VerdictNoChange
+	case (r.Change > 0) == r.Goal.HigherIsBetter():
+		r.Verdict = VerdictImproved
+	default:
+		r.Verdict = VerdictRegressed
+	}
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Failed reports whether this result should fail a gating run.
+func (r *CaseResult) Failed() bool {
+	return r.Verdict == VerdictRegressed || r.Verdict == VerdictError
+}
+
+// MarkdownTable renders the goal-by-goal verdict table the CI gate
+// comments on pull requests.
+func MarkdownTable(results []CaseResult) string {
+	var b strings.Builder
+	b.WriteString("| case | goal | base | head | change | p | verdict |\n")
+	b.WriteString("|---|---|---:|---:|---:|---:|---|\n")
+	for _, r := range results {
+		icon := ""
+		switch r.Verdict {
+		case VerdictImproved:
+			icon = "✅ "
+		case VerdictRegressed, VerdictError:
+			icon = "❌ "
+		}
+		detail := r.Verdict
+		if r.Verdict == VerdictError {
+			detail = fmt.Sprintf("error: %s", r.Error)
+		}
+		if r.Verdict == VerdictSkipped || r.Verdict == VerdictError {
+			fmt.Fprintf(&b, "| %s | %s | – | – | – | – | %s%s |\n", r.Case, r.Goal, icon, detail)
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %+.1f%% | %.3f | %s%s |\n",
+			r.Case, r.Goal,
+			formatValue(r.BaseMedian, r.Unit), formatValue(r.HeadMedian, r.Unit),
+			100*r.Change, r.P, icon, detail)
+	}
+	return b.String()
+}
+
+// TextTable renders the same verdicts for terminals.
+func TextTable(results []CaseResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-11s %14s %14s %9s %7s  %s\n",
+		"CASE", "GOAL", "BASE", "HEAD", "CHANGE", "P", "VERDICT")
+	for _, r := range results {
+		if r.Verdict == VerdictSkipped || r.Verdict == VerdictError {
+			detail := r.Verdict
+			if r.Error != "" {
+				detail += ": " + r.Error
+			}
+			fmt.Fprintf(&b, "%-22s %-11s %14s %14s %9s %7s  %s\n",
+				r.Case, r.Goal, "-", "-", "-", "-", detail)
+			continue
+		}
+		fmt.Fprintf(&b, "%-22s %-11s %14s %14s %+8.1f%% %7.3f  %s\n",
+			r.Case, r.Goal,
+			formatValue(r.BaseMedian, r.Unit), formatValue(r.HeadMedian, r.Unit),
+			100*r.Change, r.P, r.Verdict)
+	}
+	return b.String()
+}
+
+// formatValue pretty-prints a metric value with its unit.
+func formatValue(v float64, unit string) string {
+	switch {
+	case v == 0:
+		return "0 " + unit
+	case abs(v) >= 10000:
+		return fmt.Sprintf("%.0f %s", v, unit)
+	case abs(v) >= 10:
+		return fmt.Sprintf("%.1f %s", v, unit)
+	default:
+		return fmt.Sprintf("%.3f %s", v, unit)
+	}
+}

@@ -1,0 +1,171 @@
+package regression
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smallLoadCase is a fast paired load case for harness self-tests:
+// one concurrency level, short window, dup traffic (no generator cost
+// in the measured path).
+func smallLoadCase(goal Goal, tolerance float64) Case {
+	return Case{
+		Name: "selftest-" + string(goal),
+		Profile: Profile{
+			Kind:        KindLoad,
+			Concurrency: []int{2},
+			Duration:    120 * time.Millisecond,
+			Mix:         map[string]int{MixDup: 1},
+			Daemon:      DaemonOpts{Cache: 64, Sessions: 16},
+			Workload:    Workload{Cores: 4, Group: 3, Seed: 3, Sets: 2, Batch: 2},
+		},
+		Experiment: Experiment{Goal: goal, Tolerance: tolerance, Alpha: 0.05},
+	}
+}
+
+// An identical-handler A/A run must pass: same code on both sides, so
+// any verdict that fails the gate is a false positive. Tolerance is
+// set wide (50%) so the assertion tests the harness plumbing, not the
+// statistical size (which stats_test.go covers directly).
+func TestRunCaseAAPasses(t *testing.T) {
+	r := Runner{
+		Base:    Side{Name: "base", Target: HandlerTarget{}},
+		Head:    Side{Name: "head", Target: HandlerTarget{}},
+		Samples: 4,
+	}
+	res := r.RunCase(smallLoadCase(GoalThroughput, 0.5))
+	if res.Error != "" {
+		t.Fatalf("A/A run errored: %s", res.Error)
+	}
+	if res.Failed() {
+		t.Fatalf("A/A run failed the gate: verdict=%s change=%+.1f%% p=%.4f", res.Verdict, 100*res.Change, res.P)
+	}
+	if len(res.Base) != 4 || len(res.Head) != 4 {
+		t.Fatalf("sample counts: base=%d head=%d, want 4/4", len(res.Base), len(res.Head))
+	}
+}
+
+// A sleep injected into every head request (ISSUE 6's synthetic
+// regression) must be flagged: with 5ms added to a sub-millisecond
+// handler the sides separate perfectly, so the exact Mann–Whitney p
+// at 4+4 samples is 2/70 < 0.05 and the change dwarfs any tolerance.
+func TestRunCaseDetectsInjectedSleep(t *testing.T) {
+	for _, goal := range []Goal{GoalThroughput, GoalP99} {
+		t.Run(string(goal), func(t *testing.T) {
+			r := Runner{
+				Base:    Side{Name: "base", Target: HandlerTarget{}},
+				Head:    Side{Name: "head", Target: HandlerTarget{Wrap: SleepInjector(5 * time.Millisecond)}},
+				Samples: 4,
+			}
+			res := r.RunCase(smallLoadCase(goal, 0.05))
+			if res.Error != "" {
+				t.Fatalf("run errored: %s", res.Error)
+			}
+			if res.Verdict != VerdictRegressed {
+				t.Fatalf("injected 5ms sleep not flagged: verdict=%s change=%+.1f%% p=%.4f",
+					res.Verdict, 100*res.Change, res.P)
+			}
+			if !res.Failed() {
+				t.Fatal("regressed verdict must fail the gate")
+			}
+		})
+	}
+}
+
+// The same sleep on the BASE side is an improvement for head, which
+// must not fail the gate.
+func TestRunCaseImprovementDoesNotFail(t *testing.T) {
+	r := Runner{
+		Base:    Side{Name: "base", Target: HandlerTarget{Wrap: SleepInjector(5 * time.Millisecond)}},
+		Head:    Side{Name: "head", Target: HandlerTarget{}},
+		Samples: 4,
+	}
+	res := r.RunCase(smallLoadCase(GoalThroughput, 0.05))
+	if res.Verdict != VerdictImproved {
+		t.Fatalf("verdict=%s change=%+.1f%% p=%.4f, want improved", res.Verdict, 100*res.Change, res.P)
+	}
+	if res.Failed() {
+		t.Fatal("improvement failed the gate")
+	}
+}
+
+func TestRunCaseSkipsWithoutConfiguration(t *testing.T) {
+	r := Runner{Base: Side{Name: "base"}, Head: Side{Name: "head"}, Samples: 2}
+	if res := r.RunCase(smallLoadCase(GoalThroughput, 0.05)); res.Verdict != VerdictSkipped {
+		t.Fatalf("load case without targets: verdict=%s, want skipped", res.Verdict)
+	}
+	gb := Case{
+		Name:       "gb",
+		Profile:    Profile{Kind: KindGobench, Package: ".", Bench: "BenchmarkX", Benchtime: "10x"},
+		Experiment: Experiment{Goal: GoalAllocs, Tolerance: 0.01, Alpha: 0.05},
+	}
+	if res := r.RunCase(gb); res.Verdict != VerdictSkipped {
+		t.Fatalf("gobench case without trees: verdict=%s, want skipped", res.Verdict)
+	}
+}
+
+// fakeBench writes an executable that prints canned `go test -bench`
+// output, so the gobench sample parser is tested without compiling a
+// second source tree.
+func fakeBench(t *testing.T, output string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fake.test")
+	script := "#!/bin/sh\ncat <<'EOF'\n" + output + "EOF\n"
+	if err := os.WriteFile(path, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGobenchSampleParsesAllocs(t *testing.T) {
+	bin := fakeBench(t, `goos: linux
+BenchmarkAnalyzeCold-8   	     100	    488986 ns/op	   14448 B/op	      88 allocs/op
+BenchmarkAnalyzeCold50-8 	     100	    923411 ns/op	   20000 B/op	     112 allocs/op
+PASS
+`)
+	got, err := gobenchSample(bin, t.TempDir(), Profile{Bench: "BenchmarkAnalyzeCold", Benchtime: "100x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100.0; got != want { // mean of 88 and 112
+		t.Fatalf("allocs/op = %v, want %v", got, want)
+	}
+}
+
+func TestGobenchSampleNoMatch(t *testing.T) {
+	bin := fakeBench(t, "PASS\n")
+	if _, err := gobenchSample(bin, t.TempDir(), Profile{Bench: "BenchmarkNope", Benchtime: "1x"}); err == nil {
+		t.Fatal("no matching benchmark must be an error, not a silent zero")
+	}
+}
+
+// judge direction sanity: the same downward move is a regression for
+// throughput and an improvement for p99.
+func TestJudgeDirections(t *testing.T) {
+	down := CaseResult{
+		Goal: GoalThroughput, Alpha: 0.05, Tolerance: 0.05,
+		Base: []float64{100, 101, 102, 103, 104},
+		Head: []float64{50, 51, 52, 53, 54},
+	}
+	down.judge()
+	if down.Verdict != VerdictRegressed {
+		t.Fatalf("throughput halved: verdict=%s", down.Verdict)
+	}
+	down.Goal = GoalP99
+	down.judge()
+	if down.Verdict != VerdictImproved {
+		t.Fatalf("p99 halved: verdict=%s", down.Verdict)
+	}
+	// Significant but inside tolerance → no-change.
+	tiny := CaseResult{
+		Goal: GoalThroughput, Alpha: 0.05, Tolerance: 0.10,
+		Base: []float64{100, 100.1, 100.2, 100.3, 100.4},
+		Head: []float64{98, 98.1, 98.2, 98.3, 98.4},
+	}
+	tiny.judge()
+	if tiny.Verdict != VerdictNoChange {
+		t.Fatalf("2%% drop at 10%% tolerance: verdict=%s", tiny.Verdict)
+	}
+}

@@ -1,0 +1,103 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMannWhitneySeparated(t *testing.T) {
+	// Perfect separation of 5 vs 5: the most extreme of C(10,5)=252
+	// assignments; two-sided exact p = 2/252.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 11, 12, 13, 14}
+	p := MannWhitneyP(xs, ys)
+	want := 2.0 / 252.0
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("p = %v, want %v", p, want)
+	}
+}
+
+func TestMannWhitneyIdentical(t *testing.T) {
+	xs := []float64{7, 7, 7, 7}
+	ys := []float64{7, 7, 7, 7}
+	if p := MannWhitneyP(xs, ys); p != 1 {
+		t.Fatalf("identical samples p = %v, want 1", p)
+	}
+	if p := MannWhitneyP(nil, ys); p != 1 {
+		t.Fatalf("empty side p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyOverlapNotSignificant(t *testing.T) {
+	// Interleaved samples: no evidence of a shift.
+	xs := []float64{1, 3, 5, 7, 9}
+	ys := []float64{2, 4, 6, 8, 10}
+	if p := MannWhitneyP(xs, ys); p < 0.5 {
+		t.Fatalf("interleaved samples p = %v, want ≥ 0.5", p)
+	}
+}
+
+func TestMannWhitneySymmetric(t *testing.T) {
+	xs := []float64{1.2, 0.9, 1.1, 1.4}
+	ys := []float64{2.0, 2.2, 1.9, 2.5, 2.1}
+	if p1, p2 := MannWhitneyP(xs, ys), MannWhitneyP(ys, xs); math.Abs(p1-p2) > 1e-12 {
+		t.Fatalf("asymmetric p: %v vs %v", p1, p2)
+	}
+}
+
+func TestMannWhitneyTiesExact(t *testing.T) {
+	// Heavy ties must not panic or yield p outside (0, 1].
+	xs := []float64{5, 5, 5, 6}
+	ys := []float64{5, 6, 6, 6}
+	p := MannWhitneyP(xs, ys)
+	if p <= 0 || p > 1 {
+		t.Fatalf("tied p = %v out of range", p)
+	}
+}
+
+// The exact path and the normal approximation must roughly agree on a
+// clear shift at sizes near the enumeration cap.
+func TestMannWhitneyApproxAgreesOnShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var xs, ys []float64
+	for i := 0; i < 30; i++ { // C(60,30) >> cap → approximation path
+		xs = append(xs, rng.NormFloat64())
+		ys = append(ys, rng.NormFloat64()+3)
+	}
+	if p := MannWhitneyP(xs, ys); p > 1e-6 {
+		t.Fatalf("clear 3σ shift at n=30: p = %v", p)
+	}
+	rng = rand.New(rand.NewSource(7))
+	var as, bs []float64
+	for i := 0; i < 30; i++ { // same distribution → not significant
+		as = append(as, rng.NormFloat64())
+		bs = append(bs, rng.NormFloat64())
+	}
+	if p := MannWhitneyP(as, bs); p < 0.01 {
+		t.Fatalf("same-distribution n=30 samples p = %v, spuriously significant", p)
+	}
+}
+
+// The test's size must be honest: under the null (identical
+// distributions), p < 0.05 should occur ≈5% of the time. Exact test,
+// so the bound is tight up to simulation noise.
+func TestMannWhitneyFalsePositiveRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials, hits := 400, 0
+	for i := 0; i < trials; i++ {
+		var xs, ys []float64
+		for j := 0; j < 5; j++ {
+			xs = append(xs, rng.NormFloat64())
+			ys = append(ys, rng.NormFloat64())
+		}
+		if MannWhitneyP(xs, ys) < 0.05 {
+			hits++
+		}
+	}
+	// Exact test at n=5+5: attainable levels straddle 0.05; accept up
+	// to 10% to keep the assertion non-flaky at 400 trials.
+	if rate := float64(hits) / float64(trials); rate > 0.10 {
+		t.Fatalf("false positive rate %.3f under the null", rate)
+	}
+}

@@ -1,0 +1,126 @@
+package regression
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hydrac"
+	"hydrac/internal/hydradhttp"
+)
+
+// Target boots one fresh service instance for one load sample. Every
+// sample gets its own instance so cache state, session stores and GC
+// history never leak between samples or sides.
+type Target interface {
+	Start(d DaemonOpts) (url string, stop func() error, err error)
+}
+
+// BinaryTarget runs a hydrad binary as a subprocess on an ephemeral
+// loopback port — the production configuration, and the only way to
+// run a build from a different commit (the merge-base worktree).
+type BinaryTarget struct {
+	// Bin is the hydrad executable to launch.
+	Bin string
+}
+
+// startTimeout bounds how long a daemon may take to report its
+// listening address.
+const startTimeout = 10 * time.Second
+
+func (t BinaryTarget) Start(d DaemonOpts) (string, func() error, error) {
+	cmd := exec.Command(t.Bin,
+		"-addr", "127.0.0.1:0",
+		"-cache", strconv.Itoa(d.Cache),
+		"-sessions", strconv.Itoa(d.Sessions),
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, fmt.Errorf("starting %s: %w", t.Bin, err)
+	}
+	// hydrad reports "hydrad: listening on HOST:PORT" once its
+	// listener is bound; -addr :0 makes the port ephemeral, so this
+	// line is the only way to learn it.
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, addr, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrc <- strings.TrimSpace(addr):
+				default:
+				}
+			}
+		}
+		errc <- sc.Err()
+	}()
+	stop := func() error {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+			return nil
+		case <-time.After(5 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+			return fmt.Errorf("%s ignored SIGTERM; killed", t.Bin)
+		}
+	}
+	select {
+	case addr := <-addrc:
+		return "http://" + addr, stop, nil
+	case err := <-errc:
+		stop()
+		return "", nil, fmt.Errorf("%s exited before listening (stderr closed: %v)", t.Bin, err)
+	case <-time.After(startTimeout):
+		stop()
+		return "", nil, fmt.Errorf("%s did not report a listening address within %s", t.Bin, startTimeout)
+	}
+}
+
+// HandlerTarget mounts the real hydrad handler (internal/hydradhttp)
+// on an httptest server in-process. It exists for the harness's own
+// tests and self-test modes: Wrap lets a test inject a synthetic
+// regression (e.g. a sleep before the analyze handler) into ONE side
+// of a paired run.
+type HandlerTarget struct {
+	// Wrap, when non-nil, decorates the handler (middleware).
+	Wrap func(http.Handler) http.Handler
+}
+
+func (t HandlerTarget) Start(d DaemonOpts) (string, func() error, error) {
+	a, err := hydrac.New(hydrac.WithCache(d.Cache))
+	if err != nil {
+		return "", nil, err
+	}
+	h := hydradhttp.NewHandler(a, map[string]any{"cache": d.Cache}, d.Sessions, d.Cache)
+	if t.Wrap != nil {
+		h = t.Wrap(h)
+	}
+	srv := httptest.NewServer(h)
+	return srv.URL, func() error { srv.Close(); return nil }, nil
+}
+
+// SleepInjector returns a Wrap middleware that delays every request
+// by d — the canonical synthetic regression for harness self-tests
+// (ISSUE 6's "sleep in the analyze handler").
+func SleepInjector(d time.Duration) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(d)
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,266 @@
+package regression
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseYAML decodes the YAML subset the regression case files use.
+// The repo deliberately carries no third-party YAML dependency, so
+// this is a small hand-rolled decoder for exactly the constructs the
+// case schema needs — documented in test/regression/README.md:
+//
+//   - block mappings, nested by indentation
+//     (keys are plain scalars, no quoting)
+//   - block sequences of scalars ("- item")
+//   - flow sequences of scalars ("[1, 4, 16]")
+//   - plain, 'single'- and "double"-quoted scalar values
+//   - "#" comments and blank lines
+//
+// Scalars decode to bool, int64, float64 or string (in that order of
+// preference); everything else — anchors, multi-line strings, flow
+// mappings, documents — is a load error, not a silent skip.
+//
+// The result is map[string]any with nested map[string]any, []any and
+// scalar leaves.
+func parseYAML(src string) (map[string]any, error) {
+	p := &yamlParser{}
+	for ln, raw := range strings.Split(src, "\n") {
+		line, err := p.strip(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if line == "" {
+			continue
+		}
+		indent := len(raw) - len(strings.TrimLeft(raw, " "))
+		if strings.Contains(raw[:indent+1], "\t") {
+			return nil, fmt.Errorf("line %d: tabs are not allowed for indentation", ln+1)
+		}
+		if err := p.add(indent, strings.TrimSpace(line), ln+1); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range p.stack {
+		if f.pendingKey != "" {
+			return nil, fmt.Errorf("key %q has no value", f.pendingKey)
+		}
+	}
+	if p.root == nil {
+		return map[string]any{}, nil
+	}
+	return p.root, nil
+}
+
+// yamlFrame is one open block collection at a given indentation.
+type yamlFrame struct {
+	indent int
+	m      map[string]any // non-nil for a mapping frame
+	seq    *[]any         // non-nil for a sequence frame
+	// pendingKey is the mapping key awaiting its block value (the
+	// "key:" line whose children are deeper-indented).
+	pendingKey string
+	// onClose writes a sequence frame's current slice back into its
+	// parent mapping (append reallocates, so the parent's copy must be
+	// refreshed after every item).
+	onClose func([]any)
+}
+
+type yamlParser struct {
+	root  map[string]any
+	stack []yamlFrame
+}
+
+// strip removes a trailing comment, respecting quoted strings.
+func (p *yamlParser) strip(raw string) (string, error) {
+	var quote byte
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#':
+			return strings.TrimSpace(raw[:i]), nil
+		}
+	}
+	if quote != 0 {
+		return "", fmt.Errorf("unterminated %q quote", quote)
+	}
+	return strings.TrimSpace(raw), nil
+}
+
+// add feeds one non-empty line into the tree.
+func (p *yamlParser) add(indent int, line string, ln int) error {
+	// Close frames deeper than this line's indentation. A frame may
+	// only be left behind (or popped) with its pending "key:" resolved
+	// — an abandoned pending key means the document gave it no value,
+	// which the schema never allows.
+	for len(p.stack) > 0 {
+		top := &p.stack[len(p.stack)-1]
+		if indent > top.indent {
+			break
+		}
+		if top.pendingKey != "" {
+			return fmt.Errorf("line %d: key %q has no value", ln, top.pendingKey)
+		}
+		if indent == top.indent && p.matchesFrame(top, line) {
+			break
+		}
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+
+	if len(p.stack) == 0 {
+		if strings.HasPrefix(line, "- ") || line == "-" {
+			return fmt.Errorf("line %d: top level must be a mapping", ln)
+		}
+		m := map[string]any{}
+		if p.root == nil {
+			p.root = m
+		} else {
+			// Root continues: reuse the existing root mapping.
+			m = p.root
+		}
+		p.stack = append(p.stack, yamlFrame{indent: indent, m: m})
+	}
+
+	top := &p.stack[len(p.stack)-1]
+
+	// A pending "key:" line is resolved by the first deeper line: it
+	// opens either a nested mapping or a sequence.
+	if top.pendingKey != "" && indent > top.indent {
+		key := top.pendingKey
+		top.pendingKey = ""
+		if strings.HasPrefix(line, "- ") || line == "-" {
+			seq := []any{}
+			parent := top.m
+			parent[key] = seq
+			p.stack = append(p.stack, yamlFrame{
+				indent:  indent,
+				seq:     &seq,
+				onClose: func(v []any) { parent[key] = v },
+			})
+		} else {
+			m := map[string]any{}
+			top.m[key] = m
+			p.stack = append(p.stack, yamlFrame{indent: indent, m: m})
+		}
+		top = &p.stack[len(p.stack)-1]
+	}
+
+	switch {
+	case top.seq != nil:
+		if !strings.HasPrefix(line, "- ") && line != "-" {
+			return fmt.Errorf("line %d: expected sequence item, got %q", ln, line)
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(line, "-"))
+		if item == "" {
+			return fmt.Errorf("line %d: empty sequence item", ln)
+		}
+		if strings.Contains(item, ": ") || strings.HasSuffix(item, ":") {
+			return fmt.Errorf("line %d: sequences of mappings are outside the supported subset (use a 'name: weight' mapping instead)", ln)
+		}
+		v, err := yamlScalar(item)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", ln, err)
+		}
+		*top.seq = append(*top.seq, v)
+		if top.onClose != nil {
+			top.onClose(*top.seq)
+		}
+		return nil
+	case top.m != nil:
+		key, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return fmt.Errorf("line %d: expected 'key: value', got %q", ln, line)
+		}
+		key = strings.TrimSpace(key)
+		if key == "" {
+			return fmt.Errorf("line %d: empty key", ln)
+		}
+		if _, dup := top.m[key]; dup {
+			return fmt.Errorf("line %d: duplicate key %q", ln, key)
+		}
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			top.pendingKey = key
+			return nil
+		}
+		v, err := yamlValue(rest)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", ln, err)
+		}
+		top.m[key] = v
+		return nil
+	}
+	return fmt.Errorf("line %d: internal parser state error", ln)
+}
+
+// matchesFrame reports whether a line at the frame's own indentation
+// continues it (same collection kind).
+func (p *yamlParser) matchesFrame(f *yamlFrame, line string) bool {
+	isItem := strings.HasPrefix(line, "- ") || line == "-"
+	if f.seq != nil {
+		return isItem
+	}
+	return !isItem
+}
+
+// yamlValue decodes an inline value: flow sequence or scalar.
+func yamlValue(s string) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("unterminated flow sequence %q", s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var out []any
+		for _, part := range strings.Split(inner, ",") {
+			v, err := yamlScalar(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("flow mappings are outside the supported subset: %q", s)
+	}
+	return yamlScalar(s)
+}
+
+// yamlScalar decodes one scalar token.
+func yamlScalar(s string) (any, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty scalar")
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		if len(s) < 2 || s[len(s)-1] != s[0] {
+			return nil, fmt.Errorf("unterminated quoted scalar %q", s)
+		}
+		return s[1 : len(s)-1], nil
+	}
+	if s == "&" || strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">") {
+		return nil, fmt.Errorf("anchors and block scalars are outside the supported subset: %q", s)
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

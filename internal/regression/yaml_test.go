@@ -1,0 +1,105 @@
+package regression
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseYAMLProfileShape(t *testing.T) {
+	doc := `
+# a load profile
+kind: load            # trailing comment
+duration: 700ms
+concurrency: [1, 4]
+daemon:
+  cache: 16
+  sessions: 64
+mix:
+  cold: 3
+  dup: 1
+workload:
+  cores: 4
+  group: 4
+  seed: 601
+  sets: 64
+note: "quoted: with colon"
+tags:
+  - fast
+  - 'cold path'
+`
+	got, err := parseYAML(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"kind":        "load",
+		"duration":    "700ms",
+		"concurrency": []any{int64(1), int64(4)},
+		"daemon":      map[string]any{"cache": int64(16), "sessions": int64(64)},
+		"mix":         map[string]any{"cold": int64(3), "dup": int64(1)},
+		"workload": map[string]any{
+			"cores": int64(4), "group": int64(4), "seed": int64(601), "sets": int64(64),
+		},
+		"note": "quoted: with colon",
+		"tags": []any{"fast", "cold path"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed:\n%#v\nwant:\n%#v", got, want)
+	}
+}
+
+func TestParseYAMLScalars(t *testing.T) {
+	got, err := parseYAML("a: true\nb: 1.5\nc: -3\nd: plain text\ne: 0.05\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"a": true, "b": 1.5, "c": int64(-3), "d": "plain text", "e": 0.05}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %#v, want %#v", got, want)
+	}
+}
+
+func TestParseYAMLDeepNesting(t *testing.T) {
+	got, err := parseYAML("a:\n  b:\n    c: 1\n  d: 2\ne: 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"a": map[string]any{"b": map[string]any{"c": int64(1)}, "d": int64(2)},
+		"e": int64(3),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %#v, want %#v", got, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	bad := map[string]string{
+		"dangling key":         "a:\n",
+		"dangling nested key":  "a:\n  b:\nc: 1\n",
+		"tab indent":           "a:\n\tb: 1\n",
+		"duplicate key":        "a: 1\na: 2\n",
+		"top-level sequence":   "- a\n- b\n",
+		"sequence of mappings": "a:\n  - b: 1\n",
+		"flow mapping":         "a: {b: 1}\n",
+		"unterminated quote":   "a: \"oops\n",
+		"unterminated flow":    "a: [1, 2\n",
+		"anchor":               "a: &x\n",
+		"keyless line":         "a: 1\nnot a pair\n",
+	}
+	for name, doc := range bad {
+		if _, err := parseYAML(doc); err == nil {
+			t.Errorf("%s: no error for %q", name, doc)
+		}
+	}
+}
+
+func TestParseYAMLEmpty(t *testing.T) {
+	got, err := parseYAML("\n# only comments\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %#v from empty doc", got)
+	}
+}

@@ -1,100 +1,31 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR5.json, the machine-readable before/after
-# snapshot of the throughput-layer benchmarks: the kernel/pipeline
-# side (BenchmarkAnalyzeCold, BenchmarkAnalyzeCold50,
-# BenchmarkAdmitDelta, BenchmarkSweepParallel, BenchmarkAnalyzeBatch,
-# BenchmarkAnalyzeCached) plus the hydrad service benchmarks
-# (BenchmarkHydradAnalyzeCacheHit*) and a short hydrabench closed-loop
-# run (RPS + latency quantiles against the in-process service).
+# Thin wrapper over cmd/hydraperf, which replaced the old
+# BENCH_PR*.json snapshot flow: instead of hand-curated before/after
+# benchmark means, hydraperf measures the declarative case tree under
+# test/regression/ PAIRED against the merge-base build and judges each
+# case's optimization goal with a significance test.
 #
 # Usage:
-#   scripts/bench.sh                  # re-run, rewrite the "after" side
-#   scripts/bench.sh --before out.txt # also replace the "before" side
-#                                     # from a saved `go test -bench`
-#                                     # output (e.g. from the base
-#                                     # commit's bench artifact)
-#   COUNT=5 scripts/bench.sh          # more samples per benchmark
-#   SKIP_HYDRABENCH=1 scripts/bench.sh  # benches only, no load run
+#   scripts/bench.sh                     # paired run vs merge-base, verdict table
+#   scripts/bench.sh check               # same, but exit nonzero on regression
+#   BASE=<rev> scripts/bench.sh          # compare against an explicit base
+#   SAMPLES=9 scripts/bench.sh           # more samples per side
+#   CASES=cold-analyze,dup-heavy scripts/bench.sh   # subset of cases
+#   RECORD=pr7 scripts/bench.sh          # append results to test/regression/history/
+#
+# Per-case results land in ${OUT:-bench-results/} as one JSON file per
+# case; `go run ./cmd/hydraperf history <case>` renders a case's
+# recorded trajectory.
 set -eu
 cd "$(dirname "$0")/.."
 
-COUNT="${COUNT:-3}"
-OUT="${OUT:-BENCH_PR5.json}"
-BEFORE_TXT=""
-if [ "${1:-}" = "--before" ]; then
-  BEFORE_TXT="$2"
-fi
+CMD="${1:-run}"
+ARGS=(
+  -base "${BASE:-auto}"
+  -samples "${SAMPLES:-5}"
+  -out "${OUT:-bench-results}"
+)
+[ -n "${CASES:-}" ] && ARGS+=(-cases "$CASES")
+[ -n "${RECORD:-}" ] && ARGS+=(-record "$RECORD")
 
-AFTER_TXT="$(mktemp)"
-LOAD_JSON="$(mktemp)"
-trap 'rm -f "$AFTER_TXT" "$LOAD_JSON"' EXIT
-go test -run '^$' \
-  -bench 'BenchmarkAnalyzeCold$|BenchmarkAnalyzeCold50$|BenchmarkAdmitDelta$|BenchmarkSweepParallel|BenchmarkAnalyzeBatch$|BenchmarkAnalyzeCached$' \
-  -benchmem -count="$COUNT" . | tee "$AFTER_TXT"
-go test -run '^$' \
-  -bench 'BenchmarkHydradAnalyzeCacheHit' \
-  -benchmem -count="$COUNT" ./cmd/hydrad | tee -a "$AFTER_TXT"
-
-if [ -z "${SKIP_HYDRABENCH:-}" ]; then
-  go run ./cmd/hydrabench -c 1,4 -d 2s -out "$LOAD_JSON"
-else
-  echo '{}' > "$LOAD_JSON"
-fi
-
-python3 - "$AFTER_TXT" "$BEFORE_TXT" "$LOAD_JSON" "$OUT" <<'PY'
-import json, re, sys
-
-def parse(path):
-    # Benchmark lines: name-N  iters  X ns/op [...]  Y B/op  Z allocs/op
-    out = {}
-    line_re = re.compile(r'^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$')
-    for line in open(path):
-        m = line_re.match(line.strip())
-        if not m:
-            continue
-        name, rest = m.groups()
-        fields = {}
-        for value, unit in re.findall(r'([\d.]+)\s+(\S+)', rest):
-            fields.setdefault(unit, []).append(float(value))
-        rec = out.setdefault(name, {"ns_per_op": [], "b_per_op": [], "allocs_per_op": []})
-        if 'ns/op' in fields:
-            rec["ns_per_op"].append(fields['ns/op'][0])
-        if 'B/op' in fields:
-            rec["b_per_op"].append(fields['B/op'][0])
-        if 'allocs/op' in fields:
-            rec["allocs_per_op"].append(fields['allocs/op'][0])
-    return {
-        name: {
-            "samples": len(rec["ns_per_op"]),
-            **{k: round(sum(v) / len(v), 1) for k, v in rec.items() if v},
-        }
-        for name, rec in out.items() if rec["ns_per_op"]
-    }
-
-after = parse(sys.argv[1])
-path = sys.argv[4]
-try:
-    doc = json.load(open(path))
-except FileNotFoundError:
-    doc = {"pr": 5, "benchmarks": {}}
-if sys.argv[2]:
-    for name, rec in parse(sys.argv[2]).items():
-        doc["benchmarks"].setdefault(name, {})["before"] = rec
-for name, rec in after.items():
-    entry = doc["benchmarks"].setdefault(name, {})
-    entry["after"] = rec
-    if "before" in entry and entry["before"].get("ns_per_op"):
-        entry["speedup"] = round(entry["before"]["ns_per_op"] / rec["ns_per_op"], 2)
-        if entry["before"].get("allocs_per_op") and rec.get("allocs_per_op"):
-            entry["allocs_ratio"] = round(
-                entry["before"]["allocs_per_op"] / max(rec["allocs_per_op"], 0.001), 2)
-load = json.load(open(sys.argv[3]))
-if load.get("levels"):
-    doc["hydrabench"] = load
-doc["note"] = ("mean over per-benchmark samples of `go test -bench` output; "
-               "hydrabench = closed-loop RPS/latency against the in-process "
-               "service; regenerate with scripts/bench.sh")
-json.dump(doc, open(path, "w"), indent=2, sort_keys=True)
-open(path, "a").write("\n")
-print(f"wrote {path}")
-PY
+exec go run ./cmd/hydraperf "$CMD" "${ARGS[@]}"
