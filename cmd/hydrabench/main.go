@@ -91,7 +91,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "hydrabench:", err)
 			return 1
 		}
-		srv := httptest.NewServer(hydradhttp.NewHandler(a, map[string]any{"cache": *cache}, 0, *cache))
+		srv := httptest.NewServer(hydradhttp.NewHandler(hydradhttp.Config{
+			Analyzer: a, Summary: map[string]any{"cache": *cache}, CacheSize: *cache,
+		}))
 		defer srv.Close()
 		target = srv.URL
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hydrac"
+	"hydrac/internal/hydradhttp"
 	"hydrac/internal/rover"
 )
 
@@ -35,7 +36,7 @@ func BenchmarkHydradAnalyzeCacheHit(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	h := newHandler(a, map[string]any{"cache": 8}, 16, 8)
+	h := hydradhttp.NewHandler(hydradhttp.Config{Analyzer: a, Summary: map[string]any{"cache": 8}, MaxSessions: 16, CacheSize: 8})
 	body := benchBody(b)
 
 	warm := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
@@ -78,7 +79,7 @@ func BenchmarkHydradAnalyzeCacheHitTight(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	h := newHandler(a, map[string]any{"cache": 8}, 16, 8)
+	h := hydradhttp.NewHandler(hydradhttp.Config{Analyzer: a, Summary: map[string]any{"cache": 8}, MaxSessions: 16, CacheSize: 8})
 	body := benchBody(b)
 
 	warm := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))

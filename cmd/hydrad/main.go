@@ -9,6 +9,7 @@
 //
 //	hydrad [-addr HOST:PORT] [-cache N] [-heuristic H]
 //	       [-baselines hydra,global-tmax,...] [-sim-horizon N] [-sim-seed S]
+//	       [-data-dir DIR] [-wal-sync=BOOL] [-compact-every N]
 //	       [-pprof HOST:PORT]
 //
 // -pprof exposes net/http/pprof on a SEPARATE listener restricted to
@@ -38,9 +39,15 @@
 // "schedulable": false report means the delta was DENIED and the
 // session state is unchanged (removal-only deltas always commit).
 //
-// Sessions live in a fixed-capacity LRU (-sessions); the least
-// recently used session is evicted when a new one would exceed it,
-// and later requests against it answer 404.
+// Sessions live in a fixed-capacity LRU (-sessions). Without
+// -data-dir the least recently used session is LOST on eviction, and
+// later requests against it answer 410 Gone (a bare 404 means the id
+// never existed). With -data-dir every session is durable: creation
+// snapshots the base set, every committed delta is appended to a
+// per-session write-ahead log (fsynced before the commit is
+// acknowledged unless -wal-sync=false), evicted sessions re-hydrate
+// transparently from disk, and a restarted daemon recovers every
+// session by replay — bit-identical to the pre-restart state.
 package main
 
 import (
@@ -60,6 +67,7 @@ import (
 
 	"hydrac"
 	"hydrac/internal/hydradhttp"
+	"hydrac/internal/store"
 )
 
 func main() {
@@ -73,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 	cacheSize := fs.Int("cache", 1024, "report cache entries (0 disables)")
 	sessions := fs.Int("sessions", 256, "live admission sessions kept (LRU eviction)")
+	dataDir := fs.String("data-dir", "", "directory for durable session state (snapshot + WAL per session); empty keeps sessions in memory only")
+	walSync := fs.Bool("wal-sync", true, "fsync the WAL on every committed delta (only meaningful with -data-dir)")
+	compactEvery := fs.Int("compact-every", 256, "snapshot + rotate a session's WAL every N committed deltas (only meaningful with -data-dir)")
 	heuristic := fs.String("heuristic", "best-fit", "partitioning heuristic: best-fit | first-fit | worst-fit | next-fit")
 	baselines := fs.String("baselines", "", "comma-separated baseline schemes to attach to every report (hydra, hydra-aggressive, hydra-tmax, global-tmax)")
 	simHorizon := fs.Int64("sim-horizon", 0, "when positive, simulate every admitted set for this many ticks")
@@ -94,6 +105,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	summary["sessions"] = *sessions
+
+	logf := func(format string, args ...any) { fmt.Fprintf(stderr, "hydrad: "+format+"\n", args...) }
+	var st *store.Store
+	if *dataDir != "" {
+		st, err = store.Open(*dataDir, a, store.Options{
+			MaxLive:      *sessions,
+			NoSync:       !*walSync,
+			CompactEvery: *compactEvery,
+			Logf:         logf,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "hydrad:", err)
+			return 1
+		}
+		defer st.Close()
+		fmt.Fprintf(stderr, "hydrad: recovered %d durable sessions from %s\n", st.Len(), *dataDir)
+		summary["data_dir"] = *dataDir
+		summary["wal_sync"] = *walSync
+	}
 
 	if *pprofAddr != "" {
 		pln, err := listenPprof(*pprofAddr)
@@ -120,7 +150,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	srv := &http.Server{
-		Handler:           newHandler(a, summary, *sessions, *cacheSize),
+		Handler: hydradhttp.NewHandler(hydradhttp.Config{
+			Analyzer:    a,
+			Summary:     summary,
+			MaxSessions: *sessions,
+			CacheSize:   *cacheSize,
+			Store:       st,
+			Logf:        logf,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -139,18 +176,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "hydrad:", err)
 			return 1
 		}
+		// The deferred st.Close() runs after in-flight requests have
+		// drained, flushing NoSync WALs before exit.
 		return 0
 	case err := <-errc:
 		fmt.Fprintln(stderr, "hydrad:", err)
 		return 1
 	}
-}
-
-// newHandler wires the service routes; the implementation lives in
-// internal/hydradhttp so load generators and the regression harness
-// mount the identical handler in-process.
-func newHandler(a *hydrac.Analyzer, summary map[string]any, maxSessions, cacheSize int) http.Handler {
-	return hydradhttp.NewHandler(a, summary, maxSessions, cacheSize)
 }
 
 // maxBodyBytes mirrors the handler's request-size cap for tests.

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"hydrac"
+	"hydrac/internal/hydradhttp"
 	"hydrac/internal/rover"
 )
 
@@ -22,7 +23,7 @@ func testHandler(t *testing.T, opts ...hydrac.AnalyzerOption) http.Handler {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newHandler(a, map[string]any{"cache": 0}, 16, 8)
+	return hydradhttp.NewHandler(hydradhttp.Config{Analyzer: a, Summary: map[string]any{"cache": 0}, MaxSessions: 16, CacheSize: 8})
 }
 
 func roverJSON(t *testing.T) []byte {
@@ -474,7 +475,7 @@ func TestSessionsDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(a, map[string]any{}, 0, 0))
+	srv := httptest.NewServer(hydradhttp.NewHandler(hydradhttp.Config{Analyzer: a}))
 	defer srv.Close()
 	code, body := postJSON(t, srv.URL+"/v1/session", roverJSON(t))
 	if code != http.StatusNotFound {

@@ -44,6 +44,11 @@ type Config struct {
 	// CoreCache bounds the per-core fixpoint LRU; 0 means 8× the core
 	// count (every live core plus history of recent deltas).
 	CoreCache int
+	// NextFitCursor seeds the next-fit placement rotation. Zero for
+	// fresh sessions; a recovered session restores the cursor its
+	// predecessor persisted so placements after recovery land on the
+	// same cores they would have in the uninterrupted engine.
+	NextFitCursor int
 }
 
 // Stats describes how much work one Apply actually did.
@@ -97,6 +102,30 @@ type Engine struct {
 	scratch *core.Scratch
 	nextFit int // next-fit cursor across incremental placements
 	log     []task.Delta
+	// onCommit, when set, is invoked for every delta that will commit —
+	// after analysis admits it, before the state installs. An error
+	// aborts the commit (the delta is neither installed nor logged), so
+	// a persistence layer can make "committed" mean "durable".
+	onCommit func(d task.Delta, state *task.Set, cursor int) error
+}
+
+// SetOnCommit installs the commit hook. It must be called before the
+// engine is shared across goroutines (a recovery manager sets it
+// between replay and serving); the hook runs under the engine lock
+// and must not call back into the engine or retain state (the
+// committed set is engine-owned).
+func (e *Engine) SetOnCommit(f func(d task.Delta, state *task.Set, cursor int) error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onCommit = f
+}
+
+// Cursor returns the next-fit placement cursor of the committed
+// state, the value Config.NextFitCursor restores.
+func (e *Engine) Cursor() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.nextFit
 }
 
 // New builds an engine over base and runs the initial full analysis.
@@ -134,7 +163,7 @@ func New(ctx context.Context, base *task.Set, cfg Config) (*Engine, *Outcome, er
 	if cacheSize <= 0 {
 		cacheSize = 8 * cp.Cores
 	}
-	e := &Engine{cfg: cfg, coreCache: lru.New[string, bool](cacheSize), scratch: core.NewScratch(nil)}
+	e := &Engine{cfg: cfg, coreCache: lru.New[string, bool](cacheSize), scratch: core.NewScratch(nil), nextFit: cfg.NextFitCursor}
 	out, err := e.analyse(ctx, cp)
 	if err != nil {
 		return nil, nil, err
@@ -218,14 +247,24 @@ func (e *Engine) applyLocked(ctx context.Context, d task.Delta) (*Outcome, error
 	}
 	out.Admitted = out.Result.Schedulable || d.RemovalOnly()
 	if out.Admitted {
-		e.commit(cand, out.Result)
-		e.nextFit = cursor
 		// Log a private copy: the caller keeps ownership of d's slices.
-		e.log = append(e.log, task.Delta{
+		logged := task.Delta{
 			Remove:      append([]string(nil), d.Remove...),
 			AddRT:       append([]task.RTTask(nil), d.AddRT...),
 			AddSecurity: append([]task.SecurityTask(nil), d.AddSecurity...),
-		})
+		}
+		if e.onCommit != nil {
+			// Persistence before installation: once the hook returns,
+			// the delta is durable; if it fails, the engine state (and
+			// the log) stay exactly as before, so memory and disk
+			// never diverge.
+			if err := e.onCommit(logged, cand, cursor); err != nil {
+				return nil, fmt.Errorf("commit hook: %w", err)
+			}
+		}
+		e.commit(cand, out.Result)
+		e.nextFit = cursor
+		e.log = append(e.log, logged)
 	}
 	return out, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"hydrac"
 	"hydrac/internal/lru"
+	"hydrac/internal/store"
 )
 
 // MaxBodyBytes bounds request bodies; the largest paper-scale task
@@ -28,14 +29,47 @@ import (
 // magnitude of headroom while keeping hostile payloads cheap.
 const MaxBodyBytes = 1 << 20
 
+// Config assembles a handler; see NewHandler.
+type Config struct {
+	// Analyzer runs every analysis; required.
+	Analyzer *hydrac.Analyzer
+	// Summary is echoed on /healthz.
+	Summary map[string]any
+	// MaxSessions bounds live sessions (0 disables the session
+	// endpoints in memory mode; with a Store it is advisory — the
+	// store's own MaxLive bounds materialised engines).
+	MaxSessions int
+	// CacheSize bounds the duplicate-request byte cache (0 disables
+	// it, matching a cacheless analyzer where replayable hit envelopes
+	// never exist).
+	CacheSize int
+	// Store, when non-nil, makes sessions durable: creation snapshots
+	// to disk, commits append to a WAL before acknowledgement, and
+	// LRU-evicted sessions re-hydrate transparently on next touch.
+	// When nil, sessions live in a bounded in-memory LRU and eviction
+	// loses them (surfaced as 410 Gone, not a bare 404).
+	Store *store.Store
+	// Logf receives operational log lines (evictions, recovery);
+	// nil is quiet.
+	Logf func(format string, args ...any)
+}
+
 // server carries the shared analyzer behind the HTTP surface.
 type server struct {
 	analyzer *hydrac.Analyzer
 	summary  map[string]any
+	// store is the durable session tier; nil means in-memory sessions.
+	store *store.Store
 	// sessions is sharded by session-id hash: ids are random hex, so
 	// concurrent sessions spread across shard locks instead of
-	// serialising on one store mutex per request.
+	// serialising on one store mutex per request. Unused (nil) when
+	// store is set.
 	sessions *lru.Sharded[*hydrac.Session]
+	// evicted remembers ids the in-memory store dropped, so clients
+	// can tell "evicted" (410 Gone — your session existed, run with
+	// -data-dir to keep it) from "never existed" (404). Bounded like
+	// any cache; an id old enough to rotate out degrades to 404.
+	evicted *lru.Cache[string, struct{}]
 	// respCache short-circuits exact-byte duplicate /v1/analyze
 	// requests: body digest → the canonical cache-hit envelope bytes.
 	// A hit costs one digest and one Write — no task-set decode, no
@@ -45,6 +79,7 @@ type server struct {
 	// every duplicate of those bytes; analysis is deterministic, so
 	// entries never go stale.
 	respCache *lru.Cache[[sha256.Size]byte, []byte]
+	logf      func(format string, args ...any)
 }
 
 // sessionShards spreads the session store's locking; 16 shards keeps
@@ -53,17 +88,34 @@ type server struct {
 const sessionShards = 16
 
 // NewHandler wires the routes; cmd/hydrad serves it and tests mount
-// it on httptest servers. maxSessions bounds the live session store
-// (sharded LRU eviction; 0 disables the session endpoints) and
-// cacheSize the duplicate-request byte cache (0 disables it, matching
-// a cacheless analyzer where replayable hit envelopes never exist).
-// summary is echoed on /healthz.
-func NewHandler(a *hydrac.Analyzer, summary map[string]any, maxSessions, cacheSize int) http.Handler {
+// it on httptest servers.
+func NewHandler(cfg Config) http.Handler {
 	s := &server{
-		analyzer:  a,
-		summary:   summary,
-		sessions:  lru.NewSharded[*hydrac.Session](maxSessions, sessionShards),
-		respCache: lru.New[[sha256.Size]byte, []byte](cacheSize),
+		analyzer:  cfg.Analyzer,
+		summary:   cfg.Summary,
+		store:     cfg.Store,
+		respCache: lru.New[[sha256.Size]byte, []byte](cfg.CacheSize),
+		logf:      cfg.Logf,
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if s.store == nil {
+		s.sessions = lru.NewSharded[*hydrac.Session](cfg.MaxSessions, sessionShards)
+		if s.sessions != nil {
+			// Keep the evicted-id memory an order of magnitude deeper
+			// than the live window: a client only needs the 410 until
+			// it notices and re-creates.
+			capEvicted := 4 * cfg.MaxSessions
+			if capEvicted < 1024 {
+				capEvicted = 1024
+			}
+			s.evicted = lru.New[string, struct{}](capEvicted)
+			s.sessions.OnEvict(func(id string, _ *hydrac.Session) {
+				s.evicted.Add(id, struct{}{})
+				s.logf("session %s evicted from the in-memory session store (run with -data-dir to make sessions durable)", id)
+			})
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.analyze)
@@ -196,7 +248,7 @@ func (s *server) sessionCreate(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
-	if s.sessions == nil {
+	if s.store == nil && s.sessions == nil {
 		// -sessions 0: the store never retains anything, so handing
 		// out a session id would be a dead credential.
 		writeError(w, http.StatusNotFound, errors.New("sessions are disabled on this daemon (-sessions 0)"))
@@ -213,17 +265,30 @@ func (s *server) sessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequestStatus(err), err)
 		return
 	}
-	sess, rep, err := s.analyzer.NewSession(r.Context(), ts)
-	if err != nil {
-		writeAnalysisError(w, r, err)
-		return
-	}
 	id, err := newSessionID()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.sessions.Add(id, sess)
+	var rep *hydrac.Report
+	if s.store != nil {
+		// Durable: Create snapshots the base set and opens the WAL
+		// before the id is handed out, so an acknowledged session
+		// already survives a crash.
+		rep, err = s.store.Create(r.Context(), id, ts)
+		if err != nil {
+			writeAnalysisError(w, r, err)
+			return
+		}
+	} else {
+		var sess *hydrac.Session
+		sess, rep, err = s.analyzer.NewSession(r.Context(), ts)
+		if err != nil {
+			writeAnalysisError(w, r, err)
+			return
+		}
+		s.sessions.Add(id, sess)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -234,10 +299,35 @@ func (s *server) sessionCreate(w http.ResponseWriter, r *http.Request) {
 func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/session/")
 	id, op, _ := strings.Cut(rest, "/")
-	sess, ok := s.sessions.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (expired, evicted, or never created)", id))
-		return
+	var sess *hydrac.Session
+	if s.store != nil {
+		// Durable: an LRU-evicted session re-hydrates from disk inside
+		// Acquire; release pins it live for exactly this operation.
+		acquired, release, err := s.store.Acquire(r.Context(), id)
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (never created on this data dir)", id))
+			} else {
+				writeError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		defer release()
+		sess = acquired
+	} else {
+		var ok bool
+		sess, ok = s.sessions.Get(id)
+		if !ok {
+			if _, wasEvicted := s.evicted.Get(id); wasEvicted {
+				// Distinct from 404: the session DID exist and the
+				// in-memory store shed it under capacity pressure.
+				s.logf("rejecting request for evicted session %s", id)
+				writeError(w, http.StatusGone, fmt.Errorf("session %q was evicted from the in-memory session store (raise -sessions or run with -data-dir to make sessions durable)", id))
+				return
+			}
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (expired, evicted, or never created)", id))
+			return
+		}
 	}
 	switch op {
 	case "":
@@ -265,6 +355,12 @@ func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
 		}
 		rep, admitted, err := sess.Admit(r.Context(), *d)
 		if err != nil {
+			if errors.Is(err, store.ErrStorage) {
+				// The admission was fine; the disk was not. The commit
+				// was aborted, so memory and WAL still agree.
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
 			writeAnalysisError(w, r, err)
 			return
 		}
@@ -293,12 +389,16 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"report_version": hydrac.ReportVersion,
 		"config":         s.summary,
-	})
+	}
+	if s.store != nil {
+		body["sessions"] = map[string]any{"durable": true, "count": s.store.Len()}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
 }
 
 func requirePost(w http.ResponseWriter, r *http.Request) bool {

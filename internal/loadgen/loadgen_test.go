@@ -20,7 +20,9 @@ func newTestTarget(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(hydradhttp.NewHandler(a, map[string]any{}, 16, 64))
+	srv := httptest.NewServer(hydradhttp.NewHandler(hydradhttp.Config{
+		Analyzer: a, Summary: map[string]any{}, MaxSessions: 16, CacheSize: 64,
+	}))
 	t.Cleanup(srv.Close)
 	return srv.URL
 }

@@ -15,10 +15,11 @@ import (
 // than its capacity entries are stored. All methods are safe for
 // concurrent use. The zero value is not usable; call New.
 type Cache[K comparable, V any] struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used
-	items map[K]*list.Element
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	items   map[K]*list.Element
+	onEvict func(K, V)
 }
 
 type entry[K comparable, V any] struct {
@@ -38,6 +39,20 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 		order: list.New(),
 		items: make(map[K]*list.Element, capacity),
 	}
+}
+
+// OnEvict registers fn to run for every entry dropped by capacity
+// eviction (not for values replaced by Add). fn runs synchronously
+// with the cache lock held, so it must not call back into the cache;
+// callers who need the cache again must defer that work. Set it
+// before the cache is shared across goroutines.
+func (c *Cache[K, V]) OnEvict(fn func(K, V)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
 }
 
 // Get returns the value stored under k and marks it most recently
@@ -75,7 +90,11 @@ func (c *Cache[K, V]) Add(k K, v V) {
 	if c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry[K, V]).key)
+		ent := oldest.Value.(*entry[K, V])
+		delete(c.items, ent.key)
+		if c.onEvict != nil {
+			c.onEvict(ent.key, ent.val)
+		}
 	}
 }
 

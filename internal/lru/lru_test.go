@@ -84,3 +84,25 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("cache exceeded capacity: %d", c.Len())
 	}
 }
+
+// OnEvict fires once per capacity eviction, in LRU order, and never
+// for Add-replacements of a live key.
+func TestOnEvict(t *testing.T) {
+	c := New[string, int](2)
+	var evicted []string
+	c.OnEvict(func(k string, v int) { evicted = append(evicted, fmt.Sprintf("%s=%d", k, v)) })
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 10) // replacement: no eviction
+	if len(evicted) != 0 {
+		t.Fatalf("replacement evicted: %v", evicted)
+	}
+	c.Add("c", 3) // evicts b (a was touched by replacement)
+	c.Add("d", 4) // evicts a
+	want := []string{"b=2", "a=10"}
+	if fmt.Sprint(evicted) != fmt.Sprint(want) {
+		t.Fatalf("evictions = %v, want %v", evicted, want)
+	}
+	var nilCache *Cache[string, int]
+	nilCache.OnEvict(func(string, int) {}) // nil cache: no-op, no panic
+}

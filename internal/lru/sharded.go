@@ -55,6 +55,18 @@ func NewSharded[V any](capacity, shards int) *Sharded[V] {
 	return s
 }
 
+// OnEvict registers fn on every shard (see Cache.OnEvict): it runs
+// for capacity evictions, synchronously with that shard's lock held.
+// Set it before the store is shared across goroutines.
+func (s *Sharded[V]) OnEvict(fn func(string, V)) {
+	if s == nil {
+		return
+	}
+	for _, c := range s.shards {
+		c.OnEvict(fn)
+	}
+}
+
 // shard picks the shard for k by FNV-1a.
 func (s *Sharded[V]) shard(k string) *Cache[string, V] {
 	const (

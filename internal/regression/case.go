@@ -95,6 +95,11 @@ type Profile struct {
 type DaemonOpts struct {
 	Cache    int
 	Sessions int
+	// DataDir, when true, boots the daemon with a fresh temporary
+	// -data-dir — the durable session tier with WAL fsync on every
+	// commit. A base build predating the flag makes the sample (and
+	// the case) skip, not fail.
+	DataDir bool
 }
 
 // Workload parameterises the input task-set generator (internal/gen,
@@ -274,6 +279,18 @@ func (f *fields) integer(key string, def int) (int, error) {
 	return int(n), nil
 }
 
+func (f *fields) boolean(key string, def bool) (bool, error) {
+	v, ok := f.get(key)
+	if !ok {
+		return def, nil
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("%s: want true or false, got %v", key, v)
+	}
+	return b, nil
+}
+
 func (f *fields) float(key string, def float64) (float64, error) {
 	v, ok := f.get(key)
 	if !ok {
@@ -359,6 +376,9 @@ func parseProfile(doc map[string]any) (Profile, error) {
 			return p, err
 		}
 		if p.Daemon.Sessions, err = dF.integer("sessions", 256); err != nil {
+			return p, err
+		}
+		if p.Daemon.DataDir, err = dF.boolean("data_dir", false); err != nil {
 			return p, err
 		}
 		if err := dF.unknown(); err != nil {

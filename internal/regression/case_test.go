@@ -160,3 +160,33 @@ func TestBuildSourceOverloadGroupFailsLoudly(t *testing.T) {
 		t.Fatalf("unhelpful pool error: %v", err)
 	}
 }
+
+// data_dir is a daemon boolean; anything else is a load error, and
+// the shipped durable case must parse with it set.
+func TestDaemonDataDirParsing(t *testing.T) {
+	dir := t.TempDir()
+	caseDir := filepath.Join(dir, "durable")
+	if err := os.MkdirAll(caseDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(caseDir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("profile.yaml", "kind: load\nconcurrency: [1]\nmix:\n  dup: 1\ndaemon:\n  data_dir: true\n")
+	writeFile("experiment.yaml", "optimization_goal: p99\n")
+	cases, err := LoadCases(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cases[0].Profile.Daemon.DataDir {
+		t.Fatal("data_dir: true not parsed into DaemonOpts.DataDir")
+	}
+
+	writeFile("profile.yaml", "kind: load\nconcurrency: [1]\nmix:\n  dup: 1\ndaemon:\n  data_dir: 3\n")
+	if _, err := LoadCases(dir, nil); err == nil {
+		t.Fatal("non-boolean data_dir accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package regression
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -110,6 +111,16 @@ func (r *Runner) RunCase(c Case) CaseResult {
 		}
 		defer os.RemoveAll(tmp)
 		for _, s := range []*Side{&r.Base, &r.Head} {
+			// A side whose tree predates the benchmarked package (a
+			// merge-base without the new subsystem) skips the case
+			// rather than failing it; the gate self-heals once the
+			// package reaches the base.
+			if _, err := os.Stat(filepath.Join(s.TreeDir, filepath.FromSlash(strings.TrimPrefix(c.Profile.Package, "./")))); err != nil {
+				res.Verdict = VerdictSkipped
+				res.Error = fmt.Sprintf("%s tree has no package %s", s.Name, c.Profile.Package)
+				res.WallS = time.Since(start).Seconds()
+				return res
+			}
 			bin := filepath.Join(tmp, s.Name+".test")
 			if err := buildTestBinary(s.TreeDir, c.Profile.Package, bin); err != nil {
 				return fail(fmt.Errorf("building %s test binary: %w", s.Name, err))
@@ -134,6 +145,15 @@ func (r *Runner) RunCase(c Case) CaseResult {
 		for _, s := range order {
 			v, err := sample(s)
 			if err != nil {
+				if errors.Is(err, ErrUnsupported) {
+					// One side cannot run this configuration at all
+					// (e.g. a merge-base hydrad without -data-dir):
+					// nothing to compare, nothing to gate.
+					res.Verdict = VerdictSkipped
+					res.Error = fmt.Sprintf("%s: %v", s.Name, err)
+					res.WallS = time.Since(start).Seconds()
+					return res
+				}
 				return fail(fmt.Errorf("%s sample %d: %w", s.Name, i, err))
 			}
 			if s == &r.Base {

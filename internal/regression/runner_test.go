@@ -169,3 +169,72 @@ func TestJudgeDirections(t *testing.T) {
 		t.Fatalf("2%% drop at 10%% tolerance: verdict=%s", tiny.Verdict)
 	}
 }
+
+// A durable (data_dir) load case runs end to end against the
+// in-process handler target: the store is real, the WAL is real, only
+// the daemon binary is synthetic.
+func TestRunCaseDurableDataDir(t *testing.T) {
+	c := smallLoadCase(GoalP99, 0.5)
+	c.Profile.Mix = map[string]int{MixSession: 1}
+	c.Profile.Daemon.DataDir = true
+	r := Runner{
+		Base:    Side{Name: "base", Target: HandlerTarget{}},
+		Head:    Side{Name: "head", Target: HandlerTarget{}},
+		Samples: 2,
+	}
+	res := r.RunCase(c)
+	if res.Error != "" {
+		t.Fatalf("durable A/A run errored: %s", res.Error)
+	}
+	if res.Failed() {
+		t.Fatalf("durable A/A run failed the gate: verdict=%s change=%+.1f%%", res.Verdict, 100*res.Change)
+	}
+}
+
+// A target that cannot run the case's configuration (an old build
+// rejecting -data-dir) skips the case instead of failing the gate.
+type unsupportedTarget struct{}
+
+func (unsupportedTarget) Start(d DaemonOpts) (string, func() error, error) {
+	return "", nil, ErrUnsupported
+}
+
+func TestRunCaseSkipsUnsupportedTarget(t *testing.T) {
+	r := Runner{
+		Base:    Side{Name: "base", Target: unsupportedTarget{}},
+		Head:    Side{Name: "head", Target: HandlerTarget{}},
+		Samples: 2,
+	}
+	res := r.RunCase(smallLoadCase(GoalThroughput, 0.5))
+	if res.Verdict != VerdictSkipped {
+		t.Fatalf("verdict = %s (%s), want skipped", res.Verdict, res.Error)
+	}
+	if res.Failed() {
+		t.Fatal("a skipped case must not fail the gate")
+	}
+}
+
+// A gobench case whose package does not exist in one side's tree (the
+// merge-base predating a new subsystem) skips rather than erroring.
+func TestRunCaseSkipsMissingGobenchPackage(t *testing.T) {
+	base := t.TempDir() // an empty "tree": no internal/wal
+	c := Case{
+		Name: "allocs-missing",
+		Profile: Profile{
+			Kind:      KindGobench,
+			Package:   "./internal/wal",
+			Bench:     "BenchmarkWALAppend$",
+			Benchtime: "1x",
+		},
+		Experiment: Experiment{Goal: GoalAllocs, Tolerance: 0.01, Alpha: 0.05},
+	}
+	r := Runner{
+		Base:    Side{Name: "base", TreeDir: base},
+		Head:    Side{Name: "head", TreeDir: "../.."},
+		Samples: 2,
+	}
+	res := r.RunCase(c)
+	if res.Verdict != VerdictSkipped {
+		t.Fatalf("verdict = %s (%s), want skipped", res.Verdict, res.Error)
+	}
+}

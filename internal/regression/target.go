@@ -2,9 +2,11 @@ package regression
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"os/exec"
 	"strconv"
 	"strings"
@@ -13,7 +15,15 @@ import (
 
 	"hydrac"
 	"hydrac/internal/hydradhttp"
+	"hydrac/internal/store"
 )
+
+// ErrUnsupported reports that the target build does not know a flag
+// this case needs (e.g. a merge-base hydrad predating -data-dir). The
+// runner turns it into a skipped verdict instead of a failure, so a
+// case gating a brand-new feature self-heals once the feature is in
+// the base.
+var ErrUnsupported = errors.New("target does not support this case's configuration")
 
 // Target boots one fresh service instance for one load sample. Every
 // sample gets its own instance so cache state, session stores and GC
@@ -35,16 +45,33 @@ type BinaryTarget struct {
 const startTimeout = 10 * time.Second
 
 func (t BinaryTarget) Start(d DaemonOpts) (string, func() error, error) {
-	cmd := exec.Command(t.Bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-cache", strconv.Itoa(d.Cache),
 		"-sessions", strconv.Itoa(d.Sessions),
-	)
+	}
+	var dataDir string
+	if d.DataDir {
+		var err error
+		dataDir, err = os.MkdirTemp("", "hydraperf-data-*")
+		if err != nil {
+			return "", nil, err
+		}
+		args = append(args, "-data-dir", dataDir)
+	}
+	cleanupData := func() {
+		if dataDir != "" {
+			_ = os.RemoveAll(dataDir)
+		}
+	}
+	cmd := exec.Command(t.Bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
+		cleanupData()
 		return "", nil, err
 	}
 	if err := cmd.Start(); err != nil {
+		cleanupData()
 		return "", nil, fmt.Errorf("starting %s: %w", t.Bin, err)
 	}
 	// hydrad reports "hydrad: listening on HOST:PORT" once its
@@ -62,10 +89,23 @@ func (t BinaryTarget) Start(d DaemonOpts) (string, func() error, error) {
 				default:
 				}
 			}
+			// An older build rejecting a flag it predates (merge-base
+			// hydrad vs a case needing -data-dir): not a regression,
+			// just a configuration the base cannot run.
+			if strings.Contains(line, "flag provided but not defined") {
+				select {
+				case errc <- fmt.Errorf("%w: %s", ErrUnsupported, strings.TrimSpace(line)):
+				default:
+				}
+			}
 		}
-		errc <- sc.Err()
+		select {
+		case errc <- sc.Err():
+		default:
+		}
 	}()
 	stop := func() error {
+		defer cleanupData()
 		_ = cmd.Process.Signal(syscall.SIGTERM)
 		done := make(chan error, 1)
 		go func() { done <- cmd.Wait() }()
@@ -83,6 +123,9 @@ func (t BinaryTarget) Start(d DaemonOpts) (string, func() error, error) {
 		return "http://" + addr, stop, nil
 	case err := <-errc:
 		stop()
+		if errors.Is(err, ErrUnsupported) {
+			return "", nil, err
+		}
 		return "", nil, fmt.Errorf("%s exited before listening (stderr closed: %v)", t.Bin, err)
 	case <-time.After(startTimeout):
 		stop()
@@ -105,12 +148,39 @@ func (t HandlerTarget) Start(d DaemonOpts) (string, func() error, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	h := hydradhttp.NewHandler(a, map[string]any{"cache": d.Cache}, d.Sessions, d.Cache)
+	cfg := hydradhttp.Config{
+		Analyzer:    a,
+		Summary:     map[string]any{"cache": d.Cache},
+		MaxSessions: d.Sessions,
+		CacheSize:   d.Cache,
+	}
+	var dataDir string
+	if d.DataDir {
+		dataDir, err = os.MkdirTemp("", "hydraperf-data-*")
+		if err != nil {
+			return "", nil, err
+		}
+		st, err := store.Open(dataDir, a, store.Options{MaxLive: d.Sessions})
+		if err != nil {
+			_ = os.RemoveAll(dataDir)
+			return "", nil, err
+		}
+		cfg.Store = st
+	}
+	h := hydradhttp.NewHandler(cfg)
 	if t.Wrap != nil {
 		h = t.Wrap(h)
 	}
 	srv := httptest.NewServer(h)
-	return srv.URL, func() error { srv.Close(); return nil }, nil
+	stop := func() error {
+		srv.Close()
+		if cfg.Store != nil {
+			_ = cfg.Store.Close()
+			_ = os.RemoveAll(dataDir)
+		}
+		return nil
+	}
+	return srv.URL, stop, nil
 }
 
 // SleepInjector returns a Wrap middleware that delays every request

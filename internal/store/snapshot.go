@@ -1,0 +1,143 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hydrac"
+	"hydrac/internal/wal"
+)
+
+// snapshotVersion guards the snapshot format; bump on incompatible
+// change and teach readSnapshot both shapes.
+const snapshotVersion = 1
+
+// snapshotFile is the on-disk shape of snap-<gen>.json: the fully
+// placed task set in the standard task-file format, plus the next-fit
+// placement cursor that made those placements (recovery must restore
+// it for future placements to stay byte-identical).
+type snapshotFile struct {
+	Version int             `json:"version"`
+	NextFit int             `json:"next_fit"`
+	Set     json.RawMessage `json:"set"`
+}
+
+func snapshotPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%d.json", gen))
+}
+
+// writeSnapshot persists generation gen atomically: the bytes land in
+// a temp file which is fsynced, renamed into place, and the directory
+// fsynced — a crash leaves either no snap-<gen>.json or a complete
+// one, never a torn one, which is what lets readLatestSnapshot treat
+// any present snapshot as authoritative.
+func writeSnapshot(dir string, gen uint64, set *hydrac.TaskSet, cursor int) error {
+	var setBuf bytes.Buffer
+	if err := hydrac.EncodeTaskSet(&setBuf, set); err != nil {
+		return fmt.Errorf("encoding snapshot set: %w", err)
+	}
+	payload, err := json.Marshal(snapshotFile{
+		Version: snapshotVersion,
+		NextFit: cursor,
+		Set:     json.RawMessage(setBuf.Bytes()),
+	})
+	if err != nil {
+		return fmt.Errorf("encoding snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), snapshotPath(dir, gen)); err != nil {
+		return err
+	}
+	return wal.SyncDir(dir)
+}
+
+// readSnapshot loads and validates one generation's snapshot.
+func readSnapshot(dir string, gen uint64) (*hydrac.TaskSet, int, error) {
+	raw, err := os.ReadFile(snapshotPath(dir, gen))
+	if err != nil {
+		return nil, 0, err
+	}
+	var sf snapshotFile
+	if err := json.Unmarshal(raw, &sf); err != nil {
+		return nil, 0, fmt.Errorf("parsing snapshot generation %d: %w", gen, err)
+	}
+	if sf.Version != snapshotVersion {
+		return nil, 0, fmt.Errorf("snapshot generation %d has version %d, this build reads %d", gen, sf.Version, snapshotVersion)
+	}
+	set, err := hydrac.DecodeTaskSet(bytes.NewReader(sf.Set))
+	if err != nil {
+		return nil, 0, fmt.Errorf("decoding snapshot generation %d set: %w", gen, err)
+	}
+	return set, sf.NextFit, nil
+}
+
+// listSnapshotGens returns every generation with a snap-<gen>.json in
+// dir, ascending.
+func listSnapshotGens(dir string) ([]uint64, error) {
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		g, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".json"), 10, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+func hasSnapshot(dir string) bool {
+	gens, err := listSnapshotGens(dir)
+	return err == nil && len(gens) > 0
+}
+
+// readLatestSnapshot loads the highest generation's snapshot — the
+// authoritative one; snapshots are written atomically, so the highest
+// present generation is always complete — and returns the superseded
+// generations for cleanup. A snapshot that fails to parse is an error,
+// not a fallback: falling back a generation would silently rewind
+// acknowledged state.
+func readLatestSnapshot(dir string) (gen uint64, set *hydrac.TaskSet, cursor int, stale []uint64, err error) {
+	gens, err := listSnapshotGens(dir)
+	if err != nil {
+		return 0, nil, 0, nil, err
+	}
+	if len(gens) == 0 {
+		return 0, nil, 0, nil, fmt.Errorf("no snapshot in %s", dir)
+	}
+	gen = gens[len(gens)-1]
+	set, cursor, err = readSnapshot(dir, gen)
+	if err != nil {
+		return 0, nil, 0, nil, err
+	}
+	return gen, set, cursor, gens[:len(gens)-1], nil
+}

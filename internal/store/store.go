@@ -1,0 +1,467 @@
+// Package store is the durable session tier of hydrad: a lifecycle
+// manager that gives every admission session (hydrac.Session) a
+// directory of snapshot + write-ahead-log state and recovers all of
+// them by replay on boot. Durability rides on the engine's own
+// semantics — Session.Log() is a committed delta log with
+// deterministic, oracle-pinned replay — so recovery is bit-identical
+// by construction: a recovered session re-analyses the same placed
+// set through the same equations and must produce byte-identical
+// reports, which the crash-injection tests assert against
+// uninterrupted sessions.
+//
+// Per-session on-disk layout (<root>/<id>/):
+//
+//	snap-<gen>.json   snapshot: placed task set + placement cursor
+//	g<gen>-NNNNNNNN.wal  CRC-framed segments of committed deltas
+//
+// Commit ordering: the session's commit hook appends the delta to the
+// WAL (and fsyncs) BEFORE the engine installs the new state, so an
+// acknowledged commit is always on disk; a crash between append and
+// acknowledgement replays a delta the client never heard about, which
+// is harmless — replay converges on the same committed state. Every
+// CompactEvery commits the hook writes a fresh snapshot of the
+// post-delta state and rotates to a new WAL generation; recovery
+// always loads the highest generation with a valid snapshot, so a
+// crash anywhere inside compaction leaves either the old or the new
+// generation whole.
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"hydrac"
+	"hydrac/internal/lru"
+	"hydrac/internal/wal"
+)
+
+// ErrNotFound reports an id with no session on disk or in memory.
+var ErrNotFound = errors.New("store: no such session")
+
+// ErrExists reports a Create of an id that already has a session.
+var ErrExists = errors.New("store: session already exists")
+
+// ErrStorage marks commit failures caused by the persistence layer
+// (WAL append, rotation) rather than by the admission input — callers
+// surface these as server faults, not client errors.
+var ErrStorage = errors.New("store: storage failure")
+
+// DefaultMaxLive bounds materialised engines when Options.MaxLive is
+// unset: live sessions hold analysed state and kernel scratch, so the
+// store keeps a bounded working set warm and re-hydrates the rest
+// from disk on demand.
+const DefaultMaxLive = 256
+
+// DefaultCompactEvery is the WAL record count that triggers a
+// snapshot + log rotation.
+const DefaultCompactEvery = 256
+
+// Options tunes a Store.
+type Options struct {
+	// MaxLive bounds live engines (LRU); <= 0 means DefaultMaxLive.
+	// Evicted sessions stay fully recoverable on disk.
+	MaxLive int
+	// NoSync disables the per-commit fsync: commits are durable only
+	// against process crashes (the OS holds the bytes), not power
+	// loss. For benchmarks and tests; production keeps it false.
+	NoSync bool
+	// CompactEvery rotates a session's WAL into a fresh snapshot +
+	// empty log once it holds this many records; <= 0 means
+	// DefaultCompactEvery.
+	CompactEvery int
+	// SegmentBytes is the WAL segment size; <= 0 uses the WAL default.
+	SegmentBytes int64
+	// Logf receives operational messages (compaction failures, cleanup
+	// of half-created sessions); nil is quiet.
+	Logf func(format string, args ...any)
+}
+
+// Store manages durable sessions under one root directory. All
+// methods are safe for concurrent use.
+//
+// Lock order: the live-set LRU (and s.mu) are always taken before a
+// session entry's lock, and entry lock holders never call back into
+// the LRU — commit hooks run under an entry read lock and touch only
+// that entry's WAL.
+type Store struct {
+	dir string
+	a   *hydrac.Analyzer
+	opt Options
+
+	mu      sync.Mutex
+	closed  bool
+	entries map[string]*entry
+	// live keeps the most recently used entries materialised; eviction
+	// closes the entry's engine + WAL handle, leaving disk state as
+	// the only copy.
+	live *lru.Cache[string, *entry]
+}
+
+// entry is one session's lifecycle state. sess/wal/gen are guarded by
+// mu: operations hold the read lock (hooks included), while eviction
+// and re-hydration hold the write lock, so a session is never torn
+// down mid-request and never materialised twice.
+type entry struct {
+	id  string
+	dir string
+
+	mu   sync.RWMutex
+	sess *hydrac.Session
+	wal  *wal.Log
+	gen  uint64
+	// broken poisons a session whose WAL rotated out from under a
+	// failed compaction: its snapshot already superseded the old log,
+	// so committing more deltas without a new log would lose them.
+	// Only the commit hook reads and writes it (hooks are serialised
+	// by the engine lock).
+	broken error
+}
+
+// Open loads the store rooted at dir, creating it if absent, and
+// recovers every session on disk by replay — each session's latest
+// valid snapshot is re-analysed and its WAL deltas re-admitted
+// through a fresh engine, repairing torn WAL tails along the way. A
+// session that fails recovery fails Open: serving a partial fleet
+// would silently drop committed admission state.
+func Open(dir string, a *hydrac.Analyzer, opt Options) (*Store, error) {
+	if opt.MaxLive <= 0 {
+		opt.MaxLive = DefaultMaxLive
+	}
+	if opt.CompactEvery <= 0 {
+		opt.CompactEvery = DefaultCompactEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating root: %w", err)
+	}
+	s := &Store{dir: dir, a: a, opt: opt, entries: map[string]*entry{}}
+	s.live = lru.New[string, *entry](opt.MaxLive)
+	s.live.OnEvict(func(id string, e *entry) { e.close() })
+
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning root: %w", err)
+	}
+	ctx := context.Background()
+	for _, de := range dirents {
+		if !de.IsDir() {
+			continue
+		}
+		id := de.Name()
+		if !validID(id) {
+			s.logf("store: ignoring non-session directory %q", id)
+			continue
+		}
+		e := &entry{id: id, dir: filepath.Join(dir, id)}
+		if !hasSnapshot(e.dir) {
+			// A crash between mkdir and the first snapshot write: the
+			// session never existed durably. Clean it up.
+			s.logf("store: removing half-created session %s", id)
+			_ = os.RemoveAll(e.dir)
+			continue
+		}
+		e.mu.Lock()
+		err := s.rehydrate(ctx, e)
+		e.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("store: recovering session %s: %w", id, err)
+		}
+		s.entries[id] = e
+		// The LRU caps how many recovered engines stay warm; evicted
+		// ones were still verified by the replay above.
+		s.live.Add(id, e)
+	}
+	return s, nil
+}
+
+// Len returns the number of sessions the store holds (live or not).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// IDs returns every session id, sorted.
+func (s *Store) IDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Create opens a new durable session over base: the session is
+// analysed first (an infeasible base never touches disk), then its
+// placed set and cursor are snapshotted and an empty WAL generation
+// is created, and only then is the commit hook attached. Returns the
+// initial report.
+func (s *Store) Create(ctx context.Context, id string, base *hydrac.TaskSet) (*hydrac.Report, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("store: invalid session id %q (want 1-128 chars of [a-zA-Z0-9_-])", id)
+	}
+	e := &entry{id: id, dir: filepath.Join(s.dir, id)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("store: closed")
+	}
+	if _, ok := s.entries[id]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	s.entries[id] = e
+	s.mu.Unlock()
+
+	e.mu.Lock()
+	rep, err := s.createLocked(ctx, e, base)
+	e.mu.Unlock()
+	if err != nil {
+		s.mu.Lock()
+		delete(s.entries, id)
+		s.mu.Unlock()
+		_ = os.RemoveAll(e.dir)
+		return nil, err
+	}
+	s.live.Add(id, e)
+	return rep, nil
+}
+
+// createLocked is the body of Create; e.mu must be write-held.
+func (s *Store) createLocked(ctx context.Context, e *entry, base *hydrac.TaskSet) (*hydrac.Report, error) {
+	sess, rep, err := s.a.NewSession(ctx, base)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(e.dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeSnapshot(e.dir, 0, sess.Set(), sess.PlacementCursor()); err != nil {
+		return nil, err
+	}
+	l, _, err := wal.Open(e.dir, s.walOptions(0))
+	if err != nil {
+		return nil, err
+	}
+	e.sess, e.wal, e.gen = sess, l, 0
+	sess.SetCommitHook(s.hookFor(e))
+	return rep, nil
+}
+
+// Acquire returns the live session for id, re-hydrating it from disk
+// if it was evicted, plus a release func the caller must invoke once
+// done with THIS operation. The handle is valid only until release:
+// holding it longer would race with eviction.
+func (s *Store) Acquire(ctx context.Context, id string) (*hydrac.Session, func(), error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, errors.New("store: closed")
+	}
+	e := s.entries[id]
+	s.mu.Unlock()
+	if e == nil {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	// Touch the live set first (lock order: LRU before entry); this
+	// may synchronously evict other entries.
+	s.live.Add(id, e)
+	for {
+		e.mu.RLock()
+		if e.sess != nil {
+			sess := e.sess
+			return sess, e.mu.RUnlock, nil
+		}
+		e.mu.RUnlock()
+		e.mu.Lock()
+		var err error
+		if e.sess == nil {
+			err = s.rehydrate(ctx, e)
+		}
+		e.mu.Unlock()
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: re-hydrating session %s: %w", id, err)
+		}
+		// Loop: an eviction storm could tear the session down again
+		// between the Unlock and the RLock above.
+	}
+}
+
+// Close flushes and closes every live session. The store must not be
+// used afterwards. With per-commit fsync (the default) there is
+// nothing buffered to lose even without Close; it exists so graceful
+// shutdown releases file handles and flushes NoSync stores.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		e.close()
+	}
+	return nil
+}
+
+// close tears down the entry's live state (engine + WAL handle). Disk
+// state remains authoritative; a later Acquire re-hydrates.
+func (e *entry) close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wal != nil {
+		_ = e.wal.Close()
+	}
+	e.sess, e.wal = nil, nil
+}
+
+// rehydrate materialises e from disk: load the latest valid snapshot,
+// open (and tail-repair) its WAL generation, re-admit every logged
+// delta through a fresh engine, then attach the commit hook — after
+// replay, so replayed deltas are not re-logged. e.mu must be
+// write-held.
+func (s *Store) rehydrate(ctx context.Context, e *entry) error {
+	gen, set, cursor, stale, err := readLatestSnapshot(e.dir)
+	if err != nil {
+		return err
+	}
+	l, recs, err := wal.Open(e.dir, s.walOptions(gen))
+	if err != nil {
+		return err
+	}
+	sess, _, err := s.a.NewSessionWith(ctx, set, hydrac.SessionConfig{NextFitCursor: cursor})
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("re-analysing snapshot: %w", err)
+	}
+	for i, rec := range recs {
+		d, err := hydrac.DecodeDelta(bytes.NewReader(rec))
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("WAL record %d: %w", i, err)
+		}
+		_, admitted, err := sess.Admit(ctx, *d)
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("replaying WAL record %d: %w", i, err)
+		}
+		if !admitted {
+			// The delta committed when it was logged but is denied
+			// now: the analyzer configuration must have drifted (e.g.
+			// a different heuristic). Refusing is the only safe move —
+			// this state was acknowledged to a client.
+			l.Close()
+			return fmt.Errorf("replay diverged at WAL record %d: a logged delta was denied (analyzer configuration changed since this session was written?)", i)
+		}
+	}
+	e.sess, e.wal, e.gen, e.broken = sess, l, gen, nil
+	sess.SetCommitHook(s.hookFor(e))
+	// Older generations are superseded; removing them is cleanup, not
+	// correctness (recovery always picks the highest valid snapshot).
+	for _, g := range stale {
+		s.removeGeneration(e.dir, g)
+	}
+	return nil
+}
+
+// hookFor builds e's commit hook: append-and-fsync the delta, then
+// compact if the generation is full. Runs under the engine lock (so
+// appends are in commit order) with e.mu read-held by the operation
+// that triggered it.
+func (s *Store) hookFor(e *entry) hydrac.CommitHook {
+	var buf bytes.Buffer
+	return func(d hydrac.Delta, state *hydrac.TaskSet, cursor int) error {
+		if e.broken != nil {
+			return fmt.Errorf("%w: session storage failed earlier (restart to recover): %v", ErrStorage, e.broken)
+		}
+		buf.Reset()
+		if err := hydrac.EncodeDelta(&buf, &d); err != nil {
+			return fmt.Errorf("%w: %v", ErrStorage, err)
+		}
+		if err := e.wal.Append(buf.Bytes()); err != nil {
+			return fmt.Errorf("%w: %v", ErrStorage, err)
+		}
+		if e.wal.Count() >= s.opt.CompactEvery {
+			s.compact(e, state, cursor)
+		}
+		return nil
+	}
+}
+
+// compact rotates e onto a fresh generation: snapshot the post-delta
+// state, open an empty WAL under the next generation prefix, then
+// delete the superseded files. Failures never affect the commit that
+// triggered compaction — the delta is already durable in the old
+// generation — but a failure after the new snapshot becomes
+// authoritative poisons the session (see entry.broken): its next
+// recovery is exact, while further live commits would land in a log
+// recovery no longer reads.
+func (s *Store) compact(e *entry, state *hydrac.TaskSet, cursor int) {
+	next := e.gen + 1
+	if err := writeSnapshot(e.dir, next, state, cursor); err != nil {
+		// Old generation still whole and still current: skip this
+		// compaction and retry at the next commit.
+		s.logf("store: session %s: compaction snapshot failed (will retry): %v", e.id, err)
+		return
+	}
+	l, _, err := wal.Open(e.dir, s.walOptions(next))
+	if err != nil {
+		e.broken = fmt.Errorf("opening WAL generation %d after its snapshot was written: %w", next, err)
+		s.logf("store: session %s: %v", e.id, e.broken)
+		return
+	}
+	old, oldGen := e.wal, e.gen
+	e.wal, e.gen = l, next
+	_ = old.Close()
+	s.removeGeneration(e.dir, oldGen)
+}
+
+// removeGeneration deletes one superseded generation's snapshot and
+// WAL segments, best-effort.
+func (s *Store) removeGeneration(dir string, gen uint64) {
+	if err := os.Remove(snapshotPath(dir, gen)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		s.logf("store: removing %s: %v", snapshotPath(dir, gen), err)
+	}
+	if err := wal.RemoveGeneration(dir, genPrefix(gen)); err != nil {
+		s.logf("store: removing WAL generation %d in %s: %v", gen, dir, err)
+	}
+}
+
+func (s *Store) walOptions(gen uint64) wal.Options {
+	return wal.Options{Prefix: genPrefix(gen), NoSync: s.opt.NoSync, SegmentBytes: s.opt.SegmentBytes}
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// genPrefix names generation gen's WAL segment files.
+func genPrefix(gen uint64) string { return fmt.Sprintf("g%d-", gen) }
+
+// validID accepts ids that are safe as directory names everywhere:
+// 1-128 characters of [a-zA-Z0-9_-]. Session ids minted by hydrad
+// (32 hex chars) always pass.
+func validID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

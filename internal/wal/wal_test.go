@@ -1,0 +1,327 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openAppend opens a log in dir with opt, appends every record, and
+// closes it.
+func openAppend(t *testing.T, dir string, opt Options, recs ...[]byte) {
+	t.Helper()
+	l, _, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recovered opens the log read-write and returns the records.
+func recovered(t *testing.T, dir string, opt Options) [][]byte {
+	t.Helper()
+	l, recs, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return recs
+}
+
+func wantRecords(t *testing.T, got [][]byte, want ...[]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := [][]byte{[]byte("one"), []byte("two"), bytes.Repeat([]byte{0xAB}, 1000)}
+	openAppend(t, dir, Options{}, recs...)
+	wantRecords(t, recovered(t, dir, Options{}), recs...)
+
+	// A second append session continues where the first stopped.
+	openAppend(t, dir, Options{}, []byte("four"))
+	wantRecords(t, recovered(t, dir, Options{}), append(recs, []byte("four"))...)
+}
+
+func TestEmptyDirStartsFreshLog(t *testing.T) {
+	dir := t.TempDir()
+	l, recs, err := Open(dir, Options{Prefix: "g0-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || l.Count() != 0 {
+		t.Fatalf("fresh log recovered %d records, count %d", len(recs), l.Count())
+	}
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if l.Count() != 1 {
+		t.Fatalf("count = %d after one append", l.Count())
+	}
+	l.Close()
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{SegmentBytes: 64} // rotate every couple of records
+	var recs [][]byte
+	for i := 0; i < 20; i++ {
+		recs = append(recs, []byte(fmt.Sprintf("record-%02d-padding-padding", i)))
+	}
+	openAppend(t, dir, opt, recs...)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected several segments, got %d files", len(entries))
+	}
+	wantRecords(t, recovered(t, dir, opt), recs...)
+}
+
+func TestPrefixIsolatesGenerations(t *testing.T) {
+	dir := t.TempDir()
+	openAppend(t, dir, Options{Prefix: "g0-"}, []byte("old"))
+	openAppend(t, dir, Options{Prefix: "g1-"}, []byte("new"))
+	wantRecords(t, recovered(t, dir, Options{Prefix: "g0-"}), []byte("old"))
+	wantRecords(t, recovered(t, dir, Options{Prefix: "g1-"}), []byte("new"))
+
+	if err := RemoveGeneration(dir, "g0-"); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, recovered(t, dir, Options{Prefix: "g0-"}))
+	wantRecords(t, recovered(t, dir, Options{Prefix: "g1-"}), []byte("new"))
+}
+
+// lastSegment returns the path of the highest-numbered segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".wal" && e.Name() > last {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		t.Fatal("no segments")
+	}
+	return filepath.Join(dir, last)
+}
+
+func TestTornTailTruncatedMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	openAppend(t, dir, Options{}, recs...)
+
+	// Chop bytes off the tail: the torn last record must be dropped
+	// and the file repaired so a re-open sees a clean log.
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < frameHeaderBytes+len("gamma"); cut++ {
+		if err := os.WriteFile(seg, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantRecords(t, recovered(t, dir, Options{}), recs[0], recs[1])
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(len(data)) - int64(frameHeaderBytes+len("gamma")); fi.Size() != want {
+			t.Fatalf("cut %d: repaired size %d, want %d", cut, fi.Size(), want)
+		}
+		// Restore for the next cut width.
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTornTailGarbageAppended(t *testing.T) {
+	dir := t.TempDir()
+	openAppend(t, dir, Options{}, []byte("alpha"))
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An implausible length prefix — e.g. zeros from a preallocated
+	// page, or random garbage.
+	if _, err := f.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	wantRecords(t, recovered(t, dir, Options{}), []byte("alpha"))
+
+	// Repair must be durable: the garbage is gone from disk.
+	wantRecords(t, recovered(t, dir, Options{}), []byte("alpha"))
+}
+
+func TestTornTailCRCFlip(t *testing.T) {
+	dir := t.TempDir()
+	recs := [][]byte{[]byte("alpha"), []byte("beta")}
+	openAppend(t, dir, Options{}, recs...)
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the LAST record's payload: CRC catches it and the
+	// record is dropped as a torn tail.
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, recovered(t, dir, Options{}), []byte("alpha"))
+}
+
+func TestCorruptionBeforeFinalSegmentIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{SegmentBytes: 32}
+	openAppend(t, dir, opt, []byte("record-one-long-enough"), []byte("record-two-long-enough"), []byte("record-three"))
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("test needs >= 2 segments, got %d", len(entries))
+	}
+	first := filepath.Join(dir, entries[0].Name())
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, opt); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over mid-log corruption: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := ReadAll(dir, opt); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadAll over mid-log corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSegmentGapIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{SegmentBytes: 32}
+	long := bytes.Repeat([]byte("x"), 40) // every frame > SegmentBytes: one record per segment
+	openAppend(t, dir, opt, long, long, long)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("test needs 3 segments, got %d", len(entries))
+	}
+	if err := os.Remove(filepath.Join(dir, entries[1].Name())); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, opt); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over a segment gap: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestNoSyncFlushesOnClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, recovered(t, dir, Options{}), []byte("buffered"))
+}
+
+func TestAppendRejectsEmptyAndOversized(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if err := l.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestCountSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	openAppend(t, dir, Options{}, []byte("a"), []byte("b"))
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Count() != 2 {
+		t.Fatalf("Count() = %d after reopen, want 2", l.Count())
+	}
+	if err := l.Append([]byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if l.Count() != 3 {
+		t.Fatalf("Count() = %d after append, want 3", l.Count())
+	}
+}
+
+func TestReadAllLeavesTornTailInPlace(t *testing.T) {
+	dir := t.TempDir()
+	openAppend(t, dir, Options{}, []byte("alpha"), []byte("beta"))
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, recs, []byte("alpha"))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(len(data)-2) {
+		t.Fatalf("ReadAll modified the segment: size %d", fi.Size())
+	}
+}

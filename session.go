@@ -50,14 +50,45 @@ type Session struct {
 	eng *admit.Engine
 }
 
+// SessionConfig carries restoration state for sessions that resume a
+// previous life — the durable session store (internal/store) recovers
+// a session by replaying its persisted delta log over a snapshot and
+// needs the engine-internal placement cursor restored alongside the
+// set, so post-recovery placements are byte-identical to the
+// never-restarted session's.
+type SessionConfig struct {
+	// NextFitCursor seeds the next-fit placement rotation; zero for
+	// fresh sessions. Pair it with the PlacementCursor of the session
+	// whose state is being restored.
+	NextFitCursor int
+}
+
+// CommitHook observes every committed delta of a session: it runs
+// under the session's serialization lock after a delta is admitted
+// but BEFORE it is installed, and an error aborts the commit, leaving
+// the session unchanged. That ordering lets a persistence layer make
+// "committed" imply "durable": append-and-fsync in the hook, and no
+// acknowledged delta can be lost to a crash. state is the set as it
+// will be once installed and cursor the matching placement cursor;
+// the hook must not retain state (it is engine-owned) or call back
+// into the session.
+type CommitHook func(d Delta, state *TaskSet, cursor int) error
+
 // NewSession opens a session over base and returns the initial
 // report. The base set is committed even when its security band is
 // unschedulable — it describes the system as it already runs; an RT
 // band infeasible under Eq. 1 is an error, as in Analyze.
 func (a *Analyzer) NewSession(ctx context.Context, base *TaskSet) (*Session, *Report, error) {
+	return a.NewSessionWith(ctx, base, SessionConfig{})
+}
+
+// NewSessionWith is NewSession with restoration state; see
+// SessionConfig.
+func (a *Analyzer) NewSessionWith(ctx context.Context, base *TaskSet, cfg SessionConfig) (*Session, *Report, error) {
 	eng, out, err := admit.New(ctx, base, admit.Config{
-		Opts:      a.opts,
-		Heuristic: a.heuristic,
+		Opts:          a.opts,
+		Heuristic:     a.heuristic,
+		NextFitCursor: cfg.NextFitCursor,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -69,6 +100,23 @@ func (a *Analyzer) NewSession(ctx context.Context, base *TaskSet) (*Session, *Re
 	}
 	return s, rep, nil
 }
+
+// SetCommitHook installs the session's commit hook (see CommitHook).
+// Set it before the session is shared across goroutines: the durable
+// store attaches it between recovery replay (which must not re-log
+// the deltas being replayed) and serving.
+func (s *Session) SetCommitHook(f CommitHook) {
+	if f == nil {
+		s.eng.SetOnCommit(nil)
+		return
+	}
+	s.eng.SetOnCommit(func(d Delta, state *TaskSet, cursor int) error { return f(d, state, cursor) })
+}
+
+// PlacementCursor returns the committed state's next-fit placement
+// cursor — the value a recovered successor must restore through
+// SessionConfig for post-recovery placements to match this session's.
+func (s *Session) PlacementCursor() int { return s.eng.Cursor() }
 
 // Admit applies one delta. The returned report describes the set with
 // the delta applied; admitted reports whether the delta was COMMITTED
