@@ -2,7 +2,9 @@ package hydrac_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"hydrac"
@@ -139,6 +141,74 @@ func BenchmarkAnalyzeCold50(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := a.Analyze(ctx, ts); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// loadCorpusSet reads a golden-corpus task set from disk.
+func loadCorpusSet(b *testing.B, path string) *hydrac.TaskSet {
+	b.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ts, err := hydrac.DecodeTaskSet(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts
+}
+
+// BenchmarkAnalyzeColdHuge is the from-scratch analysis of the largest
+// corpus entry: 2048 tasks on 128 cores, overloaded so the search runs
+// to an unschedulable verdict. This is the massive-scale cold bound the
+// scale work targets (≤5s acceptance; the regression case pins it).
+func BenchmarkAnalyzeColdHuge(b *testing.B) {
+	a, err := hydrac.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := loadCorpusSet(b, "testdata/corpus/huge-overload.json")
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(ctx, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmitDeltaHuge is delta admission at massive scale: a warm
+// session over the schedulable 1024-task/64-core corpus entry admits a
+// fresh bottom-priority monitor each iteration. Every monitor lands
+// strictly below the whole prior set in priority order, so the trusted
+// prefix is adopted and only the new task is searched — the sublinear
+// path the ≤100ms acceptance bound names. Monitors are not removed
+// (removal invalidates the trusted prefix); the set grows by one tiny
+// task per iteration, deterministically, so paired regression runs see
+// identical work.
+func BenchmarkAdmitDeltaHuge(b *testing.B) {
+	a, err := hydrac.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, _, err := a.NewSession(ctx, loadCorpusSet(b, "testdata/corpus/huge-schedulable.json"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := hydrac.Delta{AddSecurity: []hydrac.SecurityTask{{
+			Name: fmt.Sprintf("probe_mon%d", i), WCET: 1, MaxPeriod: 30000, Core: -1, Priority: 1000 + i,
+		}}}
+		_, admitted, err := sess.Admit(ctx, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !admitted {
+			b.Fatal("huge-set probe monitor denied")
 		}
 	}
 }

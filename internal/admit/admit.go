@@ -91,6 +91,19 @@ type Engine struct {
 	cfg   Config
 	set   *task.Set // committed state; RT fully placed
 	hints map[string]task.Time
+	// prior is the committed selection in priority order — the trusted
+	// input of core.Hints.Prior. The engine can certify its contract by
+	// construction: prior is always the bit-exact output of its own
+	// last schedulable analysis, and it is only handed to the kernel
+	// when the delta leaves the RT band untouched. Nil after an
+	// unschedulable commit, like hints. It points into priorBuf, whose
+	// backing arrays (and the ord permutation) are reused across
+	// commits so the steady-state admission path rebuilds the prior
+	// without allocating — the allocs-admit-delta regression case gates
+	// that count.
+	prior    *core.Prior
+	priorBuf core.Prior
+	ord      priorOrder
 	// coreCache memoizes one core's Eq. 1 verdict under its CoreHash —
 	// the fixpoint iteration's outcome, which is all the pipeline
 	// gates on.
@@ -164,7 +177,7 @@ func New(ctx context.Context, base *task.Set, cfg Config) (*Engine, *Outcome, er
 		cacheSize = 8 * cp.Cores
 	}
 	e := &Engine{cfg: cfg, coreCache: lru.New[string, bool](cacheSize), scratch: core.NewScratch(nil), nextFit: cfg.NextFitCursor}
-	out, err := e.analyse(ctx, cp)
+	out, err := e.analyse(ctx, cp, false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -224,9 +237,11 @@ func (e *Engine) applyLocked(ctx context.Context, d task.Delta) (*Outcome, error
 	}
 	cand := e.set.Clone()
 	cursor := e.nextFit
-	if err := removeTasks(cand, d.Remove); err != nil {
+	rtRemoved, err := removeTasks(cand, d.Remove)
+	if err != nil {
 		return nil, err
 	}
+	rtIdentical := !rtRemoved && len(d.AddRT) == 0
 	for _, t := range d.AddRT {
 		if t.Core < 0 {
 			m, next, err := e.place(cand, t, cursor)
@@ -241,7 +256,7 @@ func (e *Engine) applyLocked(ctx context.Context, d task.Delta) (*Outcome, error
 	if err := cand.Validate(); err != nil {
 		return nil, err
 	}
-	out, err := e.analyse(ctx, cand)
+	out, err := e.analyse(ctx, cand, rtIdentical)
 	if err != nil {
 		return nil, err
 	}
@@ -271,13 +286,19 @@ func (e *Engine) applyLocked(ctx context.Context, d task.Delta) (*Outcome, error
 
 // analyse runs the memoized RT screen and the warm-started period
 // selection over cand (which must be validated and fully placed).
-// It does not commit.
-func (e *Engine) analyse(ctx context.Context, cand *task.Set) (*Outcome, error) {
+// rtIdentical certifies the RT band (members, parameters, placement)
+// is unchanged from the committed state, unlocking the trusted-prefix
+// fast path. It does not commit.
+func (e *Engine) analyse(ctx context.Context, cand *task.Set, rtIdentical bool) (*Outcome, error) {
 	stats := Stats{}
 	if err := e.rtScreen(cand, &stats); err != nil {
 		return nil, err
 	}
-	hints := &core.Hints{Periods: e.hints, RTVerified: true}
+	var prior *core.Prior
+	if rtIdentical {
+		prior = e.prior
+	}
+	hints := &core.Hints{Periods: e.hints, RTVerified: true, Prior: prior}
 	stats.FullSelection = e.hints == nil
 	res, rstats, err := core.SelectPeriodsResumableWith(ctx, cand, e.cfg.Opts, hints, e.scratch)
 	if err != nil {
@@ -361,13 +382,44 @@ func (e *Engine) commit(cand *task.Set, res *core.Result) {
 	e.set = cand
 	if !res.Schedulable {
 		e.hints = nil
+		e.prior = nil
 		return
 	}
 	e.hints = make(map[string]task.Time, len(cand.Security))
 	for i, s := range cand.Security {
 		e.hints[s.Name] = res.Periods[i]
 	}
+	// Rebuild the prior in priority order through the reused index
+	// permutation (priorities are distinct per Validate, so the order
+	// is unique and matches SecurityByPriority exactly).
+	e.ord.sec = cand.Security
+	e.ord.idx = e.ord.idx[:0]
+	for i := range cand.Security {
+		e.ord.idx = append(e.ord.idx, i)
+	}
+	sort.Sort(&e.ord)
+	pb := &e.priorBuf
+	pb.Sec, pb.Periods, pb.Resp = pb.Sec[:0], pb.Periods[:0], pb.Resp[:0]
+	for _, j := range e.ord.idx {
+		pb.Sec = append(pb.Sec, cand.Security[j])
+		pb.Periods = append(pb.Periods, res.Periods[j])
+		pb.Resp = append(pb.Resp, res.Resp[j])
+	}
+	e.ord.sec = nil // no retained alias into the committed set
+	e.prior = pb
 }
+
+// priorOrder sorts an index permutation by security priority without
+// allocating: a pointer receiver keeps the sort.Interface conversion
+// off the heap, and the idx slice is engine-owned and reused.
+type priorOrder struct {
+	idx []int
+	sec []task.SecurityTask
+}
+
+func (p *priorOrder) Len() int           { return len(p.idx) }
+func (p *priorOrder) Less(i, j int) bool { return p.sec[p.idx[i]].Priority < p.sec[p.idx[j]].Priority }
+func (p *priorOrder) Swap(i, j int)      { p.idx[i], p.idx[j] = p.idx[j], p.idx[i] }
 
 // place finds a core for one incoming unassigned RT task among the
 // candidate set's current placement, honouring the configured
@@ -429,14 +481,16 @@ func (e *Engine) place(cand *task.Set, t task.RTTask, cursor int) (int, int, err
 }
 
 // removeTasks drops the named tasks from cand in place, preserving
-// slice order. Every name must match exactly one task.
-func removeTasks(cand *task.Set, names []string) error {
+// slice order, and reports whether any RT task was removed. Every
+// name must match exactly one task.
+func removeTasks(cand *task.Set, names []string) (rtRemoved bool, err error) {
 	for _, name := range names {
 		found := false
 		for i, t := range cand.RT {
 			if t.Name == name {
 				cand.RT = append(cand.RT[:i], cand.RT[i+1:]...)
 				found = true
+				rtRemoved = true
 				break
 			}
 		}
@@ -451,10 +505,10 @@ func removeTasks(cand *task.Set, names []string) error {
 			}
 		}
 		if !found {
-			return fmt.Errorf("cannot remove %q: no such task in the admitted set", name)
+			return rtRemoved, fmt.Errorf("cannot remove %q: no such task in the admitted set", name)
 		}
 	}
-	return nil
+	return rtRemoved, nil
 }
 
 // Snapshot returns a copy of the committed state.

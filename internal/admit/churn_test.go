@@ -1,0 +1,133 @@
+package admit
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hydrac/internal/core"
+	"hydrac/internal/task"
+)
+
+// TestEngineChurnMatchesCold drives a long random sequence of security
+// add / remove / replace deltas — the shapes the trusted-prefix fast
+// path classifies differently — through one engine, pinning every
+// intermediate result bit-identical to a cold analysis of the same
+// set. The walk must traverse the adoption path, the two-probe
+// verification path, and full searches; the final tallies prove all
+// three ran.
+func TestEngineChurnMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	ctx := context.Background()
+	eng, _, err := New(ctx, churnBase(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []string{"sec0", "sec1", "sec2", "sec3"}
+	prio := map[string]int{"sec0": 0, "sec1": 3, "sec2": 5, "sec3": 7}
+	next := 4
+	freePriority := func() int {
+		used := make(map[int]bool, len(prio))
+		for _, p := range prio {
+			used[p] = true
+		}
+		for {
+			if p := rng.Intn(40); !used[p] {
+				return p
+			}
+		}
+	}
+	adopted, verified, searched := 0, 0, 0
+	for step := 0; step < 120; step++ {
+		var d task.Delta
+		op := rng.Intn(3)
+		switch {
+		case op == 0 && len(live) > 2: // remove a random task
+			i := rng.Intn(len(live))
+			d.Remove = []string{live[i]}
+			delete(prio, live[i])
+			live = append(live[:i], live[i+1:]...)
+		case op == 1 && len(live) > 2: // replace: remove + add at a fresh priority
+			i := rng.Intn(len(live))
+			d.Remove = []string{live[i]}
+			delete(prio, live[i])
+			live = append(live[:i], live[i+1:]...)
+			fallthrough
+		default: // add at a random unused priority
+			s := task.SecurityTask{
+				Name:      fmt.Sprintf("sec%d", next),
+				WCET:      task.Time(1 + rng.Intn(3)),
+				MaxPeriod: task.Time(150 + rng.Intn(400)),
+				Core:      -1,
+				Priority:  freePriority(),
+			}
+			next++
+			d.AddSecurity = append(d.AddSecurity, s)
+			live = append(live, s.Name)
+			prio[s.Name] = s.Priority
+		}
+		out, err := eng.Apply(ctx, d)
+		if err != nil {
+			t.Fatalf("step %d (%+v): %v", step, d, err)
+		}
+		adopted += out.Stats.Selection.Adopted
+		verified += out.Stats.Selection.Verified
+		searched += out.Stats.Selection.Searched
+		cold := coldResult(t, out.Set)
+		if !reflect.DeepEqual(out.Result, cold) {
+			t.Fatalf("step %d (%+v): incremental result diverged from cold\n got %+v\nwant %+v",
+				step, d, out.Result, cold)
+		}
+		if !out.Admitted {
+			// Rejected candidate: the committed state must be untouched
+			// and still match a cold run.
+			snap := eng.Snapshot()
+			if res, err := core.SelectPeriods(snap, core.Options{}); err != nil || !res.Schedulable {
+				t.Fatalf("step %d: committed state no longer schedulable after a denial", step)
+			}
+			if len(d.AddSecurity) > 0 {
+				added := d.AddSecurity[0].Name
+				for k, name := range live {
+					if name == added {
+						live = append(live[:k], live[k+1:]...)
+						break
+					}
+				}
+				delete(prio, added)
+			}
+			for _, name := range d.Remove {
+				live = append(live, name)
+				for _, s := range eng.Snapshot().Security {
+					if s.Name == name {
+						prio[name] = s.Priority
+					}
+				}
+			}
+		}
+	}
+	t.Logf("churn tallies: adopted=%d verified=%d searched=%d", adopted, verified, searched)
+	if adopted == 0 || verified == 0 || searched == 0 {
+		t.Fatalf("churn walk did not traverse all selection paths: adopted=%d verified=%d searched=%d",
+			adopted, verified, searched)
+	}
+}
+
+func churnBase() *task.Set {
+	return &task.Set{
+		Cores: 3,
+		RT: []task.RTTask{
+			{Name: "rt0", WCET: 2, Period: 20, Deadline: 20, Core: 0, Priority: 0},
+			{Name: "rt1", WCET: 3, Period: 30, Deadline: 30, Core: 1, Priority: 1},
+			{Name: "rt2", WCET: 4, Period: 40, Deadline: 40, Core: 2, Priority: 2},
+			{Name: "rt3", WCET: 2, Period: 50, Deadline: 50, Core: 0, Priority: 3},
+		},
+		Security: []task.SecurityTask{
+			{Name: "sec0", WCET: 2, MaxPeriod: 300, Core: -1, Priority: 0},
+			{Name: "sec1", WCET: 1, MaxPeriod: 250, Core: -1, Priority: 3},
+			{Name: "sec2", WCET: 2, MaxPeriod: 400, Core: -1, Priority: 5},
+			{Name: "sec3", WCET: 1, MaxPeriod: 350, Core: -1, Priority: 7},
+		},
+	}
+}

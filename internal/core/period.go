@@ -154,7 +154,12 @@ func SelectPeriodsCtxWith(ctx context.Context, ts *task.Set, opt Options, sc *Sc
 			// shrinks star on feasible probes), so its captured
 			// response vector is that refresh, already computed.
 			if sc.probeFrom == i && sc.probeCand == star {
+				// The captured probe state IS the post-fix state, so the
+				// component caches captured alongside it stay coherent.
 				copy(resp[i+1:], sc.probeResp[i+1:len(sec)])
+				copy(sc.rtAt[i+1:], sc.probeRT[i+1:len(sec)])
+				copy(sc.ncAt[i+1:], sc.probeNC[i+1:len(sec)])
+				copy(sc.ckAt[i+1:], sc.probeCK[i+1:len(sec)])
 			} else {
 				recomputeBelow(sc, sec, periods, resp, i, opt.CarryIn)
 			}
@@ -238,6 +243,11 @@ func linearMinPeriod(ctx context.Context, sc *Scratch, sec []task.SecurityTask, 
 // directly on every exit path (a deferred restore would cost a
 // closure per probe of the binary search).
 func lowerPrioritySchedulable(sc *Scratch, sec []task.SecurityTask, periods, resp []task.Time, i int, cand task.Time, mode CarryInMode) bool {
+	if mode == Dominance {
+		if ok, decided := probeWarm(sc, sec, periods, resp, i, cand); decided {
+			return ok
+		}
+	}
 	saved := periods[i]
 	periods[i] = cand
 
@@ -250,9 +260,11 @@ func lowerPrioritySchedulable(sc *Scratch, sec []task.SecurityTask, periods, res
 		r, fine := sc.MigratingWCRT(sec[j].WCET, hp, sec[j].MaxPeriod, mode)
 		if !fine || r > sec[j].MaxPeriod {
 			ok = false
+			sc.lastViol = j
 			break
 		}
 		sc.probeResp[j] = r
+		sc.probeRT[j] = -1
 		hp = append(hp, Interferer{WCET: sec[j].WCET, Period: periods[j], Resp: r})
 	}
 	sc.hp = hp[:0]
@@ -268,6 +280,115 @@ func lowerPrioritySchedulable(sc *Scratch, sec []task.SecurityTask, periods, res
 	return ok
 }
 
+// probeWarm is the warm-started form of the Algorithm 2 probe for
+// the Dominance mode: identical verdict and identical captured
+// response vector, with most per-task fixpoints collapsed to a single
+// Ω evaluation. It reports decided = false only when a task's tick
+// scale defeats the budget argument below; the caller then runs the
+// cold probe.
+//
+// Two monotonicity facts carry the equivalence proof:
+//
+//  1. The pre-probe response vector bounds the in-probe one from
+//     below. A probe only shrinks periods[i] (the candidate never
+//     exceeds the period resp[] was computed under), which only adds
+//     interference, and workloadCI is nondecreasing in the
+//     interferer's response time (x̄ = C−1+T−R) — so by induction
+//     down the chain every in-probe response time is ≥ its resp[]
+//     entry. (In the resumable path resp[j] below the probed task
+//     still holds the all-Tmax value — a weaker but equally sound
+//     lower bound.)
+//  2. Iterating the monotone refinement f(x) = ⌊Ω(x)/M⌋ + Cs from
+//     any x₀ ≤ lfp converges to the SAME least fixed point
+//     (fixpointPrimed). So starting each task's fixpoint at resp[j]
+//     instead of Cs changes the refinement count, never the value —
+//     and for the common task the probe does not move at all,
+//     f(resp[j]) = resp[j] and one evaluation settles it.
+//
+// The skipped refinements make the iteration budget the one place the
+// verdicts could drift: the naive creep from Cs lifts x by ≥ 1 tick
+// per refinement, so a task with Tmax − Cs < MaxFixpointIterations
+// provably resolves (converges or overruns Tmax) within the budget,
+// and the warm start cannot disagree with a budget-exhaustion verdict
+// that cannot happen. Tasks at 2^40-tick scales fail that gate and
+// take the cold probe, whose line mode counts refinements faithfully.
+// Exhaustive mode never comes here (the caller gates on Dominance).
+func probeWarm(sc *Scratch, sec []task.SecurityTask, periods, resp []task.Time, i int, cand task.Time) (feasible, decided bool) {
+	saved := periods[i]
+	periods[i] = cand
+	hp := sc.hp[:0]
+	for k := 0; k <= i; k++ {
+		hp = append(hp, Interferer{WCET: sec[k].WCET, Period: periods[k], Resp: resp[k]})
+	}
+	sc.chg, sc.chgWild = sc.chg[:0], false
+	if cand != saved {
+		sc.chg = append(sc.chg, chainDelta{c: sec[i].WCET, oldP: saved, newP: cand, oldR: resp[i], newR: resp[i]})
+	}
+	// Victim-first rejection: the task that sank the previous probe
+	// usually sinks this one too. Its response under the STALE chain
+	// (resp[] entries for i+1..v−1, each a certified lower bound on
+	// the in-probe value — probeWarm's fact 1) lower-bounds the
+	// in-probe response by Ω-monotonicity, so a limit overrun here is
+	// a sound verdict without touching the tasks in between. A pass
+	// proves nothing and falls through to the full scan.
+	if v := sc.lastViol; v > i && v < len(sec) {
+		cs, limit := sec[v].WCET, sec[v].MaxPeriod
+		if cs <= limit && limit-cs < MaxFixpointIterations {
+			hpv := hp
+			for j := i + 1; j < v; j++ {
+				hpv = append(hpv, Interferer{WCET: sec[j].WCET, Period: periods[j], Resp: resp[j]})
+			}
+			r, _, _, _, fine := warmResp(sc, v, cs, limit, resp[v], hpv)
+			if !fine || r > limit {
+				sc.hp = hp[:0]
+				periods[i] = saved
+				sc.probeFrom = -1
+				return false, true
+			}
+		}
+	}
+	verdict, certain := true, true
+	for j := i + 1; j < len(sec); j++ {
+		cs, limit := sec[j].WCET, sec[j].MaxPeriod
+		if cs > limit {
+			// The cold probe refuses this before iterating; the
+			// verdict is chain-independent.
+			verdict = false
+			break
+		}
+		if limit-cs >= MaxFixpointIterations {
+			certain = false
+			break
+		}
+		r, rt, nc, ck, fine := warmResp(sc, j, cs, limit, resp[j], hp)
+		if !fine || r > limit {
+			verdict = false
+			sc.lastViol = j
+			break
+		}
+		sc.probeResp[j] = r
+		sc.probeRT[j], sc.probeNC[j], sc.probeCK[j] = rt, nc, ck
+		if r != resp[j] {
+			sc.chg = append(sc.chg, chainDelta{c: cs, oldP: periods[j], newP: periods[j], oldR: resp[j], newR: r})
+		}
+		hp = append(hp, Interferer{WCET: cs, Period: periods[j], Resp: r})
+	}
+	sc.hp = hp[:0]
+	periods[i] = saved
+	if !certain {
+		return false, false
+	}
+	if verdict {
+		// Every entry above was the exact in-probe fixpoint, so the
+		// captured vector is reusable for the line-8 refresh exactly
+		// as the cold probe's is.
+		sc.probeFrom, sc.probeCand = i, cand
+	} else {
+		sc.probeFrom = -1
+	}
+	return verdict, true
+}
+
 // recomputeBelow refreshes resp[i+1:] after periods[i] was fixed
 // (Algorithm 1 line 8). resp[i] itself depends only on tasks above i
 // and is already final.
@@ -276,15 +397,97 @@ func recomputeBelow(sc *Scratch, sec []task.SecurityTask, periods, resp []task.T
 	for k := 0; k <= i; k++ {
 		hp = append(hp, Interferer{WCET: sec[k].WCET, Period: periods[k], Resp: resp[k]})
 	}
+	// The component caches were last refreshed with sec[i] still
+	// unfixed, i.e. periods[i] = Tmax_i: the chg list starts with that
+	// period change and grows with every response this refresh moves,
+	// exactly as in probeWarm.
+	sc.chg, sc.chgWild = sc.chg[:0], false
+	if oldP := sec[i].MaxPeriod; periods[i] != oldP {
+		sc.chg = append(sc.chg, chainDelta{c: sec[i].WCET, oldP: oldP, newP: periods[i], oldR: resp[i], newR: resp[i]})
+	}
 	for j := i + 1; j < len(sec); j++ {
-		r, ok := sc.MigratingWCRT(sec[j].WCET, hp, sec[j].MaxPeriod, mode)
+		cs, limit := sec[j].WCET, sec[j].MaxPeriod
+		var r, rt, nc, ck task.Time
+		var ok bool
+		if mode == Dominance && cs <= limit && limit-cs < MaxFixpointIterations {
+			// Warm-start from the previous response time: fixing
+			// periods[i] only shrank a period, so the stale resp[j] is
+			// a lower bound on the new fixpoint (probeWarm's facts 1–2
+			// verbatim; the budget gate is the same too).
+			r, rt, nc, ck, ok = warmResp(sc, j, cs, limit, resp[j], hp)
+		} else {
+			r, ok = sc.MigratingWCRT(cs, hp, limit, mode)
+			rt = -1
+		}
 		if !ok {
 			r = task.Infinity
+			rt = -1
+			// An unbounded response in the chain defeats the Lipschitz
+			// bound arithmetic; exact layers remain available.
+			sc.chgWild = true
+		} else if r != resp[j] {
+			sc.chg = append(sc.chg, chainDelta{c: cs, oldP: periods[j], newP: periods[j], oldR: resp[j], newR: r})
 		}
+		sc.rtAt[j], sc.ncAt[j], sc.ckAt[j] = rt, nc, ck
 		resp[j] = r
 		hp = append(hp, Interferer{WCET: sec[j].WCET, Period: periods[j], Resp: r})
 	}
 	sc.hp = hp[:0]
+}
+
+// warmResp resolves sec[j]'s response time against the (possibly
+// perturbed) chain hp, for Dominance mode inside the budget gate. It
+// layers three checks, cheapest first, around the cached component
+// split Ω_j(resp[j]) = RT + ΣNC + top-k:
+//
+//  1. Bound layer, O(|chg|) arithmetic, no chain scan: the cached RT
+//     part is chain-independent, the cached ΣNC part is corrected
+//     EXACTLY for every period in sc.chg (two staircase reads each),
+//     and the cached top-k bound is lifted by diffShift's Lipschitz
+//     correction per perturbed entry. If even this upper bound keeps
+//     f(resp[j]) ≤ resp[j], the pre-probe response is already the
+//     least fixed point reachable from below (fact 2 in probeWarm).
+//  2. Exact layer: re-run only the pruned top-k carry-in scan against
+//     the live chain and recheck with the exact Ω.
+//  3. The task genuinely moved: warm-started fixpoint.
+//
+// Returned rt/nc/ck are the components at r for re-caching (nc and rt
+// exact, ck an upper bound after a layer-1 accept); rt = −1 when
+// unavailable (line-mode convergence).
+func warmResp(sc *Scratch, j int, cs, limit, rj task.Time, hp []Interferer) (r, rt, nc, ck task.Time, fine bool) {
+	primed := false
+	if cached := sc.rtAt[j]; cached >= 0 && !sc.chgWild && rj >= cs && rj <= limit {
+		nc = sc.ncAt[j]
+		ck = sc.ckAt[j]
+		for k := range sc.chg {
+			e := &sc.chg[k]
+			if e.newP != e.oldP {
+				nc += clampInterference(workloadNC(rj, e.c, e.newP), rj, cs) - clampInterference(workloadNC(rj, e.c, e.oldP), rj, cs)
+			}
+			ck += e.diffShift(rj, cs)
+		}
+		if (cached+nc+ck)/task.Time(sc.sysM)+cs <= rj {
+			return rj, cached, nc, ck, true
+		}
+		sc.primeHP(hp)
+		primed = true
+		ck = sc.carryIn(rj, cs)
+		if (cached+nc+ck)/task.Time(sc.sysM)+cs <= rj {
+			return rj, cached, nc, ck, true
+		}
+	}
+	if !primed {
+		sc.primeHP(hp)
+	}
+	start := cs
+	if rj > cs && rj <= limit {
+		start = rj
+	}
+	r, ok := sc.fixpointPrimed(cs, start, limit)
+	if ok && sc.lastY == r {
+		return r, sc.lastRT, sc.lastNC, sc.lastCK, true
+	}
+	return r, -1, 0, 0, ok
 }
 
 func indexByName(sec []task.SecurityTask, name string) int {

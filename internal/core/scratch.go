@@ -91,15 +91,131 @@ type Scratch struct {
 
 	// hpWin caches the higher-priority migrating band's Eq. 2/4
 	// staircases as period windows, exactly as rtWin does for the RT
-	// band: primeHP rebuilds it at every MigratingWCRT entry (the hp
+	// band: primeHP loads it at every MigratingWCRT entry (the hp
 	// set is fixed for the duration of one fixpoint), after which each
 	// Eq. 5 term costs a compare and a subtract per iteration instead
-	// of the two 64-bit divisions of workloadNC + workloadCI.
+	// of the two 64-bit divisions of workloadNC + workloadCI. Priming
+	// keeps the longest prefix whose derived fields already match, so
+	// the selection loops — which re-prime the same interferer prefix
+	// hundreds of times per search — carry the warm window caches and
+	// the demand-bound order across probes instead of rebuilding them.
 	hpWin []hpWindow
+
+	// hpOrder holds the indices of hpWin sorted by ascending x̄: the
+	// dominance difference I^CI − I^NC of an entry is provably ≤ 0
+	// until the window length exceeds its x̄ (the carry-in staircase is
+	// the non-carry-in one shifted right by x̄ plus a min(y, C−1) tail
+	// that never beats the W^NC(y) ≥ min(y, C) floor under the shared
+	// clamp), so a carry-in scan at window length y visits only the
+	// prefix with x̄ < y — on paper-scale chains a small fraction of
+	// the band. Maintained incrementally by primeHP's prefix match and
+	// insertOrder's binary insertion.
+	hpOrder []int32
+
+	// topk is the bounded min-heap over the k = M−1 largest carry-in
+	// differences (values only; the top-k SUM is selection-order
+	// independent, so a value heap reproduces the reference sort).
+	topk []task.Time
+
+	// heapIdx is omegaLine's bounded min-heap of diff indices, ordered
+	// by the reference selection key (value desc, slope desc, index
+	// asc) so the selected SET — which the piece geometry depends on —
+	// is exactly the reference's.
+	heapIdx []int32
 
 	// resp/periods back the per-analysis working vectors of the
 	// period-selection entry points.
 	resp, periods []task.Time
+
+	// rtAt/ncAt/ckAt split Ω_j(resp[j]) = RT + ΣNC + top-k into its
+	// components, cached per task under the currently stored
+	// periods/resp state (valid iff rtAt[j] ≥ 0). rtAt and ncAt are
+	// exact; ckAt is an upper bound on the top-k term (exact whenever
+	// it was refreshed by an evaluation, possibly slack after
+	// bound-layer accepts — the slack only costs an extra recheck
+	// later, never correctness). The RT band depends only on the
+	// window length; the non-carry-in sum moves only with a chain
+	// entry's PERIOD, by an exact two-staircase-read correction; the
+	// top-k term moves with periods and response times, bounded
+	// per-entry by diffShift (a top-k sum is 1-Lipschitz in each
+	// candidate). warmResp in period.go layers these: O(1) bound
+	// check, then an exact pruned carry-in rescan, then the fixpoint.
+	// probeRT/probeNC/probeCK capture the per-probe values the way
+	// probeResp captures the responses; the line-8 capture promotes
+	// them together. chg lists the chain entries the current
+	// probe/refresh has perturbed relative to the cached state.
+	rtAt, ncAt, ckAt, probeRT, probeNC, probeCK []task.Time
+	chg                                         []chainDelta
+	// lastViol remembers which task sank the most recent infeasible
+	// probe: violators are sticky across a binary search, and a
+	// victim-first recheck against the stale chain (a certified lower
+	// bound on the in-probe interference) rejects most infeasible
+	// candidates without touching the tasks in between.
+	lastViol int
+	// chgWild marks a chg list that could not describe the current
+	// perturbation (an unbounded response entered the chain); the
+	// bound layer stands down until the next chain rebuild.
+	chgWild bool
+
+	// aggY/aggV/aggS/aggBP/aggCS cache the whole migrating
+	// non-carry-in band as one line: ΣNC clamped is piecewise linear
+	// in the window length, and security periods dwarf the strides a
+	// fixpoint takes, so one O(n) build at aggY serves every
+	// evaluation until aggBP (the earliest piece end or clamp
+	// crossing). Valid only for the WCET it was clamped against
+	// (aggCS; −1 invalid) and until primeHP mutates the band.
+	aggY, aggV, aggS, aggBP, aggCS task.Time
+
+	// lastY/lastRT/lastNC/lastCK record the component split of the
+	// most recent omegaValue evaluation, so a fixpoint that converges
+	// on a value evaluation (lastY == result) hands its caller the
+	// exact split for re-caching without extra work.
+	lastY, lastRT, lastNC, lastCK task.Time
+
+	// rtLine caches each core's unclamped Eq. 3 staircase sum as a
+	// local line (value at y0, slope, valid on [y0, bp)): at large n a
+	// refinement moves y far less than one piece, so the steady-state
+	// RT-band read is O(cores) instead of O(RT tasks).
+	rtLine []coreLine
+}
+
+// coreLine is one core's cached staircase-sum piece.
+type coreLine struct {
+	y0, v, s, bp task.Time
+}
+
+// chainDelta is one perturbed chain entry: an interferer whose period
+// and/or recorded response time differs from the state the component
+// caches were computed under.
+type chainDelta struct {
+	c, oldP, newP, oldR, newR task.Time
+}
+
+// diffShift bounds, from above, how much this entry's perturbation
+// can raise the top-k dominance term at window length y for a task
+// with WCET cs: replacing one candidate difference d by d' moves a
+// top-k sum by at most max(0, d'−d) upward (1-Lipschitz per element;
+// candidates below zero never enter, hence the floors). Inputs must
+// be sane (responses at or below periods); the callers poison the
+// bound layer otherwise.
+func (e *chainDelta) diffShift(y, cs task.Time) task.Time {
+	ncOld := clampInterference(workloadNC(y, e.c, e.oldP), y, cs)
+	ncNew := ncOld
+	if e.newP != e.oldP {
+		ncNew = clampInterference(workloadNC(y, e.c, e.newP), y, cs)
+	}
+	dOld := clampInterference(workloadCI(y, e.c, e.oldP, e.oldR), y, cs) - ncOld
+	dNew := clampInterference(workloadCI(y, e.c, e.newP, e.newR), y, cs) - ncNew
+	if dOld < 0 {
+		dOld = 0
+	}
+	if dNew < 0 {
+		dNew = 0
+	}
+	if dNew > dOld {
+		return dNew - dOld
+	}
+	return 0
 }
 
 // rtWindow is one staircase task's demand and current period window.
@@ -124,9 +240,41 @@ type hpWindow struct {
 // at first use, so priming costs one pass of plain stores — no
 // divisions — and pays for itself from the second fixpoint iteration
 // on.
+//
+// Priming preserves the longest already-loaded prefix whose derived
+// fields (C, T, x̄) match the new band. The selection loops prime the
+// same 0..i prefix for every probe and grow the chain one interferer
+// per task, so in steady state a prime costs a prefix of equality
+// compares plus one ordered insert — the warm period windows (valid
+// for any window length once filled, being pure functions of (C, T))
+// and the descending-cm1 order survive instead of being rebuilt and
+// re-sorted per MigratingWCRT entry.
 func (sc *Scratch) primeHP(hp []Interferer) {
-	hw := sc.hpWin[:0]
-	for j := range hp {
+	hw := sc.hpWin
+	oldN := len(hw)
+	p := 0
+	for p < len(hw) && p < len(hp) {
+		h := &hp[p]
+		w := &hw[p]
+		if w.nc.c != h.WCET || w.nc.t != h.Period || w.xbar != h.WCET-1+h.Period-h.Resp {
+			break
+		}
+		p++
+	}
+	hw = hw[:p]
+	if len(sc.hpOrder) > p {
+		ord := sc.hpOrder[:0]
+		for _, j := range sc.hpOrder {
+			if int(j) < p {
+				ord = append(ord, j)
+			}
+		}
+		sc.hpOrder = ord
+	}
+	if p != oldN || len(hp) != oldN {
+		sc.aggCS = -1
+	}
+	for j := p; j < len(hp); j++ {
 		h := &hp[j]
 		hw = append(hw, hpWindow{
 			nc:   rtWindow{c: h.WCET, t: h.Period, hi: -1},
@@ -134,8 +282,32 @@ func (sc *Scratch) primeHP(hp []Interferer) {
 			xbar: h.WCET - 1 + h.Period - h.Resp,
 			cm1:  h.WCET - 1,
 		})
+		sc.hpWin = hw
+		sc.insertOrder(int32(j))
 	}
 	sc.hpWin = hw
+}
+
+// insertOrder files hpWin index j into hpOrder's ascending-x̄
+// arrangement (ties by ascending index, so priming order never
+// influences results).
+func (sc *Scratch) insertOrder(j int32) {
+	xbar := sc.hpWin[j].xbar
+	ord := sc.hpOrder
+	lo, hi := 0, len(ord)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		o := ord[mid]
+		if sc.hpWin[o].xbar < xbar || (sc.hpWin[o].xbar == xbar && o < j) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ord = append(ord, 0)
+	copy(ord[lo+1:], ord[lo:])
+	ord[lo] = j
+	sc.hpOrder = ord
 }
 
 // diffTerm is one higher-priority migrating task's carry-in minus
@@ -169,7 +341,24 @@ func (sc *Scratch) Reset(sys *System) {
 		}
 		sc.coreEnd = append(sc.coreEnd, len(sc.rtWin))
 	}
+	if cap(sc.rtLine) < len(sc.coreEnd) {
+		sc.rtLine = make([]coreLine, len(sc.coreEnd))
+	}
+	sc.rtLine = sc.rtLine[:len(sc.coreEnd)]
+	for i := range sc.rtLine {
+		sc.rtLine[i] = coreLine{y0: 1} // y0 > bp: primed invalid
+	}
+	if k := sys.M - 1; k > 1 {
+		if cap(sc.topk) < k {
+			sc.topk = make([]task.Time, 0, k)
+		}
+		if cap(sc.heapIdx) < k {
+			sc.heapIdx = make([]int32, 0, k)
+		}
+	}
 	sc.probeFrom = -1
+	sc.aggCS = -1
+	sc.lastViol = -1
 }
 
 // refill recomputes the task's period window at window length y. The
@@ -188,6 +377,39 @@ func (w *rtWindow) refill(y task.Time) {
 	w.qc = q * w.c
 }
 
+// rtCore reads one core's unclamped staircase sum through the cached
+// line, rebuilding the piece from the core's windows only when y has
+// left it. Exactness is the same argument as omegaLine's RT band: the
+// sum is linear with slope = climbing windows until the first window
+// crosses into its flat tail (lo+c) or its next period (hi).
+func (sc *Scratch) rtCore(c int, wins []rtWindow, y task.Time) (v, s, bp task.Time) {
+	cl := &sc.rtLine[c]
+	if y >= cl.y0 && y < cl.bp {
+		return cl.v + cl.s*(y-cl.y0), cl.s, cl.bp
+	}
+	bp = task.Infinity
+	for i := range wins {
+		win := &wins[i]
+		if y >= win.hi || y < win.lo {
+			win.refill(y)
+		}
+		if r := y - win.lo; r < win.c {
+			v += win.qc + r
+			s++
+			if b := win.lo + win.c; b < bp {
+				bp = b
+			}
+		} else {
+			v += win.qc + win.c
+			if win.hi < bp {
+				bp = win.hi
+			}
+		}
+	}
+	cl.y0, cl.v, cl.s, cl.bp = y, v, s, bp
+	return v, s, bp
+}
+
 // ensure pre-sizes the selection buffers for a security band of n
 // tasks so the steady-state selection loops never grow them.
 func (sc *Scratch) ensure(n int) {
@@ -202,6 +424,12 @@ func (sc *Scratch) ensure(n int) {
 	}
 	if cap(sc.hpWin) < n {
 		sc.hpWin = make([]hpWindow, 0, n)
+		sc.hpOrder = sc.hpOrder[:0]
+	}
+	if cap(sc.hpOrder) < n {
+		ord := make([]int32, len(sc.hpOrder), n)
+		copy(ord, sc.hpOrder)
+		sc.hpOrder = ord
 	}
 	if cap(sc.resp) < n {
 		sc.resp = make([]task.Time, 0, n)
@@ -213,6 +441,18 @@ func (sc *Scratch) ensure(n int) {
 		sc.probeResp = make([]task.Time, n)
 	}
 	sc.probeResp = sc.probeResp[:n]
+	if cap(sc.chg) < n {
+		sc.chg = make([]chainDelta, 0, n)
+	}
+	for _, b := range []*[]task.Time{&sc.rtAt, &sc.ncAt, &sc.ckAt, &sc.probeRT, &sc.probeNC, &sc.probeCK} {
+		if cap(*b) < n {
+			*b = make([]task.Time, n)
+		}
+		*b = (*b)[:n]
+	}
+	for i := range sc.rtAt {
+		sc.rtAt[i] = -1
+	}
 	sc.probeFrom = -1
 }
 
@@ -243,10 +483,35 @@ func (sc *Scratch) MigratingWCRT(cs task.Time, hp []Interferer, limit task.Time,
 		return sc.sys.migratingWCRTExhaustive(cs, hp, limit)
 	}
 	sc.primeHP(hp)
+	return sc.fixpointPrimed(cs, cs, limit)
+}
+
+// fixpointPrimed runs the Eq. 7 refinement on the already-primed
+// interferer band, starting from start — which must be a sound lower
+// bound on the least fixed point (cs always is; the warm-started
+// probes pass the pre-probe response time, see probeWarm). Iterating
+// a monotone f from any x₀ ≤ lfp climbs monotonically to the SAME
+// least fixed point — f(x₀) < x₀ would put a fixed point below x₀ by
+// Knaster–Tarski, contradicting x₀ ≤ lfp — so the start only changes
+// how many refinements are spent, never the result.
+//
+// A convergence decided by a value evaluation leaves the exact Ω
+// component split in lastY/lastRT/lastNC (lastY == result then);
+// line-mode convergences do not refresh them, which callers detect by
+// lastY ≠ result.
+func (sc *Scratch) fixpointPrimed(cs, start, limit task.Time) (task.Time, bool) {
 	m := task.Time(sc.sysM)
-	x := cs
+	x := start
 	iters := 0
 	lastStride := task.Time(-1)
+	// One line build walks every interferer; a pruned value evaluation
+	// walks a small prefix. Line mode therefore has to save that many
+	// evaluations to break even, so the switch waits for a stall — a
+	// run of short, non-growing strides — proportional to the band
+	// size before engaging. Pure evaluation strategy: the refinement
+	// sequence is identical on both sides of the trigger.
+	stallFor := 2 + (len(sc.hpWin)+len(sc.rtWin))/32
+	stalled := 0
 	for iters < MaxFixpointIterations {
 		iters++
 		next := sc.omegaValue(x, cs)/m + cs
@@ -260,8 +525,14 @@ func (sc *Scratch) MigratingWCRT(cs task.Time, hp []Interferer, limit task.Time,
 		x = next
 		if stride >= creepStride || stride > lastStride || lastStride < 0 {
 			lastStride = stride
+			stalled = 0
 			continue
 		}
+		lastStride = stride
+		if stalled++; stalled < stallFor {
+			continue
+		}
+		stalled = 0
 		lastStride = -1
 
 		// A short stride that failed to grow: the signature of a
@@ -332,86 +603,146 @@ func (sc *Scratch) MigratingWCRT(cs task.Time, hp []Interferer, limit task.Time,
 	return task.Infinity, false
 }
 
+// shiftFix folds one committed chain-entry perturbation into the
+// component caches of every task in sec[from:]: the non-carry-in sums
+// move by an exact clamped-staircase difference (the NC band enters Ω
+// as a plain sum; only period changes touch it), the top-k bounds by
+// diffShift's Lipschitz correction, and the RT component not at all
+// (it does not depend on the chain). A cache whose inputs have left
+// the sane range is invalidated instead.
+func (sc *Scratch) shiftFix(sec []task.SecurityTask, resp []task.Time, from int, e chainDelta) {
+	sane := e.oldR <= e.oldP && e.newR <= e.newP
+	for j := from; j < len(sec); j++ {
+		if sc.rtAt[j] < 0 {
+			continue
+		}
+		rj, cj := resp[j], sec[j].WCET
+		if !sane || rj > sec[j].MaxPeriod {
+			sc.rtAt[j] = -1
+			continue
+		}
+		if e.newP != e.oldP {
+			sc.ncAt[j] += clampInterference(workloadNC(rj, e.c, e.newP), rj, cj) - clampInterference(workloadNC(rj, e.c, e.oldP), rj, cj)
+		}
+		sc.ckAt[j] += e.diffShift(rj, cj)
+	}
+}
+
 // omegaValue evaluates Eq. 6 at window length y exactly as
 // omegaDominance does — same workload formulas, same clamp, same
 // top-(M−1) dominance sum — without the sort, the allocations, or any
 // piece bookkeeping: every staircase (RT band and, via primeHP, the
 // migrating band) reads through its period window, so the
 // steady-state cost per task is a compare and a subtract. It is the
-// kernel's fast-path evaluator.
+// kernel's fast-path evaluator. The RT and non-carry-in components it
+// computes are recorded in lastY/lastRT/lastNC for the exact per-task
+// caches (see warmResp).
 func (sc *Scratch) omegaValue(y, cs task.Time) task.Time {
 	capv := y - cs + 1
-	var omega task.Time
+	var rt task.Time
 	start := 0
 	rtWin := sc.rtWin
-	for _, end := range sc.coreEnd {
-		var w task.Time
-		wins := rtWin[start:end]
+	for c, end := range sc.coreEnd {
+		w, _, _ := sc.rtCore(c, rtWin[start:end], y)
 		start = end
-		for i := range wins {
-			win := &wins[i]
-			if y >= win.hi || y < win.lo {
-				win.refill(y)
-			}
-			r := y - win.lo
-			if r > win.c {
-				r = win.c
-			}
-			w += win.qc + r
-		}
 		if w > capv {
 			w = capv
 		}
-		omega += w
+		rt += w
 	}
-	k := sc.sysM - 1
-	hw := sc.hpWin
-	if k <= 0 {
-		// M == 1: no carry-in set; only the NC staircases contribute.
-		for j := range hw {
-			h := &hw[j]
-			var nc task.Time
-			if y > 0 {
-				w := &h.nc
-				if y >= w.hi || y < w.lo {
-					w.refill(y)
-				}
-				r := y - w.lo
-				if r > w.c {
-					r = w.c
-				}
-				nc = w.qc + r
-				if nc > capv {
-					nc = capv
-				}
-			}
-			omega += nc
+	// Non-carry-in band, served from the aggregate line when the
+	// evaluation point is still inside its validity span.
+	var ncSum task.Time
+	if y > 0 {
+		if sc.aggCS == cs && y >= sc.aggY && y < sc.aggBP {
+			ncSum = sc.aggV + sc.aggS*(y-sc.aggY)
+		} else {
+			ncSum = sc.buildNCAgg(y, cs)
 		}
-		return omega
 	}
-	if k == 1 {
-		// M == 2, the dominant platform shape: the carry-in set has
-		// at most one member, so the top-k machinery reduces to a
-		// running maximum — no diffs buffer at all.
-		var best task.Time
-		for j := range hw {
-			h := &hw[j]
-			var nc task.Time
-			if y > 0 {
-				w := &h.nc
-				if y >= w.hi || y < w.lo {
-					w.refill(y)
-				}
-				r := y - w.lo
-				if r > w.c {
-					r = w.c
-				}
-				nc = w.qc + r
-				if nc > capv {
-					nc = capv
+	ck := sc.carryIn(y, cs)
+	sc.lastY, sc.lastRT, sc.lastNC, sc.lastCK = y, rt, ncSum, ck
+	return rt + ncSum + ck
+}
+
+// buildNCAgg folds the whole migrating non-carry-in band into one
+// exact line at window length y > 0: each interferer's Eq. 2 windowed
+// read is a piece (slope 1 inside the first C ticks of its period
+// window, flat after), the per-entry clamp min(·, y−cs+1) is a slope-1
+// line through the same point, and the min of two lines is linear
+// until they cross — so the clamped sum is linear on [y, aggBP) with
+// aggBP the earliest piece end or clamp crossing. Every evaluation in
+// that span then costs one multiply instead of an O(n) walk.
+func (sc *Scratch) buildNCAgg(y, cs task.Time) task.Time {
+	capv := y - cs + 1
+	var V, S task.Time
+	bp := task.Infinity
+	hw := sc.hpWin
+	for j := range hw {
+		h := &hw[j]
+		w := &h.nc
+		if y >= w.hi || y < w.lo {
+			w.refill(y)
+		}
+		var v, sl, b task.Time
+		if r := y - w.lo; r < w.c {
+			v, sl, b = w.qc+r, 1, w.lo+w.c
+		} else {
+			v, sl, b = w.qc+w.c, 0, w.hi
+		}
+		if v >= capv {
+			// The clamp binds now. A slope-1 piece holds the gap, so
+			// the clamp keeps binding through the piece; a flat piece
+			// is overtaken when the clamp line reaches it.
+			if sl == 0 {
+				if c := v + cs; c < b {
+					b = c
 				}
 			}
-			omega += nc
+			v, sl = capv, 1
+		}
+		// v < capv: the entry binds and cannot re-cross inside the
+		// piece (its slope never exceeds the clamp's).
+		V += v
+		S += sl
+		if b < bp {
+			bp = b
+		}
+	}
+	sc.aggY, sc.aggV, sc.aggS, sc.aggBP, sc.aggCS = y, V, S, bp, cs
+	return V
+}
+
+// carryIn evaluates the Eq. 5/6 dominance term — the sum of the
+// at-most-(M−1) largest positive carry-in minus non-carry-in
+// differences — visiting interferers in ascending order of x̄ and
+// stopping at the first entry with x̄ ≥ y. Entries past the stop
+// cannot contribute: with z = y − x̄ ≤ 0 the carry-in bound collapses
+// to min(y, C−1), which the non-carry-in floor W^NC(y) ≥ min(y, C)
+// matches or beats under the shared clamp, so their difference is
+// never positive and the reference selection skips them identically.
+// On paper-scale chains only tasks whose response runs close to their
+// period have small x̄, so the scanned prefix is a small fraction of
+// the band — the pruning that makes thousand-interferer refinements
+// affordable. Each scanned entry's Eq. 2 term is read inline, so the
+// scan stands alone: warmResp's exact recheck pays for the scanned
+// prefix only, with the other Ω components served from its caches.
+func (sc *Scratch) carryIn(y, cs task.Time) task.Time {
+	k := sc.sysM - 1
+	if k <= 0 || y <= 0 {
+		return 0
+	}
+	capv := y - cs + 1
+	hw := sc.hpWin
+	if k == 1 {
+		// M == 2: the carry-in set has at most one member, so the
+		// selection is a running maximum with the same early stop.
+		var best task.Time
+		for _, j := range sc.hpOrder {
+			h := &hw[j]
+			if h.xbar >= y {
+				break
+			}
 			ci := min(y, h.cm1)
 			if z := y - h.xbar; z > 0 {
 				w := &h.ci
@@ -427,20 +758,6 @@ func (sc *Scratch) omegaValue(y, cs task.Time) task.Time {
 			if ci > capv {
 				ci = capv
 			}
-			if d := ci - nc; d > best {
-				best = d
-			}
-		}
-		return omega + best
-	}
-	diffs := sc.diffs[:0]
-	for j := range hw {
-		// The windowed reads of workloadNC (Eq. 2) and workloadCI
-		// (Eq. 4), written out inline: this loop runs once per
-		// interferer per refinement and must not pay a call.
-		h := &hw[j]
-		var nc task.Time
-		if y > 0 {
 			w := &h.nc
 			if y >= w.hi || y < w.lo {
 				w.refill(y)
@@ -449,12 +766,27 @@ func (sc *Scratch) omegaValue(y, cs task.Time) task.Time {
 			if r > w.c {
 				r = w.c
 			}
-			nc = w.qc + r
+			nc := w.qc + r
 			if nc > capv {
 				nc = capv
 			}
+			if d := ci - nc; d > best {
+				best = d
+			}
 		}
-		omega += nc
+		return best
+	}
+	// General M: a bounded min-heap of the k largest differences. The
+	// heap keys on values alone — the top-k SUM is selection-order
+	// independent, so ties resolve to the same total as the reference
+	// sort. An entry displaces the root only when strictly larger, and
+	// the scan stops when the next demand bound cannot beat the root.
+	heap := sc.topk[:0]
+	for _, j := range sc.hpOrder {
+		h := &hw[j]
+		if h.xbar >= y {
+			break
+		}
 		ci := min(y, h.cm1)
 		if z := y - h.xbar; z > 0 {
 			w := &h.ci
@@ -470,31 +802,68 @@ func (sc *Scratch) omegaValue(y, cs task.Time) task.Time {
 		if ci > capv {
 			ci = capv
 		}
-		if d := ci - nc; d > 0 {
-			diffs = append(diffs, diffTerm{v: d})
+		w := &h.nc
+		if y >= w.hi || y < w.lo {
+			w.refill(y)
+		}
+		r := y - w.lo
+		if r > w.c {
+			r = w.c
+		}
+		nc := w.qc + r
+		if nc > capv {
+			nc = capv
+		}
+		d := ci - nc
+		if d <= 0 {
+			continue
+		}
+		if len(heap) < k {
+			heap = append(heap, d)
+			siftUpTime(heap, len(heap)-1)
+		} else if d > heap[0] {
+			heap[0] = d
+			siftDownTime(heap)
 		}
 	}
-	sc.diffs = diffs
-	if len(diffs) <= k {
-		for i := range diffs {
-			omega += diffs[i].v
-		}
-		return omega
-	}
-	// Top-k of the positive differences by bounded max-extraction; the
-	// sum over the k largest values is selection-order independent, so
-	// this matches the reference sort exactly.
-	for pass := 0; pass < k; pass++ {
-		best := 0
-		for i := 1; i < len(diffs); i++ {
-			if diffs[i].v > diffs[best].v {
-				best = i
-			}
-		}
-		omega += diffs[best].v
-		diffs[best].v = -1
+	sc.topk = heap
+	var omega task.Time
+	for _, d := range heap {
+		omega += d
 	}
 	return omega
+}
+
+// siftUpTime restores the min-heap property after appending h[i].
+func siftUpTime(h []task.Time, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// siftDownTime restores the min-heap property after replacing h[0].
+func siftDownTime(h []task.Time) {
+	i, n := 0, len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		s := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			s = r
+		}
+		if h[i] <= h[s] {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
 }
 
 // omegaLine evaluates Eq. 6 at window length y exactly as
@@ -510,29 +879,9 @@ func (sc *Scratch) omegaLine(y, cs task.Time) (omega, slope, bp task.Time) {
 	// core, read through the same period windows as the fast path.
 	start := 0
 	rtWin := sc.rtWin
-	for _, end := range sc.coreEnd {
-		var wv, ws task.Time
-		wb := task.Infinity
-		wins := rtWin[start:end]
+	for c, end := range sc.coreEnd {
+		wv, ws, wb := sc.rtCore(c, rtWin[start:end], y)
 		start = end
-		for i := range wins {
-			win := &wins[i]
-			if y >= win.hi || y < win.lo {
-				win.refill(y)
-			}
-			if r := y - win.lo; r < win.c {
-				wv += win.qc + r
-				ws++
-				if b := win.lo + win.c; b < wb {
-					wb = b
-				}
-			} else {
-				wv += win.qc + win.c
-				if win.hi < wb {
-					wb = win.hi
-				}
-			}
-		}
 		v, s, b := clampLine(y, cs, wv, ws, wb, capv)
 		omega += v
 		slope += s
@@ -569,43 +918,80 @@ func (sc *Scratch) omegaLine(y, cs task.Time) (omega, slope, bp task.Time) {
 	sc.diffs = diffs
 
 	if len(diffs) > 0 {
-		// Select the at-most-k largest positive differences by
-		// bounded max-extraction (M is small; a full sort is waste).
-		// Value ties break toward the larger slope so the selection
+		// Select the at-most-k largest positive differences. The
+		// selected SET (not just its sum) shapes the piece — slope and
+		// breakpoint depend on which members are in — so the selection
+		// reproduces the reference's max-extraction order exactly:
+		// value ties break toward the larger slope (the selection then
 		// matches Ω's forward behaviour and stays stable for at least
-		// one tick.
+		// one tick), remaining ties toward the lower index. That total
+		// order lets a bounded min-heap of indices replace the k-pass
+		// scan: the k best under the order are the k the passes pick.
 		nsel := 0
-		for pass := 0; pass < k; pass++ {
-			best := -1
+		if len(diffs) <= k {
 			for i := range diffs {
-				d := &diffs[i]
-				if d.sel || d.v <= 0 {
+				if diffs[i].v > 0 {
+					diffs[i].sel = true
+					nsel++
+					omega += diffs[i].v
+					slope += diffs[i].s
+				}
+			}
+		} else {
+			ih := sc.heapIdx[:0]
+			for i := range diffs {
+				if diffs[i].v <= 0 {
 					continue
 				}
-				if best < 0 || d.v > diffs[best].v || (d.v == diffs[best].v && d.s > diffs[best].s) {
-					best = i
+				if len(ih) < k {
+					ih = append(ih, int32(i))
+					siftUpDiff(diffs, ih, len(ih)-1)
+				} else if diffWorse(diffs, ih[0], int32(i)) {
+					ih[0] = int32(i)
+					siftDownDiff(diffs, ih)
 				}
 			}
-			if best < 0 {
-				break
+			sc.heapIdx = ih
+			for _, i := range ih {
+				diffs[i].sel = true
+				omega += diffs[i].v
+				slope += diffs[i].s
 			}
-			diffs[best].sel = true
-			nsel++
-			omega += diffs[best].v
-			slope += diffs[best].s
+			nsel = len(ih)
 		}
 		// The piece ends wherever the selected set could change: a
 		// selected difference decaying to zero, a non-positive one
 		// turning positive while slots are free, or an unselected one
-		// overtaking a selected one with smaller slope.
+		// overtaking a selected one with smaller slope. The overtake
+		// cut uses a conservative proxy instead of the pairwise scan:
+		// the line (vmin, smin) built from the minimum selected value
+		// and minimum selected slope lies at or below every selected
+		// line for offsets ≥ 0, so an unselected line crosses it no
+		// later than it crosses any real selected line. A bp that is
+		// merely early is harmless — the piece ends sooner and the next
+		// build re-evaluates exactly — while a late one would be a bug;
+		// the proxy errs only early.
+		vmin, smin := task.Infinity, task.Infinity
+		for i := range diffs {
+			d := &diffs[i]
+			if !d.sel {
+				continue
+			}
+			if d.v < vmin {
+				vmin = d.v
+			}
+			if d.s < smin {
+				smin = d.s
+			}
+			if d.s < 0 {
+				if b := satAdd(y, floorDiv(d.v-1, -d.s)+1); b < bp {
+					bp = b
+				}
+			}
+		}
 		for i := range diffs {
 			d := &diffs[i]
 			if d.sel {
-				if d.s < 0 {
-					if b := satAdd(y, floorDiv(d.v-1, -d.s)+1); b < bp {
-						bp = b
-					}
-				}
 				continue
 			}
 			if d.v <= 0 && d.s <= 0 {
@@ -617,12 +1003,8 @@ func (sc *Scratch) omegaLine(y, cs task.Time) (omega, slope, bp task.Time) {
 				}
 				continue
 			}
-			for j := range diffs {
-				sj := &diffs[j]
-				if !sj.sel || sj.s >= d.s {
-					continue
-				}
-				if b := satAdd(y, floorDiv(sj.v-d.v, d.s-sj.s)+1); b < bp {
+			if nsel > 0 && d.s > smin {
+				if b := satAdd(y, floorDiv(vmin-d.v, d.s-smin)+1); b < bp {
 					bp = b
 				}
 			}
@@ -633,6 +1015,56 @@ func (sc *Scratch) omegaLine(y, cs task.Time) (omega, slope, bp task.Time) {
 		bp = y + 1
 	}
 	return omega, slope, bp
+}
+
+// diffWorse reports whether diffs[a] ranks strictly below diffs[b]
+// under omegaLine's selection order: value descending, slope
+// descending, index ascending. The order is total (indices are
+// distinct), so the k best under it are exactly the k entries the
+// reference max-extraction passes pick.
+func diffWorse(diffs []diffTerm, a, b int32) bool {
+	da, db := &diffs[a], &diffs[b]
+	if da.v != db.v {
+		return da.v < db.v
+	}
+	if da.s != db.s {
+		return da.s < db.s
+	}
+	return a > b
+}
+
+// siftUpDiff restores the min-heap-by-diffWorse property after
+// appending h[i].
+func siftUpDiff(diffs []diffTerm, h []int32, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !diffWorse(diffs, h[i], h[p]) {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// siftDownDiff restores the min-heap-by-diffWorse property after
+// replacing h[0].
+func siftDownDiff(diffs []diffTerm, h []int32) {
+	i, n := 0, len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		s := l
+		if r := l + 1; r < n && diffWorse(diffs, h[r], h[l]) {
+			s = r
+		}
+		if !diffWorse(diffs, h[s], h[i]) {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
 }
 
 // lineAt is workloadNC (Eq. 2) as a linear piece read through the
@@ -713,6 +1145,10 @@ func (sc *Scratch) responseTimes(sec []task.SecurityTask, periods []task.Time, m
 	hp := sc.hp[:0]
 	for i, s := range sec {
 		r, ok := sc.MigratingWCRT(s.WCET, hp, s.MaxPeriod, mode)
+		sc.rtAt[i] = -1
+		if ok && mode != Exhaustive && sc.lastY == r {
+			sc.rtAt[i], sc.ncAt[i], sc.ckAt[i] = sc.lastRT, sc.lastNC, sc.lastCK
+		}
 		if !ok {
 			// A diverged task still interferes with lower-priority
 			// ones; bound its carry-in pessimistically with R = T so

@@ -173,6 +173,51 @@ func TestLowerPrioritySchedulableAllocFree(t *testing.T) {
 	}
 }
 
+// The incremental order-statistics machinery behind warm probes —
+// shiftFix's component-cache fold and the primed fixpoint that replays
+// the cached chain (heap-backed Eq. 4 carry-in, line replay, component
+// split) — runs O(n) times per admitted delta at massive scale, so a
+// single allocation per call would dominate the delta budget. Both
+// must be allocation-free on a warm scratch.
+func TestOrderStatisticsWarmPathAllocFree(t *testing.T) {
+	ts := &task.Set{
+		Cores: 2,
+		RT: []task.RTTask{
+			{Name: "a", WCET: 2, Period: 10, Deadline: 10, Core: 0, Priority: 0},
+			{Name: "b", WCET: 5, Period: 40, Deadline: 40, Core: 1, Priority: 1},
+		},
+		Security: []task.SecurityTask{
+			{Name: "s0", WCET: 3, MaxPeriod: 300, Priority: 0, Core: -1},
+			{Name: "s1", WCET: 4, MaxPeriod: 400, Priority: 1, Core: -1},
+			{Name: "s2", WCET: 2, MaxPeriod: 500, Priority: 2, Core: -1},
+			{Name: "s3", WCET: 1, MaxPeriod: 600, Priority: 3, Core: -1},
+		},
+	}
+	sys := NewSystem(ts)
+	sec := ts.SecurityByPriority()
+	sc := NewScratch(sys)
+	sc.ensure(len(sec))
+	periods := []task.Time{300, 400, 500, 600}
+	resp := sc.responseTimes(sec, periods, Dominance, nil)
+	e := chainDelta{c: 3, oldP: 300, newP: 290, oldR: resp[0], newR: resp[0] + 1}
+	if avg := testing.AllocsPerRun(200, func() {
+		sc.shiftFix(sec, resp, 1, e)
+	}); avg != 0 {
+		t.Fatalf("shiftFix allocates %.1f objects per fold; want 0", avg)
+	}
+	hp := make([]Interferer, 0, 3)
+	for i := 0; i < 3; i++ {
+		hp = append(hp, Interferer{WCET: sec[i].WCET, Period: periods[i], Resp: resp[i]})
+	}
+	sc.primeHP(hp)
+	cs := sec[3].WCET
+	if avg := testing.AllocsPerRun(200, func() {
+		sc.fixpointPrimed(cs, cs, 600)
+	}); avg != 0 {
+		t.Fatalf("fixpointPrimed allocates %.1f objects per warm call; want 0", avg)
+	}
+}
+
 // SelectPeriods results must be invariant under scratch reuse: a
 // long-lived owner re-priming one workspace across many different
 // systems (the admission engine's pattern) gets the same answers as

@@ -30,23 +30,43 @@ type ScratchPool struct {
 	tiers [scratchTiers]sync.Pool
 }
 
-// scratchTiers is the number of capacity classes: powers of two from
-// scratchTierMin up, with one open-ended top tier.
+// The capacity classes: powers of two from scratchTierMin to
+// scratchTierPow2Max, then scratchTierChunk-wide linear chunks up to
+// scratchTierChunkMax, then one open-ended top tier. The geometric
+// classes keep small analyses from pinning big buffers; the linear
+// chunks keep thousand-task analyses from all colliding in one
+// open-ended tier, where a 2k-task borrower would churn through
+// scratches grown for 6k-task sets (or vice versa, reallocating every
+// buffer on first touch). Past scratchTierChunkMax sizes are rare
+// enough that one shared tier suffices.
 const (
-	scratchTiers   = 7
-	scratchTierMin = 16 // capacity class of tier 0
+	scratchTierMin      = 16   // capacity class of tier 0
+	scratchTierPow2Max  = 1024 // largest power-of-two class
+	scratchTierChunk    = 1024 // width of the linear classes above it
+	scratchTierChunkMax = 8192 // largest chunked class; beyond is open-ended
+
+	// 16..1024 doubling → 7 classes, (1024, 8192] in 1024-wide chunks
+	// → 7 classes, plus the open-ended top tier.
+	scratchTiers = 7 + (scratchTierChunkMax-scratchTierPow2Max)/scratchTierChunk + 1
 )
 
-// scratchTier files a security-band capacity n into its class: the
-// smallest power-of-two class ≥ n, with everything past the top class
-// in the final open-ended tier.
+// scratchTier files a capacity n into its class: the smallest
+// power-of-two class ≥ n, the smallest linear chunk ≥ n above the
+// power-of-two range, or the open-ended top tier.
 func scratchTier(n int) int {
-	limit := scratchTierMin
-	for t := 0; t < scratchTiers-1; t++ {
+	limit, t := scratchTierMin, 0
+	for limit < scratchTierPow2Max {
 		if n <= limit {
 			return t
 		}
 		limit <<= 1
+		t++
+	}
+	if n <= scratchTierPow2Max {
+		return t
+	}
+	if n <= scratchTierChunkMax {
+		return t + 1 + (n-scratchTierPow2Max-1)/scratchTierChunk
 	}
 	return scratchTiers - 1
 }

@@ -16,7 +16,16 @@ func TestScratchTierClasses(t *testing.T) {
 		{17, 1}, {32, 1},
 		{33, 2}, {64, 2},
 		{65, 3}, {128, 3},
-		{1024, 6}, {100000, 6},
+		{513, 6}, {1024, 6},
+		// Linear 1024-wide chunks above the power-of-two range: a
+		// 2k-task scratch and a 6k-task scratch must not share a tier.
+		{1025, 7}, {2048, 7},
+		{2049, 8}, {3072, 8},
+		{8192, 13},
+		{8193, 14}, {100000, 14},
+	}
+	if want := scratchTier(100000); want != scratchTiers-1 {
+		t.Fatalf("open-ended tier index %d != scratchTiers-1 = %d", want, scratchTiers-1)
 	}
 	for _, c := range cases {
 		if got := scratchTier(c.n); got != c.tier {

@@ -1,0 +1,168 @@
+package gen
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hydrac/internal/core"
+	"hydrac/internal/partition"
+	"hydrac/internal/task"
+)
+
+// bandConfig pins per-core task counts so n scales exactly with M —
+// the shape the large-n differential band and the huge-n regression
+// cases draw from.
+func bandConfig(cores, rtPer, secPer int) Config {
+	return Config{
+		Cores:           cores,
+		RTTasksMin:      rtPer * cores,
+		RTTasksMax:      rtPer * cores,
+		SecTasksMin:     secPer * cores,
+		SecTasksMax:     secPer * cores,
+		RTPeriodMin:     10,
+		RTPeriodMax:     1000,
+		SecMaxPeriodMin: 1500,
+		SecMaxPeriodMax: 3000,
+		SecurityShare:   0.30,
+		Groups:          10,
+		SetsPerGroup:    1,
+		Partition:       partition.BestFit,
+		MaxAttempts:     40,
+		TicksPerMS:      10,
+	}
+}
+
+func encodeSet(t *testing.T, ts *task.Set) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := task.Encode(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateAtWorkerCountInvariance pins the determinism contract at
+// large n: GenerateAt(base, g, i) is a pure function of its
+// coordinates, so sharding the items across any number of workers, or
+// walking them in any order, yields byte-identical sets. A shared RNG
+// stream or any draw-order dependence sneaking into the large-n path
+// breaks this immediately.
+func TestGenerateAtWorkerCountInvariance(t *testing.T) {
+	cfg := bandConfig(64, 5, 3)
+	const base = 20260807
+	groups := []int{2, 5}
+	const items = 3
+	type key struct{ g, i int }
+	want := map[key][]byte{}
+	// Serial reference order.
+	for _, g := range groups {
+		for i := 0; i < items; i++ {
+			ts, err := cfg.GenerateAt(base, g, i)
+			if err != nil {
+				t.Fatalf("g=%d i=%d: %v", g, i, err)
+			}
+			if n := len(ts.RT) + len(ts.Security); n != 8*64 {
+				t.Fatalf("g=%d i=%d: n=%d, want %d", g, i, n, 8*64)
+			}
+			want[key{g, i}] = encodeSet(t, ts)
+		}
+	}
+	// Worker-sharded and reversed walk orders must reproduce every set
+	// byte for byte.
+	for _, workers := range []int{2, 5} {
+		for w := 0; w < workers; w++ {
+			for _, g := range groups {
+				for i := w; i < items; i += workers {
+					ts, err := cfg.GenerateAt(base, g, i)
+					if err != nil {
+						t.Fatalf("workers=%d g=%d i=%d: %v", workers, g, i, err)
+					}
+					if !bytes.Equal(want[key{g, i}], encodeSet(t, ts)) {
+						t.Fatalf("workers=%d: item (g=%d, i=%d) differs from the serial draw", workers, g, i)
+					}
+				}
+			}
+		}
+	}
+	for _, g := range groups {
+		for i := items - 1; i >= 0; i-- {
+			ts, err := cfg.GenerateAt(base, g, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want[key{g, i}], encodeSet(t, ts)) {
+				t.Fatalf("reverse walk: item (g=%d, i=%d) differs from the serial draw", g, i)
+			}
+		}
+	}
+}
+
+// TestGenerateLargeUtilizationTargeting asserts the realised
+// normalised utilisation of thousand-task draws lands inside the
+// group's range extended by the acceptance tolerance — integer WCET
+// rounding across ~1000 tasks must not drift the total.
+func TestGenerateLargeUtilizationTargeting(t *testing.T) {
+	cfg := bandConfig(128, 5, 3) // n = 1024
+	tol := 0.005 + 1e-9          // the draw-acceptance default
+	for _, g := range []int{1, 3, 5} {
+		ts, err := cfg.GenerateAt(20260807, g, 0)
+		if err != nil {
+			t.Fatalf("group %d: %v", g, err)
+		}
+		lo, hi := cfg.GroupRange(g)
+		if u := ts.NormalizedUtilization(); u < lo-tol || u > hi+tol {
+			t.Errorf("group %d: normalised utilisation %.5f outside [%.3f, %.3f]±%.3f", g, u, lo, hi, tol)
+		}
+	}
+}
+
+// TestGenerateTickBoundary2p40 drives the generator at a tick
+// resolution that pushes periods to the 2^40-tick boundary
+// (1000 ms × 2^30 ticks/ms ≈ 2^40) and checks nothing overflows: the
+// log-uniform draw, WCET rounding, utilisation accounting, Eq. 1
+// partitioning, and a full period selection on the resulting set all
+// stay in range.
+func TestGenerateTickBoundary2p40(t *testing.T) {
+	cfg := TableThree(2)
+	cfg.TicksPerMS = 1 << 30
+	cfg.MaxAttempts = 60
+	ts, err := cfg.Generate(rand.New(rand.NewSource(42)), 1)
+	if err != nil {
+		t.Fatalf("2^40-tick draw failed: %v", err)
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatalf("invalid set at 2^40 ticks: %v", err)
+	}
+	var maxPeriod task.Time
+	for _, rt := range ts.RT {
+		if rt.Period <= 0 || rt.WCET <= 0 || rt.WCET > rt.Period {
+			t.Fatalf("RT task %s corrupted at 2^40 ticks: C=%d T=%d", rt.Name, rt.WCET, rt.Period)
+		}
+		if rt.Period > maxPeriod {
+			maxPeriod = rt.Period
+		}
+	}
+	for _, s := range ts.Security {
+		if s.MaxPeriod <= 0 || s.WCET <= 0 || s.WCET > s.MaxPeriod {
+			t.Fatalf("security task %s corrupted at 2^40 ticks: C=%d Tmax=%d", s.Name, s.WCET, s.MaxPeriod)
+		}
+		if s.MaxPeriod > maxPeriod {
+			maxPeriod = s.MaxPeriod
+		}
+	}
+	if maxPeriod < 1<<33 {
+		t.Fatalf("largest period %d never approached the boundary; scale wiring broken", maxPeriod)
+	}
+	res, err := core.SelectPeriods(ts, core.Options{})
+	if err != nil {
+		t.Fatalf("selection at 2^40 ticks: %v", err)
+	}
+	if res.Schedulable {
+		for i, p := range res.Periods {
+			if p <= 0 || p > ts.Security[i].MaxPeriod {
+				t.Fatalf("selected period %d for %s out of range at 2^40 ticks", p, ts.Security[i].Name)
+			}
+		}
+	}
+}

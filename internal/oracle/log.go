@@ -1,0 +1,230 @@
+package oracle
+
+import (
+	"fmt"
+
+	"hydrac/internal/task"
+)
+
+// SelectPeriodsLog is Algorithm 1 with Algorithm 2's logarithmic
+// search substituted for the downward creep: per priority level it
+// probes lo = Rs first, then bisects [lo+1, Tmax], exactly mirroring
+// core's logMinPeriod probe order. Every probe still recomputes every
+// affected response time from scratch; the only structural savings
+// over the creep oracle are (a) O(log Tmax) probes per level instead
+// of O(Tmax), and (b) a probe recomputes only priority levels at and
+// below the probed task, because a response time depends only on
+// strictly higher-priority tasks — a fact of Eqs. 5–7, not a cache.
+// No fixpoint, workload, or response value survives from one probe to
+// the next.
+//
+// The pair (SelectPeriods, SelectPeriodsLog) is differentially tested
+// on dense small-set corpora, which independently validates the
+// monotone-feasibility assumption the binary search rests on; the
+// large-n band then runs this variant where the creep is intractable.
+func SelectPeriodsLog(ts *task.Set) (*Result, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	for _, t := range ts.RT {
+		if t.Core < 0 {
+			return nil, fmt.Errorf("RT task %s is not partitioned", t.Name)
+		}
+	}
+	if !rtBandSchedulable(ts) {
+		return nil, fmt.Errorf("RT band is not schedulable under Eq. 1")
+	}
+	sec := securityByPriority(ts)
+	n := len(sec)
+	byCore := rtByCore(ts)
+	periods := make([]task.Time, n)
+	for i, s := range sec {
+		periods[i] = s.MaxPeriod
+	}
+	resp := responseTimes(ts, sec, periods)
+	for i, s := range sec {
+		if resp[i] > s.MaxPeriod {
+			return &Result{Schedulable: false}, nil
+		}
+	}
+	base := make([]task.Time, n)
+	scratch := make([]task.Time, n)
+	probe := make([]task.Time, n)
+	for i := 0; i < n; i++ {
+		// Responses under the current state (stars above, Tmax at and
+		// below level i). The prefix base[:i] is still valid from the
+		// previous level — those tasks see only higher-priority
+		// interference, which level i's fix did not touch.
+		responseTimesFrom(ts, byCore, sec, periods, base, i)
+		lo, hi := base[i], sec[i].MaxPeriod
+		star := hi
+		if feasibleFrom(ts, byCore, sec, periods, base, scratch, probe, i, lo) {
+			star = lo
+		} else {
+			l, h := lo+1, hi
+			for l <= h {
+				mid := (l + h) / 2
+				if feasibleFrom(ts, byCore, sec, periods, base, scratch, probe, i, mid) {
+					if mid < star {
+						star = mid
+					}
+					h = mid - 1
+				} else {
+					l = mid + 1
+				}
+			}
+		}
+		periods[i] = star
+	}
+	resp = responseTimes(ts, sec, periods)
+	out := &Result{Schedulable: true, Periods: make([]task.Time, n), Resp: make([]task.Time, n)}
+	for i, s := range sec {
+		for j := range ts.Security {
+			if ts.Security[j].Name == s.Name {
+				out.Periods[j] = periods[i]
+				out.Resp[j] = resp[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// feasibleFrom is Algorithm 2 line 5 with sec[i]'s period set to cand:
+// recompute every response at and below level i from scratch (levels
+// above are independent of the probe and come from base) and require
+// Rj ≤ Tmax for every lower-priority task. The scan stops at the first
+// violation — tasks below it cannot change the verdict.
+func feasibleFrom(ts *task.Set, byCore [][]task.RTTask, sec []task.SecurityTask, periods, base, scratch, probe []task.Time, i int, cand task.Time) bool {
+	n := len(sec)
+	copy(probe, periods)
+	probe[i] = cand
+	copy(scratch[:i], base[:i])
+	for j := i; j < n; j++ {
+		r, ok := migratingWCRT(ts, byCore, sec, probe, scratch, j)
+		if !ok {
+			r = task.Infinity
+		}
+		scratch[j] = r
+		if j > i && r > sec[j].MaxPeriod {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifySelection cross-checks a claimed period selection (in
+// ts.Security order, as core.Result reports it) against from-scratch
+// recomputation with this package's restated equations. It asserts:
+//
+//  1. the schedulability verdict matches feasibility at Tmax
+//     (including MaxFixpointIterations budget divergence, which the
+//     restated fixpoint reproduces literally);
+//  2. for a schedulable claim, the response vector recomputed from
+//     scratch under the claimed periods is bit-identical to the
+//     claimed one and every response meets its Tmax;
+//  3. for every stride-th priority level i (plus the first and last),
+//     the claimed period satisfies Algorithm 1's stopping condition:
+//     with higher-priority periods fixed at their claimed values and
+//     i..n still at Tmax, the probe at the claimed star is feasible
+//     and — unless star equals the level's response lower bound — the
+//     probe at star−1 is infeasible.
+//
+// Condition 3 is the local characterisation of the downward creep's
+// stopping point; under the monotone-feasibility property (validated
+// independently by the creep-vs-binary-search differential tests on
+// dense small-set corpora) it pins the selection uniquely, at two
+// from-scratch probes per sampled level instead of the creep's
+// O(Tmax). stride ≤ 1 checks every level.
+func VerifySelection(ts *task.Set, schedulable bool, claimedPeriods, claimedResp []task.Time, stride int) error {
+	if err := ts.Validate(); err != nil {
+		return err
+	}
+	if !rtBandSchedulable(ts) {
+		return fmt.Errorf("oracle: RT band is not schedulable under Eq. 1")
+	}
+	sec := securityByPriority(ts)
+	n := len(sec)
+	byCore := rtByCore(ts)
+	atTmax := make([]task.Time, n)
+	for i, s := range sec {
+		atTmax[i] = s.MaxPeriod
+	}
+	resp := responseTimes(ts, sec, atTmax)
+	feasible := true
+	for i, s := range sec {
+		if resp[i] > s.MaxPeriod {
+			feasible = false
+			break
+		}
+	}
+	if feasible != schedulable {
+		return fmt.Errorf("oracle: claimed schedulable=%v but from-scratch feasibility at Tmax is %v", schedulable, feasible)
+	}
+	if !schedulable {
+		return nil
+	}
+	if len(claimedPeriods) != n || len(claimedResp) != n {
+		return fmt.Errorf("oracle: claimed vectors have length %d/%d, want %d", len(claimedPeriods), len(claimedResp), n)
+	}
+	// Map the claim (ts.Security order) into priority order.
+	periods := make([]task.Time, n)
+	wantResp := make([]task.Time, n)
+	byName := make(map[string]int, n)
+	for j := range ts.Security {
+		byName[ts.Security[j].Name] = j
+	}
+	for i, s := range sec {
+		j, ok := byName[s.Name]
+		if !ok {
+			return fmt.Errorf("oracle: security task %s missing from claim", s.Name)
+		}
+		periods[i] = claimedPeriods[j]
+		wantResp[i] = claimedResp[j]
+	}
+	// (2) Bit-identical responses under the claimed periods.
+	resp = responseTimes(ts, sec, periods)
+	for i, s := range sec {
+		if resp[i] != wantResp[i] {
+			return fmt.Errorf("oracle: %s: from-scratch response %d != claimed %d", s.Name, resp[i], wantResp[i])
+		}
+		if resp[i] > s.MaxPeriod {
+			return fmt.Errorf("oracle: %s: claimed selection infeasible, R=%d > Tmax=%d", s.Name, resp[i], s.MaxPeriod)
+		}
+		if periods[i] < 1 || periods[i] > s.MaxPeriod {
+			return fmt.Errorf("oracle: %s: claimed period %d outside (0, %d]", s.Name, periods[i], s.MaxPeriod)
+		}
+	}
+	// (3) Stride-sampled stopping condition per priority level. The
+	// level's lower bound lo is resp[i] itself: at the moment Algorithm
+	// 1 scans level i the tasks above already hold their final periods,
+	// and a response depends only on strictly higher-priority tasks.
+	if stride < 1 {
+		stride = 1
+	}
+	probeBase := make([]task.Time, n)
+	scratch := make([]task.Time, n)
+	probe := make([]task.Time, n)
+	for i := 0; i < n; i++ {
+		if i%stride != 0 && i != n-1 {
+			continue
+		}
+		// Algorithm 1's state when scanning level i: levels above fixed
+		// at their stars, level i and below still at Tmax.
+		copy(probeBase[:i], periods[:i])
+		for j := i; j < n; j++ {
+			probeBase[j] = sec[j].MaxPeriod
+		}
+		lo := resp[i]
+		star := periods[i]
+		if star < lo {
+			return fmt.Errorf("oracle: %s: claimed period %d below the level's response lower bound %d", sec[i].Name, star, lo)
+		}
+		if !feasibleFrom(ts, byCore, sec, probeBase, resp, scratch, probe, i, star) {
+			return fmt.Errorf("oracle: %s: probe at claimed period %d is infeasible", sec[i].Name, star)
+		}
+		if star > lo && feasibleFrom(ts, byCore, sec, probeBase, resp, scratch, probe, i, star-1) {
+			return fmt.Errorf("oracle: %s: claimed period %d is not minimal, %d also feasible", sec[i].Name, star, star-1)
+		}
+	}
+	return nil
+}

@@ -105,6 +105,18 @@ func feasibleWith(ts *task.Set, sec []task.SecurityTask, periods []task.Time, i 
 	return true
 }
 
+// rtByCore groups the RT band by its core assignment, so each Ω
+// evaluation reads every RT task once instead of rescanning the whole
+// band per core. This is a data-layout transcription of Eq. 3's
+// per-core sums, not memoization: nothing computed is cached.
+func rtByCore(ts *task.Set) [][]task.RTTask {
+	byCore := make([][]task.RTTask, ts.Cores)
+	for _, rt := range ts.RT {
+		byCore[rt.Core] = append(byCore[rt.Core], rt)
+	}
+	return byCore
+}
+
 // responseTimes computes the WCRT of every security task top-down
 // under the given period vector (priority order), Eqs. 6–8 with the
 // dominance carry-in bound. A task whose fixpoint diverges past its
@@ -112,20 +124,28 @@ func feasibleWith(ts *task.Set, sec []task.SecurityTask, periods []task.Time, i 
 // R = T bound, exactly as §4.4 prescribes.
 func responseTimes(ts *task.Set, sec []task.SecurityTask, periods []task.Time) []task.Time {
 	resp := make([]task.Time, len(sec))
-	for i := range sec {
-		r, ok := migratingWCRT(ts, sec, periods, resp, i)
+	responseTimesFrom(ts, rtByCore(ts), sec, periods, resp, 0)
+	return resp
+}
+
+// responseTimesFrom fills resp[from:] top-down, trusting resp[:from]
+// as the already-computed higher-priority responses. Response times
+// depend only on strictly higher-priority tasks, so recomputation
+// below a probe point never needs to revisit the prefix.
+func responseTimesFrom(ts *task.Set, byCore [][]task.RTTask, sec []task.SecurityTask, periods, resp []task.Time, from int) {
+	for i := from; i < len(sec); i++ {
+		r, ok := migratingWCRT(ts, byCore, sec, periods, resp, i)
 		if !ok {
 			r = task.Infinity
 		}
 		resp[i] = r
 	}
-	return resp
 }
 
 // migratingWCRT is the Eq. 7 fixpoint x ← ⌊Ω(x)/M⌋ + Cs for sec[i],
 // with interference from the partitioned RT band (Eq. 3) and the
 // higher-priority migrating tasks (Eq. 5, dominance carry-in).
-func migratingWCRT(ts *task.Set, sec []task.SecurityTask, periods, resp []task.Time, i int) (task.Time, bool) {
+func migratingWCRT(ts *task.Set, byCore [][]task.RTTask, sec []task.SecurityTask, periods, resp []task.Time, i int) (task.Time, bool) {
 	cs := sec[i].WCET
 	limit := sec[i].MaxPeriod
 	if cs > limit {
@@ -137,7 +157,7 @@ func migratingWCRT(ts *task.Set, sec []task.SecurityTask, periods, resp []task.T
 	// refinements counts as divergence), restated here literally so
 	// the oracle stays import-free of the code it checks.
 	for iter := 0; iter < 1<<22; iter++ {
-		next := omega(ts, sec, periods, resp, i, x)/task.Time(ts.Cores) + cs
+		next := omega(ts, byCore, sec, periods, resp, i, x)/task.Time(ts.Cores) + cs
 		if next == x {
 			return x, true
 		}
@@ -152,15 +172,13 @@ func migratingWCRT(ts *task.Set, sec []task.SecurityTask, periods, resp []task.T
 // omega is Eq. 6: RT interference per core plus migrating
 // interference, the at-most-(M−1) carry-in set chosen by dominance
 // (largest positive CI−NC differences).
-func omega(ts *task.Set, sec []task.SecurityTask, periods, resp []task.Time, i int, x task.Time) task.Time {
+func omega(ts *task.Set, byCore [][]task.RTTask, sec []task.SecurityTask, periods, resp []task.Time, i int, x task.Time) task.Time {
 	cs := sec[i].WCET
 	var total task.Time
 	for m := 0; m < ts.Cores; m++ {
 		var w task.Time
-		for _, rt := range ts.RT {
-			if rt.Core == m {
-				w += workloadNC(x, rt.WCET, rt.Period)
-			}
+		for _, rt := range byCore[m] {
+			w += workloadNC(x, rt.WCET, rt.Period)
 		}
 		total += clamp(w, x, cs)
 	}

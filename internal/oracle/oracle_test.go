@@ -88,6 +88,14 @@ func TestDifferentialOracle(t *testing.T) {
 					t.Fatalf("cores=%d g=%d i=%d: oracle failed: %v", cores, g, i, err)
 				}
 				sameResult(t, "naive oracle", cold, ora.Schedulable, ora.Periods, ora.Resp)
+				logOra, err := oracle.SelectPeriodsLog(ts)
+				if err != nil {
+					t.Fatalf("cores=%d g=%d i=%d: binary-search oracle failed: %v", cores, g, i, err)
+				}
+				sameResult(t, "binary-search oracle", cold, logOra.Schedulable, logOra.Periods, logOra.Resp)
+				if err := oracle.VerifySelection(ts, cold.Schedulable, cold.Periods, cold.Resp, 1); err != nil {
+					t.Fatalf("cores=%d g=%d i=%d: from-scratch verifier rejected the kernel: %v", cores, g, i, err)
+				}
 				if !cold.Schedulable {
 					unschedulable++
 				}

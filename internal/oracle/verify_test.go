@@ -1,0 +1,71 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"hydrac/internal/core"
+	"hydrac/internal/oracle"
+	"hydrac/internal/task"
+)
+
+// TestVerifySelectionScreams feeds the from-scratch verifier perturbed
+// claims and requires a rejection for every one — a verifier that
+// accepts everything would make the large-n band vacuous.
+func TestVerifySelectionScreams(t *testing.T) {
+	cfg := smallConfig(2)
+	const seedBase = 20260807
+	checked := 0
+	for g := 0; g < cfg.Groups && checked < 12; g++ {
+		for i := 0; i < 20 && checked < 12; i++ {
+			ts, err := cfg.GenerateAt(seedBase, g, i)
+			if err != nil {
+				continue
+			}
+			cold, err := core.SelectPeriods(ts, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := oracle.VerifySelection(ts, cold.Schedulable, cold.Periods, cold.Resp, 1); err != nil {
+				t.Fatalf("verifier rejected an honest claim: %v", err)
+			}
+			// Flipped verdict must always be caught.
+			if err := oracle.VerifySelection(ts, !cold.Schedulable, cold.Periods, cold.Resp, 1); err == nil {
+				t.Fatal("verifier accepted a flipped schedulability verdict")
+			}
+			if !cold.Schedulable {
+				continue
+			}
+			for j := range cold.Periods {
+				perturb := func(dp, dr task.Time) error {
+					p := append([]task.Time(nil), cold.Periods...)
+					r := append([]task.Time(nil), cold.Resp...)
+					p[j] += dp
+					r[j] += dr
+					return oracle.VerifySelection(ts, true, p, r, 1)
+				}
+				if err := perturb(0, 1); err == nil {
+					t.Fatalf("verifier accepted resp[%d]+1", j)
+				}
+				if cold.Periods[j] > cold.Resp[j] {
+					if err := perturb(-1, 0); err == nil {
+						t.Fatalf("verifier accepted periods[%d]-1", j)
+					}
+				}
+				s := secByName(ts, j)
+				if cold.Periods[j] < s.MaxPeriod {
+					if err := perturb(1, 0); err == nil {
+						t.Fatalf("verifier accepted periods[%d]+1 (non-minimal claim)", j)
+					}
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no schedulable set with perturbable levels found")
+	}
+}
+
+func secByName(ts *task.Set, j int) task.SecurityTask {
+	return ts.Security[j]
+}

@@ -37,6 +37,12 @@ const (
 	// GoalAllocs gates allocations per operation of a Go benchmark
 	// (lower is better); gobench cases only.
 	GoalAllocs Goal = "allocs"
+	// GoalNsPerOp gates wall time per operation of a Go benchmark
+	// (lower is better); gobench cases only. The path for kernel-level
+	// time budgets that have no HTTP observable — e.g. the massive-
+	// scale corpus entries, whose per-request cost would blow a load
+	// profile's measurement window.
+	GoalNsPerOp Goal = "nsop"
 )
 
 // HigherIsBetter reports the goal's good direction.
@@ -51,6 +57,8 @@ func (g Goal) Metric() (name, unit string) {
 		return "p99_ms", "ms"
 	case GoalAllocs:
 		return "allocs_per_op", "allocs/op"
+	case GoalNsPerOp:
+		return "ns_per_op", "ns/op"
 	}
 	return string(g), ""
 }
@@ -448,14 +456,14 @@ func (c *Case) validate() error {
 		if c.Profile.Kind != KindLoad {
 			return fmt.Errorf("goal %s requires a load profile", c.Experiment.Goal)
 		}
-	case GoalAllocs:
+	case GoalAllocs, GoalNsPerOp:
 		if c.Profile.Kind != KindGobench {
-			return fmt.Errorf("goal allocs requires a gobench profile (allocations are not observable over HTTP)")
+			return fmt.Errorf("goal %s requires a gobench profile (per-op metrics are not observable over HTTP)", c.Experiment.Goal)
 		}
 	case "":
-		return fmt.Errorf("experiment.yaml must name an optimization_goal (throughput, p99 or allocs)")
+		return fmt.Errorf("experiment.yaml must name an optimization_goal (throughput, p99, allocs or nsop)")
 	default:
-		return fmt.Errorf("unknown optimization_goal %q (want throughput, p99 or allocs)", c.Experiment.Goal)
+		return fmt.Errorf("unknown optimization_goal %q (want throughput, p99, allocs or nsop)", c.Experiment.Goal)
 	}
 	if c.Experiment.Tolerance < 0 || c.Experiment.Tolerance >= 1 {
 		return fmt.Errorf("tolerance %v out of range [0, 1)", c.Experiment.Tolerance)

@@ -86,6 +86,7 @@ func TestLoadCasesRejectsBadConfigs(t *testing.T) {
 		name, profile, experiment, wantErr string
 	}{
 		{"goal-kind-mismatch", validLoadProfile, "optimization_goal: allocs\n", "gobench"},
+		{"nsop-kind-mismatch", validLoadProfile, "optimization_goal: nsop\n", "gobench"},
 		{"no-goal", validLoadProfile, "tolerance: 0.1\n", "optimization_goal"},
 		{"bad-goal", validLoadProfile, "optimization_goal: speed\n", "unknown optimization_goal"},
 		{"bad-tolerance", validLoadProfile, "optimization_goal: p99\ntolerance: 1.5\n", "tolerance"},

@@ -127,8 +127,18 @@ func (r *Runner) RunCase(c Case) CaseResult {
 			}
 			bins[s.Name] = bin
 		}
+		_, unit := c.Experiment.Goal.Metric()
 		sample = func(s *Side) (float64, error) {
-			return gobenchSample(bins[s.Name], s.TreeDir, c.Profile)
+			v, err := gobenchSample(bins[s.Name], s.TreeDir, c.Profile, unit)
+			if err != nil && errors.Is(err, errNoBenchMatch) && s == &r.Base {
+				// The bench was added in this PR inside a pre-existing
+				// package, so the base binary builds but has nothing to
+				// run. Skip — the gate self-heals once the bench reaches
+				// the merge-base. A head-side miss stays a hard failure:
+				// the head tree must always contain its own benches.
+				return 0, fmt.Errorf("%w: %v", ErrUnsupported, err)
+			}
+			return v, err
 		}
 	default:
 		return fail(fmt.Errorf("unknown case kind %q", c.Profile.Kind))
@@ -226,9 +236,14 @@ func buildTestBinary(tree, pkg, out string) error {
 // "BenchmarkAnalyzeCold-8  100  488986 ns/op  14448 B/op  88 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
+// errNoBenchMatch reports a bench regexp that selected nothing in a
+// side's test binary.
+var errNoBenchMatch = errors.New("no benchmark matched")
+
 // gobenchSample runs one -count=1 iteration of the profile's
-// benchmark and returns the mean allocs/op across matched benchmarks.
-func gobenchSample(bin, dir string, p Profile) (float64, error) {
+// benchmark and returns the mean of the requested per-op unit
+// ("allocs/op" or "ns/op") across matched benchmarks.
+func gobenchSample(bin, dir string, p Profile, unit string) (float64, error) {
 	cmd := exec.Command(bin,
 		"-test.run", "^$",
 		"-test.bench", p.Bench,
@@ -249,10 +264,10 @@ func gobenchSample(bin, dir string, p Profile) (float64, error) {
 		}
 		fields := strings.Fields(m[2])
 		for i := 0; i+1 < len(fields); i++ {
-			if fields[i+1] == "allocs/op" {
+			if fields[i+1] == unit {
 				v, err := strconv.ParseFloat(fields[i], 64)
 				if err != nil {
-					return 0, fmt.Errorf("parsing allocs/op from %q: %w", line, err)
+					return 0, fmt.Errorf("parsing %s from %q: %w", unit, line, err)
 				}
 				sum += v
 				count++
@@ -260,7 +275,7 @@ func gobenchSample(bin, dir string, p Profile) (float64, error) {
 		}
 	}
 	if count == 0 {
-		return 0, fmt.Errorf("no benchmark matched %q (output: %s)", p.Bench, firstLines(string(out), 3))
+		return 0, fmt.Errorf("%w %q (output: %s)", errNoBenchMatch, p.Bench, firstLines(string(out), 3))
 	}
 	return sum / float64(count), nil
 }

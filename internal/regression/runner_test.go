@@ -1,6 +1,7 @@
 package regression
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -125,19 +126,30 @@ BenchmarkAnalyzeCold-8   	     100	    488986 ns/op	   14448 B/op	      88 alloc
 BenchmarkAnalyzeCold50-8 	     100	    923411 ns/op	   20000 B/op	     112 allocs/op
 PASS
 `)
-	got, err := gobenchSample(bin, t.TempDir(), Profile{Bench: "BenchmarkAnalyzeCold", Benchtime: "100x"})
+	got, err := gobenchSample(bin, t.TempDir(), Profile{Bench: "BenchmarkAnalyzeCold", Benchtime: "100x"}, "allocs/op")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := 100.0; got != want { // mean of 88 and 112
 		t.Fatalf("allocs/op = %v, want %v", got, want)
 	}
+	ns, err := gobenchSample(bin, t.TempDir(), Profile{Bench: "BenchmarkAnalyzeCold", Benchtime: "100x"}, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 706198.5; ns != want { // mean of 488986 and 923411 (the fake prints both)
+		t.Fatalf("ns/op = %v, want %v", ns, want)
+	}
 }
 
 func TestGobenchSampleNoMatch(t *testing.T) {
 	bin := fakeBench(t, "PASS\n")
-	if _, err := gobenchSample(bin, t.TempDir(), Profile{Bench: "BenchmarkNope", Benchtime: "1x"}); err == nil {
+	_, err := gobenchSample(bin, t.TempDir(), Profile{Bench: "BenchmarkNope", Benchtime: "1x"}, "allocs/op")
+	if err == nil {
 		t.Fatal("no matching benchmark must be an error, not a silent zero")
+	}
+	if !errors.Is(err, errNoBenchMatch) {
+		t.Fatalf("no-match error %v does not carry the sentinel the base-skip path keys on", err)
 	}
 }
 

@@ -2,16 +2,53 @@ package task
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 )
+
+// maxFuzzBytes is the explicit input cap of the codec fuzz surfaces.
+// Both decoders are linear in the input, so the cap is not protecting
+// against blowup inside the repo — it keeps the fuzzer's budget on
+// structural mutations instead of ever-larger copies of the same
+// shape, and it states the bound explicitly instead of relying on the
+// engine's per-exec timeout. 1 MiB comfortably covers the n=1000 seed
+// (~100 KiB) with room for the fuzzer to grow it.
+const maxFuzzBytes = 1 << 20
+
+// hugeSeedSet encodes a 1000-task / 64-core set (600 RT + 400
+// security) — the massive-scale shape the kernel now targets — so the
+// round-trip property is fuzzed at depth, not just on toy sets.
+func hugeSeedSet(f *testing.F) []byte {
+	f.Helper()
+	ts := &Set{Cores: 64}
+	for i := 0; i < 600; i++ {
+		p := Time(100 + (i%64)*10)
+		ts.RT = append(ts.RT, RTTask{
+			Name: fmt.Sprintf("rt%03d", i), WCET: 1, Period: p, Deadline: p,
+			Core: i % 64, Priority: i,
+		})
+	}
+	for i := 0; i < 400; i++ {
+		ts.Security = append(ts.Security, SecurityTask{
+			Name: fmt.Sprintf("sec%03d", i), WCET: 1, MaxPeriod: Time(15000 + i),
+			Core: -1, Priority: i,
+		})
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, ts); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
 
 // FuzzTaskSetRoundTrip drives the decode → validate → encode → decode
 // cycle of the task-set file format with mutated inputs. Decode
 // rejects (error return) or accepts; every accepted set must validate,
 // re-encode, decode again to a deeply equal set, and keep its
 // canonical Hash — the cache key of the whole service stack — stable
-// across the trip. Seed corpus: testdata/fuzz/FuzzTaskSetRoundTrip.
+// across the trip. Seed corpus: testdata/fuzz/FuzzTaskSetRoundTrip
+// plus the generated n=1000 seed below.
 func FuzzTaskSetRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"cores": 2,
 		"rt_tasks": [{"name": "rt0", "wcet": 2, "period": 20, "core": 0}],
@@ -22,7 +59,11 @@ func FuzzTaskSetRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"cores": 4, "rt_tasks": [], "security_tasks": []}`))
 	f.Add([]byte(`{"cores": 2, "security_tasks": [{"name": "s", "wcet": 1, "max_period": 4611686018427387903}]}`))
 	f.Add([]byte(`not json`))
+	f.Add(hugeSeedSet(f))
 	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxFuzzBytes {
+			t.Skip("over the explicit input cap")
+		}
 		ts, err := Decode(bytes.NewReader(data))
 		if err != nil {
 			return // rejected input is fine; panics are not
@@ -43,6 +84,54 @@ func FuzzTaskSetRoundTrip(f *testing.F) {
 		}
 		if ts.Hash() != ts2.Hash() {
 			t.Fatalf("round trip changed the canonical hash")
+		}
+	})
+}
+
+// FuzzDeltaRoundTrip covers the admission wire surface: the delta
+// codec behind /v1/session/<id>/admit and `hydrac admit`. DecodeDelta
+// must reject or accept without panicking, and every accepted delta
+// must survive EncodeDelta → DecodeDelta deeply equal — the property
+// the WAL replay and the engine's delta log rely on. Seeds include a
+// 1000-entry delta so the thousand-task admission path is fuzzed at
+// the size the massive-scale engine actually serves.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"remove": ["old_mon"],
+		"add_security": [{"name": "s", "wcet": 1, "max_period": 100, "priority": 3}]}`))
+	f.Add([]byte(`{"add_rt": [{"name": "r", "wcet": 1, "period": 10, "priority": 0, "core": 1}]}`))
+	f.Add([]byte(`{"add_security": [{"name": "s", "wcet": 1, "max_period": 100}]}`)) // missing priority: must reject
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	var huge bytes.Buffer
+	d := &Delta{}
+	for i := 0; i < 1000; i++ {
+		d.AddSecurity = append(d.AddSecurity, SecurityTask{
+			Name: fmt.Sprintf("mon%04d", i), WCET: 1, MaxPeriod: Time(20000 + i),
+			Core: -1, Priority: i,
+		})
+	}
+	if err := EncodeDelta(&huge, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(huge.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxFuzzBytes {
+			t.Skip("over the explicit input cap")
+		}
+		d, err := DecodeDelta(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeDelta(&buf, d); err != nil {
+			t.Fatalf("EncodeDelta failed on a decoded delta: %v", err)
+		}
+		d2, err := DecodeDelta(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-DecodeDelta failed: %v\nencoded: %s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("round trip changed the delta:\n got %+v\nwant %+v", d2, d)
 		}
 	})
 }

@@ -1,0 +1,90 @@
+//go:build ignore
+
+// genhugecorpus regenerates the two large-scale golden corpus inputs:
+//
+//	testdata/corpus/huge-schedulable.json   (~1k tasks / 64 cores, schedulable)
+//	testdata/corpus/huge-overload.json      (~2k tasks / 128 cores, unschedulable)
+//
+// The draws are pinned by (base seed, group, index), so this program
+// reproduces the exact same files on every run; after regenerating,
+// refresh the goldens with `go test -run TestCorpusGolden -update-golden .`.
+//
+//	go run scripts/genhugecorpus.go
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"hydrac/internal/core"
+	"hydrac/internal/gen"
+	"hydrac/internal/partition"
+	"hydrac/internal/task"
+)
+
+func bandConfig(cores, rtPer, secPer int) gen.Config {
+	return gen.Config{
+		Cores:           cores,
+		RTTasksMin:      rtPer * cores,
+		RTTasksMax:      rtPer * cores,
+		SecTasksMin:     secPer * cores,
+		SecTasksMax:     secPer * cores,
+		RTPeriodMin:     10,
+		RTPeriodMax:     1000,
+		SecMaxPeriodMin: 1500,
+		SecMaxPeriodMax: 3000,
+		SecurityShare:   0.30,
+		Groups:          10,
+		SetsPerGroup:    1,
+		Partition:       partition.BestFit,
+		MaxAttempts:     40,
+		TicksPerMS:      10,
+	}
+}
+
+const seedBase = 20260807
+
+func main() {
+	emit("testdata/corpus/huge-schedulable.json", bandConfig(64, 10, 6), 3, true,
+		"~1k tasks on 64 cores at mid utilisation; pins the large-scale schedulable path")
+	emit("testdata/corpus/huge-overload.json", bandConfig(128, 10, 6), 8, false,
+		"~2k tasks on 128 cores near overload; pins the large-scale unschedulable path")
+}
+
+func emit(path string, cfg gen.Config, group int, wantSchedulable bool, note string) {
+	for i := 0; i < 50; i++ {
+		ts, err := cfg.GenerateAt(seedBase, group, i)
+		if err != nil {
+			continue
+		}
+		t0 := time.Now()
+		res, err := core.SelectPeriods(ts, core.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: draw (g=%d,i=%d) failed analysis: %v\n", path, group, i, err)
+			continue
+		}
+		dur := time.Since(t0)
+		if res.Schedulable != wantSchedulable {
+			fmt.Printf("%s: draw (g=%d,i=%d) schedulable=%v (want %v), cold=%v — skipping\n",
+				path, group, i, res.Schedulable, wantSchedulable, dur)
+			continue
+		}
+		_ = note // the file format carries no meta through task.Encode; the note lives here
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := task.Encode(f, ts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("%s: n=%d (rt=%d sec=%d) cores=%d schedulable=%v cold=%v (g=%d,i=%d)\n",
+			path, len(ts.RT)+len(ts.Security), len(ts.RT), len(ts.Security), ts.Cores, res.Schedulable, dur, group, i)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: no suitable draw found\n", path)
+	os.Exit(1)
+}
