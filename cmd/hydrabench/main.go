@@ -10,6 +10,7 @@
 //
 //	hydrabench [-url http://HOST:PORT] [-set file.json]
 //	           [-c 1,4,16] [-d 2s] [-endpoint /v1/analyze] [-out -]
+//	           [-retries N]
 //
 // Without -url, hydrabench serves the real hydrad handler
 // (internal/hydradhttp) over httptest and loads that — a
@@ -62,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	endpoint := fs.String("endpoint", "/v1/analyze", "path to load")
 	outPath := fs.String("out", "-", "write the JSON results here (- for stdout)")
 	cache := fs.Int("cache", 1024, "report cache size of the in-process handler (ignored with -url)")
+	retries := fs.Int("retries", 0, "per-request retry budget (backoff + Retry-After, via internal/hydraclient); 0 fires each request once")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -119,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Levels:   []int{c},
 			Duration: *dur,
 			Client:   client,
+			Retries:  *retries,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "hydrabench:", err)
@@ -126,8 +129,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		doc.Levels = append(doc.Levels, res[0])
 		r := res[0]
-		fmt.Fprintf(stderr, "hydrabench: c=%d  %0.f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms  (%d requests, %d errors)\n",
-			c, r.RPS, r.P50MS, r.P95MS, r.P99MS, r.Requests, r.Errors)
+		fmt.Fprintf(stderr, "hydrabench: c=%d  %0.f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms  (%d requests, %d shed, %d errors)\n",
+			c, r.RPS, r.P50MS, r.P95MS, r.P99MS, r.Requests, r.Shed, r.Errors)
 	}
 
 	out := stdout

@@ -10,6 +10,8 @@
 //	hydrad [-addr HOST:PORT] [-cache N] [-heuristic H]
 //	       [-baselines hydra,global-tmax,...] [-sim-horizon N] [-sim-seed S]
 //	       [-data-dir DIR] [-wal-sync=BOOL] [-compact-every N]
+//	       [-max-inflight N] [-max-queue N] [-queue-wait D] [-request-timeout D]
+//	       [-read-timeout D] [-write-timeout D] [-idle-timeout D]
 //	       [-pprof HOST:PORT]
 //
 // -pprof exposes net/http/pprof on a SEPARATE listener restricted to
@@ -34,7 +36,12 @@
 // input, 404 for unknown sessions, 405 for wrong methods, 413 for
 // oversized bodies, 422 for sets or deltas the pipeline rejects (an
 // RT band that is infeasible under Eq. 1 or that no heuristic can
-// place, a delta naming an unknown task). An unschedulable *security*
+// place, a delta naming an unknown task), 429 with Retry-After when
+// the admission gate (-max-inflight) sheds an over-capacity request,
+// and 503 with Retry-After when a request deadline (-request-timeout)
+// expires or the storage tier is degraded (reads still work; mutations
+// are rejected until the background probe re-arms the session).
+// An unschedulable *security*
 // band is NOT an error — the report says so; on the admit endpoint a
 // "schedulable": false report means the delta was DENIED and the
 // session state is unchanged (removal-only deltas always commit).
@@ -88,6 +95,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baselines := fs.String("baselines", "", "comma-separated baseline schemes to attach to every report (hydra, hydra-aggressive, hydra-tmax, global-tmax)")
 	simHorizon := fs.Int64("sim-horizon", 0, "when positive, simulate every admitted set for this many ticks")
 	simSeed := fs.Int64("sim-seed", 0, "seed for the simulation's jitter/variation randomness")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing requests; 0 disables the admission gate")
+	maxQueue := fs.Int("max-queue", 64, "max requests waiting for a slot beyond -max-inflight; excess is shed with 429 (only meaningful with -max-inflight)")
+	queueWait := fs.Duration("queue-wait", hydradhttp.DefaultQueueWait, "longest a queued request waits for a slot before a 429 (only meaningful with -max-inflight)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request deadline; expiry answers 503 (0 disables)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: max time to read a full request (0 disables)")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout: max time from end-of-read to end-of-write (0 disables)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: max keep-alive idle time (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -105,6 +119,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	summary["sessions"] = *sessions
+	if *maxInflight > 0 {
+		summary["max_inflight"] = *maxInflight
+	}
 
 	logf := func(format string, args ...any) { fmt.Fprintf(stderr, "hydrad: "+format+"\n", args...) }
 	var st *store.Store
@@ -151,14 +168,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	srv := &http.Server{
 		Handler: hydradhttp.NewHandler(hydradhttp.Config{
-			Analyzer:    a,
-			Summary:     summary,
-			MaxSessions: *sessions,
-			CacheSize:   *cacheSize,
-			Store:       st,
-			Logf:        logf,
+			Analyzer:       a,
+			Summary:        summary,
+			MaxSessions:    *sessions,
+			CacheSize:      *cacheSize,
+			Store:          st,
+			Logf:           logf,
+			MaxInflight:    *maxInflight,
+			MaxQueue:       *maxQueue,
+			QueueWait:      *queueWait,
+			RequestTimeout: *requestTimeout,
 		}),
+		// Server-side timeouts bound how long a slow (or hostile)
+		// client can hold a connection at every stage of its life:
+		// header read, full-request read, response write, keep-alive
+		// idle. Without them one slowloris peer pins a goroutine and
+		// an fd forever.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,23 @@
+// Package chaos holds the fault-injection test suite for the hydrad
+// service stack: scripted filesystem faults (internal/faultfs) against
+// the durable session tier (internal/store + internal/wal) and HTTP
+// overload scenarios against the daemon handler (internal/hydradhttp).
+//
+// The suite has no non-test code — this file exists so the scenarios
+// have a documented home. Each scenario asserts the two robustness
+// invariants the stack promises:
+//
+//  1. No committed-delta loss: every acknowledged admission survives
+//     any injected fault or crash, and recovery is bit-identical to an
+//     uninterrupted session over the same committed history.
+//  2. Graceful degradation, never corruption: storage faults flip
+//     sessions into read-only mode (503 with Retry-After at the HTTP
+//     layer, ErrDegraded at the store layer) and a probe re-arms them
+//     once the fault clears; overload sheds with 429, it does not
+//     queue unboundedly or 500.
+//
+// Scenarios: fsync failure then recovery, ENOSPC during compaction,
+// overload while degraded, and abrupt kill (no Close) under concurrent
+// load with a torn final write. The process-level sibling — kill -9 of
+// a real hydrad under hydrabench load — runs in CI's chaos job.
+package chaos

@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hydrac"
+	"hydrac/internal/faultfs"
+	"hydrac/internal/hydradhttp"
+	"hydrac/internal/store"
+)
+
+func deltaBytes(t *testing.T, d hydrac.Delta) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := hydrac.EncodeDelta(&buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// post sends body and returns status, the Retry-After header, and the
+// drained response body.
+func post(t *testing.T, url string, body []byte) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("Retry-After"), b
+}
+
+// healthzBody fetches and decodes /healthz (which bypasses the gate).
+func healthzBody(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func admission(t *testing.T, body map[string]any) map[string]any {
+	t.Helper()
+	adm, ok := body["admission"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz carries no admission block: %v", body)
+	}
+	return adm
+}
+
+// The full-stack compound failure: a storage fault degrades the session
+// tier to read-only (503 + Retry-After, reads still 200, healthz says
+// "degraded") while an occupied admission gate sheds excess load with
+// 429 — the two protections compose instead of interfering, and once
+// the disk heals a probe restores full service with no committed-delta
+// loss.
+func TestOverloadWhileDegraded(t *testing.T) {
+	dir := t.TempDir()
+	a := newAnalyzer(t)
+	in := faultfs.Wrap(nil)
+	st, err := store.Open(dir, a, store.Options{FS: in, ProbeEvery: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := httptest.NewServer(hydradhttp.NewHandler(hydradhttp.Config{
+		Analyzer:    a,
+		Store:       st,
+		MaxInflight: 1,
+		MaxQueue:    0,
+		QueueWait:   10 * time.Millisecond,
+	}))
+	defer srv.Close()
+
+	// Establish one committed delta over HTTP.
+	status, _, body := post(t, srv.URL+"/v1/session", setBytes(t, base()))
+	if status != http.StatusOK {
+		t.Fatalf("create: %d %s", status, body)
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	admitURL := srv.URL + "/v1/session/" + created.SessionID + "/admit"
+	if status, _, body := post(t, admitURL, deltaBytes(t, monitorDelta("mon", 0))); status != http.StatusOK {
+		t.Fatalf("admit 0: %d %s", status, body)
+	}
+
+	// The disk fails under the next commit: 503 with Retry-After, and
+	// the session is now degraded read-only.
+	in.Fail(faultfs.Rule{Op: faultfs.OpSync, Path: ".wal", Nth: 1})
+	status, retryAfter, body := post(t, admitURL, deltaBytes(t, monitorDelta("mon", 1)))
+	if status != http.StatusServiceUnavailable || retryAfter == "" {
+		t.Fatalf("admit over failing fsync: %d (Retry-After %q) %s", status, retryAfter, body)
+	}
+	if status, retryAfter, _ := post(t, admitURL, deltaBytes(t, monitorDelta("mon", 2))); status != http.StatusServiceUnavailable || retryAfter == "" {
+		t.Fatalf("admit while degraded: %d (Retry-After %q)", status, retryAfter)
+	}
+
+	// Reads still serve the committed history while degraded.
+	resp, err := http.Get(srv.URL + "/v1/session/" + created.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read while degraded: %d %s", resp.StatusCode, got)
+	}
+	if want := controlSet(t, a, []hydrac.Delta{monitorDelta("mon", 0)}); !bytes.Equal(got, want) {
+		t.Fatal("degraded read diverged from the committed history")
+	}
+	if hb := healthzBody(t, srv.URL); hb["status"] != "degraded" {
+		t.Fatalf("healthz status = %v while degraded", hb["status"])
+	}
+
+	// Now pile overload on top: an occupier request holds the single
+	// execution slot by never finishing its body upload.
+	pr, pw := io.Pipe()
+	occupierDone := make(chan struct{})
+	go func() {
+		defer close(occupierDone)
+		resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", pr)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if inflight, _ := admission(t, healthzBody(t, srv.URL))["inflight"].(float64); inflight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("occupier never showed up as inflight")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// With the slot held and no queue, even a read is shed — overload
+	// protection answers before the degraded store is ever consulted.
+	status, retryAfter, _ = post(t, admitURL, deltaBytes(t, monitorDelta("mon", 1)))
+	if status != http.StatusTooManyRequests || retryAfter == "" {
+		t.Fatalf("request during overload: %d (Retry-After %q), want 429", status, retryAfter)
+	}
+
+	// The occupier finishes (empty body, a 4xx — irrelevant here) and
+	// frees the slot.
+	pw.Close()
+	<-occupierDone
+
+	// Disk heals, probe re-arms, and the failed delta goes through.
+	in.Reset()
+	if rearmed, degraded := st.Probe(context.Background()); rearmed != 1 || degraded != 0 {
+		t.Fatalf("Probe = (%d, %d), want (1, 0)", rearmed, degraded)
+	}
+	if status, _, body := post(t, admitURL, deltaBytes(t, monitorDelta("mon", 1))); status != http.StatusOK {
+		t.Fatalf("admit after re-arm: %d %s", status, body)
+	}
+	hb := healthzBody(t, srv.URL)
+	if hb["status"] != "ok" {
+		t.Fatalf("healthz status = %v after recovery", hb["status"])
+	}
+	if shed, _ := admission(t, hb)["shed"].(float64); shed < 1 {
+		t.Fatalf("admission.shed = %v, want >= 1", shed)
+	}
+
+	// And the state equals an uninterrupted control run over exactly
+	// the acknowledged deltas.
+	if got, want := storeSet(t, st, created.SessionID), controlSet(t, a, []hydrac.Delta{
+		monitorDelta("mon", 0), monitorDelta("mon", 1),
+	}); !bytes.Equal(got, want) {
+		t.Fatal("recovered session diverged from control over the acknowledged deltas")
+	}
+}

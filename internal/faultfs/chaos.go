@@ -1,0 +1,120 @@
+package faultfs
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ChaosRule scripts one HTTP-level fault for a Chaos middleware. A
+// rule matches a request when Path (when non-empty) is a substring of
+// the URL path; matching requests are counted per rule with the same
+// Nth/After/always semantics as the filesystem Rule. A firing rule
+// first sleeps Delay (latency injection), then — when Status is
+// nonzero — answers with that status instead of calling the wrapped
+// handler (error injection). A Delay-only rule slows the request down
+// and lets it through.
+type ChaosRule struct {
+	Path   string
+	Nth    int
+	After  int
+	Delay  time.Duration
+	Status int
+	// RetryAfter, when positive, is sent as a Retry-After header (in
+	// seconds) on injected error responses — so retrying clients can be
+	// tested against scripted throttling.
+	RetryAfter int
+
+	n int
+}
+
+func (r *ChaosRule) fire() bool {
+	r.n++
+	switch {
+	case r.Nth > 0:
+		return r.n == r.Nth
+	case r.After > 0:
+		return r.n > r.After
+	default:
+		return true
+	}
+}
+
+// Chaos is an http.Handler middleware injecting latency and error
+// responses per scripted rules — the service-level sibling of the
+// filesystem Injector, used to harden clients (internal/hydraclient)
+// and to compose overload scenarios in the chaos suite. Safe for
+// concurrent use.
+type Chaos struct {
+	next http.Handler
+
+	mu    sync.Mutex
+	rules []*ChaosRule
+	// injected counts responses answered by a rule (not passed
+	// through), for test assertions.
+	injected int
+}
+
+// NewChaos wraps next.
+func NewChaos(next http.Handler) *Chaos { return &Chaos{next: next} }
+
+// Fail adds one scripted rule and returns the middleware for chaining.
+func (c *Chaos) Fail(r ChaosRule) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules = append(c.rules, &r)
+	return c
+}
+
+// Reset drops every rule.
+func (c *Chaos) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules = nil
+}
+
+// Injected returns how many responses rules answered directly.
+func (c *Chaos) Injected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+func (c *Chaos) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	var hit *ChaosRule
+	for _, rule := range c.rules {
+		if rule.Path != "" && !strings.Contains(r.URL.Path, rule.Path) {
+			continue
+		}
+		if rule.fire() {
+			hit = rule
+			break
+		}
+	}
+	if hit != nil && hit.Status != 0 {
+		c.injected++
+	}
+	c.mu.Unlock()
+	if hit == nil {
+		c.next.ServeHTTP(w, r)
+		return
+	}
+	if hit.Delay > 0 {
+		select {
+		case <-time.After(hit.Delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if hit.Status == 0 {
+		c.next.ServeHTTP(w, r)
+		return
+	}
+	if hit.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(hit.RetryAfter))
+	}
+	http.Error(w, "chaos: injected failure", hit.Status)
+}

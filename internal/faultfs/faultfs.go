@@ -1,0 +1,296 @@
+// Package faultfs is the fault-injection seam under the durability
+// stack: a narrow interface over the os.File operations the WAL and
+// session store perform (open, write, sync, truncate, rename, remove,
+// directory sync), a passthrough implementation backed by the real
+// os package, and a scriptable Injector that makes exactly one kind of
+// storage fault happen at exactly one point — fail the Nth sync, fail
+// every write after the Kth, tear a write in half, run the disk out of
+// space during compaction.
+//
+// Production code never imports the injector: wal.Options.FS and
+// store.Options.FS default to the passthrough OS implementation, so
+// the seam costs one interface call per file operation on paths that
+// are dominated by the fsync anyway. The chaos suite (internal/chaos)
+// and the store/wal unit tests script the injector to prove the
+// degraded-mode and recovery guarantees: no committed delta is ever
+// lost and recovery is bit-identical, no matter which operation fails.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// File is the slice of *os.File the WAL and snapshot writers use.
+type File interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+	Name() string
+}
+
+// FS is the slice of the os package the durability stack writes
+// through. Read-only operations (ReadFile) are included so torn-write
+// artefacts written through a faulty FS are read back through the same
+// seam in tests.
+type FS interface {
+	// OpenFile opens name exactly like os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads name exactly like os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// Rename renames oldpath to newpath exactly like os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove unlinks name exactly like os.Remove.
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making renames and file
+	// creations inside it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS: every call goes straight to the os
+// package. The zero value is ready to use.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Default returns fs, or the passthrough OS when fs is nil — the
+// defaulting rule every Options.FS field shares.
+func Default(fs FS) FS {
+	if fs == nil {
+		return OS{}
+	}
+	return fs
+}
+
+// Op names one interceptable file operation.
+type Op string
+
+const (
+	OpOpen     Op = "open"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpClose    Op = "close"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpSyncDir  Op = "syncdir"
+)
+
+// ErrInjected is the default error injected rules return; tests match
+// it to tell scripted faults from real ones.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ENOSPC is the "disk full" errno, exported so scripts read naturally:
+// Fail(Rule{Op: OpWrite, Err: faultfs.ENOSPC}).
+var ENOSPC error = syscall.ENOSPC
+
+// Rule scripts one fault. A rule matches a call when the operation
+// matches and Path (when non-empty) is a substring of the file path.
+// Matching calls are counted per rule; whether a matching call fails
+// depends on Nth/After:
+//
+//   - Nth > 0: exactly the Nth matching call fails (one-shot).
+//   - After > 0: every matching call after the first After succeed.
+//   - neither: every matching call fails.
+//
+// A write failed by a rule with Torn set writes the first half of the
+// buffer before returning the error — the torn-write fault the WAL's
+// tail repair exists for.
+type Rule struct {
+	Op    Op
+	Path  string
+	Nth   int
+	After int
+	Err   error // nil means ErrInjected
+	Torn  bool
+
+	n int // matching calls seen, guarded by the injector's mutex
+}
+
+// fire reports whether this matching call fails. Caller holds the
+// injector lock.
+func (r *Rule) fire() bool {
+	r.n++
+	switch {
+	case r.Nth > 0:
+		return r.n == r.Nth
+	case r.After > 0:
+		return r.n > r.After
+	default:
+		return true
+	}
+}
+
+func (r *Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// Injector wraps an FS with scripted faults. Safe for concurrent use;
+// rules are evaluated in the order they were added and the first
+// firing rule wins. The zero value is not usable — build with Wrap.
+type Injector struct {
+	inner FS
+
+	mu    sync.Mutex
+	rules []*Rule
+	// counts tallies every intercepted call per op, fault or not, so
+	// tests can assert "the sync that failed was the one under the
+	// compaction snapshot" by position.
+	counts map[Op]int
+}
+
+// Wrap builds an injector over inner (nil inner means the real OS).
+func Wrap(inner FS) *Injector {
+	return &Injector{inner: Default(inner), counts: map[Op]int{}}
+}
+
+// Fail adds one scripted rule and returns the injector for chaining.
+func (in *Injector) Fail(r Rule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &r)
+	return in
+}
+
+// Reset drops every rule (already-armed counts included); the disk
+// "heals". Counters survive so post-recovery assertions can still see
+// the full history.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Count returns how many calls of op the injector has intercepted.
+func (in *Injector) Count(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// check counts the call and returns the scripted outcome: the error to
+// inject (nil for none) and whether a torn write was requested.
+func (in *Injector) check(op Op, path string) (error, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[op]++
+	for _, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		if r.fire() {
+			return r.err(), r.Torn
+		}
+	}
+	return nil, false
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err, _ := in.check(OpOpen, name); err != nil {
+		return nil, fmt.Errorf("open %s: %w", name, err)
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: f, in: in}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) { return in.inner.ReadFile(name) }
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err, _ := in.check(OpRename, newpath); err != nil {
+		return fmt.Errorf("rename %s: %w", newpath, err)
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err, _ := in.check(OpRemove, name); err != nil {
+		return fmt.Errorf("remove %s: %w", name, err)
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if err, _ := in.check(OpSyncDir, dir); err != nil {
+		return fmt.Errorf("syncdir %s: %w", dir, err)
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// faultFile intercepts the per-file operations of one open handle.
+type faultFile struct {
+	inner File
+	in    *Injector
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err, torn := f.in.check(OpWrite, f.inner.Name()); err != nil {
+		n := 0
+		if torn && len(p) > 1 {
+			// Half the buffer lands before the "crash": the classic
+			// torn frame the WAL's tail repair truncates away.
+			n, _ = f.inner.Write(p[: len(p)/2 : len(p)/2])
+		}
+		return n, fmt.Errorf("write %s: %w", f.inner.Name(), err)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err, _ := f.in.check(OpSync, f.inner.Name()); err != nil {
+		return fmt.Errorf("sync %s: %w", f.inner.Name(), err)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err, _ := f.in.check(OpTruncate, f.inner.Name()); err != nil {
+		return fmt.Errorf("truncate %s: %w", f.inner.Name(), err)
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error {
+	if err, _ := f.in.check(OpClose, f.inner.Name()); err != nil {
+		_ = f.inner.Close() // never leak the real descriptor
+		return fmt.Errorf("close %s: %w", f.inner.Name(), err)
+	}
+	return f.inner.Close()
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }

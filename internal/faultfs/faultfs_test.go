@@ -1,0 +1,169 @@
+package faultfs
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = OS{}
+	path := filepath.Join(dir, "a.txt")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := fs.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorFailNth(t *testing.T) {
+	dir := t.TempDir()
+	in := Wrap(nil).Fail(Rule{Op: OpSync, Nth: 2})
+	f, err := in.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 should pass: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 should fail injected, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3 should pass again (one-shot Nth): %v", err)
+	}
+	if got := in.Count(OpSync); got != 3 {
+		t.Fatalf("sync count = %d, want 3", got)
+	}
+}
+
+func TestInjectorFailAfterAndReset(t *testing.T) {
+	dir := t.TempDir()
+	in := Wrap(nil).Fail(Rule{Op: OpWrite, After: 1, Err: ENOSPC})
+	f, err := in.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1 should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ENOSPC) {
+		t.Fatalf("write 2 should be ENOSPC, got %v", err)
+	}
+	if _, err := f.Write([]byte("c")); !errors.Is(err, ENOSPC) {
+		t.Fatalf("write 3 should stay ENOSPC, got %v", err)
+	}
+	in.Reset()
+	if _, err := f.Write([]byte("d")); err != nil {
+		t.Fatalf("write after Reset should pass: %v", err)
+	}
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	in := Wrap(nil).Fail(Rule{Op: OpWrite, Nth: 1, Torn: true})
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write should fail injected, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write landed %d bytes, want 5", n)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "01234" {
+		t.Fatalf("on disk after torn write: %q, want %q", b, "01234")
+	}
+}
+
+func TestInjectorPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := Wrap(nil).Fail(Rule{Op: OpOpen, Path: "snap-"})
+	if _, err := in.OpenFile(filepath.Join(dir, "seg.wal"), os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		t.Fatalf("non-matching open should pass: %v", err)
+	}
+	if _, err := in.OpenFile(filepath.Join(dir, "snap-3.json"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching open should fail injected, got %v", err)
+	}
+}
+
+func TestChaosErrorAndLatency(t *testing.T) {
+	var served int
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.WriteHeader(http.StatusOK)
+	})
+	c := NewChaos(next).
+		Fail(ChaosRule{Path: "/v1/analyze", Nth: 2, Status: http.StatusServiceUnavailable, RetryAfter: 3})
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := get("/v1/analyze"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("request 1 passed through: got %d", resp.StatusCode)
+	}
+	resp := get("/v1/analyze")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request 2 should be injected 503, got %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want 3", ra)
+	}
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("non-matching path should pass: got %d", resp.StatusCode)
+	}
+	if c.Injected() != 1 {
+		t.Fatalf("Injected() = %d, want 1", c.Injected())
+	}
+
+	// Delay-only rule lets the request through, slower.
+	c.Reset()
+	c.Fail(ChaosRule{Delay: 30 * time.Millisecond})
+	t0 := time.Now()
+	if resp := get("/v1/analyze"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delayed request should pass, got %d", resp.StatusCode)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("delay rule did not delay (took %s)", d)
+	}
+}

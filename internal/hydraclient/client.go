@@ -1,0 +1,178 @@
+// Package hydraclient is a minimal retrying HTTP client for hydrad
+// traffic. It exists because a robust daemon that sheds load with 429
+// is only half of the overload story — the other half is a client
+// that backs off instead of hammering. The policy is deliberately
+// boring: capped exponential backoff with jitter, the server's
+// Retry-After honoured (but capped, so a hostile or confused header
+// cannot stall the caller), every wait bounded by the caller's
+// context, and only transport failures and retryable statuses
+// (429 and 5xx) retried — a 4xx is the caller's bug and retrying it
+// would just be load.
+package hydraclient
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxRetries = 3
+	DefaultBaseDelay  = 10 * time.Millisecond
+	DefaultMaxDelay   = 1 * time.Second
+)
+
+// Config shapes a Client. The zero value is usable: http.DefaultClient,
+// DefaultMaxRetries attempts, Default{Base,Max}Delay backoff.
+type Config struct {
+	// Client is the underlying HTTP client; nil uses http.DefaultClient.
+	Client *http.Client
+	// MaxRetries is the retry budget beyond the first attempt;
+	// negative disables retries, 0 means DefaultMaxRetries.
+	MaxRetries int
+	// BaseDelay is the first backoff step (doubles per retry).
+	BaseDelay time.Duration
+	// MaxDelay caps both the backoff growth and any server-sent
+	// Retry-After.
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic for tests; 0 seeds from the
+	// clock.
+	Seed int64
+}
+
+// Client retries idempotent hydrad requests with backoff. Safe for
+// concurrent use.
+type Client struct {
+	hc         *http.Client
+	maxRetries int
+	base, max  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a Client from cfg.
+func New(cfg Config) *Client {
+	c := &Client{
+		hc:         cfg.Client,
+		maxRetries: cfg.MaxRetries,
+		base:       cfg.BaseDelay,
+		max:        cfg.MaxDelay,
+	}
+	if c.hc == nil {
+		c.hc = http.DefaultClient
+	}
+	switch {
+	case c.maxRetries < 0:
+		c.maxRetries = 0
+	case c.maxRetries == 0:
+		c.maxRetries = DefaultMaxRetries
+	}
+	if c.base <= 0 {
+		c.base = DefaultBaseDelay
+	}
+	if c.max <= 0 {
+		c.max = DefaultMaxDelay
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c.rng = rand.New(rand.NewSource(seed))
+	return c
+}
+
+// Retryable reports whether an HTTP status merits a retry: 429 (the
+// server shed us and told us to come back) and the 5xx family (the
+// server, not the request, was the problem), except 501 — a missing
+// implementation will still be missing on the next attempt.
+func Retryable(status int) bool {
+	if status == http.StatusTooManyRequests {
+		return true
+	}
+	return status >= 500 && status != http.StatusNotImplemented
+}
+
+// Do issues one logical request, retrying transport errors and
+// retryable statuses within the retry budget. The response body is
+// always fully drained and closed (keeping the underlying connection
+// reusable). It returns the final attempt's status: a nil error with
+// a non-200 status means the server answered and either the status
+// was not retryable or the budget ran out. A non-nil error is a
+// transport failure or an expired context.
+func (c *Client) Do(ctx context.Context, method, url, contentType string, body []byte) (int, error) {
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, err := c.once(ctx, method, url, contentType, body)
+		if err == nil && !Retryable(status) {
+			return status, nil
+		}
+		if ctx.Err() != nil {
+			return status, ctx.Err()
+		}
+		if attempt >= c.maxRetries {
+			return status, err
+		}
+		select {
+		case <-time.After(c.backoff(attempt, retryAfter)):
+		case <-ctx.Done():
+			return status, ctx.Err()
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, url, contentType string, body []byte) (status int, retryAfter time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+// backoff picks the next wait: the server's Retry-After when sent
+// (capped at MaxDelay), otherwise equal-jittered exponential backoff —
+// uniformly drawn from [d/2, d] where d doubles per attempt up to
+// MaxDelay, so synchronized clients de-synchronize instead of
+// re-arriving as one thundering herd.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		if retryAfter > c.max {
+			retryAfter = c.max
+		}
+		return retryAfter
+	}
+	d := c.base
+	for i := 0; i < attempt && d < c.max; i++ {
+		d *= 2
+	}
+	if d > c.max {
+		d = c.max
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	return jittered
+}

@@ -1,0 +1,133 @@
+package hydraclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hydrac/internal/faultfs"
+)
+
+func okHandler() (http.Handler, *atomic.Int64) {
+	var served atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}), &served
+}
+
+func testClient(seed int64) *Client {
+	return New(Config{BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond, Seed: seed})
+}
+
+// A transient 429 costs one retry and then succeeds.
+func TestRetriesTransient429(t *testing.T) {
+	h, served := okHandler()
+	chaos := faultfs.NewChaos(h).Fail(faultfs.ChaosRule{Nth: 1, Status: http.StatusTooManyRequests})
+	srv := httptest.NewServer(chaos)
+	defer srv.Close()
+
+	status, err := testClient(1).Do(context.Background(), http.MethodGet, srv.URL, "", nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("Do = %d, %v; want 200, nil", status, err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("backend served %d, want 1 (first attempt was injected)", served.Load())
+	}
+}
+
+// A persistent 503 exhausts the budget and the final status comes back
+// with a nil error — the server answered; it just kept saying no.
+func TestExhaustsBudgetOnPersistent503(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(Config{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: 1})
+	status, err := c.Do(context.Background(), http.MethodGet, srv.URL, "", nil)
+	if err != nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("Do = %d, %v; want 503, nil", status, err)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + MaxRetries)", attempts.Load())
+	}
+}
+
+// 4xx other than 429 is the caller's bug: no retry.
+func TestDoesNotRetry4xx(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	status, err := testClient(1).Do(context.Background(), http.MethodPost, srv.URL, "application/json", []byte("{}"))
+	if err != nil || status != http.StatusBadRequest {
+		t.Fatalf("Do = %d, %v; want 400, nil", status, err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts.Load())
+	}
+}
+
+// The server's Retry-After is honoured but capped at MaxDelay, so a
+// 1-second header against a 20ms cap does not stall the client.
+func TestRetryAfterIsCapped(t *testing.T) {
+	h, _ := okHandler()
+	chaos := faultfs.NewChaos(h).Fail(faultfs.ChaosRule{Nth: 1, Status: http.StatusTooManyRequests, RetryAfter: 1})
+	srv := httptest.NewServer(chaos)
+	defer srv.Close()
+
+	t0 := time.Now()
+	status, err := testClient(1).Do(context.Background(), http.MethodGet, srv.URL, "", nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("Do = %d, %v; want 200, nil", status, err)
+	}
+	if d := time.Since(t0); d > 500*time.Millisecond {
+		t.Fatalf("Retry-After: 1s was not capped (took %s)", d)
+	}
+}
+
+// A context cancelled during backoff aborts the wait immediately.
+func TestContextBoundsBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	// MaxDelay 10s so the (capped) Retry-After would park the client
+	// well past the context deadline.
+	c := New(Config{BaseDelay: time.Millisecond, MaxDelay: 10 * time.Second, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := c.Do(ctx, http.MethodGet, srv.URL, "", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("context did not bound the backoff (took %s)", d)
+	}
+}
+
+// Jittered backoff stays within [base/2, max] and grows with attempts.
+func TestBackoffEnvelope(t *testing.T) {
+	c := New(Config{BaseDelay: 8 * time.Millisecond, MaxDelay: 64 * time.Millisecond, Seed: 42})
+	for attempt := 0; attempt < 8; attempt++ {
+		for i := 0; i < 100; i++ {
+			d := c.backoff(attempt, 0)
+			if d < 4*time.Millisecond || d > 64*time.Millisecond {
+				t.Fatalf("backoff(%d) = %s, outside [4ms, 64ms]", attempt, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package hydradhttp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultQueueWait bounds how long an over-capacity request may wait
+// for an execution slot before being shed. Short on purpose: past
+// ~100ms a queued admission request is adding latency without adding
+// throughput, and the client's retry (with backoff) is the better
+// place for that wait to live.
+const DefaultQueueWait = 100 * time.Millisecond
+
+// gate is the overload-protection layer in front of the route mux: a
+// counting semaphore bounds concurrently executing requests, a short
+// bounded wait queue absorbs bursts, and everything beyond that is
+// shed immediately with 429 + Retry-After. Nothing queues unboundedly:
+// a request is either executing, waiting (briefly, capacity-bounded),
+// or told to go away — so a traffic spike degrades into fast cheap
+// rejections instead of a latency collapse or an OOM.
+//
+// /healthz bypasses the gate entirely: the health probe must keep
+// answering precisely when the service is saturated, because that is
+// when operators look at it.
+type gate struct {
+	next http.Handler
+	// slots is the execution semaphore; cap = MaxInflight. nil when
+	// the gate is disabled (MaxInflight 0).
+	slots chan struct{}
+	// tickets bounds executing + waiting; cap = MaxInflight + MaxQueue.
+	// A request that cannot take a ticket without blocking is shed.
+	tickets chan struct{}
+	// wait is the longest a ticketed request waits for a slot.
+	wait time.Duration
+	// reqTimeout, when positive, is the per-request deadline applied
+	// to the handler's context (gated routes only).
+	reqTimeout time.Duration
+
+	// shed counts 429 responses; deadlined counts 503s from request
+	// deadlines expiring in the queue. Reported on /healthz.
+	shed      atomic.Int64
+	deadlined atomic.Int64
+}
+
+func newGate(next http.Handler, cfg Config) *gate {
+	g := &gate{next: next, wait: cfg.QueueWait, reqTimeout: cfg.RequestTimeout}
+	if g.wait <= 0 {
+		g.wait = DefaultQueueWait
+	}
+	if cfg.MaxInflight > 0 {
+		maxQueue := cfg.MaxQueue
+		if maxQueue < 0 {
+			maxQueue = 0
+		}
+		g.slots = make(chan struct{}, cfg.MaxInflight)
+		g.tickets = make(chan struct{}, cfg.MaxInflight+maxQueue)
+	}
+	return g
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		g.next.ServeHTTP(w, r)
+		return
+	}
+	// The per-request deadline starts before the queue, so time spent
+	// waiting for a slot counts against it — a request cannot use the
+	// queue to outlive its own budget. (A client's own deadline only
+	// reaches us as a connection close, i.e. plain cancellation.)
+	if g.reqTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), g.reqTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	if g.slots == nil {
+		g.next.ServeHTTP(w, r)
+		return
+	}
+	select {
+	case g.tickets <- struct{}{}:
+	default:
+		// Executing + waiting are both full: shed now, cheaply.
+		g.shedNow(w)
+		return
+	}
+	defer func() { <-g.tickets }()
+	select {
+	case g.slots <- struct{}{}:
+		// Fast path: a slot was free, no queue wait.
+	default:
+		timer := time.NewTimer(g.wait)
+		select {
+		case g.slots <- struct{}{}:
+			timer.Stop()
+		case <-timer.C:
+			// Waited the full queue budget without a slot freeing:
+			// the server is saturated, push the wait to the client.
+			g.shedNow(w)
+			return
+		case <-r.Context().Done():
+			timer.Stop()
+			if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+				g.deadlined.Add(1)
+				writeError(w, http.StatusServiceUnavailable,
+					errors.New("request deadline expired while queued for admission"))
+			}
+			// Plain cancellation means the client hung up — no
+			// response is owed.
+			return
+		}
+	}
+	defer func() { <-g.slots }()
+	g.next.ServeHTTP(w, r)
+}
+
+func (g *gate) shedNow(w http.ResponseWriter) {
+	g.shed.Add(1)
+	w.Header().Set("Retry-After", retryAfterSeconds(g.wait))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("server is at capacity (max inflight %d, queue %d); retry with backoff",
+			cap(g.slots), cap(g.tickets)-cap(g.slots)))
+}
+
+// retryAfterSeconds renders a duration as a whole-second Retry-After
+// value, rounding up so clients never come back early.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// healthSnapshot is the admission block reported on /healthz.
+func (g *gate) healthSnapshot() map[string]any {
+	m := map[string]any{
+		"shed":          g.shed.Load(),
+		"deadline_503s": g.deadlined.Load(),
+	}
+	if g.slots == nil {
+		m["max_inflight"] = 0
+		return m
+	}
+	inflight := len(g.slots)
+	queued := len(g.tickets) - inflight
+	if queued < 0 {
+		queued = 0 // the two reads race; clamp rather than report nonsense
+	}
+	m["max_inflight"] = cap(g.slots)
+	m["max_queue"] = cap(g.tickets) - cap(g.slots)
+	m["queue_wait_ms"] = g.wait.Milliseconds()
+	m["inflight"] = inflight
+	m["queued"] = queued
+	return m
+}

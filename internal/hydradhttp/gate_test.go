@@ -1,0 +1,224 @@
+package hydradhttp
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingHandler parks every request until release is closed,
+// signalling entry on entered.
+type blockingHandler struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (h *blockingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.entered <- struct{}{}
+	// Deliberately ignores r.Context(): the slot stays held until the
+	// test releases it, so slot-freeing never races test assertions.
+	<-h.release
+	w.WriteHeader(http.StatusOK)
+}
+
+func gateServer(t *testing.T, cfg Config, next http.Handler) (*gate, *httptest.Server) {
+	t.Helper()
+	g := newGate(next, cfg)
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+	return g, srv
+}
+
+// A full gate (inflight and queue both occupied) sheds instantly with
+// 429 + Retry-After; a freed slot admits new work again.
+func TestGateShedsWith429(t *testing.T) {
+	h := &blockingHandler{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	g, srv := gateServer(t, Config{MaxInflight: 1, MaxQueue: 0, QueueWait: 50 * time.Millisecond}, h)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/v1/analyze")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("occupying request: got %d, want 200", resp.StatusCode)
+		}
+	}()
+	<-h.entered // the slot is now held
+
+	resp, err := http.Get(srv.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request: got %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 carried no Retry-After")
+	}
+	if g.shed.Load() != 1 {
+		t.Fatalf("shed counter = %d, want 1", g.shed.Load())
+	}
+
+	close(h.release)
+	wg.Wait()
+
+	// The slot is free again: the next request sails through.
+	resp2, err := http.Get(srv.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-release request: got %d, want 200", resp2.StatusCode)
+	}
+}
+
+// A queued request rides out a short wait and is admitted when the
+// inflight slot frees, instead of being shed.
+func TestGateQueueAdmitsWhenSlotFrees(t *testing.T) {
+	h := &blockingHandler{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	_, srv := gateServer(t, Config{MaxInflight: 1, MaxQueue: 4, QueueWait: 5 * time.Second}, h)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/v1/analyze")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-h.entered
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/v1/analyze")
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	// Give the second request time to queue, then free the slot. Both
+	// the queued request and the occupier need the handler released.
+	time.Sleep(20 * time.Millisecond)
+	close(h.release)
+	<-h.entered // queued request reaches the handler
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("queued request: got %d, want 200", code)
+	}
+	wg.Wait()
+}
+
+// A request whose server-imposed deadline (RequestTimeout) expires
+// while queued gets 503, not 429: the deadline clock starts before the
+// queue, so waiting cannot be used to outlive the request budget.
+func TestGateQueueDeadlineIs503(t *testing.T) {
+	h := &blockingHandler{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	defer close(h.release)
+	g, srv := gateServer(t, Config{
+		MaxInflight: 1, MaxQueue: 4,
+		QueueWait:      5 * time.Second,
+		RequestTimeout: 30 * time.Millisecond,
+	}, h)
+
+	go http.Get(srv.URL + "/v1/analyze")
+	<-h.entered
+
+	resp, err := http.Get(srv.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadlined queued request: got %d, want 503", resp.StatusCode)
+	}
+	if g.deadlined.Load() != 1 {
+		t.Fatalf("deadlined counter = %d, want 1", g.deadlined.Load())
+	}
+	if g.shed.Load() != 0 {
+		t.Fatalf("shed counter = %d, want 0", g.shed.Load())
+	}
+}
+
+// /healthz bypasses the gate: it answers even when every slot and
+// queue position is taken — exactly when operators need it.
+func TestGateHealthzBypassesSaturation(t *testing.T) {
+	h := &blockingHandler{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	defer close(h.release)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/analyze", h)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	_, srv := gateServer(t, Config{MaxInflight: 1, MaxQueue: 0, QueueWait: time.Minute}, mux)
+
+	go http.Get(srv.URL + "/v1/analyze")
+	<-h.entered
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under saturation: got %d, want 200", resp.StatusCode)
+	}
+}
+
+// With MaxInflight 0 the gate is wiring only: requests pass through
+// untouched and the health snapshot says the gate is off.
+func TestGateDisabledPassesThrough(t *testing.T) {
+	g, srv := gateServer(t, Config{}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(srv.URL + "/v1/analyze")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("got %d, want 200", resp.StatusCode)
+		}
+	}
+	snap := g.healthSnapshot()
+	if snap["max_inflight"] != 0 {
+		t.Fatalf("disabled gate snapshot reports max_inflight %v", snap["max_inflight"])
+	}
+}
+
+// The per-request deadline (RequestTimeout) cuts a long handler off
+// and, through writeAnalysisError, surfaces as a 503 — not a silent
+// empty 200.
+func TestRequestTimeoutSurfacesAs503(t *testing.T) {
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			writeAnalysisError(w, r, r.Context().Err())
+		case <-time.After(5 * time.Second):
+			w.WriteHeader(http.StatusOK)
+		}
+	})
+	_, srv := gateServer(t, Config{RequestTimeout: 30 * time.Millisecond}, slow)
+
+	resp, err := http.Get(srv.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadlined request: got %d, want 503", resp.StatusCode)
+	}
+}

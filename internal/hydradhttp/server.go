@@ -9,6 +9,7 @@ package hydradhttp
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
@@ -18,6 +19,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"hydrac"
 	"hydrac/internal/lru"
@@ -52,6 +54,20 @@ type Config struct {
 	// Logf receives operational log lines (evictions, recovery);
 	// nil is quiet.
 	Logf func(format string, args ...any)
+
+	// MaxInflight bounds concurrently executing requests; 0 disables
+	// the admission gate (unlimited, the pre-gate behaviour).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot beyond
+	// MaxInflight; anything past executing+waiting is shed with 429.
+	// Only meaningful with MaxInflight > 0.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot
+	// before being shed (default DefaultQueueWait).
+	QueueWait time.Duration
+	// RequestTimeout, when positive, deadlines every gated request's
+	// context; expiry surfaces as 503.
+	RequestTimeout time.Duration
 }
 
 // server carries the shared analyzer behind the HTTP surface.
@@ -80,6 +96,10 @@ type server struct {
 	// entries never go stale.
 	respCache *lru.Cache[[sha256.Size]byte, []byte]
 	logf      func(format string, args ...any)
+	// gate is the overload-protection front; always non-nil (a
+	// zero-limit gate passes everything through) so healthz can
+	// report admission stats unconditionally.
+	gate *gate
 }
 
 // sessionShards spreads the session store's locking; 16 shards keeps
@@ -123,7 +143,8 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("/v1/session", s.sessionCreate)
 	mux.HandleFunc("/v1/session/", s.sessionRoute)
 	mux.HandleFunc("/healthz", s.healthz)
-	return mux
+	s.gate = newGate(mux, cfg)
+	return s.gate
 }
 
 // bodyPool recycles request read buffers: every handler slurps the
@@ -277,6 +298,10 @@ func (s *server) sessionCreate(w http.ResponseWriter, r *http.Request) {
 		// already survives a crash.
 		rep, err = s.store.Create(r.Context(), id, ts)
 		if err != nil {
+			if errors.Is(err, store.ErrStorage) {
+				writeStorageError(w, err)
+				return
+			}
 			writeAnalysisError(w, r, err)
 			return
 		}
@@ -305,9 +330,12 @@ func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
 		// Acquire; release pins it live for exactly this operation.
 		acquired, release, err := s.store.Acquire(r.Context(), id)
 		if err != nil {
-			if errors.Is(err, store.ErrNotFound) {
+			switch {
+			case errors.Is(err, store.ErrNotFound):
 				writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (never created on this data dir)", id))
-			} else {
+			case errors.Is(err, store.ErrStorage):
+				writeStorageError(w, err)
+			default:
 				writeError(w, http.StatusInternalServerError, err)
 			}
 			return
@@ -357,8 +385,10 @@ func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			if errors.Is(err, store.ErrStorage) {
 				// The admission was fine; the disk was not. The commit
-				// was aborted, so memory and WAL still agree.
-				writeError(w, http.StatusInternalServerError, err)
+				// was aborted, so memory and WAL still agree — and the
+				// background probe will re-arm the session once the
+				// disk recovers, so this is a retryable 503, not a 500.
+				writeStorageError(w, err)
 				return
 			}
 			writeAnalysisError(w, r, err)
@@ -389,14 +419,27 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
+	status := "ok"
 	body := map[string]any{
-		"status":         "ok",
 		"report_version": hydrac.ReportVersion,
 		"config":         s.summary,
+		"admission":      s.gate.healthSnapshot(),
 	}
 	if s.store != nil {
-		body["sessions"] = map[string]any{"durable": true, "count": s.store.Len()}
+		h := s.store.Health()
+		sessions := map[string]any{"durable": true, "count": h.Sessions}
+		if !h.OK() {
+			// Reads still work; mutations on degraded sessions 503
+			// until the background probe re-arms them. Surfaced here
+			// so operators see it before clients do.
+			status = "degraded"
+			sessions["degraded"] = h.Degraded
+			sessions["degraded_reason"] = h.Reason
+			sessions["degraded_since"] = h.Since.UTC().Format(time.RFC3339)
+		}
+		body["sessions"] = sessions
 	}
+	body["status"] = status
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(body)
 }
@@ -410,13 +453,27 @@ func requirePost(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
-// writeAnalysisError maps pipeline failures: a dead client context is
-// not worth a response, everything else is the client's input.
+// writeAnalysisError maps pipeline failures: a server-imposed request
+// deadline is a retryable 503, a client that hung up gets no response,
+// and everything else is the client's input.
 func writeAnalysisError(w http.ResponseWriter, r *http.Request, err error) {
-	if r.Context().Err() != nil {
-		return // the client hung up; the analysis was shed
+	if ctxErr := r.Context().Err(); ctxErr != nil {
+		if errors.Is(ctxErr, context.DeadlineExceeded) {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("request deadline expired mid-analysis: %w", err))
+		}
+		return // plain cancellation: the client hung up, the analysis was shed
 	}
 	writeError(w, http.StatusUnprocessableEntity, err)
+}
+
+// writeStorageError maps a storage-tier fault to 503: the session is
+// (or just became) degraded read-only, the background probe re-arms it
+// once the disk recovers, so the client should retry — not treat it as
+// a server bug. Retry-After is tuned to the probe cadence.
+func writeStorageError(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", retryAfterSeconds(store.DefaultProbeEvery))
+	writeError(w, http.StatusServiceUnavailable, fmt.Errorf("storage degraded (reads still served, mutations rejected until re-armed): %w", err))
 }
 
 // badRequestStatus distinguishes an oversized body (413) from plain

@@ -18,12 +18,15 @@ package loadgen
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
+
+	"hydrac/internal/hydraclient"
 )
 
 // Request is one unit of closed-loop work: Method on target+Path with
@@ -50,16 +53,28 @@ type Source interface {
 
 // LevelResult is one concurrency level's aggregate outcome. The JSON
 // shape is part of cmd/hydrabench's output contract.
+//
+// Failed requests are split three ways because they mean three
+// different things when reading an overload run: Shed (429) is the
+// server protecting itself — expected and healthy under deliberate
+// overload; ServerErrors (any other non-200) is the server failing;
+// TransportErrors is the request never completing at the HTTP layer.
+// Errors = ServerErrors + TransportErrors: shed traffic is NOT an
+// error, so gates that fail a run on errors stay meaningful when a
+// case drives the daemon past its admission limits on purpose.
 type LevelResult struct {
-	Concurrency int     `json:"concurrency"`
-	Requests    int     `json:"requests"`
-	Errors      int     `json:"errors"`
-	DurationS   float64 `json:"duration_s"`
-	RPS         float64 `json:"rps"`
-	MeanMS      float64 `json:"mean_ms"`
-	P50MS       float64 `json:"p50_ms"`
-	P95MS       float64 `json:"p95_ms"`
-	P99MS       float64 `json:"p99_ms"`
+	Concurrency     int     `json:"concurrency"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	Shed            int     `json:"shed"`
+	ServerErrors    int     `json:"server_errors"`
+	TransportErrors int     `json:"transport_errors"`
+	DurationS       float64 `json:"duration_s"`
+	RPS             float64 `json:"rps"`
+	MeanMS          float64 `json:"mean_ms"`
+	P50MS           float64 `json:"p50_ms"`
+	P95MS           float64 `json:"p95_ms"`
+	P99MS           float64 `json:"p99_ms"`
 }
 
 // Config shapes one Run.
@@ -76,6 +91,14 @@ type Config struct {
 	// Client overrides the HTTP client; nil builds one sized to the
 	// largest level so the sweep never starves on idle connections.
 	Client *http.Client
+	// Retries, when positive, routes every request through a retrying
+	// client (internal/hydraclient): capped exponential backoff with
+	// jitter, Retry-After honoured, up to Retries extra attempts per
+	// request. The recorded latency then covers the whole retry loop —
+	// which is the latency a well-behaved client actually experiences
+	// against a shedding server. 0 keeps the historical fire-once
+	// behaviour.
+	Retries int
 }
 
 // NewClient returns an HTTP client whose idle-connection pool fits
@@ -108,9 +131,13 @@ func Run(target string, src Source, cfg Config) ([]LevelResult, error) {
 	if warmup == 0 {
 		warmup = 1
 	}
+	var retrier *hydraclient.Client
+	if cfg.Retries > 0 {
+		retrier = hydraclient.New(hydraclient.Config{Client: client, MaxRetries: cfg.Retries})
+	}
 	var out []LevelResult
 	for _, c := range cfg.Levels {
-		res, err := runLevel(client, target, src, c, cfg.Duration, warmup)
+		res, err := runLevel(client, retrier, target, src, c, cfg.Duration, warmup)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +149,7 @@ func Run(target string, src Source, cfg Config) ([]LevelResult, error) {
 // runLevel drives one closed-loop concurrency level for d and
 // aggregates its latencies. Streams are created and warmed before the
 // window opens.
-func runLevel(client *http.Client, target string, src Source, conc int, d time.Duration, warmup int) (LevelResult, error) {
+func runLevel(client *http.Client, retrier *hydraclient.Client, target string, src Source, conc int, d time.Duration, warmup int) (LevelResult, error) {
 	streams := make([]Stream, conc)
 	for w := 0; w < conc; w++ {
 		s, err := src.NewStream(client, target, w)
@@ -131,9 +158,25 @@ func runLevel(client *http.Client, target string, src Source, conc int, d time.D
 		}
 		streams[w] = s
 	}
+	// issue fires one request — through the retrying client when
+	// configured — and reports the final status (0 on transport error).
+	issue := func(req Request) (int, error) {
+		if retrier == nil {
+			return DoStatus(client, target, req)
+		}
+		method := req.Method
+		if method == "" {
+			method = http.MethodPost
+		}
+		contentType := ""
+		if req.Body != nil {
+			contentType = "application/json"
+		}
+		return retrier.Do(context.Background(), method, target+req.Path, contentType, req.Body)
+	}
 	type workerOut struct {
-		lat  []time.Duration
-		errs int
+		lat                     []time.Duration
+		shed, server, transport int
 	}
 	outs := make([]workerOut, conc)
 	var wg sync.WaitGroup
@@ -146,17 +189,23 @@ func runLevel(client *http.Client, target string, src Source, conc int, d time.D
 			s := streams[w]
 			i := 0
 			for ; i < warmup; i++ {
-				Do(client, target, s.Next(i))
+				issue(s.Next(i))
 			}
 			for time.Now().Before(deadline) {
 				req := s.Next(i)
 				i++
 				t0 := time.Now()
-				if err := Do(client, target, req); err != nil {
-					outs[w].errs++
-					continue
+				status, err := issue(req)
+				switch {
+				case err != nil:
+					outs[w].transport++
+				case status == http.StatusOK:
+					outs[w].lat = append(outs[w].lat, time.Since(t0))
+				case status == http.StatusTooManyRequests:
+					outs[w].shed++
+				default:
+					outs[w].server++
 				}
-				outs[w].lat = append(outs[w].lat, time.Since(t0))
 			}
 		}(w)
 	}
@@ -164,16 +213,21 @@ func runLevel(client *http.Client, target string, src Source, conc int, d time.D
 	elapsed := time.Since(start)
 
 	var all []time.Duration
-	errs := 0
+	var shed, server, transport int
 	for _, o := range outs {
 		all = append(all, o.lat...)
-		errs += o.errs
+		shed += o.shed
+		server += o.server
+		transport += o.transport
 	}
 	res := LevelResult{
-		Concurrency: conc,
-		Requests:    len(all),
-		Errors:      errs,
-		DurationS:   elapsed.Seconds(),
+		Concurrency:     conc,
+		Requests:        len(all),
+		Errors:          server + transport,
+		Shed:            shed,
+		ServerErrors:    server,
+		TransportErrors: transport,
+		DurationS:       elapsed.Seconds(),
 	}
 	if len(all) == 0 {
 		return res, nil
@@ -194,6 +248,21 @@ func runLevel(client *http.Client, target string, src Source, conc int, d time.D
 // Do issues one request against target and drains the response; any
 // transport failure or non-200 status is an error.
 func Do(client *http.Client, target string, req Request) error {
+	status, err := DoStatus(client, target, req)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("status %d from %s%s", status, target, req.Path)
+	}
+	return nil
+}
+
+// DoStatus issues one request against target, drains the response,
+// and returns its status code — letting callers distinguish a 429
+// shed from a 5xx failure. A non-nil error means the request never
+// produced a status (transport failure).
+func DoStatus(client *http.Client, target string, req Request) (int, error) {
 	method := req.Method
 	if method == "" {
 		method = http.MethodPost
@@ -204,23 +273,20 @@ func Do(client *http.Client, target string, req Request) error {
 	}
 	hr, err := http.NewRequest(method, target+req.Path, body)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if req.Body != nil {
 		hr.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := client.Do(hr)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return err
+		return resp.StatusCode, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d from %s%s", resp.StatusCode, target, req.Path)
-	}
-	return nil
+	return resp.StatusCode, nil
 }
 
 // Quantile reads the q-quantile of sorted latencies by the

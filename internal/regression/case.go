@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hydrac/internal/gen"
+	"hydrac/internal/hydradhttp"
 	"hydrac/internal/loadgen"
 	"hydrac/internal/partition"
 	"hydrac/internal/task"
@@ -92,6 +93,10 @@ type Profile struct {
 	Mix         map[string]int // mix kind → weight
 	Daemon      DaemonOpts
 	Workload    Workload
+	// Retries routes the load through the retrying client
+	// (internal/hydraclient): up to Retries extra attempts per request
+	// with capped backoff, Retry-After honoured. 0 fires once.
+	Retries int
 
 	// Gobench profiles.
 	Package   string
@@ -108,6 +113,15 @@ type DaemonOpts struct {
 	// commit. A base build predating the flag makes the sample (and
 	// the case) skip, not fail.
 	DataDir bool
+	// MaxInflight, when positive, arms the daemon's admission gate
+	// (-max-inflight): excess load is shed with 429 instead of queued
+	// unboundedly. MaxQueue and QueueWait tune the gate's wait queue
+	// and default to hydrad's own defaults at parse time, so both
+	// target kinds boot identical gates. A base build predating the
+	// flags makes the sample skip, not fail.
+	MaxInflight int
+	MaxQueue    int
+	QueueWait   time.Duration
 }
 
 // Workload parameterises the input task-set generator (internal/gen,
@@ -389,8 +403,24 @@ func parseProfile(doc map[string]any) (Profile, error) {
 		if p.Daemon.DataDir, err = dF.boolean("data_dir", false); err != nil {
 			return p, err
 		}
+		if p.Daemon.MaxInflight, err = dF.integer("max_inflight", 0); err != nil {
+			return p, err
+		}
+		if p.Daemon.MaxQueue, err = dF.integer("max_queue", 64); err != nil {
+			return p, err
+		}
+		waitS, err := dF.str("queue_wait", hydradhttp.DefaultQueueWait.String())
+		if err != nil {
+			return p, err
+		}
+		if p.Daemon.QueueWait, err = time.ParseDuration(waitS); err != nil {
+			return p, fmt.Errorf("daemon: queue_wait: %w", err)
+		}
 		if err := dF.unknown(); err != nil {
 			return p, fmt.Errorf("daemon: %w", err)
+		}
+		if p.Retries, err = f.integer("retries", 0); err != nil {
+			return p, err
 		}
 		wF, err := f.sub("workload")
 		if err != nil {
@@ -500,6 +530,13 @@ func (c *Case) validate() error {
 		w := c.Profile.Workload
 		if w.Cores < 1 || w.Group < 0 || w.Group > 9 || w.Sets < 1 || w.Batch < 1 {
 			return fmt.Errorf("bad workload parameters: %+v", w)
+		}
+		d := c.Profile.Daemon
+		if d.MaxInflight < 0 || d.MaxQueue < 0 || d.QueueWait <= 0 {
+			return fmt.Errorf("bad daemon gate parameters: max_inflight %d, max_queue %d, queue_wait %s", d.MaxInflight, d.MaxQueue, d.QueueWait)
+		}
+		if c.Profile.Retries < 0 {
+			return fmt.Errorf("retries %d < 0", c.Profile.Retries)
 		}
 	case KindGobench:
 		if c.Profile.Bench == "" {

@@ -191,3 +191,47 @@ func TestDaemonDataDirParsing(t *testing.T) {
 		t.Fatal("non-boolean data_dir accepted")
 	}
 }
+
+// The admission-gate keys parse into DaemonOpts, with hydrad's own
+// defaults for the ones left unset, and bad values are load errors.
+func TestDaemonGateParsing(t *testing.T) {
+	dir := t.TempDir()
+	writeCase(t, dir, "gated",
+		"kind: load\nconcurrency: [8]\nmix:\n  dup: 1\nretries: 2\ndaemon:\n  max_inflight: 2\n  max_queue: 4\n  queue_wait: 20ms\n",
+		"optimization_goal: p99\n")
+	cases, err := LoadCases(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cases[0].Profile.Daemon
+	if d.MaxInflight != 2 || d.MaxQueue != 4 || d.QueueWait != 20*time.Millisecond {
+		t.Fatalf("gate opts mis-parsed: %+v", d)
+	}
+	if cases[0].Profile.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", cases[0].Profile.Retries)
+	}
+
+	// Unset gate keys take hydrad's defaults so BinaryTarget and
+	// HandlerTarget boot the same gate from the same DaemonOpts.
+	writeCase(t, dir, "gated",
+		"kind: load\nconcurrency: [8]\nmix:\n  dup: 1\ndaemon:\n  max_inflight: 2\n",
+		"optimization_goal: p99\n")
+	cases, err = LoadCases(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cases[0].Profile.Daemon; d.MaxQueue != 64 || d.QueueWait <= 0 {
+		t.Fatalf("gate defaults not applied: %+v", d)
+	}
+
+	for _, bad := range []string{
+		"daemon:\n  max_inflight: -1\n",
+		"daemon:\n  queue_wait: fast\n",
+		"retries: -1\n",
+	} {
+		writeCase(t, dir, "gated", "kind: load\nconcurrency: [8]\nmix:\n  dup: 1\n"+bad, "optimization_goal: p99\n")
+		if _, err := LoadCases(dir, nil); err == nil {
+			t.Fatalf("bad config accepted: %q", bad)
+		}
+	}
+}

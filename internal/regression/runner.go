@@ -193,6 +193,7 @@ func (r *Runner) loadSample(c *Case, s *Side, src loadgen.Source) (float64, erro
 		Levels:   c.Profile.Concurrency,
 		Duration: c.Profile.Duration,
 		Warmup:   2,
+		Retries:  c.Profile.Retries,
 	})
 	if err != nil {
 		return 0, err

@@ -92,6 +92,31 @@ func TestRunCaseImprovementDoesNotFail(t *testing.T) {
 	}
 }
 
+// A deliberately overloaded admission gate (8 closed-loop workers
+// against max_inflight 1) sheds most traffic with 429 — which must NOT
+// fail the sample: shed is not an error, and the goal metric is
+// measured from the requests that were admitted.
+func TestRunCaseOverloadShedIsNotAnError(t *testing.T) {
+	c := smallLoadCase(GoalP99, 0.5)
+	c.Name = "selftest-overload"
+	c.Profile.Concurrency = []int{8}
+	c.Profile.Daemon.MaxInflight = 1
+	c.Profile.Daemon.MaxQueue = 1
+	c.Profile.Daemon.QueueWait = 5 * time.Millisecond
+	r := Runner{
+		Base:    Side{Name: "base", Target: HandlerTarget{}},
+		Head:    Side{Name: "head", Target: HandlerTarget{}},
+		Samples: 2,
+	}
+	res := r.RunCase(c)
+	if res.Error != "" {
+		t.Fatalf("overload A/A run errored: %s", res.Error)
+	}
+	if res.Failed() {
+		t.Fatalf("overload A/A run failed the gate: verdict=%s change=%+.1f%% p=%.4f", res.Verdict, 100*res.Change, res.P)
+	}
+}
+
 func TestRunCaseSkipsWithoutConfiguration(t *testing.T) {
 	r := Runner{Base: Side{Name: "base"}, Head: Side{Name: "head"}, Samples: 2}
 	if res := r.RunCase(smallLoadCase(GoalThroughput, 0.05)); res.Verdict != VerdictSkipped {

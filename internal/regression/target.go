@@ -50,6 +50,16 @@ func (t BinaryTarget) Start(d DaemonOpts) (string, func() error, error) {
 		"-cache", strconv.Itoa(d.Cache),
 		"-sessions", strconv.Itoa(d.Sessions),
 	}
+	if d.MaxInflight > 0 {
+		// Pass the whole gate triple so the subprocess matches what
+		// HandlerTarget boots from the same DaemonOpts exactly; a base
+		// build predating the flags turns into ErrUnsupported below.
+		args = append(args,
+			"-max-inflight", strconv.Itoa(d.MaxInflight),
+			"-max-queue", strconv.Itoa(d.MaxQueue),
+			"-queue-wait", d.QueueWait.String(),
+		)
+	}
 	var dataDir string
 	if d.DataDir {
 		var err error
@@ -153,6 +163,11 @@ func (t HandlerTarget) Start(d DaemonOpts) (string, func() error, error) {
 		Summary:     map[string]any{"cache": d.Cache},
 		MaxSessions: d.Sessions,
 		CacheSize:   d.Cache,
+	}
+	if d.MaxInflight > 0 {
+		cfg.MaxInflight = d.MaxInflight
+		cfg.MaxQueue = d.MaxQueue
+		cfg.QueueWait = d.QueueWait
 	}
 	var dataDir string
 	if d.DataDir {

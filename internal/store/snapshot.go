@@ -11,7 +11,7 @@ import (
 	"strings"
 
 	"hydrac"
-	"hydrac/internal/wal"
+	"hydrac/internal/faultfs"
 )
 
 // snapshotVersion guards the snapshot format; bump on incompatible
@@ -36,8 +36,9 @@ func snapshotPath(dir string, gen uint64) string {
 // a temp file which is fsynced, renamed into place, and the directory
 // fsynced — a crash leaves either no snap-<gen>.json or a complete
 // one, never a torn one, which is what lets readLatestSnapshot treat
-// any present snapshot as authoritative.
-func writeSnapshot(dir string, gen uint64, set *hydrac.TaskSet, cursor int) error {
+// any present snapshot as authoritative. All writes go through the
+// store's filesystem seam so the chaos suite can fail any step.
+func writeSnapshot(fs faultfs.FS, dir string, gen uint64, set *hydrac.TaskSet, cursor int) error {
 	var setBuf bytes.Buffer
 	if err := hydrac.EncodeTaskSet(&setBuf, set); err != nil {
 		return fmt.Errorf("encoding snapshot set: %w", err)
@@ -50,11 +51,15 @@ func writeSnapshot(dir string, gen uint64, set *hydrac.TaskSet, cursor int) erro
 	if err != nil {
 		return fmt.Errorf("encoding snapshot: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	// A fixed temp name per generation is safe: writers are serialised
+	// per session (the engine lock), and the suffix keeps it invisible
+	// to listSnapshotGens until the rename.
+	tmpPath := snapshotPath(dir, gen) + ".tmp"
+	tmp, err := fs.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer os.Remove(tmpPath) // no-op after a successful rename
 	if _, err := tmp.Write(payload); err != nil {
 		tmp.Close()
 		return err
@@ -66,10 +71,10 @@ func writeSnapshot(dir string, gen uint64, set *hydrac.TaskSet, cursor int) erro
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), snapshotPath(dir, gen)); err != nil {
+	if err := fs.Rename(tmpPath, snapshotPath(dir, gen)); err != nil {
 		return err
 	}
-	return wal.SyncDir(dir)
+	return fs.SyncDir(dir)
 }
 
 // readSnapshot loads and validates one generation's snapshot.

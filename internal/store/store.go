@@ -35,8 +35,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"hydrac"
+	"hydrac/internal/faultfs"
 	"hydrac/internal/lru"
 	"hydrac/internal/wal"
 )
@@ -52,6 +54,16 @@ var ErrExists = errors.New("store: session already exists")
 // surface these as server faults, not client errors.
 var ErrStorage = errors.New("store: storage failure")
 
+// ErrDegraded marks mutations rejected because the session is in
+// degraded read-only mode: an earlier storage fault (failed fsync,
+// compaction that lost its log) means new commits could not be made
+// durable, so they are refused outright while reads keep working.
+// Wraps ErrStorage, so errors.Is(err, ErrStorage) still holds; a
+// background probe (or an explicit Probe call) re-arms the session
+// from disk once the storage heals. Callers surface this as 503, not
+// 500: the condition is expected to clear.
+var ErrDegraded = fmt.Errorf("%w: degraded", ErrStorage)
+
 // DefaultMaxLive bounds materialised engines when Options.MaxLive is
 // unset: live sessions hold analysed state and kernel scratch, so the
 // store keeps a bounded working set warm and re-hydrates the rest
@@ -61,6 +73,12 @@ const DefaultMaxLive = 256
 // DefaultCompactEvery is the WAL record count that triggers a
 // snapshot + log rotation.
 const DefaultCompactEvery = 256
+
+// DefaultProbeEvery is the background re-arm interval for degraded
+// sessions: long enough that a genuinely sick disk is not hammered,
+// short enough that a transient hiccup (full disk freed, remount)
+// clears without operator action.
+const DefaultProbeEvery = 5 * time.Second
 
 // Options tunes a Store.
 type Options struct {
@@ -77,6 +95,13 @@ type Options struct {
 	CompactEvery int
 	// SegmentBytes is the WAL segment size; <= 0 uses the WAL default.
 	SegmentBytes int64
+	// ProbeEvery is how often a background goroutine attempts to
+	// re-arm degraded sessions from disk; 0 means DefaultProbeEvery,
+	// negative disables the loop (tests drive Probe directly).
+	ProbeEvery time.Duration
+	// FS is the filesystem seam snapshots and WALs write through; nil
+	// means the real OS. The chaos suite injects faults here.
+	FS faultfs.FS
 	// Logf receives operational messages (compaction failures, cleanup
 	// of half-created sessions); nil is quiet.
 	Logf func(format string, args ...any)
@@ -93,6 +118,7 @@ type Store struct {
 	dir string
 	a   *hydrac.Analyzer
 	opt Options
+	fs  faultfs.FS
 
 	mu      sync.Mutex
 	closed  bool
@@ -101,6 +127,10 @@ type Store struct {
 	// closes the entry's engine + WAL handle, leaving disk state as
 	// the only copy.
 	live *lru.Cache[string, *entry]
+
+	// stop/wg manage the background degraded-session probe loop.
+	stop chan struct{}
+	wg   sync.WaitGroup
 }
 
 // entry is one session's lifecycle state. sess/wal/gen are guarded by
@@ -115,12 +145,42 @@ type entry struct {
 	sess *hydrac.Session
 	wal  *wal.Log
 	gen  uint64
-	// broken poisons a session whose WAL rotated out from under a
-	// failed compaction: its snapshot already superseded the old log,
-	// so committing more deltas without a new log would lose them.
-	// Only the commit hook reads and writes it (hooks are serialised
-	// by the engine lock).
-	broken error
+
+	// degMu guards the degraded state separately from mu, because the
+	// commit hook (which marks it) runs with mu read-held while the
+	// probe loop and health reads inspect it from outside. degraded
+	// non-nil means the session is read-only: an earlier storage fault
+	// left the live WAL unusable (failed append) or superseded (failed
+	// rotation), so further commits would be lost — they are refused
+	// with ErrDegraded until a re-hydration from disk re-arms the
+	// entry. Reads stay served from the committed in-memory state,
+	// which the aborted commit never touched.
+	degMu    sync.Mutex
+	degraded error
+	degSince time.Time
+}
+
+// fault returns the entry's degradation, or nil when healthy.
+func (e *entry) fault() error {
+	e.degMu.Lock()
+	defer e.degMu.Unlock()
+	return e.degraded
+}
+
+// markDegraded flips the entry read-only. The first fault wins: a
+// probe failure must not overwrite the root cause with its own.
+func (e *entry) markDegraded(err error) {
+	e.degMu.Lock()
+	defer e.degMu.Unlock()
+	if e.degraded == nil {
+		e.degraded, e.degSince = err, time.Now()
+	}
+}
+
+func (e *entry) clearDegraded() {
+	e.degMu.Lock()
+	defer e.degMu.Unlock()
+	e.degraded, e.degSince = nil, time.Time{}
 }
 
 // Open loads the store rooted at dir, creating it if absent, and
@@ -136,10 +196,13 @@ func Open(dir string, a *hydrac.Analyzer, opt Options) (*Store, error) {
 	if opt.CompactEvery <= 0 {
 		opt.CompactEvery = DefaultCompactEvery
 	}
+	if opt.ProbeEvery == 0 {
+		opt.ProbeEvery = DefaultProbeEvery
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating root: %w", err)
 	}
-	s := &Store{dir: dir, a: a, opt: opt, entries: map[string]*entry{}}
+	s := &Store{dir: dir, a: a, opt: opt, fs: faultfs.Default(opt.FS), entries: map[string]*entry{}, stop: make(chan struct{})}
 	s.live = lru.New[string, *entry](opt.MaxLive)
 	s.live.OnEvict(func(id string, e *entry) { e.close() })
 
@@ -176,7 +239,119 @@ func Open(dir string, a *hydrac.Analyzer, opt Options) (*Store, error) {
 		// ones were still verified by the replay above.
 		s.live.Add(id, e)
 	}
+	if opt.ProbeEvery > 0 {
+		s.wg.Add(1)
+		go s.probeLoop()
+	}
 	return s, nil
+}
+
+// probeLoop periodically re-arms degraded sessions until Close.
+func (s *Store) probeLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opt.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if rearmed, still := s.Probe(context.Background()); rearmed > 0 || still > 0 {
+				s.logf("store: probe re-armed %d degraded sessions, %d still degraded", rearmed, still)
+			}
+		}
+	}
+}
+
+// Probe attempts to re-arm every degraded session NOW: each one's live
+// state is torn down and re-hydrated from disk (latest snapshot + WAL
+// replay, the same path a restart takes), which both verifies the
+// storage is healthy again and restores the exact committed state —
+// the aborted commits that degraded the session were never installed
+// in memory or on disk, so the re-hydrated session is bit-identical
+// to the committed history. Returns how many sessions were re-armed
+// and how many remain degraded. The background loop calls this every
+// ProbeEvery; tests and operators can call it directly.
+func (s *Store) Probe(ctx context.Context) (rearmed, degraded int) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, 0
+	}
+	var sick []*entry
+	for _, e := range s.entries {
+		if e.fault() != nil {
+			sick = append(sick, e)
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range sick {
+		// Lock order: live LRU before the entry lock.
+		s.live.Add(e.id, e)
+		e.mu.Lock()
+		if e.fault() == nil { // raced with another probe or rehydration
+			e.mu.Unlock()
+			continue
+		}
+		// Stage the replacement BEFORE tearing anything down: while the
+		// disk is still sick the old (degraded but readable) state must
+		// keep serving reads, so a failed probe leaves it untouched.
+		sess, l, gen, stale, err := s.loadFromDisk(ctx, e)
+		if err != nil {
+			e.mu.Unlock()
+			s.logf("store: session %s still degraded after probe: %v", e.id, err)
+			degraded++
+			continue
+		}
+		if e.wal != nil {
+			_ = e.wal.Close()
+		}
+		s.install(e, sess, l, gen, stale)
+		e.mu.Unlock()
+		s.logf("store: session %s re-armed from disk after degradation", e.id)
+		rearmed++
+	}
+	return rearmed, degraded
+}
+
+// Health summarises the store's storage state for /healthz: how many
+// sessions are currently degraded (read-only) and one representative
+// reason.
+type Health struct {
+	// Sessions is the total session count (live or not).
+	Sessions int
+	// Degraded counts sessions refusing mutations.
+	Degraded int
+	// Reason is one degraded session's fault, empty when healthy.
+	Reason string
+	// Since is the oldest degradation's start time.
+	Since time.Time
+}
+
+// OK reports whether every session accepts mutations.
+func (h Health) OK() bool { return h.Degraded == 0 }
+
+// Health reports the store's current storage health.
+func (s *Store) Health() Health {
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	h := Health{Sessions: len(entries)}
+	for _, e := range entries {
+		e.degMu.Lock()
+		if e.degraded != nil {
+			h.Degraded++
+			if h.Reason == "" || e.degSince.Before(h.Since) {
+				h.Reason = e.degraded.Error()
+				h.Since = e.degSince
+			}
+		}
+		e.degMu.Unlock()
+	}
+	return h
 }
 
 // Len returns the number of sessions the store holds (live or not).
@@ -234,21 +409,23 @@ func (s *Store) Create(ctx context.Context, id string, base *hydrac.TaskSet) (*h
 	return rep, nil
 }
 
-// createLocked is the body of Create; e.mu must be write-held.
+// createLocked is the body of Create; e.mu must be write-held. Disk
+// failures are wrapped in ErrStorage — the base set was fine, the
+// storage was not — so the HTTP layer answers 503, not 422.
 func (s *Store) createLocked(ctx context.Context, e *entry, base *hydrac.TaskSet) (*hydrac.Report, error) {
 	sess, rep, err := s.a.NewSession(ctx, base)
 	if err != nil {
 		return nil, err
 	}
 	if err := os.MkdirAll(e.dir, 0o755); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrStorage, err)
 	}
-	if err := writeSnapshot(e.dir, 0, sess.Set(), sess.PlacementCursor()); err != nil {
-		return nil, err
+	if err := writeSnapshot(s.fs, e.dir, 0, sess.Set(), sess.PlacementCursor()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStorage, err)
 	}
 	l, _, err := wal.Open(e.dir, s.walOptions(0))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrStorage, err)
 	}
 	e.sess, e.wal, e.gen = sess, l, 0
 	sess.SetCommitHook(s.hookFor(e))
@@ -300,12 +477,17 @@ func (s *Store) Acquire(ctx context.Context, id string) (*hydrac.Session, func()
 // shutdown releases file handles and flushes NoSync stores.
 func (s *Store) Close() error {
 	s.mu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
 	entries := make([]*entry, 0, len(s.entries))
 	for _, e := range s.entries {
 		entries = append(entries, e)
 	}
 	s.mu.Unlock()
+	if !alreadyClosed {
+		close(s.stop)
+		s.wg.Wait()
+	}
 	for _, e := range entries {
 		e.close()
 	}
@@ -329,29 +511,42 @@ func (e *entry) close() {
 // replay, so replayed deltas are not re-logged. e.mu must be
 // write-held.
 func (s *Store) rehydrate(ctx context.Context, e *entry) error {
-	gen, set, cursor, stale, err := readLatestSnapshot(e.dir)
+	sess, l, gen, stale, err := s.loadFromDisk(ctx, e)
 	if err != nil {
 		return err
 	}
+	s.install(e, sess, l, gen, stale)
+	return nil
+}
+
+// loadFromDisk stages a fresh engine + WAL from e's directory without
+// touching e's live fields, so callers (Probe) can keep serving the
+// old state when staging fails. e.mu must be write-held (it guards the
+// directory against concurrent compaction).
+func (s *Store) loadFromDisk(ctx context.Context, e *entry) (*hydrac.Session, *wal.Log, uint64, []uint64, error) {
+	gen, set, cursor, stale, err := readLatestSnapshot(e.dir)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
 	l, recs, err := wal.Open(e.dir, s.walOptions(gen))
 	if err != nil {
-		return err
+		return nil, nil, 0, nil, err
 	}
 	sess, _, err := s.a.NewSessionWith(ctx, set, hydrac.SessionConfig{NextFitCursor: cursor})
 	if err != nil {
 		l.Close()
-		return fmt.Errorf("re-analysing snapshot: %w", err)
+		return nil, nil, 0, nil, fmt.Errorf("re-analysing snapshot: %w", err)
 	}
 	for i, rec := range recs {
 		d, err := hydrac.DecodeDelta(bytes.NewReader(rec))
 		if err != nil {
 			l.Close()
-			return fmt.Errorf("WAL record %d: %w", i, err)
+			return nil, nil, 0, nil, fmt.Errorf("WAL record %d: %w", i, err)
 		}
 		_, admitted, err := sess.Admit(ctx, *d)
 		if err != nil {
 			l.Close()
-			return fmt.Errorf("replaying WAL record %d: %w", i, err)
+			return nil, nil, 0, nil, fmt.Errorf("replaying WAL record %d: %w", i, err)
 		}
 		if !admitted {
 			// The delta committed when it was logged but is denied
@@ -359,17 +554,27 @@ func (s *Store) rehydrate(ctx context.Context, e *entry) error {
 			// a different heuristic). Refusing is the only safe move —
 			// this state was acknowledged to a client.
 			l.Close()
-			return fmt.Errorf("replay diverged at WAL record %d: a logged delta was denied (analyzer configuration changed since this session was written?)", i)
+			return nil, nil, 0, nil, fmt.Errorf("replay diverged at WAL record %d: a logged delta was denied (analyzer configuration changed since this session was written?)", i)
 		}
 	}
-	e.sess, e.wal, e.gen, e.broken = sess, l, gen, nil
+	return sess, l, gen, stale, nil
+}
+
+// install makes a staged session e's live state. e.mu must be
+// write-held; any previous live WAL handle must already be closed.
+func (s *Store) install(e *entry, sess *hydrac.Session, l *wal.Log, gen uint64, stale []uint64) {
+	e.sess, e.wal, e.gen = sess, l, gen
+	// A successful re-hydration proves the disk serves reads and a
+	// fresh WAL accepts appends again: the session leaves degraded
+	// mode (it may never have been in it — this is also the plain
+	// eviction re-materialisation path).
+	e.clearDegraded()
 	sess.SetCommitHook(s.hookFor(e))
 	// Older generations are superseded; removing them is cleanup, not
 	// correctness (recovery always picks the highest valid snapshot).
 	for _, g := range stale {
 		s.removeGeneration(e.dir, g)
 	}
-	return nil
 }
 
 // hookFor builds e's commit hook: append-and-fsync the delta, then
@@ -379,14 +584,21 @@ func (s *Store) rehydrate(ctx context.Context, e *entry) error {
 func (s *Store) hookFor(e *entry) hydrac.CommitHook {
 	var buf bytes.Buffer
 	return func(d hydrac.Delta, state *hydrac.TaskSet, cursor int) error {
-		if e.broken != nil {
-			return fmt.Errorf("%w: session storage failed earlier (restart to recover): %v", ErrStorage, e.broken)
+		if err := e.fault(); err != nil {
+			return fmt.Errorf("%w: session is read-only after a storage fault (a probe re-arms it once the disk heals): %v", ErrDegraded, err)
 		}
 		buf.Reset()
 		if err := hydrac.EncodeDelta(&buf, &d); err != nil {
 			return fmt.Errorf("%w: %v", ErrStorage, err)
 		}
 		if err := e.wal.Append(buf.Bytes()); err != nil {
+			// The failed Log must not be appended to again (it may hold
+			// a torn frame): flip the session read-only. The commit this
+			// hook guards is aborted, so memory still matches the
+			// committed on-disk history, and re-hydration (which repairs
+			// the torn tail) restores an identical session.
+			e.markDegraded(fmt.Errorf("WAL append failed: %v", err))
+			s.logf("store: session %s: WAL append failed, session degraded to read-only: %v", e.id, err)
 			return fmt.Errorf("%w: %v", ErrStorage, err)
 		}
 		if e.wal.Count() >= s.opt.CompactEvery {
@@ -400,13 +612,15 @@ func (s *Store) hookFor(e *entry) hydrac.CommitHook {
 // state, open an empty WAL under the next generation prefix, then
 // delete the superseded files. Failures never affect the commit that
 // triggered compaction — the delta is already durable in the old
-// generation — but a failure after the new snapshot becomes
-// authoritative poisons the session (see entry.broken): its next
-// recovery is exact, while further live commits would land in a log
-// recovery no longer reads.
+// generation. A snapshot failure is retried at the next commit (the
+// old generation is still whole and still current); a failure AFTER
+// the new snapshot became authoritative flips the session into
+// degraded read-only mode — further live commits would land in a log
+// recovery no longer reads — until a probe re-arms it from the new
+// generation.
 func (s *Store) compact(e *entry, state *hydrac.TaskSet, cursor int) {
 	next := e.gen + 1
-	if err := writeSnapshot(e.dir, next, state, cursor); err != nil {
+	if err := writeSnapshot(s.fs, e.dir, next, state, cursor); err != nil {
 		// Old generation still whole and still current: skip this
 		// compaction and retry at the next commit.
 		s.logf("store: session %s: compaction snapshot failed (will retry): %v", e.id, err)
@@ -414,8 +628,8 @@ func (s *Store) compact(e *entry, state *hydrac.TaskSet, cursor int) {
 	}
 	l, _, err := wal.Open(e.dir, s.walOptions(next))
 	if err != nil {
-		e.broken = fmt.Errorf("opening WAL generation %d after its snapshot was written: %w", next, err)
-		s.logf("store: session %s: %v", e.id, e.broken)
+		e.markDegraded(fmt.Errorf("opening WAL generation %d after its snapshot was written: %v", next, err))
+		s.logf("store: session %s: compaction lost its log, session degraded to read-only: %v", e.id, err)
 		return
 	}
 	old, oldGen := e.wal, e.gen
@@ -427,16 +641,16 @@ func (s *Store) compact(e *entry, state *hydrac.TaskSet, cursor int) {
 // removeGeneration deletes one superseded generation's snapshot and
 // WAL segments, best-effort.
 func (s *Store) removeGeneration(dir string, gen uint64) {
-	if err := os.Remove(snapshotPath(dir, gen)); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := s.fs.Remove(snapshotPath(dir, gen)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		s.logf("store: removing %s: %v", snapshotPath(dir, gen), err)
 	}
-	if err := wal.RemoveGeneration(dir, genPrefix(gen)); err != nil {
+	if err := wal.RemoveGeneration(s.fs, dir, genPrefix(gen)); err != nil {
 		s.logf("store: removing WAL generation %d in %s: %v", gen, dir, err)
 	}
 }
 
 func (s *Store) walOptions(gen uint64) wal.Options {
-	return wal.Options{Prefix: genPrefix(gen), NoSync: s.opt.NoSync, SegmentBytes: s.opt.SegmentBytes}
+	return wal.Options{Prefix: genPrefix(gen), NoSync: s.opt.NoSync, SegmentBytes: s.opt.SegmentBytes, FS: s.fs}
 }
 
 func (s *Store) logf(format string, args ...any) {

@@ -24,6 +24,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"hydrac/internal/faultfs"
 )
 
 // DefaultSegmentBytes rotates segments once they pass 1 MiB: large
@@ -64,6 +66,11 @@ type Options struct {
 	// write ordering, not durability, until Sync or Close — the mode
 	// for callers that batch their own sync points.
 	NoSync bool
+	// FS is the filesystem seam every write-side operation goes
+	// through; nil means the real OS. The chaos suite injects faults
+	// here (internal/faultfs.Injector) to script fsync failures, torn
+	// writes and ENOSPC at exact points.
+	FS faultfs.FS
 }
 
 // Log is an open append log. Append/Sync/Close serialise with each
@@ -73,11 +80,12 @@ type Options struct {
 type Log struct {
 	dir  string
 	opt  Options
-	f    *os.File // current (last) segment, opened for append
-	seq  int      // current segment number
-	size int64    // current segment size in bytes
-	n    int      // records recovered at Open plus records appended
-	buf  []byte   // reused frame buffer so Append allocates nothing
+	fs   faultfs.FS
+	f    faultfs.File // current (last) segment, opened for append
+	seq  int          // current segment number
+	size int64        // current segment size in bytes
+	n    int          // records recovered at Open plus records appended
+	buf  []byte       // reused frame buffer so Append allocates nothing
 }
 
 // Open replays every segment of the log in dir matching opt.Prefix,
@@ -88,22 +96,23 @@ func Open(dir string, opt Options) (*Log, [][]byte, error) {
 	if opt.SegmentBytes <= 0 {
 		opt.SegmentBytes = DefaultSegmentBytes
 	}
+	fs := faultfs.Default(opt.FS)
 	segs, err := listSegments(dir, opt.Prefix)
 	if err != nil {
 		return nil, nil, err
 	}
-	l := &Log{dir: dir, opt: opt}
+	l := &Log{dir: dir, opt: opt, fs: fs}
 	var records [][]byte
 	for i, seg := range segs {
 		last := i == len(segs)-1
-		recs, validLen, err := readSegment(filepath.Join(dir, seg.name))
+		recs, validLen, err := readSegment(fs, filepath.Join(dir, seg.name))
 		if err != nil {
 			if !last || !errors.Is(err, errBadTail) {
 				return nil, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, seg.name, err)
 			}
 			// Torn tail of the final segment: a crash mid-append. Cut
 			// the file back to the last whole record and carry on.
-			if err := truncateSegment(filepath.Join(dir, seg.name), validLen); err != nil {
+			if err := truncateSegment(fs, filepath.Join(dir, seg.name), validLen); err != nil {
 				return nil, nil, fmt.Errorf("repairing torn tail of %s: %w", seg.name, err)
 			}
 		}
@@ -115,13 +124,13 @@ func Open(dir string, opt Options) (*Log, [][]byte, error) {
 	}
 	if len(segs) == 0 {
 		l.seq = 1
-		f, err := createSegment(dir, opt.Prefix, l.seq)
+		f, err := createSegment(fs, dir, opt.Prefix, l.seq)
 		if err != nil {
 			return nil, nil, err
 		}
 		l.f = f
 	} else {
-		f, err := os.OpenFile(filepath.Join(dir, segmentName(opt.Prefix, l.seq)), os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fs.OpenFile(filepath.Join(dir, segmentName(opt.Prefix, l.seq)), os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -157,16 +166,32 @@ func (l *Log) Append(rec []byte) error {
 	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(rec, castagnoli))
 	b = append(b, rec...)
 	if _, err := l.f.Write(b); err != nil {
+		l.rollback()
 		return fmt.Errorf("wal: appending record: %w", err)
 	}
 	if !l.opt.NoSync {
 		if err := l.f.Sync(); err != nil {
+			l.rollback()
 			return fmt.Errorf("wal: syncing segment: %w", err)
 		}
 	}
 	l.size += int64(len(b))
 	l.n++
 	return nil
+}
+
+// rollback best-effort cuts the segment back to the last known-good
+// size after a failed append. Without it, a frame whose write landed
+// but whose fsync failed would be a phantom commit: the caller was
+// told the append failed, yet recovery would replay a complete,
+// CRC-valid record. When the disk is too sick even to truncate, that
+// ambiguity is unavoidable and recovery may replay the unacknowledged
+// record — the documented crash-between-append-and-ack case.
+func (l *Log) rollback() {
+	if err := l.f.Truncate(l.size); err != nil {
+		return
+	}
+	_ = l.f.Sync()
 }
 
 // rotate closes the full segment (synced) and starts the next one.
@@ -177,7 +202,7 @@ func (l *Log) rotate() error {
 	if err := l.f.Close(); err != nil {
 		return err
 	}
-	f, err := createSegment(l.dir, l.opt.Prefix, l.seq+1)
+	f, err := createSegment(l.fs, l.dir, l.opt.Prefix, l.seq+1)
 	if err != nil {
 		return err
 	}
@@ -203,30 +228,27 @@ func (l *Log) Close() error {
 }
 
 // RemoveGeneration unlinks every segment of the given prefix in dir
-// (a compacted-away generation) and syncs the directory.
-func RemoveGeneration(dir, prefix string) error {
+// (a compacted-away generation) and syncs the directory. A nil fs
+// means the real OS.
+func RemoveGeneration(fs faultfs.FS, dir, prefix string) error {
+	fs = faultfs.Default(fs)
 	segs, err := listSegments(dir, prefix)
 	if err != nil {
 		return err
 	}
 	for _, seg := range segs {
-		if err := os.Remove(filepath.Join(dir, seg.name)); err != nil {
+		if err := fs.Remove(filepath.Join(dir, seg.name)); err != nil {
 			return err
 		}
 	}
-	return SyncDir(dir)
+	return fs.SyncDir(dir)
 }
 
 // SyncDir fsyncs a directory, making renames and file creations in it
 // durable. Exported because the session store shares the discipline
 // for its snapshot files.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return faultfs.OS{}.SyncDir(dir)
 }
 
 // segmentName formats <prefix>NNNNNNNN.wal.
@@ -280,12 +302,12 @@ func listSegments(dir, prefix string) ([]segment, error) {
 
 // createSegment creates a fresh segment file and makes its directory
 // entry durable.
-func createSegment(dir, prefix string, seq int) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, segmentName(prefix, seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+func createSegment(fs faultfs.FS, dir, prefix string, seq int) (faultfs.File, error) {
+	f, err := fs.OpenFile(filepath.Join(dir, segmentName(prefix, seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := SyncDir(dir); err != nil {
+	if err := fs.SyncDir(dir); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -299,8 +321,8 @@ var errBadTail = errors.New("bad frame")
 // readSegment decodes one segment. On a bad frame it returns the
 // records before it, the byte offset of the last whole record, and an
 // error wrapping errBadTail describing the damage.
-func readSegment(path string) ([][]byte, int64, error) {
-	data, err := os.ReadFile(path)
+func readSegment(fs faultfs.FS, path string) ([][]byte, int64, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -330,8 +352,8 @@ func readSegment(path string) ([][]byte, int64, error) {
 
 // truncateSegment cuts path back to size and syncs it — the torn-tail
 // repair.
-func truncateSegment(path string, size int64) error {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+func truncateSegment(fs faultfs.FS, path string, size int64) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -350,13 +372,14 @@ func truncateSegment(path string, size int64) error {
 // rules as Open but never modifies the files (a torn tail is simply
 // not returned).
 func ReadAll(dir string, opt Options) ([][]byte, error) {
+	fs := faultfs.Default(opt.FS)
 	segs, err := listSegments(dir, opt.Prefix)
 	if err != nil {
 		return nil, err
 	}
 	var records [][]byte
 	for i, seg := range segs {
-		recs, _, err := readSegment(filepath.Join(dir, seg.name))
+		recs, _, err := readSegment(fs, filepath.Join(dir, seg.name))
 		if err != nil {
 			if i != len(segs)-1 || !errors.Is(err, errBadTail) {
 				return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, seg.name, err)

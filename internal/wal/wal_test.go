@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"hydrac/internal/faultfs"
 )
 
 // openAppend opens a log in dir with opt, appends every record, and
@@ -105,7 +107,7 @@ func TestPrefixIsolatesGenerations(t *testing.T) {
 	wantRecords(t, recovered(t, dir, Options{Prefix: "g0-"}), []byte("old"))
 	wantRecords(t, recovered(t, dir, Options{Prefix: "g1-"}), []byte("new"))
 
-	if err := RemoveGeneration(dir, "g0-"); err != nil {
+	if err := RemoveGeneration(faultfs.OS{}, dir, "g0-"); err != nil {
 		t.Fatal(err)
 	}
 	wantRecords(t, recovered(t, dir, Options{Prefix: "g0-"}))
@@ -323,5 +325,57 @@ func TestReadAllLeavesTornTailInPlace(t *testing.T) {
 	}
 	if fi.Size() != int64(len(data)-2) {
 		t.Fatalf("ReadAll modified the segment: size %d", fi.Size())
+	}
+}
+
+// A frame whose write landed but whose fsync failed must not resurface
+// at recovery as a phantom commit: the failed append rolls the segment
+// back to the last acknowledged record.
+func TestFailedSyncRollsBackUnacknowledgedFrame(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.Wrap(nil)
+	l, _, err := Open(dir, Options{Prefix: "g0-", FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	in.Fail(faultfs.Rule{Op: faultfs.OpSync, Path: ".wal", Nth: 1})
+	if err := l.Append([]byte("failed")); err == nil {
+		t.Fatal("append over a failing fsync should error")
+	}
+	l.f.Close() // the log is failed; release the handle without syncing
+
+	wantRecords(t, recovered(t, dir, Options{Prefix: "g0-"}), []byte("acked"))
+}
+
+// Same discipline for a torn write: the half-landed frame is cut away
+// immediately, not left for recovery to repair.
+func TestTornWriteRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.Wrap(nil)
+	l, _, err := Open(dir, Options{Prefix: "g0-", FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	in.Fail(faultfs.Rule{Op: faultfs.OpWrite, Path: ".wal", Nth: 1, Torn: true})
+	if err := l.Append([]byte("torn-away")); err == nil {
+		t.Fatal("torn append should error")
+	}
+	l.f.Close()
+
+	// The segment holds exactly the acknowledged record — byte-clean,
+	// no torn tail for Open to repair.
+	recs, validLen, err := readSegment(faultfs.OS{}, filepath.Join(dir, segmentName("g0-", 1)))
+	if err != nil {
+		t.Fatalf("segment not byte-clean after rollback: %v", err)
+	}
+	wantRecords(t, recs, []byte("acked"))
+	if fi, _ := os.Stat(filepath.Join(dir, segmentName("g0-", 1))); fi.Size() != validLen {
+		t.Fatalf("segment size %d != valid length %d", fi.Size(), validLen)
 	}
 }
