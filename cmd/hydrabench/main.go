@@ -8,9 +8,14 @@
 //
 // Usage:
 //
-//	hydrabench [-url http://HOST:PORT] [-set file.json]
+//	hydrabench [-url http://HOST:PORT | -targets a,b,c] [-set file.json]
 //	           [-c 1,4,16] [-d 2s] [-endpoint /v1/analyze] [-out -]
 //	           [-retries N]
+//
+// -targets sweeps a whole hydrad fleet: workers spread round-robin
+// over the listed base URLs, 307 fleet redirects are followed and
+// counted, and the JSON carries both the aggregate and a per-target
+// split per level.
 //
 // Without -url, hydrabench serves the real hydrad handler
 // (internal/hydradhttp) over httptest and loads that — a
@@ -37,6 +42,7 @@ import (
 	"time"
 
 	"hydrac"
+	"hydrac/internal/fleet"
 	"hydrac/internal/hydradhttp"
 	"hydrac/internal/loadgen"
 	"hydrac/internal/rover"
@@ -46,17 +52,22 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// output is the JSON document hydrabench emits.
+// output is the JSON document hydrabench emits. Single-target runs
+// keep the historical target/levels shape; -targets runs add the
+// target list and a per-level aggregate + per-target split.
 type output struct {
-	Target   string                `json:"target"`
-	Endpoint string                `json:"endpoint"`
-	Levels   []loadgen.LevelResult `json:"levels"`
+	Target      string                     `json:"target,omitempty"`
+	Targets     []string                   `json:"targets,omitempty"`
+	Endpoint    string                     `json:"endpoint"`
+	Levels      []loadgen.LevelResult      `json:"levels,omitempty"`
+	FleetLevels []loadgen.FleetLevelResult `json:"fleet_levels,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hydrabench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	url := fs.String("url", "", "target base URL (e.g. http://127.0.0.1:8080); empty loads an in-process handler")
+	targetsFlag := fs.String("targets", "", "comma-separated base URLs of a hydrad fleet; workers spread round-robin and results carry a per-target split (overrides -url)")
 	setPath := fs.String("set", "", "task-set JSON file to post; empty uses the built-in rover set")
 	levels := fs.String("c", "1,4,16", "comma-separated concurrency levels to sweep")
 	dur := fs.Duration("d", 2*time.Second, "measurement duration per level")
@@ -84,6 +95,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "hydrabench:", err)
 		return 2
+	}
+
+	if *targetsFlag != "" {
+		return runFleet(*targetsFlag, *endpoint, *outPath, body, concs, *dur, *retries, stdout, stderr)
 	}
 
 	target := *url
@@ -133,9 +148,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 			c, r.RPS, r.P50MS, r.P95MS, r.P99MS, r.Requests, r.Shed, r.Errors)
 	}
 
+	return writeOutput(doc, *outPath, stdout, stderr)
+}
+
+// runFleet is the -targets mode: sweep the levels round-robin across
+// a hydrad fleet and report per-target splits next to the aggregate.
+func runFleet(targetsCSV, endpoint, outPath string, body []byte, concs []int, dur time.Duration, retries int, stdout, stderr io.Writer) int {
+	var targets []string
+	for _, part := range strings.Split(targetsCSV, ",") {
+		if t := fleet.Normalize(part); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(stderr, "hydrabench: -targets needs at least one base URL")
+		return 2
+	}
+	maxConc := 0
+	for _, c := range concs {
+		if c > maxConc {
+			maxConc = c
+		}
+	}
+	client := loadgen.NewClient(maxConc)
+	// One request per target up front validates every node serves the
+	// set/endpoint pairing before the sweep commits to the fleet.
+	for _, t := range targets {
+		if err := loadgen.Do(client, t, loadgen.Request{Path: endpoint, Body: body}); err != nil {
+			fmt.Fprintln(stderr, "hydrabench:", err)
+			return 1
+		}
+	}
+	src := loadgen.Fixed{Path: endpoint, Body: body}
+	doc := output{Targets: targets, Endpoint: endpoint}
+	for _, c := range concs {
+		res, err := loadgen.RunFleet(targets, src, loadgen.Config{
+			Levels:   []int{c},
+			Duration: dur,
+			Client:   client,
+			Retries:  retries,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "hydrabench:", err)
+			return 1
+		}
+		doc.FleetLevels = append(doc.FleetLevels, res[0])
+		a := res[0].Aggregate
+		fmt.Fprintf(stderr, "hydrabench: c=%d fleet  %0.f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms  (%d requests, %d shed, %d errors, %d redirects)\n",
+			c, a.RPS, a.P50MS, a.P95MS, a.P99MS, a.Requests, a.Shed, a.Errors, a.Redirects)
+		for _, t := range res[0].Targets {
+			fmt.Fprintf(stderr, "hydrabench:   %s  %0.f req/s  p99 %.2fms  (%d requests)\n",
+				t.Target, t.RPS, t.P99MS, t.Requests)
+		}
+	}
+	return writeOutput(doc, outPath, stdout, stderr)
+}
+
+// writeOutput emits doc as indented JSON to outPath (or stdout).
+func writeOutput(doc output, outPath string, stdout, stderr io.Writer) int {
 	out := stdout
-	if *outPath != "-" && *outPath != "" {
-		f, err := os.Create(*outPath)
+	if outPath != "-" && outPath != "" {
+		f, err := os.Create(outPath)
 		if err != nil {
 			fmt.Fprintln(stderr, "hydrabench:", err)
 			return 1

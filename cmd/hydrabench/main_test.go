@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"hydrac"
+	"hydrac/internal/hydradhttp"
 	"hydrac/internal/rover"
 )
 
@@ -93,5 +95,52 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "hydrabench") {
 		t.Fatal("-h printed no usage")
+	}
+}
+
+// -targets sweeps a two-node in-process fleet and emits the fleet
+// document shape: target list, aggregate, and per-target splits.
+func TestRunFleetTargets(t *testing.T) {
+	var urls []string
+	for i := 0; i < 2; i++ {
+		a, err := hydrac.New(hydrac.WithCache(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(hydradhttp.NewHandler(hydradhttp.Config{Analyzer: a, CacheSize: 64}))
+		t.Cleanup(srv.Close)
+		urls = append(urls, srv.URL)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-targets", strings.Join(urls, ","), "-c", "2", "-d", "100ms"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var doc output
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(doc.Targets) != 2 || len(doc.Levels) != 0 || len(doc.FleetLevels) != 1 {
+		t.Fatalf("fleet document shape: %+v", doc)
+	}
+	lvl := doc.FleetLevels[0]
+	if lvl.Aggregate.Requests == 0 || lvl.Aggregate.Errors != 0 {
+		t.Fatalf("aggregate did no clean work: %+v", lvl.Aggregate)
+	}
+	if len(lvl.Targets) != 2 {
+		t.Fatalf("%d per-target splits, want 2", len(lvl.Targets))
+	}
+	for _, tr := range lvl.Targets {
+		if tr.Requests == 0 {
+			t.Fatalf("target %s did no work", tr.Target)
+		}
+	}
+}
+
+// -targets with only empty entries is a usage error.
+func TestRunFleetTargetsEmpty(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-targets", " , "}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2: %s", code, stderr.String())
 	}
 }

@@ -13,6 +13,17 @@
 //	       [-max-inflight N] [-max-queue N] [-queue-wait D] [-request-timeout D]
 //	       [-read-timeout D] [-write-timeout D] [-idle-timeout D]
 //	       [-pprof HOST:PORT]
+//	       [-peers a,b,c -self a] [-probe-every D] [-drain-timeout D]
+//
+// -peers/-self join a static fleet: every node lists the same member
+// base URLs and names itself. Session ids map to owners on a
+// consistent-hash ring (internal/ring), non-owners answer 307 +
+// X-Hydra-Owner, a background prober (interval -probe-every) marks
+// unreachable peers down so their sessions fail over to the ring
+// successor, and SIGTERM triggers a graceful drain: new sessions are
+// redirected away while every durable session is streamed to its
+// successor over POST /v1/handoff (bounded by -drain-timeout), so a
+// rolling restart loses no acknowledged delta.
 //
 // -pprof exposes net/http/pprof on a SEPARATE listener restricted to
 // loopback addresses (off by default), so production hot spots can be
@@ -73,6 +84,7 @@ import (
 	"time"
 
 	"hydrac"
+	"hydrac/internal/fleet"
 	"hydrac/internal/hydradhttp"
 	"hydrac/internal/store"
 )
@@ -99,6 +111,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxQueue := fs.Int("max-queue", 64, "max requests waiting for a slot beyond -max-inflight; excess is shed with 429 (only meaningful with -max-inflight)")
 	queueWait := fs.Duration("queue-wait", hydradhttp.DefaultQueueWait, "longest a queued request waits for a slot before a 429 (only meaningful with -max-inflight)")
 	requestTimeout := fs.Duration("request-timeout", 0, "per-request deadline; expiry answers 503 (0 disables)")
+	peers := fs.String("peers", "", "comma-separated base URLs of every fleet member (including this one); empty runs single-node")
+	self := fs.String("self", "", "this node's base URL as it appears in -peers (required with -peers)")
+	probeEvery := fs.Duration("probe-every", fleet.DefaultProbeEvery, "peer health probe interval (only meaningful with -peers)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time a SIGTERM drain may spend handing sessions to peers (only meaningful with -peers)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: max time to read a full request (0 disables)")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout: max time from end-of-read to end-of-write (0 disables)")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: max keep-alive idle time (0 disables)")
@@ -124,6 +140,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	logf := func(format string, args ...any) { fmt.Fprintf(stderr, "hydrad: "+format+"\n", args...) }
+	fl, err := buildFleet(*peers, *self, *probeEvery, logf)
+	if err != nil {
+		fmt.Fprintln(stderr, "hydrad:", err)
+		return 2
+	}
+	if fl != nil {
+		summary["fleet_self"] = fl.Self()
+		summary["fleet_size"] = len(fl.Peers())
+	}
 	var st *store.Store
 	if *dataDir != "" {
 		st, err = store.Open(*dataDir, a, store.Options{
@@ -166,19 +191,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hydrad:", err)
 		return 1
 	}
+	handler := hydradhttp.NewHandler(hydradhttp.Config{
+		Analyzer:       a,
+		Summary:        summary,
+		MaxSessions:    *sessions,
+		CacheSize:      *cacheSize,
+		Store:          st,
+		Fleet:          fl,
+		Logf:           logf,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		RequestTimeout: *requestTimeout,
+	})
 	srv := &http.Server{
-		Handler: hydradhttp.NewHandler(hydradhttp.Config{
-			Analyzer:       a,
-			Summary:        summary,
-			MaxSessions:    *sessions,
-			CacheSize:      *cacheSize,
-			Store:          st,
-			Logf:           logf,
-			MaxInflight:    *maxInflight,
-			MaxQueue:       *maxQueue,
-			QueueWait:      *queueWait,
-			RequestTimeout: *requestTimeout,
-		}),
+		Handler: handler,
 		// Server-side timeouts bound how long a slow (or hostile)
 		// client can hold a connection at every stage of its life:
 		// header read, full-request read, response write, keep-alive
@@ -195,9 +222,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Fprintf(stderr, "hydrad: listening on %s\n", ln.Addr())
+	if fl != nil {
+		fl.Start()
+		defer fl.Stop()
+		fmt.Fprintf(stderr, "hydrad: fleet member %s of %d peers\n", fl.Self(), len(fl.Peers()))
+	}
 
 	select {
 	case <-ctx.Done():
+		// Restore default signal handling first: a drain that hangs
+		// (peer wedged mid-handoff) must stay killable by a second
+		// SIGTERM/Ctrl-C rather than require kill -9.
+		stop()
+		if fl != nil {
+			fmt.Fprintln(stderr, "hydrad: draining")
+			drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			moved, kept := handler.Drain(drainCtx)
+			cancel()
+			fmt.Fprintf(stderr, "hydrad: drained: %d handed off, %d kept\n", moved, kept)
+		}
 		fmt.Fprintln(stderr, "hydrad: shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -212,6 +255,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hydrad:", err)
 		return 1
 	}
+}
+
+// buildFleet translates -peers/-self into a fleet view; both empty
+// keeps the exact single-node behaviour.
+func buildFleet(peersCSV, self string, probeEvery time.Duration, logf func(string, ...any)) (*fleet.Fleet, error) {
+	if peersCSV == "" && self == "" {
+		return nil, nil
+	}
+	if peersCSV == "" || self == "" {
+		return nil, errors.New("-peers and -self must be set together")
+	}
+	var peers []string
+	for _, p := range strings.Split(peersCSV, ",") {
+		if n := fleet.Normalize(p); n != "" {
+			peers = append(peers, n)
+		}
+	}
+	return fleet.New(fleet.Options{
+		Self:       self,
+		Peers:      peers,
+		ProbeEvery: probeEvery,
+		Logf:       logf,
+	})
 }
 
 // maxBodyBytes mirrors the handler's request-size cap for tests.

@@ -564,3 +564,39 @@ func TestRunRejectsNonLoopbackPprof(t *testing.T) {
 		t.Fatalf("error does not explain the loopback restriction: %s", errOut.String())
 	}
 }
+
+// -peers/-self are validated together, before any listener opens.
+func TestFleetFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-peers", "http://a:1,http://b:1"}, &out, &errb); code != 2 {
+		t.Fatalf("-peers without -self exited %d, want 2", code)
+	}
+	if code := run([]string{"-self", "http://a:1"}, &out, &errb); code != 2 {
+		t.Fatalf("-self without -peers exited %d, want 2", code)
+	}
+	if code := run([]string{"-peers", "http://a:1,http://b:1", "-self", "http://c:1"}, &out, &errb); code != 2 {
+		t.Fatalf("-self outside -peers exited %d, want 2", code)
+	}
+	if code := run([]string{"-peers", "http://a:1", "-self", "http://a:1"}, &out, &errb); code != 2 {
+		t.Fatalf("fleet of one exited %d, want 2", code)
+	}
+}
+
+// buildFleet normalizes schemeless addresses the same way the fleet
+// package does, so -peers 127.0.0.1:8080,... just works.
+func TestBuildFleetNormalizes(t *testing.T) {
+	fl, err := buildFleet("127.0.0.1:8080, 127.0.0.1:8081/", "127.0.0.1:8081", -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Self() != "http://127.0.0.1:8081" {
+		t.Fatalf("self = %q", fl.Self())
+	}
+	if len(fl.Peers()) != 2 {
+		t.Fatalf("peers = %v", fl.Peers())
+	}
+	fl2, err := buildFleet("", "", -1, nil)
+	if err != nil || fl2 != nil {
+		t.Fatalf("empty flags: %v, %v; want nil fleet", fl2, err)
+	}
+}

@@ -1,0 +1,480 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hydrac"
+	"hydrac/internal/fleet"
+	"hydrac/internal/hydradhttp"
+	"hydrac/internal/store"
+)
+
+// fleetChaosNode is one member of an in-test hydrad fleet: a real TCP
+// listener (so the address survives a kill and a restart rebinds it),
+// a durable store, a manually probed fleet view, and the production
+// handler.
+type fleetChaosNode struct {
+	addr string // http://127.0.0.1:port — stable across restarts
+	dir  string // durable session root — survives the kill
+	an   *hydrac.Analyzer
+	st   *store.Store
+	fl   *fleet.Fleet
+	h    *hydradhttp.Handler
+	srv  *http.Server
+}
+
+// bootFleetCluster pre-binds n loopback listeners (every node's fleet
+// view needs all addresses before any node exists), then boots a
+// durable hydrad on each. probeClient, when non-nil, is installed as
+// node 0's probe transport — the hook for partition injection.
+func bootFleetCluster(t *testing.T, n int, probeClient *http.Client) []*fleetChaosNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	nodes := make([]*fleetChaosNode, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = "http://" + ln.Addr().String()
+	}
+	for i := range nodes {
+		node := &fleetChaosNode{addr: addrs[i], dir: t.TempDir(), an: newAnalyzer(t)}
+		opt := fleet.Options{Self: node.addr, Peers: addrs, ProbeEvery: -1, Logf: t.Logf}
+		if i == 0 && probeClient != nil {
+			opt.Client = probeClient
+		}
+		fl, err := fleet.New(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.fl = fl
+		node.start(t, lns[i])
+		nodes[i] = node
+		t.Cleanup(func() {
+			_ = node.srv.Close()
+			_ = node.st.Close()
+		})
+	}
+	return nodes
+}
+
+// start opens the node's store and serves its handler on ln. Also the
+// restart path: a fresh store over the same dir is exactly the
+// recovery a crashed daemon performs.
+func (node *fleetChaosNode) start(t *testing.T, ln net.Listener) {
+	t.Helper()
+	st, err := store.Open(node.dir, node.an, store.Options{ProbeEvery: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.st = st
+	node.h = hydradhttp.NewHandler(hydradhttp.Config{
+		Analyzer: node.an, Store: st, Fleet: node.fl, Logf: t.Logf,
+	})
+	node.srv = &http.Server{Handler: node.h}
+	go func(srv *http.Server) { _ = srv.Serve(ln) }(node.srv)
+}
+
+// kill severs the node abruptly: listener and connections die
+// mid-request and the store is NOT closed — no flush, no goodbye —
+// which is as close to kill -9 as an in-process test gets while the
+// WAL's per-commit fsync keeps the disk state crash-equivalent.
+func (node *fleetChaosNode) kill() {
+	_ = node.srv.Close()
+}
+
+// restart rebinds the node's original address and recovers its store
+// from the same directory.
+func (node *fleetChaosNode) restart(t *testing.T) {
+	t.Helper()
+	ln, err := net.Listen("tcp", strings.TrimPrefix(node.addr, "http://"))
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", node.addr, err)
+	}
+	node.start(t, ln)
+}
+
+// probeAll drives every fleet view through `rounds` manual probe
+// cycles — the deterministic stand-in for the background prober.
+func probeAll(nodes []*fleetChaosNode, rounds int) {
+	for i := 0; i < rounds; i++ {
+		for _, n := range nodes {
+			n.fl.ProbeOnce(context.Background())
+		}
+	}
+}
+
+// peerStateOn reads how node views peer.
+func peerStateOn(t *testing.T, node *fleetChaosNode, peer string) string {
+	t.Helper()
+	for _, v := range node.fl.View() {
+		if v.Addr == peer {
+			return v.State
+		}
+	}
+	t.Fatalf("%s has no view of %s", node.addr, peer)
+	return ""
+}
+
+// do issues one request, following up to three fleet 307s by hand (no
+// retries — chaos tests must see every failure, not paper over it).
+func fleetDo(client *http.Client, method, url string, body []byte) (*http.Response, []byte, error) {
+	for hop := 0; ; hop++ {
+		var rd io.Reader
+		if body != nil {
+			rd = strings.NewReader(string(body))
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return nil, nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.StatusCode == http.StatusTemporaryRedirect && hop < 3 {
+			next := resp.Header.Get("Location")
+			if next == "" {
+				next = resp.Header.Get("X-Hydra-Owner") + req.URL.RequestURI()
+			}
+			url = next
+			continue
+		}
+		return resp, b, nil
+	}
+}
+
+// noFollowClient surfaces 307s to fleetDo instead of letting net/http
+// follow them invisibly.
+func noFollowClient() *http.Client {
+	return &http.Client{
+		Timeout: 10 * time.Second,
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+// createOn opens one durable session on node (creates always mint a
+// locally owned id) and returns its id.
+func createOn(t *testing.T, client *http.Client, node *fleetChaosNode) string {
+	t.Helper()
+	resp, body, err := fleetDo(client, http.MethodPost, node.addr+"/v1/session", setBytes(t, base()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create on %s: %d %s", node.addr, resp.StatusCode, body)
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if !node.fl.Owns(created.SessionID) {
+		t.Fatalf("node %s minted id %s it does not own", node.addr, created.SessionID)
+	}
+	return created.SessionID
+}
+
+// admitLoop drives sequential probe deltas for one session through
+// rotating entry nodes (exercising 307 routing on every other
+// request) until stopc closes or a request fails. It returns how many
+// deltas were POSITIVELY acked — status 200 with X-Hydra-Admitted —
+// which is exactly the set the durability contract covers. A delta
+// that died mid-flight may have committed unacked; it is allowed to
+// survive, never required to.
+func admitLoop(t *testing.T, nodes []*fleetChaosNode, id, prefix string, stopc <-chan struct{}) int {
+	client := noFollowClient()
+	acked := 0
+	for k := 0; ; k++ {
+		select {
+		case <-stopc:
+			return acked
+		default:
+		}
+		entry := nodes[k%len(nodes)]
+		resp, _, err := fleetDo(client, http.MethodPost,
+			entry.addr+"/v1/session/"+id+"/admit", deltaBytes(t, monitorDelta(prefix, k)))
+		if err != nil || resp.StatusCode != http.StatusOK || resp.Header.Get("X-Hydra-Admitted") != "true" {
+			return acked
+		}
+		acked++
+	}
+}
+
+// verifySession asserts the fleet's recovered copy of one session
+// against the ground truth: reachable through any entry node, holding
+// every acked delta, its monitors forming a contiguous prefix (acked
+// history plus at most the commits that were in flight at the kill),
+// and the whole placed set bit-identical to an uninterrupted control
+// replay of that prefix.
+func verifySession(t *testing.T, an *hydrac.Analyzer, entry *fleetChaosNode, id, prefix string, acked int) {
+	t.Helper()
+	client := noFollowClient()
+	resp, body, err := fleetDo(client, http.MethodGet, entry.addr+"/v1/session/"+id, nil)
+	if err != nil {
+		t.Fatalf("session %s unreachable after recovery: %v", id, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session %s: %d %s", id, resp.StatusCode, body)
+	}
+	set, err := hydrac.DecodeTaskSet(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("session %s body: %v", id, err)
+	}
+	present := map[int]bool{}
+	count := 0
+	for _, s := range set.Security {
+		rest, ok := strings.CutPrefix(s.Name, prefix)
+		if !ok {
+			continue
+		}
+		if k, err := strconv.Atoi(rest); err == nil {
+			present[k] = true
+			count++
+		}
+	}
+	if count < acked {
+		t.Fatalf("session %s: %d monitors survived, %d were acked — acked-delta loss", id, count, acked)
+	}
+	for k := 0; k < count; k++ {
+		if !present[k] {
+			t.Fatalf("session %s: %d monitors present but %s%03d missing — history has a hole", id, count, prefix, k)
+		}
+	}
+	var deltas []hydrac.Delta
+	for k := 0; k < count; k++ {
+		deltas = append(deltas, monitorDelta(prefix, k))
+	}
+	if want := controlSet(t, an, deltas); string(body) != string(want) {
+		t.Fatalf("session %s diverged from the uninterrupted control over its %d-delta history:\ngot  %s\nwant %s",
+			id, count, body, want)
+	}
+}
+
+// Kill -9 one of three nodes under load: routing converges on the
+// survivors (views agree the node is down), a restart recovers every
+// one of its sessions from disk, views converge back to up, and not
+// one acked delta is lost anywhere in the fleet.
+func TestFleetKillNodeUnderLoad(t *testing.T) {
+	nodes := bootFleetCluster(t, 3, nil)
+	client := noFollowClient()
+
+	// Two sessions per node, so the victim holds real state.
+	type sessInfo struct {
+		id, prefix string
+		owner      int
+		acked      int
+	}
+	var sessions []*sessInfo
+	for i, n := range nodes {
+		for j := 0; j < 2; j++ {
+			si := &sessInfo{id: createOn(t, client, n), prefix: fmt.Sprintf("m%d%d", i, j), owner: i}
+			sessions = append(sessions, si)
+		}
+	}
+
+	stopc := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, si := range sessions {
+		wg.Add(1)
+		go func(si *sessInfo) {
+			defer wg.Done()
+			si.acked = admitLoop(t, nodes, si.id, si.prefix, stopc)
+		}(si)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	victim := nodes[1]
+	victim.kill()
+	// Survivors keep taking load for a while with the victim dark, then
+	// the window closes. Workers on victim-owned sessions die with
+	// their first post-kill request; their acked count stands.
+	time.Sleep(100 * time.Millisecond)
+	close(stopc)
+	wg.Wait()
+
+	// Two probe rounds trip the down hysteresis; both survivors agree.
+	probeAll([]*fleetChaosNode{nodes[0], nodes[2]}, 2)
+	for _, n := range []*fleetChaosNode{nodes[0], nodes[2]} {
+		if got := peerStateOn(t, n, victim.addr); got != fleet.StateDown {
+			t.Fatalf("%s sees victim as %q after probes, want down", n.addr, got)
+		}
+	}
+	// Routing converged: the victim's ids now route to a live successor.
+	for _, si := range sessions {
+		if si.owner != 1 {
+			continue
+		}
+		if addr, _ := nodes[0].fl.Route(si.id); addr == victim.addr {
+			t.Fatalf("id %s still routes to the dead node", si.id)
+		}
+	}
+
+	victim.restart(t)
+	probeAll([]*fleetChaosNode{nodes[0], nodes[2]}, 2)
+	for _, n := range []*fleetChaosNode{nodes[0], nodes[2]} {
+		if got := peerStateOn(t, n, victim.addr); got != fleet.StateUp {
+			t.Fatalf("%s sees restarted victim as %q, want up (views did not re-converge)", n.addr, got)
+		}
+	}
+
+	// Zero acked-delta loss fleet-wide, entering through a non-owner so
+	// recovery AND routing are both on trial.
+	for _, si := range sessions {
+		entry := nodes[(si.owner+1)%len(nodes)]
+		verifySession(t, nodes[0].an, entry, si.id, si.prefix, si.acked)
+	}
+}
+
+// Drain one node while load is running: every session moves (none
+// kept), the drained node redirects, the receivers serve bit-identical
+// state, and no acked delta is lost across the handoff.
+func TestFleetDrainUnderLoadHandsOffSessions(t *testing.T) {
+	nodes := bootFleetCluster(t, 3, nil)
+	client := noFollowClient()
+
+	type sessInfo struct {
+		id, prefix string
+		acked      int
+	}
+	var sessions []*sessInfo
+	for j := 0; j < 3; j++ {
+		sessions = append(sessions, &sessInfo{id: createOn(t, client, nodes[0]), prefix: fmt.Sprintf("d%d", j)})
+	}
+
+	stopc := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, si := range sessions {
+		wg.Add(1)
+		go func(si *sessInfo) {
+			defer wg.Done()
+			si.acked = admitLoop(t, nodes, si.id, si.prefix, stopc)
+		}(si)
+	}
+
+	time.Sleep(75 * time.Millisecond)
+	moved, kept := nodes[0].h.Drain(context.Background())
+	time.Sleep(75 * time.Millisecond)
+	close(stopc)
+	wg.Wait()
+
+	if moved != len(sessions) || kept != 0 {
+		t.Fatalf("drain moved %d kept %d, want %d/0 (both peers were healthy)", moved, kept, len(sessions))
+	}
+	if nodes[0].st.Len() != 0 {
+		t.Fatalf("drained node still holds %d sessions on disk", nodes[0].st.Len())
+	}
+	// The drained node redirects its former sessions rather than 404ing.
+	nr := noFollowClient()
+	for _, si := range sessions {
+		req, _ := http.NewRequest(http.MethodGet, nodes[0].addr+"/v1/session/"+si.id, nil)
+		resp, err := nr.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTemporaryRedirect {
+			t.Fatalf("drained node answered %d for moved session %s, want 307", resp.StatusCode, si.id)
+		}
+	}
+	for _, si := range sessions {
+		verifySession(t, nodes[0].an, nodes[1], si.id, si.prefix, si.acked)
+	}
+}
+
+// A probe partition (node A cannot reach node B's health endpoint,
+// node C can) must make ONLY A route around B, survive the
+// single-failure hysteresis check without flapping, and converge back
+// once the partition heals.
+func TestFleetProbePartitionRoutesAroundUnreachablePeer(t *testing.T) {
+	part := &partitionTransport{}
+	nodes := bootFleetCluster(t, 3, &http.Client{Transport: part, Timeout: 2 * time.Second})
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	part.block.Store(strings.TrimPrefix(b.addr, "http://"))
+
+	// An id in B's ring share, found deterministically.
+	bID := ""
+	for i := 0; i < 4096 && bID == ""; i++ {
+		if id := fmt.Sprintf("partition-probe-%04d", i); b.fl.Owns(id) {
+			bID = id
+		}
+	}
+	if bID == "" {
+		t.Fatal("could not find an id owned by node B")
+	}
+
+	part.active.Store(true)
+	// One failed probe is NOT enough: hysteresis absorbs blips.
+	probeAll(nodes[:1], 1)
+	if got := peerStateOn(t, a, b.addr); got != fleet.StateUp {
+		t.Fatalf("A marked B %q after one failed probe — flapping", got)
+	}
+	// The second consecutive failure trips it.
+	probeAll(nodes[:1], 1)
+	probeAll([]*fleetChaosNode{c}, 2)
+	if got := peerStateOn(t, a, b.addr); got != fleet.StateDown {
+		t.Fatalf("A sees B as %q after two failed probes, want down", got)
+	}
+	if got := peerStateOn(t, c, b.addr); got != fleet.StateUp {
+		t.Fatalf("C sees B as %q, want up (partition is A's alone)", got)
+	}
+	// A routes around B; C still routes to B. B itself serves as usual.
+	if addr, _ := a.fl.Route(bID); addr == b.addr {
+		t.Fatal("A still routes B's ids to B across the partition")
+	}
+	if addr, _ := c.fl.Route(bID); addr != b.addr {
+		t.Fatalf("C routes B's id to %s, want B", addr)
+	}
+
+	// Heal: two clean probes re-arm B on A — full convergence.
+	part.active.Store(false)
+	probeAll(nodes[:1], 2)
+	if got := peerStateOn(t, a, b.addr); got != fleet.StateUp {
+		t.Fatalf("A sees B as %q after heal, want up", got)
+	}
+	if addr, _ := a.fl.Route(bID); addr != b.addr {
+		t.Fatalf("A routes B's id to %s after heal, want B", addr)
+	}
+}
+
+// partitionTransport fails requests to one host while active — an
+// injectable network partition for the probe path only.
+type partitionTransport struct {
+	active atomic.Bool
+	block  atomic.Value // "host:port"
+}
+
+func (p *partitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if p.active.Load() {
+		if host, _ := p.block.Load().(string); host != "" && req.URL.Host == host {
+			return nil, fmt.Errorf("injected partition: %s unreachable", host)
+		}
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}

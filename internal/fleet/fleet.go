@@ -1,0 +1,390 @@
+// Package fleet is hydrad's peer-group membership and routing layer:
+// a static peer list (the -peers flag), a background health prober
+// over each peer's /healthz, and a consistent-hash ownership view
+// (internal/ring) that every node computes identically from the same
+// flags — no coordinator, no gossip, no consensus.
+//
+// States are deliberately coarse. A peer is Up (probes succeed),
+// Down (DownAfter consecutive probe failures), or Draining (the peer
+// itself reports "draining" on /healthz: it still serves and hands
+// its sessions off one by one, but must not receive NEW sessions or
+// handoffs). Hysteresis — consecutive-failure and consecutive-success
+// thresholds — keeps one dropped packet from flapping the routing
+// table.
+//
+// Routing policy, in one place because every subtle fleet bug is a
+// routing-policy bug:
+//
+//   - Route(id): walk the ring's successor order, return the first
+//     peer that is not Down. Draining peers still serve their own
+//     sessions (each redirects per-session once handed off), so they
+//     stay routable. Self is always routable.
+//   - HandoffTarget(id): the first successor that is neither self nor
+//     Down nor Draining — where a drained session should live next.
+//   - CreateTarget(): any non-draining Up peer, for redirecting
+//     session creation away from a draining node.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydrac/internal/ring"
+)
+
+// Peer states. The zero value is not valid; peers start Up
+// (optimistically routable) so a freshly booted fleet serves
+// immediately instead of waiting out a full probe cycle.
+const (
+	StateUp       = "up"
+	StateDown     = "down"
+	StateDraining = "draining"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultProbeEvery   = 1 * time.Second
+	DefaultProbeTimeout = 2 * time.Second
+	DefaultDownAfter    = 2
+	DefaultUpAfter      = 2
+)
+
+// Options shapes a Fleet.
+type Options struct {
+	// Self is this node's address exactly as it appears in Peers.
+	Self string
+	// Peers is the full static membership, self included. Addresses
+	// are normalised (http:// default scheme, trailing slash
+	// stripped); every node must be given the same set, in any order.
+	Peers []string
+	// Replicas is the ring's virtual-node count; 0 means
+	// ring.DefaultReplicas.
+	Replicas int
+	// ProbeEvery is the background probe cadence; 0 means
+	// DefaultProbeEvery, negative disables the loop (tests call
+	// ProbeOnce directly).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one /healthz probe; 0 means
+	// DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// DownAfter is how many consecutive probe failures mark a peer
+	// Down; 0 means DefaultDownAfter.
+	DownAfter int
+	// UpAfter is how many consecutive probe successes bring a Down
+	// peer back; 0 means DefaultUpAfter.
+	UpAfter int
+	// Client issues the probes; nil builds one with ProbeTimeout. The
+	// chaos suite injects partitions here.
+	Client *http.Client
+	// Logf receives state transitions; nil is quiet.
+	Logf func(format string, args ...any)
+}
+
+// PeerView is one row of the fleet's health table, as reported on
+// /healthz.
+type PeerView struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+}
+
+// peer is one remote member's probe state.
+type peer struct {
+	addr string
+
+	mu    sync.Mutex
+	state string
+	// fails/oks count consecutive probe outcomes for hysteresis.
+	fails, oks int
+}
+
+func (p *peer) get() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// Fleet is one node's view of the peer group. Safe for concurrent
+// use.
+type Fleet struct {
+	self  string
+	ring  *ring.Ring
+	peers []*peer // sorted by addr; excludes self
+	by    map[string]*peer
+	opt   Options
+	hc    *http.Client
+
+	draining atomic.Bool
+	stop     chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
+}
+
+// Normalize canonicalises a peer address: "host:port" gains the
+// http:// scheme, trailing slashes go. Ring identity hashes the
+// normalised string, so "a:1" and "http://a:1/" are the same member
+// on every node regardless of how each operator spelled the flag.
+func Normalize(addr string) string {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return ""
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// New builds a fleet view. Self must appear in Peers (after
+// normalisation); at least two members are required — a fleet of one
+// is just a daemon.
+func New(opt Options) (*Fleet, error) {
+	if opt.ProbeEvery == 0 {
+		opt.ProbeEvery = DefaultProbeEvery
+	}
+	if opt.ProbeTimeout <= 0 {
+		opt.ProbeTimeout = DefaultProbeTimeout
+	}
+	if opt.DownAfter <= 0 {
+		opt.DownAfter = DefaultDownAfter
+	}
+	if opt.UpAfter <= 0 {
+		opt.UpAfter = DefaultUpAfter
+	}
+	self := Normalize(opt.Self)
+	if self == "" {
+		return nil, fmt.Errorf("fleet: -self is required alongside -peers")
+	}
+	var addrs []string
+	for _, p := range opt.Peers {
+		if n := Normalize(p); n != "" {
+			addrs = append(addrs, n)
+		}
+	}
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("fleet: need at least 2 peers, got %d", len(addrs))
+	}
+	r, err := ring.New(addrs, opt.Replicas)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	f := &Fleet{self: self, ring: r, by: map[string]*peer{}, opt: opt, hc: opt.Client, stop: make(chan struct{})}
+	if f.hc == nil {
+		f.hc = &http.Client{Timeout: opt.ProbeTimeout}
+	}
+	selfSeen := false
+	for _, a := range r.Nodes() {
+		if a == self {
+			selfSeen = true
+			continue
+		}
+		p := &peer{addr: a, state: StateUp}
+		f.peers = append(f.peers, p)
+		f.by[a] = p
+	}
+	if !selfSeen {
+		return nil, fmt.Errorf("fleet: -self %q is not in -peers %v", self, r.Nodes())
+	}
+	return f, nil
+}
+
+// Self returns this node's normalised address.
+func (f *Fleet) Self() string { return f.self }
+
+// Peers returns the full normalised membership, sorted, self
+// included.
+func (f *Fleet) Peers() []string { return f.ring.Nodes() }
+
+// Owns reports whether id's raw ring owner is this node — health is
+// deliberately ignored, so ownership is stable across peer flaps.
+func (f *Fleet) Owns(id string) bool { return f.ring.Owner(id) == f.self }
+
+// Route resolves id to the node that should serve it right now: the
+// first non-Down node in ring successor order. Draining nodes still
+// serve (they redirect per-session as each is handed off). The second
+// return reports whether that node is this one.
+func (f *Fleet) Route(id string) (addr string, isSelf bool) {
+	for _, n := range f.ring.Successors(id) {
+		if n == f.self {
+			return n, true
+		}
+		if f.by[n].get() != StateDown {
+			return n, false
+		}
+	}
+	// Unreachable: self is always in the successor walk. Kept as a
+	// safe fallback.
+	return f.self, true
+}
+
+// HandoffTarget picks where id's state should be streamed when this
+// node drains: the first successor that is a healthy, non-draining
+// other node. Empty when no peer qualifies (the session then stays on
+// local disk for a restart to recover).
+func (f *Fleet) HandoffTarget(id string) string {
+	for _, n := range f.ring.Successors(id) {
+		if n == f.self {
+			continue
+		}
+		if f.by[n].get() == StateUp {
+			return n
+		}
+	}
+	return ""
+}
+
+// CreateTarget picks a peer to take a session-create this draining
+// node must refuse. Empty when no peer qualifies.
+func (f *Fleet) CreateTarget() string {
+	for _, p := range f.peers {
+		if p.get() == StateUp {
+			return p.addr
+		}
+	}
+	return ""
+}
+
+// StartDrain flips this node into draining mode: /healthz reports
+// "draining" (so peers move it to Draining without extra probes of
+// luck), new creates are redirected, and the drain loop hands
+// sessions off.
+func (f *Fleet) StartDrain() { f.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (f *Fleet) Draining() bool { return f.draining.Load() }
+
+// View reports the fleet health table: every member sorted by
+// address, self included with its own live state.
+func (f *Fleet) View() []PeerView {
+	out := make([]PeerView, 0, len(f.peers)+1)
+	selfState := StateUp
+	if f.Draining() {
+		selfState = StateDraining
+	}
+	out = append(out, PeerView{Addr: f.self, State: selfState})
+	for _, p := range f.peers {
+		out = append(out, PeerView{Addr: p.addr, State: p.get()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Start launches the background probe loop (no-op when ProbeEvery is
+// negative). Stop ends it.
+func (f *Fleet) Start() {
+	if f.opt.ProbeEvery < 0 {
+		return
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		t := time.NewTicker(f.opt.ProbeEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), f.opt.ProbeTimeout)
+				f.ProbeOnce(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Stop terminates the probe loop and waits for it.
+func (f *Fleet) Stop() {
+	f.once.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// ProbeOnce probes every peer once, concurrently, and applies the
+// hysteresis transitions. Exposed so tests (and the chaos suite)
+// drive membership deterministically instead of sleeping through
+// ticker cycles.
+func (f *Fleet) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range f.peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			ok, draining := f.probe(ctx, p.addr)
+			f.apply(p, ok, draining)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probe GETs one peer's /healthz. Any 2xx answer counts as alive; the
+// body's status field distinguishes a draining peer (alive, serving,
+// but leaving) from a merely degraded one (alive and staying).
+func (f *Fleet) probe(ctx context.Context, addr string) (ok, draining bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return false, false
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return false, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return false, false
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false, false
+	}
+	return true, body.Status == StateDraining
+}
+
+// apply runs the hysteresis state machine for one probe outcome.
+// Failures need DownAfter in a row to take a peer Down; recoveries
+// need UpAfter in a row to bring it back. The draining flag carries
+// no hysteresis: it is the peer's own explicit report, not an
+// inference from packet loss.
+func (f *Fleet) apply(p *peer, ok, draining bool) {
+	p.mu.Lock()
+	prev := p.state
+	if ok {
+		p.fails = 0
+		p.oks++
+		switch {
+		case p.state == StateDown && p.oks >= f.opt.UpAfter:
+			p.state = StateUp
+			if draining {
+				p.state = StateDraining
+			}
+		case p.state != StateDown && draining:
+			p.state = StateDraining
+		case p.state == StateDraining && !draining:
+			p.state = StateUp
+		}
+	} else {
+		p.oks = 0
+		p.fails++
+		if p.state != StateDown && p.fails >= f.opt.DownAfter {
+			p.state = StateDown
+		}
+	}
+	next := p.state
+	p.mu.Unlock()
+	if prev != next {
+		f.logf("fleet: peer %s %s -> %s", p.addr, prev, next)
+	}
+}
+
+func (f *Fleet) logf(format string, args ...any) {
+	if f.opt.Logf != nil {
+		f.opt.Logf(format, args...)
+	}
+}

@@ -1,0 +1,236 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8080": "http://127.0.0.1:8080",
+		"http://a:1/":    "http://a:1",
+		" https://b:2 ":  "https://b:2",
+		"http://c:3":     "http://c:3",
+		"":               "",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Self: "a:1", Peers: []string{"a:1"}}); err == nil {
+		t.Error("single-member fleet accepted")
+	}
+	if _, err := New(Options{Self: "c:9", Peers: []string{"a:1", "b:2"}}); err == nil {
+		t.Error("self outside peers accepted")
+	}
+	if _, err := New(Options{Peers: []string{"a:1", "b:2"}}); err == nil {
+		t.Error("missing self accepted")
+	}
+	f, err := New(Options{Self: "a:1/", Peers: []string{"http://a:1", "b:2"}, ProbeEvery: -1})
+	if err != nil {
+		t.Fatalf("normalised self/peer spelling rejected: %v", err)
+	}
+	if f.Self() != "http://a:1" {
+		t.Errorf("Self() = %q", f.Self())
+	}
+	if got := f.Peers(); len(got) != 2 {
+		t.Errorf("Peers() = %v", got)
+	}
+}
+
+// healthStub is a /healthz endpoint whose behaviour a test flips at
+// runtime: serving, failing, or reporting draining.
+type healthStub struct {
+	srv      *httptest.Server
+	fail     atomic.Bool
+	draining atomic.Bool
+}
+
+func newHealthStub(t *testing.T) *healthStub {
+	t.Helper()
+	h := &healthStub{}
+	h.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h.fail.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		status := "ok"
+		if h.draining.Load() {
+			status = "draining"
+		}
+		fmt.Fprintf(w, `{"status":%q}`, status)
+	}))
+	t.Cleanup(h.srv.Close)
+	return h
+}
+
+// twoPeerFleet builds self + one stub peer with no background loop;
+// tests drive ProbeOnce explicitly.
+func twoPeerFleet(t *testing.T, stub *healthStub, downAfter, upAfter int) *Fleet {
+	t.Helper()
+	f, err := New(Options{
+		Self:       "http://self.invalid:1",
+		Peers:      []string{"http://self.invalid:1", stub.srv.URL},
+		ProbeEvery: -1,
+		DownAfter:  downAfter,
+		UpAfter:    upAfter,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func peerState(t *testing.T, f *Fleet, addr string) string {
+	t.Helper()
+	for _, v := range f.View() {
+		if v.Addr == addr {
+			return v.State
+		}
+	}
+	t.Fatalf("peer %s not in view %v", addr, f.View())
+	return ""
+}
+
+func TestHysteresis(t *testing.T) {
+	stub := newHealthStub(t)
+	f := twoPeerFleet(t, stub, 3, 2)
+	ctx := context.Background()
+	peer := Normalize(stub.srv.URL)
+
+	// Fresh fleet: optimistic Up.
+	if s := peerState(t, f, peer); s != StateUp {
+		t.Fatalf("initial state %q", s)
+	}
+
+	// One failure must NOT take the peer down (hysteresis).
+	stub.fail.Store(true)
+	f.ProbeOnce(ctx)
+	if s := peerState(t, f, peer); s != StateUp {
+		t.Fatalf("state after 1 failure = %q, want up", s)
+	}
+	// A success resets the failure streak...
+	stub.fail.Store(false)
+	f.ProbeOnce(ctx)
+	stub.fail.Store(true)
+	f.ProbeOnce(ctx)
+	f.ProbeOnce(ctx)
+	if s := peerState(t, f, peer); s != StateUp {
+		t.Fatalf("state after reset + 2 failures = %q, want up (DownAfter=3)", s)
+	}
+	// ...and DownAfter consecutive failures finally flip it.
+	f.ProbeOnce(ctx)
+	if s := peerState(t, f, peer); s != StateDown {
+		t.Fatalf("state after 3 consecutive failures = %q, want down", s)
+	}
+
+	// Recovery needs UpAfter consecutive successes.
+	stub.fail.Store(false)
+	f.ProbeOnce(ctx)
+	if s := peerState(t, f, peer); s != StateDown {
+		t.Fatalf("state after 1 success = %q, want still down (UpAfter=2)", s)
+	}
+	f.ProbeOnce(ctx)
+	if s := peerState(t, f, peer); s != StateUp {
+		t.Fatalf("state after 2 successes = %q, want up", s)
+	}
+}
+
+func TestDrainingDetectedFromPeerHealthz(t *testing.T) {
+	stub := newHealthStub(t)
+	f := twoPeerFleet(t, stub, 2, 2)
+	ctx := context.Background()
+	peer := Normalize(stub.srv.URL)
+
+	stub.draining.Store(true)
+	f.ProbeOnce(ctx)
+	if s := peerState(t, f, peer); s != StateDraining {
+		t.Fatalf("state = %q, want draining (no hysteresis on an explicit report)", s)
+	}
+	// Draining peers still serve their sessions: routable.
+	if addr, isSelf := f.Route("some-id"); addr != peer && !isSelf {
+		t.Fatalf("Route avoided a draining peer: %q", addr)
+	}
+	// But they take no new sessions or handoffs.
+	if tgt := f.HandoffTarget("some-id"); tgt != "" {
+		t.Fatalf("HandoffTarget picked a draining peer %q", tgt)
+	}
+	if tgt := f.CreateTarget(); tgt != "" {
+		t.Fatalf("CreateTarget picked a draining peer %q", tgt)
+	}
+
+	stub.draining.Store(false)
+	f.ProbeOnce(ctx)
+	if s := peerState(t, f, peer); s != StateUp {
+		t.Fatalf("state after drain cleared = %q, want up", s)
+	}
+}
+
+func TestRouteFailsOverToSuccessorWhenOwnerDown(t *testing.T) {
+	stub := newHealthStub(t)
+	f := twoPeerFleet(t, stub, 1, 1)
+	ctx := context.Background()
+	peer := Normalize(stub.srv.URL)
+
+	// Find an id the PEER owns, so failover has somewhere to go.
+	var id string
+	for i := 0; ; i++ {
+		id = fmt.Sprintf("id-%d", i)
+		if !f.Owns(id) {
+			break
+		}
+	}
+	if addr, isSelf := f.Route(id); isSelf || addr != peer {
+		t.Fatalf("healthy owner not routed: %q (isSelf=%v)", addr, isSelf)
+	}
+	stub.fail.Store(true)
+	f.ProbeOnce(ctx)
+	if addr, isSelf := f.Route(id); !isSelf {
+		t.Fatalf("downed owner's id must fail over to self, got %q", addr)
+	}
+	// Ownership itself is health-blind: stable across the flap.
+	if f.Owns(id) {
+		t.Fatal("Owns changed with peer health")
+	}
+}
+
+func TestSelfDrainingView(t *testing.T) {
+	stub := newHealthStub(t)
+	f := twoPeerFleet(t, stub, 2, 2)
+	if f.Draining() {
+		t.Fatal("fresh fleet draining")
+	}
+	f.StartDrain()
+	if !f.Draining() {
+		t.Fatal("StartDrain did not stick")
+	}
+	if s := peerState(t, f, f.Self()); s != StateDraining {
+		t.Fatalf("self view = %q, want draining", s)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	stub := newHealthStub(t)
+	f, err := New(Options{
+		Self:       "http://self.invalid:1",
+		Peers:      []string{"http://self.invalid:1", stub.srv.URL},
+		ProbeEvery: 1, // 1ns floor: tick as fast as the scheduler allows
+		DownAfter:  1,
+		UpAfter:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	f.Stop()
+	f.Stop() // idempotent
+}

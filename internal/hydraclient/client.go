@@ -26,6 +26,7 @@ const (
 	DefaultMaxRetries = 3
 	DefaultBaseDelay  = 10 * time.Millisecond
 	DefaultMaxDelay   = 1 * time.Second
+	DefaultMaxHops    = 3
 )
 
 // Config shapes a Client. The zero value is usable: http.DefaultClient,
@@ -44,6 +45,12 @@ type Config struct {
 	// Seed makes the jitter deterministic for tests; 0 seeds from the
 	// clock.
 	Seed int64
+	// MaxHops bounds how many 307/308 redirects one logical request
+	// follows (a fleet hydrad answers 307 + X-Hydra-Owner for sessions
+	// another node owns); negative disables following, 0 means
+	// DefaultMaxHops. Hops replay the body and consume neither the
+	// retry budget nor a backoff wait.
+	MaxHops int
 }
 
 // Client retries idempotent hydrad requests with backoff. Safe for
@@ -51,6 +58,7 @@ type Config struct {
 type Client struct {
 	hc         *http.Client
 	maxRetries int
+	maxHops    int
 	base, max  time.Duration
 
 	mu  sync.Mutex
@@ -62,17 +70,33 @@ func New(cfg Config) *Client {
 	c := &Client{
 		hc:         cfg.Client,
 		maxRetries: cfg.MaxRetries,
+		maxHops:    cfg.MaxHops,
 		base:       cfg.BaseDelay,
 		max:        cfg.MaxDelay,
 	}
 	if c.hc == nil {
 		c.hc = http.DefaultClient
 	}
+	// Redirects are followed here, not inside net/http: the stdlib
+	// follow is invisible (no count, no cap of our choosing) and it
+	// would race this client's X-Hydra-Owner fallback. Copy the client
+	// rather than mutate the caller's.
+	hc := *c.hc
+	hc.CheckRedirect = func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
+	c.hc = &hc
 	switch {
 	case c.maxRetries < 0:
 		c.maxRetries = 0
 	case c.maxRetries == 0:
 		c.maxRetries = DefaultMaxRetries
+	}
+	switch {
+	case c.maxHops < 0:
+		c.maxHops = 0
+	case c.maxHops == 0:
+		c.maxHops = DefaultMaxHops
 	}
 	if c.base <= 0 {
 		c.base = DefaultBaseDelay
@@ -107,40 +131,61 @@ func Retryable(status int) bool {
 // was not retryable or the budget ran out. A non-nil error is a
 // transport failure or an expired context.
 func (c *Client) Do(ctx context.Context, method, url, contentType string, body []byte) (int, error) {
-	for attempt := 0; ; attempt++ {
-		status, retryAfter, err := c.once(ctx, method, url, contentType, body)
+	status, _, err := c.DoCount(ctx, method, url, contentType, body)
+	return status, err
+}
+
+// DoCount is Do, also reporting how many redirect hops the request
+// followed. A 307/308 with a usable target is re-issued against the
+// new location (body replayed, method preserved) up to MaxHops times;
+// hops consume neither the retry budget nor a backoff wait, since a
+// redirect is the fleet routing the request, not the service failing.
+// A redirect past the hop cap, or without a usable target, comes back
+// as the redirect status itself.
+func (c *Client) DoCount(ctx context.Context, method, url, contentType string, body []byte) (status, redirects int, err error) {
+	attempt := 0
+	for {
+		var retryAfter time.Duration
+		var next string
+		status, retryAfter, next, err = c.once(ctx, method, url, contentType, body)
+		if err == nil && next != "" && redirects < c.maxHops {
+			redirects++
+			url = next
+			continue
+		}
 		if err == nil && !Retryable(status) {
-			return status, nil
+			return status, redirects, nil
 		}
 		if ctx.Err() != nil {
-			return status, ctx.Err()
+			return status, redirects, ctx.Err()
 		}
 		if attempt >= c.maxRetries {
-			return status, err
+			return status, redirects, err
 		}
 		select {
 		case <-time.After(c.backoff(attempt, retryAfter)):
 		case <-ctx.Done():
-			return status, ctx.Err()
+			return status, redirects, ctx.Err()
 		}
+		attempt++
 	}
 }
 
-func (c *Client) once(ctx context.Context, method, url, contentType string, body []byte) (status int, retryAfter time.Duration, err error) {
+func (c *Client) once(ctx context.Context, method, url, contentType string, body []byte) (status int, retryAfter time.Duration, redirect string, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
@@ -149,7 +194,31 @@ func (c *Client) once(ctx context.Context, method, url, contentType string, body
 			retryAfter = time.Duration(secs) * time.Second
 		}
 	}
-	return resp.StatusCode, retryAfter, nil
+	if resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect {
+		redirect = redirectTarget(req, resp)
+	}
+	return resp.StatusCode, retryAfter, redirect, nil
+}
+
+// redirectTarget resolves where a 307/308 points: Location when set,
+// else X-Hydra-Owner (a base URL) joined with the request path —
+// hydrad sends both, but the owner header alone suffices. Empty when
+// neither yields a usable absolute target.
+func redirectTarget(req *http.Request, resp *http.Response) string {
+	loc := resp.Header.Get("Location")
+	if loc == "" {
+		if owner := resp.Header.Get("X-Hydra-Owner"); owner != "" {
+			loc = owner + req.URL.RequestURI()
+		}
+	}
+	if loc == "" {
+		return ""
+	}
+	u, err := req.URL.Parse(loc)
+	if err != nil {
+		return ""
+	}
+	return u.String()
 }
 
 // backoff picks the next wait: the server's Retry-After when sent

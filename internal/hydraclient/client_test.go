@@ -3,6 +3,7 @@ package hydraclient
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -129,5 +130,101 @@ func TestBackoffEnvelope(t *testing.T) {
 				t.Fatalf("backoff(%d) = %s, outside [4ms, 64ms]", attempt, d)
 			}
 		}
+	}
+}
+
+// A 307 with Location is followed with method and body preserved, the
+// hop is counted, and it consumes no retry budget.
+func TestFollowsRedirectWithBodyReplay(t *testing.T) {
+	type seen struct {
+		method, body string
+	}
+	got := make(chan seen, 1)
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		got <- seen{r.Method, string(b)}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer owner.Close()
+	var hops atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hops.Add(1)
+		w.Header().Set("X-Hydra-Owner", owner.URL)
+		w.Header().Set("Location", owner.URL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	c := New(Config{MaxRetries: -1, Seed: 1})
+	status, redirects, err := c.DoCount(context.Background(), http.MethodPost, front.URL+"/v1/session/abc/admit", "application/json", []byte(`{"k":1}`))
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("DoCount = %d, %v; want 200, nil", status, err)
+	}
+	if redirects != 1 {
+		t.Fatalf("redirects = %d, want 1", redirects)
+	}
+	s := <-got
+	if s.method != http.MethodPost || s.body != `{"k":1}` {
+		t.Fatalf("owner saw %s %q; want POST with replayed body", s.method, s.body)
+	}
+}
+
+// X-Hydra-Owner alone (no Location) suffices to find the new home.
+func TestFollowsOwnerHeaderWithoutLocation(t *testing.T) {
+	h, served := okHandler()
+	owner := httptest.NewServer(h)
+	defer owner.Close()
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Hydra-Owner", owner.URL)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	status, redirects, err := testClient(1).DoCount(context.Background(), http.MethodGet, front.URL+"/v1/session/abc", "", nil)
+	if err != nil || status != http.StatusOK || redirects != 1 {
+		t.Fatalf("DoCount = %d, %d hops, %v; want 200, 1, nil", status, redirects, err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("owner served %d requests, want 1", served.Load())
+	}
+}
+
+// A redirect loop stops at MaxHops and surfaces the 307 instead of
+// spinning forever.
+func TestRedirectLoopBoundedByMaxHops(t *testing.T) {
+	var served atomic.Int64
+	var loop *httptest.Server
+	loop = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Header().Set("Location", loop.URL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer loop.Close()
+
+	c := New(Config{MaxRetries: -1, MaxHops: 2, Seed: 1})
+	status, redirects, err := c.DoCount(context.Background(), http.MethodGet, loop.URL+"/x", "", nil)
+	if err != nil || status != http.StatusTemporaryRedirect {
+		t.Fatalf("DoCount = %d, %v; want the 307 back", status, err)
+	}
+	if redirects != 2 {
+		t.Fatalf("redirects = %d, want MaxHops=2", redirects)
+	}
+	if served.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 hops)", served.Load())
+	}
+}
+
+// MaxHops -1 disables following entirely: the 307 comes straight back.
+func TestRedirectFollowingDisabled(t *testing.T) {
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", "http://other.invalid/x")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	c := New(Config{MaxRetries: -1, MaxHops: -1, Seed: 1})
+	status, redirects, err := c.DoCount(context.Background(), http.MethodGet, front.URL, "", nil)
+	if err != nil || status != http.StatusTemporaryRedirect || redirects != 0 {
+		t.Fatalf("DoCount = %d, %d hops, %v; want 307, 0, nil", status, redirects, err)
 	}
 }

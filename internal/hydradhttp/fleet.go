@@ -1,0 +1,278 @@
+package hydradhttp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hydrac"
+	"hydrac/internal/hydraclient"
+	"hydrac/internal/store"
+)
+
+// handoffVersion guards the /v1/handoff wire format.
+const handoffVersion = 1
+
+// maxHandoffBytes bounds a handoff body. A session export carries its
+// whole uncompacted delta log, so the ordinary MaxBodyBytes cap would
+// strand large sessions on a draining node.
+const maxHandoffBytes = 64 << 20
+
+// handoffRequest is the body of POST /v1/handoff: one session's
+// complete durable state — the snapshot's placed set and cursor plus
+// every committed delta since, in commit order. It is store.Export
+// plus identity, shaped for the wire.
+type handoffRequest struct {
+	Version   int               `json:"version"`
+	SessionID string            `json:"session_id"`
+	NextFit   int               `json:"next_fit"`
+	Set       json.RawMessage   `json:"set"`
+	Deltas    []json.RawMessage `json:"deltas"`
+}
+
+// handoff is POST /v1/handoff: a peer streaming one of its sessions
+// here (graceful drain). The import persists first and recovers by
+// the standard replay path, so an acknowledged handoff is exactly as
+// durable — and exactly as bit-identical — as a locally created
+// session that survived a restart.
+func (s *server) handoff(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req handoffRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHandoffBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, badRequestStatus(err), fmt.Errorf("decoding handoff request: %w", err))
+		return
+	}
+	if req.Version != handoffVersion {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("handoff version %d; this build speaks %d", req.Version, handoffVersion))
+		return
+	}
+	if req.SessionID == "" || len(req.Set) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("handoff request needs session_id and set"))
+		return
+	}
+	if s.fleet != nil && s.fleet.Draining() {
+		// Two nodes draining at once must not pass sessions back and
+		// forth; the sender's HandoffTarget skips draining peers, and
+		// this refusal closes the race where it probed us before we
+		// flipped.
+		writeError(w, http.StatusServiceUnavailable, errors.New("node is draining and cannot accept handoffs"))
+		return
+	}
+	switch {
+	case s.store != nil:
+		exp := store.Export{Set: req.Set, Cursor: req.NextFit, Deltas: make([][]byte, len(req.Deltas))}
+		for i, d := range req.Deltas {
+			exp.Deltas[i] = d
+		}
+		if err := s.store.Import(r.Context(), req.SessionID, exp); err != nil {
+			switch {
+			case errors.Is(err, store.ErrExists):
+				writeError(w, http.StatusConflict, err)
+			case errors.Is(err, store.ErrStorage):
+				writeStorageError(w, err)
+			default:
+				writeError(w, http.StatusUnprocessableEntity, err)
+			}
+			return
+		}
+	case s.sessions != nil:
+		// Memory mode: replay through a fresh engine, the same
+		// admission path recovery uses — a delta that fails to re-admit
+		// fails the handoff rather than installing a diverged session.
+		set, err := hydrac.DecodeTaskSet(bytes.NewReader(req.Set))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("handoff snapshot set: %w", err))
+			return
+		}
+		if _, ok := s.sessions.Get(req.SessionID); ok {
+			writeError(w, http.StatusConflict, fmt.Errorf("session %q already exists", req.SessionID))
+			return
+		}
+		sess, _, err := s.analyzer.NewSessionWith(r.Context(), set, hydrac.SessionConfig{NextFitCursor: req.NextFit})
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("re-analysing handoff snapshot: %w", err))
+			return
+		}
+		for i, raw := range req.Deltas {
+			d, err := hydrac.DecodeDelta(bytes.NewReader(raw))
+			if err != nil {
+				writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("handoff delta %d: %w", i, err))
+				return
+			}
+			if _, admitted, err := sess.Admit(r.Context(), *d); err != nil || !admitted {
+				writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("handoff delta %d failed to re-admit (admitted=%v err=%v)", i, admitted, err))
+				return
+			}
+		}
+		s.sessions.Add(req.SessionID, sess)
+	default:
+		writeError(w, http.StatusNotFound, errors.New("sessions are disabled on this daemon (-sessions 0)"))
+		return
+	}
+	s.logf("session %s received via handoff (%d deltas)", req.SessionID, len(req.Deltas))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"session_id": req.SessionID, "deltas": len(req.Deltas)})
+}
+
+// holdsSession reports whether this node holds id locally (durable
+// entry or in-memory session). Possession overrides ring ownership
+// when routing: a handed-off session lives where it landed.
+func (s *server) holdsSession(id string) bool {
+	switch {
+	case s.store != nil:
+		return s.store.Has(id)
+	case s.sessions != nil:
+		_, ok := s.sessions.Get(id)
+		return ok
+	default:
+		return false
+	}
+}
+
+// redirect answers 307 + X-Hydra-Owner pointing at owner (a base
+// URL). 307 preserves the method and body on standards-following
+// clients; X-Hydra-Owner lets minimal clients re-aim their base URL.
+func (s *server) redirect(w http.ResponseWriter, r *http.Request, owner string) {
+	w.Header().Set("X-Hydra-Owner", owner)
+	w.Header().Set("Location", owner+r.URL.RequestURI())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTemporaryRedirect)
+	json.NewEncoder(w).Encode(map[string]string{"error": "resource is served by " + owner, "owner": owner})
+}
+
+// redirectToHandoffTarget redirects a session request to the node
+// next in line for id, if any; reports whether it answered.
+func (s *server) redirectToHandoffTarget(w http.ResponseWriter, r *http.Request, id string) bool {
+	if s.fleet == nil {
+		return false
+	}
+	target := s.fleet.HandoffTarget(id)
+	if target == "" {
+		return false
+	}
+	s.redirect(w, r, target)
+	return true
+}
+
+// newOwnedSessionID mints ids until one lands on this node's ring
+// share, so a created session is always local and every node routes
+// it here by hash alone. Ownership is the raw ring (health-blind):
+// a session must not be minted into a downed peer's share, only to
+// bounce home when that peer recovers. Expected draws = fleet size;
+// the cap is ~e^-64 unreachable unless the ring is misconfigured.
+func (s *server) newOwnedSessionID() (string, error) {
+	if s.fleet == nil {
+		return newSessionID()
+	}
+	for i := 0; i < 4096; i++ {
+		id, err := newSessionID()
+		if err != nil {
+			return "", err
+		}
+		if s.fleet.Owns(id) {
+			return id, nil
+		}
+	}
+	return "", errors.New("could not mint a session id owned by this node (consistent-hash ring badly unbalanced?)")
+}
+
+// drainHandoffTimeout bounds one session's handoff POST during drain.
+const drainHandoffTimeout = 30 * time.Second
+
+// Drain flips this node into draining mode and hands every durable
+// session off to its ring-successor peer: for each session, the
+// snapshot + committed-delta log is streamed over POST /v1/handoff
+// and the local copy is surrendered only on acknowledgement
+// (store.Detach), so an acked delta exists on exactly one node at
+// every point in time — zero acked-delta loss, no twins.
+//
+// Ordering guarantees, in drain order:
+//
+//  1. StartDrain first: new creates redirect away, /healthz reports
+//     "draining" (peers stop handing off TO us), while existing
+//     sessions keep serving.
+//  2. Per session: in-flight operations finish, then the state is
+//     frozen, shipped, acknowledged, and only then deleted locally;
+//     from that instant requests answer 307 to the new owner.
+//  3. Sessions with no eligible peer (all down or draining) stay on
+//     local disk — a restart recovers them; nothing is ever shipped
+//     without an acknowledgement.
+//
+// Returns how many sessions moved and how many stayed. Memory-mode
+// sessions (no -data-dir) are not handed off: they were never
+// durable, and shutting down loses them exactly as it always did.
+func (h *Handler) Drain(ctx context.Context) (moved, kept int) {
+	s := h.srv
+	if s.fleet == nil {
+		return 0, 0
+	}
+	s.fleet.StartDrain()
+	if s.store == nil {
+		return 0, 0
+	}
+	// Handoffs ride the retrying client: a receiver mid-GC or briefly
+	// shedding under its admission gate must not strand a session
+	// locally when a second attempt would land it.
+	hc := hydraclient.New(hydraclient.Config{
+		Client:     &http.Client{Timeout: drainHandoffTimeout},
+		MaxRetries: 4,
+	})
+	for _, id := range s.store.IDs() {
+		if err := ctx.Err(); err != nil {
+			kept += len(s.store.IDs()) - moved - kept
+			s.logf("drain: aborted with sessions left local: %v", err)
+			break
+		}
+		target := s.fleet.HandoffTarget(id)
+		if target == "" {
+			kept++
+			s.logf("drain: no eligible peer for session %s; leaving it on local disk for restart recovery", id)
+			continue
+		}
+		err := s.store.Detach(ctx, id, func(exp store.Export) error {
+			return postHandoff(ctx, hc, target, id, exp)
+		})
+		if err != nil {
+			kept++
+			s.logf("drain: session %s stays local: %v", id, err)
+			continue
+		}
+		moved++
+		s.logf("drain: session %s handed off to %s", id, target)
+	}
+	return moved, kept
+}
+
+// postHandoff ships one export to target's /v1/handoff.
+func postHandoff(ctx context.Context, hc *hydraclient.Client, target, id string, exp store.Export) error {
+	req := handoffRequest{
+		Version:   handoffVersion,
+		SessionID: id,
+		NextFit:   exp.Cursor,
+		Set:       exp.Set,
+		Deltas:    make([]json.RawMessage, len(exp.Deltas)),
+	}
+	for i, d := range exp.Deltas {
+		req.Deltas[i] = d
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	status, err := hc.Do(ctx, http.MethodPost, target+"/v1/handoff", "application/json", body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("handoff to %s answered status %d", target, status)
+	}
+	return nil
+}

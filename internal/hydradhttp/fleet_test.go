@@ -1,0 +1,283 @@
+package hydradhttp_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"hydrac"
+	"hydrac/internal/fleet"
+	"hydrac/internal/hydradhttp"
+	"hydrac/internal/store"
+)
+
+// fleetNode is one in-process fleet member: a real listener (the URL
+// is needed before the handler exists, since every handler's fleet
+// view must carry all URLs) behind a swappable handler.
+type fleetNode struct {
+	srv     *httptest.Server
+	handler atomic.Pointer[hydradhttp.Handler]
+	fl      *fleet.Fleet
+	st      *store.Store
+}
+
+func (n *fleetNode) url() string { return n.srv.URL }
+
+// startFleetPair boots two fleet members. durable=true gives each its
+// own store; false runs memory-mode sessions.
+func startFleetPair(t *testing.T, durable bool) (a, b *fleetNode) {
+	t.Helper()
+	an, err := hydrac.New(hydrac.WithCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []*fleetNode{{}, {}}
+	for _, n := range nodes {
+		n := n
+		n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if h := n.handler.Load(); h != nil {
+				h.ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "booting", http.StatusServiceUnavailable)
+		}))
+		t.Cleanup(n.srv.Close)
+	}
+	peers := []string{nodes[0].url(), nodes[1].url()}
+	for _, n := range nodes {
+		fl, err := fleet.New(fleet.Options{Self: n.url(), Peers: peers, ProbeEvery: -1, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.fl = fl
+		cfg := hydradhttp.Config{Analyzer: an, MaxSessions: 64, CacheSize: 16, Fleet: fl, Logf: t.Logf}
+		if durable {
+			st, err := store.Open(t.TempDir(), an, store.Options{ProbeEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { st.Close() })
+			n.st = st
+			cfg.Store = st
+		}
+		n.handler.Store(hydradhttp.NewHandler(cfg))
+	}
+	return nodes[0], nodes[1]
+}
+
+// noRedirect returns a client that surfaces 307s instead of following
+// them, so tests can assert the redirect envelope itself.
+func noRedirect() *http.Client {
+	return &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+}
+
+func TestFleetCreateMintsSelfOwnedIDs(t *testing.T) {
+	a, b := startFleetPair(t, false)
+	for i := 0; i < 8; i++ {
+		id := createSession(t, a.url())
+		if !a.fl.Owns(id) {
+			t.Fatalf("node A minted id %s it does not own", id)
+		}
+		if b.fl.Owns(id) {
+			t.Fatalf("both nodes claim id %s", id)
+		}
+	}
+}
+
+// A non-owner answers 307 + X-Hydra-Owner + Location, and following
+// the Location serves the session — both for GET and for POST admit
+// (307 preserves method and body).
+func TestFleetNonOwnerRedirects(t *testing.T) {
+	a, b := startFleetPair(t, true)
+	id := createSession(t, a.url())
+
+	nr := noRedirect()
+	resp, err := nr.Get(b.url() + "/v1/session/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("GET on non-owner: %d, want 307", resp.StatusCode)
+	}
+	if owner := resp.Header.Get("X-Hydra-Owner"); owner != a.url() {
+		t.Fatalf("X-Hydra-Owner = %q, want %q", owner, a.url())
+	}
+	if loc := resp.Header.Get("Location"); loc != a.url()+"/v1/session/"+id {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	// A standards-following client (http.Post replays the body on 307)
+	// admits through the wrong node transparently.
+	resp2, body := post(t, b.url()+"/v1/session/"+id+"/admit", admitBody(t, 0))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("admit via non-owner: %d %s", resp2.StatusCode, body)
+	}
+	if resp2.Header.Get("X-Hydra-Admitted") != "true" {
+		t.Fatalf("delta not admitted: %s", body)
+	}
+}
+
+// Drain hands every durable session to the peer; the drained node
+// then redirects session traffic and new creates, and its healthz
+// says draining.
+func TestFleetDrainHandsOffAndRedirects(t *testing.T) {
+	a, b := startFleetPair(t, true)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id := createSession(t, a.url())
+		resp, body := post(t, a.url()+"/v1/session/"+id+"/admit", admitBody(t, i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("admit: %d %s", resp.StatusCode, body)
+		}
+		ids = append(ids, id)
+	}
+	// Control states, captured before the drain.
+	want := map[string][]byte{}
+	for _, id := range ids {
+		resp, body := get(t, a.url()+"/v1/session/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pre-drain GET: %d", resp.StatusCode)
+		}
+		want[id] = body
+	}
+
+	moved, kept := a.handler.Load().Drain(context.Background())
+	if moved != len(ids) || kept != 0 {
+		t.Fatalf("Drain moved %d kept %d, want %d/0", moved, kept, len(ids))
+	}
+
+	// The drained node's healthz reports draining.
+	resp, body := get(t, a.url()+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var hz struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+		Fleet  struct {
+			Self  string `json:"self"`
+			Peers []struct {
+				Addr  string `json:"addr"`
+				State string `json:"state"`
+			} `json:"peers"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz body: %v (%s)", err, body)
+	}
+	if hz.Status != "draining" {
+		t.Fatalf("healthz status %q, want draining", hz.Status)
+	}
+	if hz.Fleet.Self != a.url() || len(hz.Fleet.Peers) != 2 {
+		t.Fatalf("healthz fleet block: %+v", hz.Fleet)
+	}
+
+	// Sessions now live on B, bit-identical, and A redirects to B.
+	nr := noRedirect()
+	for _, id := range ids {
+		resp, err := nr.Get(a.url() + "/v1/session/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTemporaryRedirect {
+			t.Fatalf("drained node GET: %d, want 307", resp.StatusCode)
+		}
+		if owner := resp.Header.Get("X-Hydra-Owner"); owner != b.url() {
+			t.Fatalf("post-drain owner %q, want %q", owner, b.url())
+		}
+		got, body := get(t, b.url()+"/v1/session/"+id)
+		if got.StatusCode != http.StatusOK {
+			t.Fatalf("GET on new owner: %d %s", got.StatusCode, body)
+		}
+		if !bytes.Equal(body, want[id]) {
+			t.Fatalf("session %s state diverged across handoff:\ngot  %s\nwant %s", id, body, want[id])
+		}
+	}
+
+	// New creates on the draining node redirect to a healthy peer.
+	resp3, err := nr.Post(a.url()+"/v1/session", "application/json", bytes.NewReader(baseBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("create on draining node: %d, want 307", resp3.StatusCode)
+	}
+	if owner := resp3.Header.Get("X-Hydra-Owner"); owner != b.url() {
+		t.Fatalf("create redirect owner %q", owner)
+	}
+
+	// And a draining node refuses incoming handoffs.
+	hreq, _ := json.Marshal(map[string]any{
+		"version": 1, "session_id": "bounce", "next_fit": 0,
+		"set": json.RawMessage(baseBody(t)), "deltas": []json.RawMessage{},
+	})
+	resp4, _ := post(t, a.url()+"/v1/handoff", hreq)
+	if resp4.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("handoff to draining node: %d, want 503", resp4.StatusCode)
+	}
+}
+
+// Handoff replays into memory mode too: no -data-dir on the receiver
+// still accepts the stream (durability is per-node).
+func TestFleetHandoffIntoMemoryMode(t *testing.T) {
+	a, b := startFleetPair(t, false)
+	id := createSession(t, b.url())
+	for i := 0; i < 2; i++ {
+		resp, body := post(t, b.url()+"/v1/session/"+id+"/admit", admitBody(t, i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("admit: %d %s", resp.StatusCode, body)
+		}
+	}
+	_, wantBody := get(t, b.url()+"/v1/session/"+id)
+
+	// Hand the session to A by hand (memory mode has no Drain path):
+	// ship the CURRENT set as snapshot with no deltas.
+	hreq, _ := json.Marshal(map[string]any{
+		"version": 1, "session_id": "copy-" + id, "next_fit": 0,
+		"set": json.RawMessage(wantBody), "deltas": []json.RawMessage{},
+	})
+	resp, body := post(t, a.url()+"/v1/handoff", hreq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("handoff: %d %s", resp.StatusCode, body)
+	}
+	// Duplicate import conflicts.
+	resp2, _ := post(t, a.url()+"/v1/handoff", hreq)
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate handoff: %d, want 409", resp2.StatusCode)
+	}
+	// Bad version rejected.
+	bad, _ := json.Marshal(map[string]any{"version": 99, "session_id": "x", "set": json.RawMessage(wantBody)})
+	resp3, _ := post(t, a.url()+"/v1/handoff", bad)
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad version: %d, want 400", resp3.StatusCode)
+	}
+}
+
+// healthz carries uptime_seconds on plain single-node daemons too.
+func TestHealthzUptime(t *testing.T) {
+	a, err := hydrac.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(hydradhttp.NewHandler(hydradhttp.Config{Analyzer: a}))
+	defer srv.Close()
+	_, body := get(t, srv.URL+"/healthz")
+	var hz struct {
+		Uptime *float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Uptime == nil || *hz.Uptime < 0 {
+		t.Fatalf("uptime_seconds missing or negative in %s", body)
+	}
+}

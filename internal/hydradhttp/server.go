@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"hydrac"
+	"hydrac/internal/fleet"
 	"hydrac/internal/lru"
 	"hydrac/internal/store"
 )
@@ -54,6 +55,14 @@ type Config struct {
 	// Logf receives operational log lines (evictions, recovery);
 	// nil is quiet.
 	Logf func(format string, args ...any)
+
+	// Fleet, when non-nil, makes this node one member of a hydrad
+	// peer group: session ids are owned by consistent-hash ring
+	// position, requests for a session this node does not own answer
+	// 307 + X-Hydra-Owner, POST /v1/handoff imports sessions streamed
+	// from a draining peer, and Handler.Drain hands local sessions
+	// off. Nil keeps the exact single-node behaviour.
+	Fleet *fleet.Fleet
 
 	// MaxInflight bounds concurrently executing requests; 0 disables
 	// the admission gate (unlimited, the pre-gate behaviour).
@@ -100,6 +109,10 @@ type server struct {
 	// zero-limit gate passes everything through) so healthz can
 	// report admission stats unconditionally.
 	gate *gate
+	// fleet is the peer-group view; nil on a single node.
+	fleet *fleet.Fleet
+	// start anchors healthz's monotonic uptime_seconds.
+	start time.Time
 }
 
 // sessionShards spreads the session store's locking; 16 shards keeps
@@ -107,15 +120,29 @@ type server struct {
 // costing nothing at -sessions values this small.
 const sessionShards = 16
 
+// Handler is the assembled hydrad HTTP surface. It serves requests
+// through the admission gate and, on a fleet member, owns the drain
+// path (Drain).
+type Handler struct {
+	srv *server
+}
+
+// ServeHTTP dispatches through the admission gate.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.srv.gate.ServeHTTP(w, r)
+}
+
 // NewHandler wires the routes; cmd/hydrad serves it and tests mount
 // it on httptest servers.
-func NewHandler(cfg Config) http.Handler {
+func NewHandler(cfg Config) *Handler {
 	s := &server{
 		analyzer:  cfg.Analyzer,
 		summary:   cfg.Summary,
 		store:     cfg.Store,
 		respCache: lru.New[[sha256.Size]byte, []byte](cfg.CacheSize),
 		logf:      cfg.Logf,
+		fleet:     cfg.Fleet,
+		start:     time.Now(),
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
@@ -142,9 +169,10 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("/v1/analyze/batch", s.analyzeBatch)
 	mux.HandleFunc("/v1/session", s.sessionCreate)
 	mux.HandleFunc("/v1/session/", s.sessionRoute)
+	mux.HandleFunc("/v1/handoff", s.handoff)
 	mux.HandleFunc("/healthz", s.healthz)
 	s.gate = newGate(mux, cfg)
-	return s.gate
+	return &Handler{srv: s}
 }
 
 // bodyPool recycles request read buffers: every handler slurps the
@@ -275,6 +303,16 @@ func (s *server) sessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("sessions are disabled on this daemon (-sessions 0)"))
 		return
 	}
+	if s.fleet != nil && s.fleet.Draining() {
+		// A draining node takes no new sessions: it is busy shipping
+		// the ones it has. Send the client to a healthy peer.
+		if target := s.fleet.CreateTarget(); target != "" {
+			s.redirect(w, r, target)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, errors.New("node is draining and no healthy peer is available for new sessions"))
+		return
+	}
 	buf, err := readBody(w, r)
 	if err != nil {
 		writeError(w, badRequestStatus(err), err)
@@ -286,7 +324,7 @@ func (s *server) sessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequestStatus(err), err)
 		return
 	}
-	id, err := newSessionID()
+	id, err := s.newOwnedSessionID()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -324,6 +362,18 @@ func (s *server) sessionCreate(w http.ResponseWriter, r *http.Request) {
 func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/session/")
 	id, op, _ := strings.Cut(rest, "/")
+	if s.fleet != nil && !s.holdsSession(id) {
+		// Fleet routing: possession beats the ring. A session held
+		// locally is always served locally — after a drain handoff the
+		// receiver holds ids whose raw ring owner is elsewhere, and
+		// redirecting those would bounce forever. Only a local miss
+		// defers to the ring: the first healthy node in successor
+		// order serves the id, everyone else answers a redirect.
+		if addr, isSelf := s.fleet.Route(id); !isSelf {
+			s.redirect(w, r, addr)
+			return
+		}
+	}
 	var sess *hydrac.Session
 	if s.store != nil {
 		// Durable: an LRU-evicted session re-hydrates from disk inside
@@ -331,7 +381,20 @@ func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
 		acquired, release, err := s.store.Acquire(r.Context(), id)
 		if err != nil {
 			switch {
+			case errors.Is(err, store.ErrMoved):
+				// Handed off during a drain: the new owner has it.
+				if s.redirectToHandoffTarget(w, r, id) {
+					return
+				}
+				writeError(w, http.StatusGone, fmt.Errorf("session %q was handed off to another node and no healthy peer is known for it", id))
 			case errors.Is(err, store.ErrNotFound):
+				if s.fleet != nil && !s.fleet.Owns(id) && s.redirectToHandoffTarget(w, r, id) {
+					// This node serves the id only as a failover
+					// successor (the raw owner is down) and has no
+					// local copy: point the client at the next node in
+					// line rather than inventing a 404.
+					return
+				}
 				writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (never created on this data dir)", id))
 			case errors.Is(err, store.ErrStorage):
 				writeStorageError(w, err)
@@ -351,6 +414,9 @@ func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
 				// in-memory store shed it under capacity pressure.
 				s.logf("rejecting request for evicted session %s", id)
 				writeError(w, http.StatusGone, fmt.Errorf("session %q was evicted from the in-memory session store (raise -sessions or run with -data-dir to make sessions durable)", id))
+				return
+			}
+			if s.fleet != nil && !s.fleet.Owns(id) && s.redirectToHandoffTarget(w, r, id) {
 				return
 			}
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (expired, evicted, or never created)", id))
@@ -424,6 +490,9 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		"report_version": hydrac.ReportVersion,
 		"config":         s.summary,
 		"admission":      s.gate.healthSnapshot(),
+		// Monotonic by construction: time.Since reads the monotonic
+		// clock, so NTP slews never make uptime jump.
+		"uptime_seconds": time.Since(s.start).Seconds(),
 	}
 	if s.store != nil {
 		h := s.store.Health()
@@ -438,6 +507,19 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 			sessions["degraded_since"] = h.Since.UTC().Format(time.RFC3339)
 		}
 		body["sessions"] = sessions
+	}
+	if s.fleet != nil {
+		peers := make([]map[string]any, 0, len(s.fleet.Peers()))
+		for _, v := range s.fleet.View() {
+			peers = append(peers, map[string]any{"addr": v.Addr, "state": v.State})
+		}
+		body["fleet"] = map[string]any{"self": s.fleet.Self(), "peers": peers}
+		if s.fleet.Draining() {
+			// Draining outranks degraded: peers must stop sending new
+			// sessions and handoffs here, which is exactly what their
+			// probers do on seeing this status.
+			status = "draining"
+		}
 	}
 	body["status"] = status
 	w.Header().Set("Content-Type", "application/json")

@@ -69,12 +69,29 @@ type LevelResult struct {
 	Shed            int     `json:"shed"`
 	ServerErrors    int     `json:"server_errors"`
 	TransportErrors int     `json:"transport_errors"`
+	Redirects       int     `json:"redirects"`
 	DurationS       float64 `json:"duration_s"`
 	RPS             float64 `json:"rps"`
 	MeanMS          float64 `json:"mean_ms"`
 	P50MS           float64 `json:"p50_ms"`
 	P95MS           float64 `json:"p95_ms"`
 	P99MS           float64 `json:"p99_ms"`
+}
+
+// TargetLevelResult is one target's share of a fleet level: the same
+// aggregate shape, tagged with the target that served it. Redirect
+// hops are attributed to the worker's HOME target (the node it aimed
+// at), since that is the node whose routing pushed the request away.
+type TargetLevelResult struct {
+	Target string `json:"target"`
+	LevelResult
+}
+
+// FleetLevelResult is one concurrency level swept across several
+// targets at once: the fleet-wide aggregate plus a per-target split.
+type FleetLevelResult struct {
+	Aggregate LevelResult         `json:"aggregate"`
+	Targets   []TargetLevelResult `json:"targets"`
 }
 
 // Config shapes one Run.
@@ -114,6 +131,28 @@ func NewClient(maxConc int) *http.Client {
 // A Stream setup failure (Source.NewStream) aborts the run; request
 // failures during the window are counted per level instead.
 func Run(target string, src Source, cfg Config) ([]LevelResult, error) {
+	fleet, err := RunFleet([]string{target}, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LevelResult, len(fleet))
+	for i, f := range fleet {
+		out[i] = f.Aggregate
+	}
+	return out, nil
+}
+
+// RunFleet sweeps the configured concurrency levels across several
+// targets at once: worker w aims at targets[w%len(targets)], so each
+// level spreads its workers round-robin over the fleet and the
+// aggregate is the fleet's combined sustainable throughput. Every
+// request rides the redirect-following client, so a worker whose
+// session was handed off (or that posts to a non-owner) transparently
+// follows the 307 and the hop is counted, not failed.
+func RunFleet(targets []string, src Source, cfg Config) ([]FleetLevelResult, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
 	if len(cfg.Levels) == 0 {
 		return nil, fmt.Errorf("loadgen: no concurrency levels")
 	}
@@ -131,13 +170,14 @@ func Run(target string, src Source, cfg Config) ([]LevelResult, error) {
 	if warmup == 0 {
 		warmup = 1
 	}
-	var retrier *hydraclient.Client
-	if cfg.Retries > 0 {
-		retrier = hydraclient.New(hydraclient.Config{Client: client, MaxRetries: cfg.Retries})
+	retries := cfg.Retries
+	if retries <= 0 {
+		retries = -1 // fire each request once, but still follow redirects
 	}
-	var out []LevelResult
+	hc := hydraclient.New(hydraclient.Config{Client: client, MaxRetries: retries})
+	var out []FleetLevelResult
 	for _, c := range cfg.Levels {
-		res, err := runLevel(client, retrier, target, src, c, cfg.Duration, warmup)
+		res, err := runLevel(client, hc, targets, src, c, cfg.Duration, warmup)
 		if err != nil {
 			return nil, err
 		}
@@ -147,23 +187,21 @@ func Run(target string, src Source, cfg Config) ([]LevelResult, error) {
 }
 
 // runLevel drives one closed-loop concurrency level for d and
-// aggregates its latencies. Streams are created and warmed before the
-// window opens.
-func runLevel(client *http.Client, retrier *hydraclient.Client, target string, src Source, conc int, d time.Duration, warmup int) (LevelResult, error) {
+// aggregates its latencies, fleet-wide and per target. Streams are
+// created and warmed before the window opens.
+func runLevel(client *http.Client, hc *hydraclient.Client, targets []string, src Source, conc int, d time.Duration, warmup int) (FleetLevelResult, error) {
 	streams := make([]Stream, conc)
 	for w := 0; w < conc; w++ {
-		s, err := src.NewStream(client, target, w)
+		s, err := src.NewStream(client, targets[w%len(targets)], w)
 		if err != nil {
-			return LevelResult{}, fmt.Errorf("loadgen: stream for worker %d: %w", w, err)
+			return FleetLevelResult{}, fmt.Errorf("loadgen: stream for worker %d: %w", w, err)
 		}
 		streams[w] = s
 	}
-	// issue fires one request — through the retrying client when
-	// configured — and reports the final status (0 on transport error).
-	issue := func(req Request) (int, error) {
-		if retrier == nil {
-			return DoStatus(client, target, req)
-		}
+	// issue fires one request through the retrying, redirect-following
+	// client and reports the final status (0 on transport error) plus
+	// redirect hops.
+	issue := func(target string, req Request) (int, int, error) {
 		method := req.Method
 		if method == "" {
 			method = http.MethodPost
@@ -172,11 +210,11 @@ func runLevel(client *http.Client, retrier *hydraclient.Client, target string, s
 		if req.Body != nil {
 			contentType = "application/json"
 		}
-		return retrier.Do(context.Background(), method, target+req.Path, contentType, req.Body)
+		return hc.DoCount(context.Background(), method, target+req.Path, contentType, req.Body)
 	}
 	type workerOut struct {
-		lat                     []time.Duration
-		shed, server, transport int
+		lat                                []time.Duration
+		shed, server, transport, redirects int
 	}
 	outs := make([]workerOut, conc)
 	var wg sync.WaitGroup
@@ -186,16 +224,17 @@ func runLevel(client *http.Client, retrier *hydraclient.Client, target string, s
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s := streams[w]
+			s, target := streams[w], targets[w%len(targets)]
 			i := 0
 			for ; i < warmup; i++ {
-				issue(s.Next(i))
+				issue(target, s.Next(i))
 			}
 			for time.Now().Before(deadline) {
 				req := s.Next(i)
 				i++
 				t0 := time.Now()
-				status, err := issue(req)
+				status, hops, err := issue(target, req)
+				outs[w].redirects += hops
 				switch {
 				case err != nil:
 					outs[w].transport++
@@ -212,37 +251,62 @@ func runLevel(client *http.Client, retrier *hydraclient.Client, target string, s
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
-	var shed, server, transport int
-	for _, o := range outs {
-		all = append(all, o.lat...)
-		shed += o.shed
-		server += o.server
-		transport += o.transport
+	// Fold worker outputs per home target, then fleet-wide.
+	perTarget := make([]workerOut, len(targets))
+	for w, o := range outs {
+		t := &perTarget[w%len(targets)]
+		t.lat = append(t.lat, o.lat...)
+		t.shed += o.shed
+		t.server += o.server
+		t.transport += o.transport
+		t.redirects += o.redirects
 	}
+	res := FleetLevelResult{}
+	var all []time.Duration
+	var agg workerOut
+	for ti, t := range perTarget {
+		res.Targets = append(res.Targets, TargetLevelResult{
+			Target:      targets[ti],
+			LevelResult: levelStats(conc/len(targets), elapsed, t.lat, t.shed, t.server, t.transport, t.redirects),
+		})
+		all = append(all, t.lat...)
+		agg.shed += t.shed
+		agg.server += t.server
+		agg.transport += t.transport
+		agg.redirects += t.redirects
+	}
+	res.Aggregate = levelStats(conc, elapsed, all, agg.shed, agg.server, agg.transport, agg.redirects)
+	return res, nil
+}
+
+// levelStats folds one latency population into a LevelResult.
+func levelStats(conc int, elapsed time.Duration, lat []time.Duration, shed, server, transport, redirects int) LevelResult {
 	res := LevelResult{
 		Concurrency:     conc,
-		Requests:        len(all),
+		Requests:        len(lat),
 		Errors:          server + transport,
 		Shed:            shed,
 		ServerErrors:    server,
 		TransportErrors: transport,
+		Redirects:       redirects,
 		DurationS:       elapsed.Seconds(),
 	}
-	if len(all) == 0 {
-		return res, nil
+	if len(lat) == 0 {
+		return res
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sorted := make([]time.Duration, len(lat))
+	copy(sorted, lat)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	var sum time.Duration
-	for _, l := range all {
+	for _, l := range sorted {
 		sum += l
 	}
-	res.RPS = float64(len(all)) / elapsed.Seconds()
-	res.MeanMS = sum.Seconds() * 1000 / float64(len(all))
-	res.P50MS = Quantile(all, 0.50).Seconds() * 1000
-	res.P95MS = Quantile(all, 0.95).Seconds() * 1000
-	res.P99MS = Quantile(all, 0.99).Seconds() * 1000
-	return res, nil
+	res.RPS = float64(len(sorted)) / elapsed.Seconds()
+	res.MeanMS = sum.Seconds() * 1000 / float64(len(sorted))
+	res.P50MS = Quantile(sorted, 0.50).Seconds() * 1000
+	res.P95MS = Quantile(sorted, 0.95).Seconds() * 1000
+	res.P99MS = Quantile(sorted, 0.99).Seconds() * 1000
+	return res
 }
 
 // Do issues one request against target and drains the response; any

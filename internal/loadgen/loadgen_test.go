@@ -186,3 +186,78 @@ func TestQuantileEdges(t *testing.T) {
 		t.Fatalf("p100 of 1..4 = %v, want 4", q)
 	}
 }
+
+// RunFleet spreads workers across targets, every target does work,
+// and the aggregate folds the per-target splits exactly.
+func TestRunFleetSpreadsAcrossTargets(t *testing.T) {
+	targets := []string{newTestTarget(t), newTestTarget(t)}
+	res, err := RunFleet(targets, Fixed{Path: "/v1/analyze", Body: roverBody(t)}, Config{
+		Levels:   []int{4},
+		Duration: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Targets) != 2 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	lvl := res[0]
+	sum := 0
+	for _, tr := range lvl.Targets {
+		if tr.Requests == 0 {
+			t.Fatalf("target %s did no work: %+v", tr.Target, tr)
+		}
+		if tr.Errors != 0 {
+			t.Fatalf("target %s saw %d errors", tr.Target, tr.Errors)
+		}
+		sum += tr.Requests
+	}
+	if lvl.Aggregate.Requests != sum {
+		t.Fatalf("aggregate %d requests, per-target sum %d", lvl.Aggregate.Requests, sum)
+	}
+	if lvl.Aggregate.Concurrency != 4 {
+		t.Fatalf("aggregate concurrency %d, want 4", lvl.Aggregate.Concurrency)
+	}
+}
+
+// A target answering 307 is followed, served by the redirect's owner,
+// and the hops land in Redirects — not in Errors.
+func TestRunFleetCountsRedirects(t *testing.T) {
+	owner := newTestTarget(t)
+	var hops atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hops.Add(1)
+		w.Header().Set("X-Hydra-Owner", owner)
+		w.Header().Set("Location", owner+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	t.Cleanup(front.Close)
+
+	res, err := RunFleet([]string{front.URL}, Fixed{Path: "/v1/analyze", Body: roverBody(t)}, Config{
+		Levels:   []int{2},
+		Duration: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := res[0].Aggregate
+	if lvl.Errors != 0 {
+		t.Fatalf("redirected traffic counted as errors: %+v", lvl)
+	}
+	if lvl.Requests == 0 || lvl.Redirects == 0 {
+		t.Fatalf("no redirected work recorded: %+v", lvl)
+	}
+	if lvl.Redirects < lvl.Requests {
+		t.Fatalf("every request hopped once; redirects %d < requests %d", lvl.Redirects, lvl.Requests)
+	}
+}
+
+// RunFleet validates its inputs.
+func TestRunFleetRejectsEmptyInputs(t *testing.T) {
+	if _, err := RunFleet(nil, Fixed{Path: "/x"}, Config{Levels: []int{1}, Duration: time.Millisecond}); err == nil {
+		t.Fatal("no targets accepted")
+	}
+	if _, err := RunFleet([]string{"http://x.invalid"}, Fixed{Path: "/x"}, Config{Duration: time.Millisecond}); err == nil {
+		t.Fatal("no levels accepted")
+	}
+}

@@ -122,6 +122,12 @@ type DaemonOpts struct {
 	MaxInflight int
 	MaxQueue    int
 	QueueWait   time.Duration
+	// Fleet, when >= 2, boots that many daemon instances joined into a
+	// consistent-hash fleet (-peers/-self): load spreads round-robin
+	// over the nodes and 307 ownership redirects are followed, so the
+	// sample measures routed-fleet cost, not a single node. A base
+	// build predating the fleet flags makes the sample skip, not fail.
+	Fleet int
 }
 
 // Workload parameterises the input task-set generator (internal/gen,
@@ -409,6 +415,9 @@ func parseProfile(doc map[string]any) (Profile, error) {
 		if p.Daemon.MaxQueue, err = dF.integer("max_queue", 64); err != nil {
 			return p, err
 		}
+		if p.Daemon.Fleet, err = dF.integer("fleet", 0); err != nil {
+			return p, err
+		}
 		waitS, err := dF.str("queue_wait", hydradhttp.DefaultQueueWait.String())
 		if err != nil {
 			return p, err
@@ -534,6 +543,9 @@ func (c *Case) validate() error {
 		d := c.Profile.Daemon
 		if d.MaxInflight < 0 || d.MaxQueue < 0 || d.QueueWait <= 0 {
 			return fmt.Errorf("bad daemon gate parameters: max_inflight %d, max_queue %d, queue_wait %s", d.MaxInflight, d.MaxQueue, d.QueueWait)
+		}
+		if d.Fleet != 0 && (d.Fleet < 2 || d.Fleet > 8) {
+			return fmt.Errorf("fleet %d out of range (0 for a single node, or 2..8 members)", d.Fleet)
 		}
 		if c.Profile.Retries < 0 {
 			return fmt.Errorf("retries %d < 0", c.Profile.Retries)

@@ -235,3 +235,26 @@ func TestDaemonGateParsing(t *testing.T) {
 		}
 	}
 }
+
+// The fleet key parses into DaemonOpts.Fleet; a fleet of one is a
+// load error (a single node is just daemon: with no fleet key).
+func TestDaemonFleetParsing(t *testing.T) {
+	dir := t.TempDir()
+	writeCase(t, dir, "fleet",
+		"kind: load\nconcurrency: [2]\nmix:\n  session: 1\ndaemon:\n  fleet: 2\n",
+		"optimization_goal: p99\n")
+	cases, err := LoadCases(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cases[0].Profile.Daemon.Fleet != 2 {
+		t.Fatalf("fleet = %d, want 2", cases[0].Profile.Daemon.Fleet)
+	}
+
+	writeCase(t, dir, "fleet",
+		"kind: load\nconcurrency: [2]\nmix:\n  session: 1\ndaemon:\n  fleet: 1\n",
+		"optimization_goal: p99\n")
+	if _, err := LoadCases(dir, nil); err == nil {
+		t.Fatal("fleet of one accepted")
+	}
+}

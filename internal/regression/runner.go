@@ -189,7 +189,11 @@ func (r *Runner) loadSample(c *Case, s *Side, src loadgen.Source) (float64, erro
 		return 0, err
 	}
 	defer stop()
-	levels, err := loadgen.Run(url, src, loadgen.Config{
+	// A fleet target returns its members' URLs comma-joined; workers
+	// spread round-robin and 307 ownership redirects are followed, so
+	// a hop is routing, not an error. A single URL degenerates to the
+	// historical single-target run.
+	fleetLevels, err := loadgen.RunFleet(strings.Split(url, ","), src, loadgen.Config{
 		Levels:   c.Profile.Concurrency,
 		Duration: c.Profile.Duration,
 		Warmup:   2,
@@ -200,7 +204,8 @@ func (r *Runner) loadSample(c *Case, s *Side, src loadgen.Source) (float64, erro
 	}
 	totalReq, totalDur, errs := 0, 0.0, 0
 	p99 := 0.0
-	for _, l := range levels {
+	for _, fl := range fleetLevels {
+		l := fl.Aggregate
 		totalReq += l.Requests
 		totalDur += l.DurationS
 		errs += l.Errors

@@ -1,9 +1,13 @@
 package regression
 
 import (
+	"encoding/json"
 	"errors"
+	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -273,5 +277,106 @@ func TestRunCaseSkipsMissingGobenchPackage(t *testing.T) {
 	res := r.RunCase(c)
 	if res.Verdict != VerdictSkipped {
 		t.Fatalf("verdict = %s (%s), want skipped", res.Verdict, res.Error)
+	}
+}
+
+// A 2-node fleet load case runs end to end against the in-process
+// handler target: real ring, real ownership redirects, two real
+// member handlers — only the processes are synthetic. An A/A run
+// must pass, and the comma-joined URL list must reach loadgen as two
+// targets (asserted via Target.Start directly).
+func TestRunCaseFleetAAPasses(t *testing.T) {
+	url, stop, err := HandlerTarget{}.Start(DaemonOpts{Cache: 64, Sessions: 16, Fleet: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := strings.Split(url, ",")
+	if len(members) != 2 {
+		t.Fatalf("fleet target returned %q, want two comma-joined URLs", url)
+	}
+	for _, m := range members {
+		resp, err := http.Get(m + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hz struct {
+			Fleet struct {
+				Peers []struct{ Addr, State string } `json:"peers"`
+			} `json:"fleet"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&hz)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hz.Fleet.Peers) != 2 {
+			t.Fatalf("%s healthz fleet view has %d peers, want 2", m, len(hz.Fleet.Peers))
+		}
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := smallLoadCase(GoalP99, 0.5)
+	c.Name = "selftest-fleet"
+	c.Profile.Mix = map[string]int{MixSession: 1}
+	c.Profile.Daemon.Fleet = 2
+	r := Runner{
+		Base:    Side{Name: "base", Target: HandlerTarget{}},
+		Head:    Side{Name: "head", Target: HandlerTarget{}},
+		Samples: 2,
+	}
+	res := r.RunCase(c)
+	if res.Error != "" {
+		t.Fatalf("fleet A/A run errored: %s", res.Error)
+	}
+	if res.Failed() {
+		t.Fatalf("fleet A/A run failed the gate: verdict=%s change=%+.1f%%", res.Verdict, 100*res.Change)
+	}
+}
+
+// BinaryTarget's fleet path boots real hydrad subprocesses joined by
+// -peers/-self on pre-reserved ports — the exact configuration
+// hydraperf uses for a paired fleet case. Builds the current tree's
+// hydrad once; skipped under -short.
+func TestBinaryTargetFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots hydrad subprocesses")
+	}
+	bin := filepath.Join(t.TempDir(), "hydrad")
+	cmd := exec.Command("go", "build", "-o", bin, "hydrac/cmd/hydrad")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building hydrad: %v: %s", err, out)
+	}
+	url, stop, err := BinaryTarget{Bin: bin}.Start(DaemonOpts{Cache: 64, Sessions: 16, Fleet: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	members := strings.Split(url, ",")
+	if len(members) != 2 {
+		t.Fatalf("fleet target returned %q, want two comma-joined URLs", url)
+	}
+	for _, m := range members {
+		resp, err := http.Get(m + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hz struct {
+			Status string `json:"status"`
+			Fleet  struct {
+				Self  string                         `json:"self"`
+				Peers []struct{ Addr, State string } `json:"peers"`
+			} `json:"fleet"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&hz)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hz.Status != "ok" || hz.Fleet.Self != m || len(hz.Fleet.Peers) != 2 {
+			t.Fatalf("%s healthz = %+v, want ok with self and 2 peers", m, hz)
+		}
 	}
 }

@@ -1,0 +1,43 @@
+package ring
+
+import "testing"
+
+// FuzzOwner hammers the id->owner mapping with arbitrary ids: every
+// id (including empty, non-UTF-8 and very long ones) must map to a
+// member, deterministically, with a complete duplicate-free failover
+// order whose head is the owner.
+func FuzzOwner(f *testing.F) {
+	f.Add("")
+	f.Add("0123456789abcdef0123456789abcdef")
+	f.Add("session-alpha")
+	f.Add(string([]byte{0xff, 0x00, 0x80}))
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1", "http://e:1"}
+	r, err := New(nodes, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	member := map[string]bool{}
+	for _, n := range nodes {
+		member[n] = true
+	}
+	f.Fuzz(func(t *testing.T, id string) {
+		own := r.Owner(id)
+		if !member[own] {
+			t.Fatalf("Owner(%q) = %q: not a member", id, own)
+		}
+		if again := r.Owner(id); again != own {
+			t.Fatalf("Owner(%q) nondeterministic: %q then %q", id, own, again)
+		}
+		succ := r.Successors(id)
+		if len(succ) != len(nodes) || succ[0] != own {
+			t.Fatalf("Successors(%q) = %v, want %d nodes led by %q", id, succ, len(nodes), own)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] || !member[s] {
+				t.Fatalf("Successors(%q) = %v: duplicate or non-member", id, succ)
+			}
+			seen[s] = true
+		}
+	})
+}

@@ -1,0 +1,170 @@
+// Package ring is the deterministic consistent-hash ring behind
+// hydrad's fleet tier: it maps session ids to an owner node so that
+// every node in a peer group, given the same membership list, computes
+// the same owner without any coordination — and so that membership
+// changes move only the minimal share of ids.
+//
+// The construction is the classic virtual-node ring: each node is
+// hashed onto Replicas points of a 64-bit circle, and an id is owned
+// by the node whose point follows the id's hash clockwise. Hashing is
+// FNV-1a finished with a splitmix64-style mixer — cheap, dependency
+// free, and byte-for-byte reproducible across processes, platforms
+// and Go versions, which is what makes uncoordinated agreement work.
+// Removing a node deletes only that node's points, so only ids that
+// landed on those points move (to their ring successor); everything
+// else keeps its owner. The property tests pin both halves: exact
+// "only the leaver's ids move" on membership change, and an upper
+// bound on the moved share near the ideal K/N.
+package ring
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per node. 128 points per
+// node keeps the expected ownership imbalance within a few percent
+// for fleets of 2-100 nodes while construction stays trivially cheap.
+const DefaultReplicas = 128
+
+// point is one virtual node: a position on the hash circle and the
+// index (into the sorted node list) of the node that owns it.
+type point struct {
+	hash uint64
+	node int32
+}
+
+// Ring maps ids to owner nodes. Immutable after New; safe for
+// concurrent use.
+type Ring struct {
+	nodes    []string // sorted, deduplicated
+	points   []point  // sorted by (hash, node)
+	replicas int
+}
+
+// New builds a ring over nodes. The node list is sorted and must be
+// free of duplicates and non-empty; order of the input does not
+// matter — two processes given the same set in any order build the
+// identical ring. replicas <= 0 means DefaultReplicas.
+func New(nodes []string, replicas int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("ring: no nodes")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	sorted := make([]string, len(nodes))
+	copy(sorted, nodes)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("ring: duplicate node %q", sorted[i])
+		}
+	}
+	r := &Ring{nodes: sorted, replicas: replicas}
+	r.points = make([]point, 0, len(sorted)*replicas)
+	for ni, n := range sorted {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: vnodeHash(n, v), node: int32(ni)})
+		}
+	}
+	// Ties between distinct nodes' points are broken by node order so
+	// the winner never depends on input ordering; a 64-bit collision
+	// is astronomically unlikely but must not be a source of
+	// nondeterminism.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Owner returns the node owning id: the first virtual node at or
+// after the id's hash, wrapping at the top of the circle.
+func (r *Ring) Owner(id string) string {
+	return r.nodes[r.points[r.successor(hashID(id))].node]
+}
+
+// Successors returns every node in ring-walk order starting at id's
+// owner: Successors(id)[0] == Owner(id), and each later element is
+// the next DISTINCT node encountered clockwise. This is the failover
+// order — when an owner is down, the id is served by the first
+// healthy node in this list.
+func (r *Ring) Successors(id string) []string {
+	out := make([]string, 0, len(r.nodes))
+	seen := make([]bool, len(r.nodes))
+	start := r.successor(hashID(id))
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// Nodes returns the ring's membership, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// successor finds the index of the first point with hash >= h,
+// wrapping to 0 past the last point.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// hashID hashes a session id onto the circle: FNV-1a 64 plus a final
+// mix, so ids differing only in their last byte still spread.
+func hashID(id string) uint64 {
+	return mix64(fnv1a(id))
+}
+
+// vnodeHash places virtual node v of a node on the circle. The vnode
+// name ("node#v") is hashed the same way as ids so points and keys
+// share one distribution.
+func vnodeHash(node string, v int) uint64 {
+	h := fnv1a(node)
+	h = fnv1aAdd(h, "#")
+	h = fnv1aAdd(h, strconv.Itoa(v))
+	return mix64(h)
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1a(s string) uint64 { return fnv1aAdd(fnvOffset64, s) }
+
+func fnv1aAdd(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap avalanche so FNV's weak
+// low-byte diffusion cannot cluster points.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,226 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%032x", i*2654435761)
+	}
+	return out
+}
+
+func TestNewRejectsBadMembership(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+// Ownership must not depend on the order the membership list was
+// given in: every node builds its ring from its own -peers flag, and
+// agreement across the fleet is the whole point.
+func TestOwnerIndependentOfInputOrder(t *testing.T) {
+	nodes := nodeNames(7)
+	r1, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]string(nil), nodes...)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r2, err := New(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys(2000) {
+			if r1.Owner(k) != r2.Owner(k) {
+				t.Fatalf("owner of %q differs across input orderings: %q vs %q", k, r1.Owner(k), r2.Owner(k))
+			}
+		}
+	}
+}
+
+// The hash must be stable across processes, platforms and Go
+// versions — a rolling deploy where new nodes disagree with old ones
+// about ownership would bounce every session. Pin literal values.
+func TestOwnerPinned(t *testing.T) {
+	r, err := New([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"0123456789abcdef0123456789abcdef": "http://c:1",
+		"session-alpha":                    "http://a:1",
+		"session-beta":                     "http://a:1",
+		"":                                 "http://a:1",
+	}
+	for id, w := range want {
+		if got := r.Owner(id); got != w {
+			t.Errorf("Owner(%q) = %q, want %q", id, got, w)
+		}
+	}
+}
+
+func TestAllIDsOwnedExactlyOnce(t *testing.T) {
+	nodes := nodeNames(5)
+	r, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := map[string]bool{}
+	for _, n := range nodes {
+		member[n] = true
+	}
+	for _, k := range keys(5000) {
+		own := r.Owner(k)
+		if !member[own] {
+			t.Fatalf("Owner(%q) = %q: not a member", k, own)
+		}
+		succ := r.Successors(k)
+		if len(succ) != len(nodes) {
+			t.Fatalf("Successors(%q) has %d entries, want %d", k, len(succ), len(nodes))
+		}
+		if succ[0] != own {
+			t.Fatalf("Successors(%q)[0] = %q, want owner %q", k, succ[0], own)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("Successors(%q) repeats %q", k, s)
+			}
+			seen[s] = true
+			if !member[s] {
+				t.Fatalf("Successors(%q) includes non-member %q", k, s)
+			}
+		}
+	}
+}
+
+// Removing a node must move ONLY that node's ids (to some surviving
+// node), and adding a node must only STEAL ids (no id moves between
+// two nodes that were present both before and after). This is the
+// exact minimal-movement property of consistent hashing — not a
+// statistical bound, an invariant.
+func TestMembershipChangeMovesOnlyTheAffectedIDs(t *testing.T) {
+	nodes := nodeNames(6)
+	full, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := keys(8000)
+
+	t.Run("leave", func(t *testing.T) {
+		leaver := nodes[2]
+		smaller, err := New(append(append([]string(nil), nodes[:2]...), nodes[3:]...), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range ids {
+			before, after := full.Owner(k), smaller.Owner(k)
+			if before == leaver {
+				moved++
+				if after == leaver {
+					t.Fatalf("id %q still owned by removed node", k)
+				}
+				// The orphaned id must land on its failover successor:
+				// the first surviving node in the old ring's walk order.
+				succ := full.Successors(k)
+				if len(succ) < 2 || after != succ[1] {
+					t.Fatalf("id %q moved to %q, want ring successor %q", k, after, succ[1])
+				}
+			} else if before != after {
+				t.Fatalf("id %q moved %q -> %q although its owner did not leave", k, before, after)
+			}
+		}
+		if moved == 0 {
+			t.Fatal("no ids were owned by the removed node — test vacuous")
+		}
+		assertMovementBound(t, moved, len(ids), len(nodes))
+	})
+
+	t.Run("join", func(t *testing.T) {
+		joiner := "http://10.0.0.99:8080"
+		bigger, err := New(append(append([]string(nil), nodes...), joiner), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range ids {
+			before, after := full.Owner(k), bigger.Owner(k)
+			if before != after {
+				moved++
+				if after != joiner {
+					t.Fatalf("id %q moved %q -> %q on a join; only the joiner may steal", k, before, after)
+				}
+			}
+		}
+		if moved == 0 {
+			t.Fatal("joiner stole nothing — test vacuous")
+		}
+		assertMovementBound(t, moved, len(ids), len(nodes)+1)
+	})
+}
+
+// assertMovementBound checks the moved share is near the ideal K/N:
+// with DefaultReplicas virtual nodes the ownership share concentrates
+// around 1/N, so 2.5x the ideal is a comfortable yet meaningful cap
+// (a naive mod-N hash would move ~ (N-1)/N of all ids).
+func assertMovementBound(t *testing.T, moved, total, n int) {
+	t.Helper()
+	ideal := float64(total) / float64(n)
+	if limit := 2.5 * ideal; float64(moved) > limit {
+		t.Fatalf("%d of %d ids moved; want <= %.0f (2.5 x K/N with N=%d)", moved, total, limit, n)
+	}
+	t.Logf("moved %d / %d ids (ideal K/N = %.0f)", moved, total, ideal)
+}
+
+// Shares must be roughly balanced — the ring exists so one node never
+// owns the fleet.
+func TestOwnershipRoughlyBalanced(t *testing.T) {
+	nodes := nodeNames(4)
+	r, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	ids := keys(20000)
+	for _, k := range ids {
+		counts[r.Owner(k)]++
+	}
+	ideal := float64(len(ids)) / float64(len(nodes))
+	for n, c := range counts {
+		if f := float64(c); f < ideal/2 || f > ideal*2 {
+			t.Errorf("node %s owns %d ids; want within [%.0f, %.0f]", n, c, ideal/2, ideal*2)
+		}
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r, err := New(nodeNames(16), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := keys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(ids[i%len(ids)])
+	}
+}

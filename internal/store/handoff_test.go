@@ -1,0 +1,230 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hydrac"
+)
+
+func handoffAnalyzer(t *testing.T) *hydrac.Analyzer {
+	t.Helper()
+	a, err := hydrac.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func handoffBase() *hydrac.TaskSet {
+	return &hydrac.TaskSet{
+		Cores: 2,
+		RT: []hydrac.RTTask{
+			{Name: "rt0", WCET: 2, Period: 20, Deadline: 20, Core: 0, Priority: 0},
+			{Name: "rt1", WCET: 3, Period: 30, Deadline: 30, Core: 1, Priority: 1},
+		},
+		Security: []hydrac.SecurityTask{
+			{Name: "sec0", WCET: 2, MaxPeriod: 200, Core: -1, Priority: 0},
+		},
+	}
+}
+
+func handoffDelta(k int) hydrac.Delta {
+	return hydrac.Delta{AddSecurity: []hydrac.SecurityTask{{
+		Name: fmt.Sprintf("mon%03d", k), WCET: 1,
+		MaxPeriod: hydrac.Time(500 + 10*k), Core: -1, Priority: 100 + k,
+	}}}
+}
+
+func encodeSet(t *testing.T, set *hydrac.TaskSet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := hydrac.EncodeTaskSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sessionBytes(t *testing.T, st *Store, id string) []byte {
+	t.Helper()
+	ctx := context.Background()
+	sess, release, err := st.Acquire(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	return encodeSet(t, sess.Set())
+}
+
+// TestDetachImportRoundTripBitIdentical is the core handoff guarantee:
+// a session detached from store A and imported into store B serves the
+// exact bytes an uninterrupted control session would — across a
+// compaction boundary, so the export carries both a non-trivial
+// snapshot generation and trailing WAL deltas.
+func TestDetachImportRoundTripBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	a := handoffAnalyzer(t)
+	src, err := Open(t.TempDir(), a, Options{ProbeEvery: -1, CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := Open(t.TempDir(), a, Options{ProbeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	const id = "sess-roundtrip"
+	if _, err := src.Create(ctx, id, handoffBase()); err != nil {
+		t.Fatal(err)
+	}
+	// 10 deltas with CompactEvery=4: two compactions plus a WAL tail.
+	control, _, err := a.NewSession(ctx, handoffBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		d := handoffDelta(k)
+		sess, release, err := src.Acquire(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, admitted, err := sess.Admit(ctx, d); err != nil || !admitted {
+			t.Fatalf("admit %d: admitted=%v err=%v", k, admitted, err)
+		}
+		release()
+		if _, admitted, err := control.Admit(ctx, d); err != nil || !admitted {
+			t.Fatalf("control admit %d: admitted=%v err=%v", k, admitted, err)
+		}
+	}
+
+	var exported Export
+	if err := src.Detach(ctx, id, func(exp Export) error {
+		exported = exp
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(exported.Set) == 0 {
+		t.Fatal("export carries no snapshot set")
+	}
+	if err := dst.Import(ctx, id, exported); err != nil {
+		t.Fatal(err)
+	}
+
+	want := encodeSet(t, control.Set())
+	if got := sessionBytes(t, dst, id); !bytes.Equal(got, want) {
+		t.Fatalf("imported session state diverged from uninterrupted control:\ngot  %s\nwant %s", got, want)
+	}
+
+	// The source surrendered the session: ErrMoved, and no disk state.
+	if _, _, err := src.Acquire(ctx, id); !errors.Is(err, ErrMoved) {
+		t.Fatalf("Acquire on detached session: %v, want ErrMoved", err)
+	}
+	if _, err := os.Stat(filepath.Join(src.dir, id)); !os.IsNotExist(err) {
+		t.Fatalf("source still holds %s on disk (stat err %v)", id, err)
+	}
+	if err := src.Detach(ctx, id, func(Export) error { return nil }); !errors.Is(err, ErrMoved) && !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second Detach: %v", err)
+	}
+
+	// The destination can keep admitting — the hook re-attached.
+	sess, release, err := dst.Acquire(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, admitted, err := sess.Admit(ctx, handoffDelta(10)); err != nil || !admitted {
+		t.Fatalf("post-import admit: admitted=%v err=%v", admitted, err)
+	}
+	release()
+	if _, admitted, err := control.Admit(ctx, handoffDelta(10)); err != nil || !admitted {
+		t.Fatalf("control post admit: admitted=%v err=%v", admitted, err)
+	}
+	if got, want := sessionBytes(t, dst, id), encodeSet(t, control.Set()); !bytes.Equal(got, want) {
+		t.Fatal("post-import admission diverged from control")
+	}
+
+	// And the import survives a restart of the destination store.
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dst.dir, a, Options{ProbeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got, want := sessionBytes(t, re, id), encodeSet(t, control.Set()); !bytes.Equal(got, want) {
+		t.Fatal("imported session did not survive restart bit-identically")
+	}
+}
+
+// A failed transfer must leave the session fully local and intact —
+// the drain loop logs and moves on, and the node's plain shutdown
+// still has the state on disk.
+func TestDetachTransferFailureKeepsSessionLocal(t *testing.T) {
+	ctx := context.Background()
+	a := handoffAnalyzer(t)
+	st, err := Open(t.TempDir(), a, Options{ProbeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const id = "sess-keep"
+	if _, err := st.Create(ctx, id, handoffBase()); err != nil {
+		t.Fatal(err)
+	}
+	before := sessionBytes(t, st, id)
+
+	boom := errors.New("receiver exploded")
+	if err := st.Detach(ctx, id, func(Export) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Detach error = %v, want wrapped transfer error", err)
+	}
+	// Still served, still identical (re-hydrated from disk).
+	if got := sessionBytes(t, st, id); !bytes.Equal(got, before) {
+		t.Fatal("session state changed after failed handoff")
+	}
+}
+
+func TestImportRejectsBadPayloads(t *testing.T) {
+	ctx := context.Background()
+	a := handoffAnalyzer(t)
+	st, err := Open(t.TempDir(), a, Options{ProbeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if err := st.Import(ctx, "bad id!", Export{}); err == nil {
+		t.Error("invalid id accepted")
+	}
+	if err := st.Import(ctx, "garbage-set", Export{Set: []byte("{nope")}); err == nil {
+		t.Error("undecodable set accepted")
+	}
+	if _, err := os.Stat(filepath.Join(st.dir, "garbage-set")); !os.IsNotExist(err) {
+		t.Error("failed import left a directory behind")
+	}
+
+	const id = "sess-dup"
+	if _, err := st.Create(ctx, id, handoffBase()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Import(ctx, id, Export{Set: encodeSet(t, handoffBase())}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate import: %v, want ErrExists", err)
+	}
+	// A garbage delta must fail the import and leave nothing behind.
+	if err := st.Import(ctx, "bad-delta", Export{
+		Set:    encodeSet(t, handoffBase()),
+		Deltas: [][]byte{[]byte("not a delta")},
+	}); err == nil {
+		t.Error("undecodable delta accepted")
+	}
+	if _, err := os.Stat(filepath.Join(st.dir, "bad-delta")); !os.IsNotExist(err) {
+		t.Error("failed delta import left a directory behind")
+	}
+}

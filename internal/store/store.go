@@ -123,6 +123,11 @@ type Store struct {
 	mu      sync.Mutex
 	closed  bool
 	entries map[string]*entry
+	// movedIDs tombstones sessions handed off to another node
+	// (Detach): Acquire answers ErrMoved for them so the HTTP layer
+	// redirects instead of 404ing. In-memory only — after a restart
+	// the id is simply absent, which is equally true.
+	movedIDs map[string]struct{}
 	// live keeps the most recently used entries materialised; eviction
 	// closes the entry's engine + WAL handle, leaving disk state as
 	// the only copy.
@@ -145,6 +150,10 @@ type entry struct {
 	sess *hydrac.Session
 	wal  *wal.Log
 	gen  uint64
+	// moved marks a session handed off to another node (Detach): its
+	// disk state is gone and Acquire answers ErrMoved so the HTTP
+	// layer can redirect to the new owner instead of 404ing.
+	moved bool
 
 	// degMu guards the degraded state separately from mu, because the
 	// commit hook (which marks it) runs with mu read-held while the
@@ -202,7 +211,7 @@ func Open(dir string, a *hydrac.Analyzer, opt Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating root: %w", err)
 	}
-	s := &Store{dir: dir, a: a, opt: opt, fs: faultfs.Default(opt.FS), entries: map[string]*entry{}, stop: make(chan struct{})}
+	s := &Store{dir: dir, a: a, opt: opt, fs: faultfs.Default(opt.FS), entries: map[string]*entry{}, movedIDs: map[string]struct{}{}, stop: make(chan struct{})}
 	s.live = lru.New[string, *entry](opt.MaxLive)
 	s.live.OnEvict(func(id string, e *entry) { e.close() })
 
@@ -361,6 +370,15 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
+// Has reports whether the store currently holds id (live or cold on
+// disk). A handed-off session is not held.
+func (s *Store) Has(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[id]
+	return ok
+}
+
 // IDs returns every session id, sorted.
 func (s *Store) IDs() []string {
 	s.mu.Lock()
@@ -443,8 +461,12 @@ func (s *Store) Acquire(ctx context.Context, id string) (*hydrac.Session, func()
 		return nil, nil, errors.New("store: closed")
 	}
 	e := s.entries[id]
+	_, wasMoved := s.movedIDs[id]
 	s.mu.Unlock()
 	if e == nil {
+		if wasMoved {
+			return nil, nil, fmt.Errorf("%w: %s", ErrMoved, id)
+		}
 		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	// Touch the live set first (lock order: LRU before entry); this
@@ -452,6 +474,10 @@ func (s *Store) Acquire(ctx context.Context, id string) (*hydrac.Session, func()
 	s.live.Add(id, e)
 	for {
 		e.mu.RLock()
+		if e.moved {
+			e.mu.RUnlock()
+			return nil, nil, fmt.Errorf("%w: %s", ErrMoved, id)
+		}
 		if e.sess != nil {
 			sess := e.sess
 			return sess, e.mu.RUnlock, nil
@@ -459,11 +485,17 @@ func (s *Store) Acquire(ctx context.Context, id string) (*hydrac.Session, func()
 		e.mu.RUnlock()
 		e.mu.Lock()
 		var err error
-		if e.sess == nil {
+		switch {
+		case e.moved:
+			err = fmt.Errorf("%w: %s", ErrMoved, id)
+		case e.sess == nil:
 			err = s.rehydrate(ctx, e)
 		}
 		e.mu.Unlock()
 		if err != nil {
+			if errors.Is(err, ErrMoved) {
+				return nil, nil, err
+			}
 			return nil, nil, fmt.Errorf("store: re-hydrating session %s: %w", id, err)
 		}
 		// Loop: an eviction storm could tear the session down again
