@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"time"
 
 	"hydrac"
+	"hydrac/internal/fleet"
 	"hydrac/internal/hydraclient"
 	"hydrac/internal/store"
 )
@@ -26,21 +28,34 @@ const maxHandoffBytes = 64 << 20
 // complete durable state — the snapshot's placed set and cursor plus
 // every committed delta since, in commit order. It is store.Export
 // plus identity, shaped for the wire.
+//
+// Token, when set, names this handoff: the sender draws it once per
+// session and replays it on every retry, so the receiver can tell a
+// duplicate of an already-committed transfer (acknowledge again) from
+// a genuine id conflict (409). Without it a retried POST whose first
+// attempt committed but whose 200 was lost would read as failure,
+// leaving the session alive on both nodes.
 type handoffRequest struct {
 	Version   int               `json:"version"`
 	SessionID string            `json:"session_id"`
+	Token     string            `json:"token,omitempty"`
 	NextFit   int               `json:"next_fit"`
 	Set       json.RawMessage   `json:"set"`
 	Deltas    []json.RawMessage `json:"deltas"`
 }
 
-// handoff is POST /v1/handoff: a peer streaming one of its sessions
-// here (graceful drain). The import persists first and recovers by
-// the standard replay path, so an acknowledged handoff is exactly as
-// durable — and exactly as bit-identical — as a locally created
-// session that survived a restart.
+// handoff dispatches /v1/handoff: POST imports a session streamed
+// from a draining peer, GET answers that peer's post-failure
+// confirmation probe.
 func (s *server) handoff(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
+	switch r.Method {
+	case http.MethodGet:
+		s.handoffConfirm(w, r)
+		return
+	case http.MethodPost:
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
 	var req handoffRequest
@@ -58,6 +73,24 @@ func (s *server) handoff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("handoff request needs session_id and set"))
 		return
 	}
+	if req.Token != "" {
+		// A duplicate of a handoff already committed here is
+		// acknowledged before any other refusal — including the
+		// draining one below: the sender is deciding whether to delete
+		// its local copy, and answering a committed transfer with
+		// anything but 200 would leave the session alive on both nodes.
+		committed := false
+		switch {
+		case s.store != nil:
+			committed = s.store.ImportedWith(req.SessionID, req.Token)
+		case s.sessions != nil:
+			committed = s.memoryImportedWith(req.SessionID, req.Token)
+		}
+		if committed {
+			s.writeHandoffAck(w, req)
+			return
+		}
+	}
 	if s.fleet != nil && s.fleet.Draining() {
 		// Two nodes draining at once must not pass sessions back and
 		// forth; the sender's HandoffTarget skips draining peers, and
@@ -66,13 +99,19 @@ func (s *server) handoff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("node is draining and cannot accept handoffs"))
 		return
 	}
+	// The import persists first and recovers by the standard replay
+	// path, so an acknowledged handoff is exactly as durable — and
+	// exactly as bit-identical — as a locally created session that
+	// survived a restart.
 	switch {
 	case s.store != nil:
 		exp := store.Export{Set: req.Set, Cursor: req.NextFit, Deltas: make([][]byte, len(req.Deltas))}
 		for i, d := range req.Deltas {
 			exp.Deltas[i] = d
 		}
-		if err := s.store.Import(r.Context(), req.SessionID, exp); err != nil {
+		// Import acknowledges a token-matching duplicate with nil: the
+		// retry of a committed-but-unacked transfer must answer 200.
+		if err := s.store.Import(r.Context(), req.SessionID, exp, req.Token); err != nil {
 			switch {
 			case errors.Is(err, store.ErrExists):
 				writeError(w, http.StatusConflict, err)
@@ -112,14 +151,78 @@ func (s *server) handoff(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		s.sessions.Add(req.SessionID, sess)
+		// The existence probe above is only a fast path; this insert is
+		// the authoritative one. Two concurrent imports of the same id
+		// can both pass the probe, and a blind Add would let the second
+		// silently overwrite the first — AddIfAbsent picks one winner
+		// under the shard lock, the loser conflicts like any duplicate.
+		if !s.sessions.AddIfAbsent(req.SessionID, sess) {
+			writeError(w, http.StatusConflict, fmt.Errorf("session %q already exists", req.SessionID))
+			return
+		}
+		if req.Token != "" {
+			s.handoffTokens.Add(req.SessionID, req.Token)
+		}
 	default:
 		writeError(w, http.StatusNotFound, errors.New("sessions are disabled on this daemon (-sessions 0)"))
 		return
 	}
+	s.writeHandoffAck(w, req)
+}
+
+// writeHandoffAck answers 200 for a committed (or already-committed)
+// handoff.
+func (s *server) writeHandoffAck(w http.ResponseWriter, req handoffRequest) {
 	s.logf("session %s received via handoff (%d deltas)", req.SessionID, len(req.Deltas))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"session_id": req.SessionID, "deltas": len(req.Deltas)})
+}
+
+// memoryImportedWith reports whether a memory-mode handoff carrying
+// token committed here and the session is still live. Unlike the
+// durable store's ImportedWith this cannot survive a restart (nothing
+// in memory mode does) and an evicted session answers false — the
+// sender then rightly keeps its copy.
+func (s *server) memoryImportedWith(id, token string) bool {
+	if token == "" {
+		return false
+	}
+	t, ok := s.handoffTokens.Get(id)
+	if !ok || t != token {
+		return false
+	}
+	_, live := s.sessions.Get(id)
+	return live
+}
+
+// handoffConfirm is GET /v1/handoff?session=<id>&token=<tok>: the
+// sender of an ambiguous handoff (timeout, lost response, retries
+// exhausted) asking whether its POST committed here. 200 means the
+// import with exactly that token is durable on this node — the sender
+// must surrender its local copy; 404 means it never committed — the
+// sender must keep serving the session. Answered even while draining:
+// it is a read, and refusing it would re-open the very ambiguity it
+// exists to close.
+func (s *server) handoffConfirm(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("session")
+	token := r.URL.Query().Get("token")
+	if id == "" || token == "" {
+		writeError(w, http.StatusBadRequest, errors.New("handoff confirm needs session and token query parameters"))
+		return
+	}
+	held := false
+	switch {
+	case s.store != nil:
+		held = s.store.ImportedWith(id, token)
+	case s.sessions != nil:
+		held = s.memoryImportedWith(id, token)
+	}
+	if !held {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no committed handoff of session %q with that token", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"session_id": id, "held": true})
 }
 
 // holdsSession reports whether this node holds id locally (durable
@@ -159,6 +262,24 @@ func (s *server) redirectToHandoffTarget(w http.ResponseWriter, r *http.Request,
 		return false
 	}
 	s.redirect(w, r, target)
+	return true
+}
+
+// writeFailoverUnavailable answers 503 for a session this node serves
+// only as failover successor (the ring owner is down) but holds no
+// copy of; reports whether it answered. The only durable copy is on
+// the downed owner, so redirecting to the next healthy peer — which
+// cannot hold it either — would just make two healthy nodes 307 each
+// other until the client's hop cap. The honest answer is "temporarily
+// unavailable, retry once the owner is back", with Retry-After tuned
+// to how fast the prober can notice that recovery.
+func (s *server) writeFailoverUnavailable(w http.ResponseWriter, id string) bool {
+	if s.fleet == nil || s.fleet.Owns(id) {
+		return false
+	}
+	w.Header().Set("Retry-After", retryAfterSeconds(time.Duration(fleet.DefaultUpAfter)*fleet.DefaultProbeEvery))
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("session %q is temporarily unavailable: its owner is down and this failover node holds no copy of it", id))
 	return true
 }
 
@@ -225,10 +346,13 @@ func (h *Handler) Drain(ctx context.Context) (moved, kept int) {
 		Client:     &http.Client{Timeout: drainHandoffTimeout},
 		MaxRetries: 4,
 	})
-	for _, id := range s.store.IDs() {
+	ids := s.store.IDs()
+	for i, id := range ids {
 		if err := ctx.Err(); err != nil {
-			kept += len(s.store.IDs()) - moved - kept
-			s.logf("drain: aborted with sessions left local: %v", err)
+			// Every id not yet reached stays local; the ones already
+			// processed are counted in moved/kept above this line.
+			kept += len(ids) - i
+			s.logf("drain: aborted with %d sessions left local: %v", len(ids)-i, err)
 			break
 		}
 		target := s.fleet.HandoffTarget(id)
@@ -237,8 +361,18 @@ func (h *Handler) Drain(ctx context.Context) (moved, kept int) {
 			s.logf("drain: no eligible peer for session %s; leaving it on local disk for restart recovery", id)
 			continue
 		}
-		err := s.store.Detach(ctx, id, func(exp store.Export) error {
-			return postHandoff(ctx, hc, target, id, exp)
+		// One token per session handoff, replayed verbatim on every
+		// retry: the receiver uses it to acknowledge a duplicate of a
+		// committed transfer instead of conflicting, and the confirm
+		// probe below uses it to resolve an ambiguous failure.
+		token, err := newSessionID()
+		if err != nil {
+			kept++
+			s.logf("drain: session %s stays local: %v", id, err)
+			continue
+		}
+		err = s.store.Detach(ctx, id, func(exp store.Export) error {
+			return postHandoff(ctx, hc, target, id, token, exp)
 		})
 		if err != nil {
 			kept++
@@ -251,11 +385,18 @@ func (h *Handler) Drain(ctx context.Context) (moved, kept int) {
 	return moved, kept
 }
 
-// postHandoff ships one export to target's /v1/handoff.
-func postHandoff(ctx context.Context, hc *hydraclient.Client, target, id string, exp store.Export) error {
+// postHandoff ships one export to target's /v1/handoff. nil means the
+// receiver durably committed the session — and ONLY that: when the
+// POST's outcome is ambiguous (client-side timeout after the receiver
+// committed, a lost response, retries exhausted), the receiver is
+// asked directly before the failure is believed, because the caller
+// deletes or keeps the local copy on this verdict and a wrong
+// "failed" leaves the session alive on two nodes.
+func postHandoff(ctx context.Context, hc *hydraclient.Client, target, id, token string, exp store.Export) error {
 	req := handoffRequest{
 		Version:   handoffVersion,
 		SessionID: id,
+		Token:     token,
 		NextFit:   exp.Cursor,
 		Set:       exp.Set,
 		Deltas:    make([]json.RawMessage, len(exp.Deltas)),
@@ -268,11 +409,26 @@ func postHandoff(ctx context.Context, hc *hydraclient.Client, target, id string,
 		return err
 	}
 	status, err := hc.Do(ctx, http.MethodPost, target+"/v1/handoff", "application/json", body)
+	if err == nil && status == http.StatusOK {
+		return nil
+	}
+	if confirmHandoff(ctx, hc, target, id, token) {
+		return nil
+	}
 	if err != nil {
 		return err
 	}
-	if status != http.StatusOK {
-		return fmt.Errorf("handoff to %s answered status %d", target, status)
-	}
-	return nil
+	return fmt.Errorf("handoff to %s answered status %d", target, status)
+}
+
+// confirmHandoff asks target whether the handoff carrying token
+// committed. Only a definite 200 flips an ambiguous failure into a
+// success; anything else — including the probe itself failing, where
+// the session then stays local and at worst a dormant committed copy
+// idles on the receiver — reports false, because keeping state is
+// recoverable and losing it is not.
+func confirmHandoff(ctx context.Context, hc *hydraclient.Client, target, id, token string) bool {
+	u := target + "/v1/handoff?session=" + url.QueryEscape(id) + "&token=" + url.QueryEscape(token)
+	status, err := hc.Do(ctx, http.MethodGet, u, "", nil)
+	return err == nil && status == http.StatusOK
 }

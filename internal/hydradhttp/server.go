@@ -104,7 +104,14 @@ type server struct {
 	// every duplicate of those bytes; analysis is deterministic, so
 	// entries never go stale.
 	respCache *lru.Cache[[sha256.Size]byte, []byte]
-	logf      func(format string, args ...any)
+	// handoffTokens remembers, in memory mode, the handoff token each
+	// imported session arrived with, so a retried /v1/handoff POST (or
+	// the sender's confirm probe) for a committed transfer answers 200
+	// instead of an ambiguous 409. The durable store keeps its own
+	// record; this exists only when sessions do not outlive the
+	// process anyway. Nil outside memory mode.
+	handoffTokens *lru.Cache[string, string]
+	logf          func(format string, args ...any)
 	// gate is the overload-protection front; always non-nil (a
 	// zero-limit gate passes everything through) so healthz can
 	// report admission stats unconditionally.
@@ -158,6 +165,10 @@ func NewHandler(cfg Config) *Handler {
 				capEvicted = 1024
 			}
 			s.evicted = lru.New[string, struct{}](capEvicted)
+			// Token memory matches the evicted-id depth: a token is
+			// only consulted within a drain's retry window, far shorter
+			// than this cache's churn.
+			s.handoffTokens = lru.New[string, string](capEvicted)
 			s.sessions.OnEvict(func(id string, _ *hydrac.Session) {
 				s.evicted.Add(id, struct{}{})
 				s.logf("session %s evicted from the in-memory session store (run with -data-dir to make sessions durable)", id)
@@ -388,11 +399,13 @@ func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
 				}
 				writeError(w, http.StatusGone, fmt.Errorf("session %q was handed off to another node and no healthy peer is known for it", id))
 			case errors.Is(err, store.ErrNotFound):
-				if s.fleet != nil && !s.fleet.Owns(id) && s.redirectToHandoffTarget(w, r, id) {
+				if s.writeFailoverUnavailable(w, id) {
 					// This node serves the id only as a failover
 					// successor (the raw owner is down) and has no
-					// local copy: point the client at the next node in
-					// line rather than inventing a 404.
+					// local copy: the downed owner holds the only
+					// durable copy, so this is a clear 503, not a 404 —
+					// and not a redirect to another copyless peer that
+					// would 307 straight back here.
 					return
 				}
 				writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (never created on this data dir)", id))
@@ -416,7 +429,7 @@ func (s *server) sessionRoute(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusGone, fmt.Errorf("session %q was evicted from the in-memory session store (raise -sessions or run with -data-dir to make sessions durable)", id))
 				return
 			}
-			if s.fleet != nil && !s.fleet.Owns(id) && s.redirectToHandoffTarget(w, r, id) {
+			if s.writeFailoverUnavailable(w, id) {
 				return
 			}
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (expired, evicted, or never created)", id))

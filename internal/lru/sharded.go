@@ -100,6 +100,16 @@ func (s *Sharded[V]) Add(k string, v V) {
 	s.shard(k).Add(k, v)
 }
 
+// AddIfAbsent stores v under k only when the key is not already
+// present in its shard, reporting whether it stored (see
+// Cache.AddIfAbsent). A nil store never stores.
+func (s *Sharded[V]) AddIfAbsent(k string, v V) bool {
+	if s == nil {
+		return false
+	}
+	return s.shard(k).AddIfAbsent(k, v)
+}
+
 // Len returns the total number of entries across shards.
 func (s *Sharded[V]) Len() int {
 	if s == nil {

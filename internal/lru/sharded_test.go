@@ -93,3 +93,20 @@ func TestShardedConcurrent(t *testing.T) {
 		t.Fatal("nothing retained after concurrent churn")
 	}
 }
+
+func TestShardedAddIfAbsent(t *testing.T) {
+	s := NewSharded[int](64, 4)
+	if !s.AddIfAbsent("k", 1) {
+		t.Fatal("insert refused")
+	}
+	if s.AddIfAbsent("k", 2) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if v, _ := s.Get("k"); v != 1 {
+		t.Fatalf("value overwritten: %d", v)
+	}
+	var nilStore *Sharded[int]
+	if nilStore.AddIfAbsent("k", 1) {
+		t.Fatal("nil store claimed to store")
+	}
+}

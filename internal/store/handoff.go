@@ -116,14 +116,29 @@ func (s *Store) exportLocked(e *entry) (Export, error) {
 	return Export{Set: raw, Cursor: cursor, Deltas: recs}, nil
 }
 
+// tokenFile marks a completed import inside a session directory: it
+// holds the sender-chosen handoff token and is written only after the
+// imported state fully committed (persisted AND replay-verified). Its
+// presence is what makes a retried handoff idempotent across a
+// receiver restart — the answer to "did handoff <token> commit here?"
+// must not depend on this process's memory.
+const tokenFile = "handoff.token"
+
 // Import installs a session streamed from another node: persist the
 // export as generation 0 (snapshot, then every delta appended to a
 // fresh WAL), then recover it through the standard replay path. An
 // import is therefore indistinguishable from a restart of a local
 // session — same code, same bit-identity guarantee — and the session
-// is fully durable before Import returns. ErrExists if the id is
-// already held.
-func (s *Store) Import(ctx context.Context, id string, exp Export) error {
+// is fully durable before Import returns.
+//
+// token, when non-empty, is the sender's identity for this handoff
+// and makes the import idempotent: a duplicate Import whose token
+// matches the one the id was committed with answers nil instead of
+// ErrExists. The sender decides surrender-vs-keep its local copy from
+// this answer, so a retry after a lost acknowledgement must not be
+// told "conflict" — that reading would leave the session alive on
+// both nodes. ErrExists is reserved for a genuine id collision.
+func (s *Store) Import(ctx context.Context, id string, exp Export, token string) error {
 	if !validID(id) {
 		return fmt.Errorf("store: invalid session id %q (want 1-128 chars of [a-zA-Z0-9_-])", id)
 	}
@@ -133,8 +148,15 @@ func (s *Store) Import(ctx context.Context, id string, exp Export) error {
 		s.mu.Unlock()
 		return errors.New("store: closed")
 	}
-	if _, ok := s.entries[id]; ok {
+	if existing, ok := s.entries[id]; ok {
 		s.mu.Unlock()
+		// tokenOf takes the entry lock, so a retry racing a
+		// still-running first attempt blocks here until that attempt
+		// settles and then reads its verdict: token file present ⇒
+		// committed ⇒ acknowledge the duplicate.
+		if token != "" && s.tokenOf(existing) == token {
+			return nil
+		}
 		return fmt.Errorf("%w: %s", ErrExists, id)
 	}
 	s.entries[id] = e
@@ -145,7 +167,7 @@ func (s *Store) Import(ctx context.Context, id string, exp Export) error {
 	s.mu.Unlock()
 
 	e.mu.Lock()
-	err := s.importLocked(ctx, e, exp)
+	err := s.importLocked(ctx, e, exp, token)
 	e.mu.Unlock()
 	if err != nil {
 		s.mu.Lock()
@@ -154,14 +176,65 @@ func (s *Store) Import(ctx context.Context, id string, exp Export) error {
 		_ = os.RemoveAll(e.dir)
 		return err
 	}
+	s.mu.Lock()
+	if token != "" {
+		s.importTokens[id] = token
+	} else {
+		delete(s.importTokens, id)
+	}
+	s.mu.Unlock()
 	s.live.Add(id, e)
 	return nil
+}
+
+// tokenOf reads the handoff token e committed with, waiting out any
+// in-flight import or detach on the entry. Empty for sessions created
+// locally or whose import never completed.
+func (s *Store) tokenOf(e *entry) string {
+	e.mu.RLock()
+	raw, err := os.ReadFile(filepath.Join(e.dir, tokenFile))
+	e.mu.RUnlock()
+	if err != nil {
+		return ""
+	}
+	return string(raw)
+}
+
+// ImportedWith reports whether a handoff carrying token committed on
+// this store for id — whether the session is still held here or has
+// since been handed onward. It answers the receiver half of a
+// sender's post-failure confirmation probe: true means the sender's
+// state landed durably and its local copy must be surrendered.
+func (s *Store) ImportedWith(id, token string) bool {
+	if token == "" || !validID(id) {
+		return false
+	}
+	s.mu.Lock()
+	if t, ok := s.importTokens[id]; ok {
+		s.mu.Unlock()
+		return t == token
+	}
+	e := s.entries[id]
+	s.mu.Unlock()
+	if e == nil {
+		return false
+	}
+	// Recovered-after-restart sessions have no in-memory token yet;
+	// the session dir's token file is the durable record.
+	t := s.tokenOf(e)
+	if t == "" {
+		return false
+	}
+	s.mu.Lock()
+	s.importTokens[id] = t
+	s.mu.Unlock()
+	return t == token
 }
 
 // importLocked persists exp into e's directory and rehydrates. e.mu
 // must be write-held. Input errors (undecodable set, replay
 // divergence) come back raw; disk failures wrap ErrStorage.
-func (s *Store) importLocked(ctx context.Context, e *entry, exp Export) error {
+func (s *Store) importLocked(ctx context.Context, e *entry, exp Export, token string) error {
 	// Validate the payload decodes BEFORE creating anything on disk.
 	set, err := hydrac.DecodeTaskSet(bytes.NewReader(exp.Set))
 	if err != nil {
@@ -188,7 +261,20 @@ func (s *Store) importLocked(ctx context.Context, e *entry, exp Export) error {
 	}
 	// Recover from what was just persisted — replay validates every
 	// delta re-admits, exactly as a restart would.
-	return s.rehydrate(ctx, e)
+	if err := s.rehydrate(ctx, e); err != nil {
+		return err
+	}
+	if token != "" {
+		// Last write on purpose: the file may only exist once the
+		// import is committed, because a retry or confirm probe reads
+		// its presence as "acknowledged". Failing this write fails the
+		// whole import — re-transferring is cheaper than holding a
+		// session whose acknowledgement can never be verified.
+		if err := os.WriteFile(filepath.Join(e.dir, tokenFile), []byte(token), 0o644); err != nil {
+			return fmt.Errorf("%w: writing handoff token: %v", ErrStorage, err)
+		}
+	}
+	return nil
 }
 
 // readLatestSnapshotRaw is readLatestSnapshot without decoding the

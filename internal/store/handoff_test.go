@@ -114,7 +114,7 @@ func TestDetachImportRoundTripBitIdentical(t *testing.T) {
 	if len(exported.Set) == 0 {
 		t.Fatal("export carries no snapshot set")
 	}
-	if err := dst.Import(ctx, id, exported); err != nil {
+	if err := dst.Import(ctx, id, exported, ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -200,10 +200,10 @@ func TestImportRejectsBadPayloads(t *testing.T) {
 	}
 	defer st.Close()
 
-	if err := st.Import(ctx, "bad id!", Export{}); err == nil {
+	if err := st.Import(ctx, "bad id!", Export{}, ""); err == nil {
 		t.Error("invalid id accepted")
 	}
-	if err := st.Import(ctx, "garbage-set", Export{Set: []byte("{nope")}); err == nil {
+	if err := st.Import(ctx, "garbage-set", Export{Set: []byte("{nope")}, ""); err == nil {
 		t.Error("undecodable set accepted")
 	}
 	if _, err := os.Stat(filepath.Join(st.dir, "garbage-set")); !os.IsNotExist(err) {
@@ -214,17 +214,108 @@ func TestImportRejectsBadPayloads(t *testing.T) {
 	if _, err := st.Create(ctx, id, handoffBase()); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Import(ctx, id, Export{Set: encodeSet(t, handoffBase())}); !errors.Is(err, ErrExists) {
+	if err := st.Import(ctx, id, Export{Set: encodeSet(t, handoffBase())}, ""); !errors.Is(err, ErrExists) {
 		t.Errorf("duplicate import: %v, want ErrExists", err)
 	}
 	// A garbage delta must fail the import and leave nothing behind.
 	if err := st.Import(ctx, "bad-delta", Export{
 		Set:    encodeSet(t, handoffBase()),
 		Deltas: [][]byte{[]byte("not a delta")},
-	}); err == nil {
+	}, ""); err == nil {
 		t.Error("undecodable delta accepted")
 	}
 	if _, err := os.Stat(filepath.Join(st.dir, "bad-delta")); !os.IsNotExist(err) {
 		t.Error("failed delta import left a directory behind")
+	}
+}
+
+// A retried Import carrying the token its first attempt committed
+// with is acknowledged (nil), not conflicted: the sender deletes or
+// keeps its local copy on exactly this verdict, and answering a
+// committed transfer with ErrExists would leave the session alive on
+// both nodes. The commit record must survive both a receiver restart
+// and the session being handed onward.
+func TestImportIdempotentWithToken(t *testing.T) {
+	ctx := context.Background()
+	a := handoffAnalyzer(t)
+	st, err := Open(t.TempDir(), a, Options{ProbeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const id, token = "sess-token", "tok-1"
+	exp := Export{Set: encodeSet(t, handoffBase())}
+	if err := st.Import(ctx, id, exp, token); err != nil {
+		t.Fatal(err)
+	}
+	before := sessionBytes(t, st, id)
+
+	// Duplicate with the matching token: acknowledged, state untouched.
+	if err := st.Import(ctx, id, exp, token); err != nil {
+		t.Fatalf("retried import with matching token: %v, want nil", err)
+	}
+	if got := sessionBytes(t, st, id); !bytes.Equal(got, before) {
+		t.Fatal("idempotent retry changed session state")
+	}
+	// A different token, or none, is a genuine conflict.
+	if err := st.Import(ctx, id, exp, "tok-other"); !errors.Is(err, ErrExists) {
+		t.Fatalf("import with mismatched token: %v, want ErrExists", err)
+	}
+	if err := st.Import(ctx, id, exp, ""); !errors.Is(err, ErrExists) {
+		t.Fatalf("tokenless duplicate import: %v, want ErrExists", err)
+	}
+	// The confirm probe agrees, and never vouches for other tokens,
+	// unknown ids, or locally created sessions.
+	if !st.ImportedWith(id, token) {
+		t.Error("ImportedWith(matching token) = false")
+	}
+	if st.ImportedWith(id, "tok-other") {
+		t.Error("ImportedWith(mismatched token) = true")
+	}
+	if st.ImportedWith("sess-unknown", token) {
+		t.Error("ImportedWith(unknown id) = true")
+	}
+	if _, err := st.Create(ctx, "sess-local", handoffBase()); err != nil {
+		t.Fatal(err)
+	}
+	if st.ImportedWith("sess-local", token) {
+		t.Error("ImportedWith vouches for a locally created session")
+	}
+	// A failed import leaves no commit record behind.
+	if err := st.Import(ctx, "sess-bad", Export{
+		Set:    encodeSet(t, handoffBase()),
+		Deltas: [][]byte{[]byte("not a delta")},
+	}, "tok-bad"); err == nil {
+		t.Fatal("undecodable delta accepted")
+	}
+	if st.ImportedWith("sess-bad", "tok-bad") {
+		t.Error("failed import left a confirmable commit record")
+	}
+
+	// The record survives a restart: the sender's retry window can
+	// span a receiver crash.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(st.dir, a, Options{ProbeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if err := re.Import(ctx, id, exp, token); err != nil {
+		t.Fatalf("retried import after receiver restart: %v, want nil", err)
+	}
+	if !re.ImportedWith(id, token) {
+		t.Error("ImportedWith after restart = false")
+	}
+
+	// ...and survives the session moving onward: "your handoff
+	// committed here" stays true after a Detach.
+	if err := re.Detach(ctx, id, func(Export) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !re.ImportedWith(id, token) {
+		t.Error("ImportedWith after onward detach = false")
 	}
 }

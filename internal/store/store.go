@@ -128,6 +128,13 @@ type Store struct {
 	// redirects instead of 404ing. In-memory only — after a restart
 	// the id is simply absent, which is equally true.
 	movedIDs map[string]struct{}
+	// importTokens remembers the handoff token each imported session
+	// arrived with, so a retried import can be told apart from a
+	// genuine id conflict and the sender's confirm probe can be
+	// answered. Entries survive a Detach — "your handoff committed
+	// here" stays true after the session moves on — and reload lazily
+	// from the session dir's token file after a restart.
+	importTokens map[string]string
 	// live keeps the most recently used entries materialised; eviction
 	// closes the entry's engine + WAL handle, leaving disk state as
 	// the only copy.
@@ -211,7 +218,7 @@ func Open(dir string, a *hydrac.Analyzer, opt Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating root: %w", err)
 	}
-	s := &Store{dir: dir, a: a, opt: opt, fs: faultfs.Default(opt.FS), entries: map[string]*entry{}, movedIDs: map[string]struct{}{}, stop: make(chan struct{})}
+	s := &Store{dir: dir, a: a, opt: opt, fs: faultfs.Default(opt.FS), entries: map[string]*entry{}, movedIDs: map[string]struct{}{}, importTokens: map[string]string{}, stop: make(chan struct{})}
 	s.live = lru.New[string, *entry](opt.MaxLive)
 	s.live.OnEvict(func(id string, e *entry) { e.close() })
 
